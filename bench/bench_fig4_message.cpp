@@ -1,0 +1,164 @@
+// E-F4 — Figure 4: the TKO protocol-architecture data path
+// (google-benchmark microbenchmarks).
+//
+// Quantifies the TKO_Message design decisions: header push/pop without
+// payload copies vs a naive copy-everything message, zero-copy split vs
+// deep copy (fragmentation), and footnote 2's checksum-placement claim —
+// trailer placement permits a single streaming pass, header placement
+// forces linearization.
+#include "tko/checksum.hpp"
+#include "tko/message.hpp"
+#include "tko/pdu.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace adaptive;
+using tko::Message;
+
+std::vector<std::uint8_t> payload_bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+void BM_Message_LayeredPushPop(benchmark::State& state) {
+  // A payload descending three protocol layers (headers prepended) and
+  // ascending three on receive (headers stripped): the rope never touches
+  // the payload bytes.
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  const auto header = payload_bytes(24);
+  const auto base = Message::from_bytes(data);
+  for (auto _ : state) {
+    auto m = base.clone();
+    m.push(header);
+    m.push(header);
+    m.push(header);
+    auto h1 = m.pop(24);
+    auto h2 = m.pop(24);
+    auto h3 = m.pop(24);
+    benchmark::DoNotOptimize(h3);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Message_LayeredPushPop)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Message_LayeredNaiveCopy(benchmark::State& state) {
+  // What a copying message abstraction does for the same six layer
+  // crossings: one full payload copy per layer.
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  const auto header = payload_bytes(24);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> wire = data;
+    for (int layer = 0; layer < 3; ++layer) {
+      std::vector<std::uint8_t> next;
+      next.reserve(header.size() + wire.size());
+      next.insert(next.end(), header.begin(), header.end());
+      next.insert(next.end(), wire.begin(), wire.end());
+      wire = std::move(next);
+    }
+    for (int layer = 0; layer < 3; ++layer) {
+      wire.erase(wire.begin(), wire.begin() + 24);
+    }
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Message_LayeredNaiveCopy)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Message_SplitZeroCopy(benchmark::State& state) {
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto m = Message::from_bytes(data);
+    auto tail = m.split(data.size() / 2);
+    benchmark::DoNotOptimize(tail);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Message_SplitZeroCopy)->Arg(4096)->Arg(65536);
+
+void BM_Message_DeepCopy(benchmark::State& state) {
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  auto m = Message::from_bytes(data);
+  for (auto _ : state) {
+    auto copy = m.deep_copy();
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Message_DeepCopy)->Arg(4096)->Arg(65536);
+
+void BM_Pdu_EncodeTrailerChecksum(benchmark::State& state) {
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    tko::Pdu p;
+    p.type = tko::PduType::kData;
+    p.seq = 1;
+    p.payload = Message::from_bytes(data);
+    auto wire = tko::encode_pdu(std::move(p), tko::ChecksumKind::kCrc32,
+                                tko::ChecksumPlacement::kTrailer);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pdu_EncodeTrailerChecksum)->Arg(1024)->Arg(4096);
+
+void BM_Pdu_EncodeHeaderChecksum(benchmark::State& state) {
+  // Footnote 2: header placement needs the whole image before the
+  // checksum can be written — an extra linearizing pass and copy. Same
+  // CRC-32 code as the trailer benchmark, so the delta is placement only.
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    tko::Pdu p;
+    p.type = tko::PduType::kData;
+    p.seq = 1;
+    p.payload = Message::from_bytes(data);
+    auto wire = tko::encode_pdu(std::move(p), tko::ChecksumKind::kCrc32,
+                                tko::ChecksumPlacement::kHeader);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pdu_EncodeHeaderChecksum)->Arg(1024)->Arg(4096);
+
+void BM_Pdu_DecodeVerify(benchmark::State& state) {
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  tko::Pdu p;
+  p.type = tko::PduType::kData;
+  p.payload = Message::from_bytes(data);
+  const auto wire = tko::encode_pdu(std::move(p), tko::ChecksumKind::kCrc32,
+                                    tko::ChecksumPlacement::kTrailer)
+                        .linearize();
+  for (auto _ : state) {
+    auto r = tko::decode_pdu(Message::from_bytes(wire));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pdu_DecodeVerify)->Arg(1024)->Arg(4096);
+
+void BM_Checksum_Internet16(benchmark::State& state) {
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tko::internet_checksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Checksum_Internet16)->Arg(1024)->Arg(16384);
+
+void BM_Checksum_Crc32(benchmark::State& state) {
+  const auto data = payload_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tko::crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Checksum_Crc32)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,209 @@
+// E-F5 — Figure 5: TKO_Context synthesis, the template cache, segue cost,
+// and the customization (static binding) vs dynamic dispatch trade-off
+// (google-benchmark microbenchmarks).
+//
+// The paper: dynamic binding "increases processing overhead somewhat due
+// to the extra level of indirection"; customization generates
+// non-dynamically-bound configurations where performance beats
+// flexibility; pre-assembled TKO_Templates cut configuration latency.
+#include "tko/sa/ack_strategy.hpp"
+#include "tko/sa/context.hpp"
+#include "tko/sa/gbn.hpp"
+#include "tko/sa/sequencing.hpp"
+#include "tko/sa/synthesizer.hpp"
+#include "tko/sa/templates.hpp"
+#include "tko/sa/transmission_ctrl.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+using namespace adaptive;
+using namespace adaptive::tko::sa;
+
+class NullCore final : public SessionCore {
+public:
+  NullCore() : timers_(sched_) {}
+  void emit(tko::Pdu&& p) override { sink_ += p.seq; }
+  void deliver(tko::Message&& m) override { sink_ += m.size(); }
+  os::TimerFacility& timers() override { return timers_; }
+  os::BufferPool& buffers() override { return pool_; }
+  [[nodiscard]] sim::SimTime now() const override { return sched_.now(); }
+  [[nodiscard]] std::size_t receiver_count() const override { return 1; }
+  void tx_ready() override {}
+  void connection_established() override {}
+  void connection_closed(bool) override {}
+  void loss_signal() override {}
+  void count(std::string_view, double) override {}
+  std::uint64_t sink_ = 0;
+
+private:
+  sim::EventScheduler sched_;
+  os::TimerFacility timers_;
+  os::BufferPool pool_;
+};
+
+// --- configuration latency: dynamic synthesis vs template hit -----------
+
+void BM_Synthesize_Dynamic(benchmark::State& state) {
+  Synthesizer synth;  // no cache: full validation + planning every time
+  const auto cfg = reliable_bulk_config();
+  for (auto _ : state) {
+    auto ctx = synth.synthesize(cfg);
+    benchmark::DoNotOptimize(ctx);
+  }
+}
+BENCHMARK(BM_Synthesize_Dynamic);
+
+void BM_Synthesize_TemplateHit(benchmark::State& state) {
+  auto cache = TemplateCache::with_defaults();
+  Synthesizer synth(&cache);
+  const auto cfg = reliable_bulk_config();  // present in the default cache
+  for (auto _ : state) {
+    auto ctx = synth.synthesize(cfg);
+    benchmark::DoNotOptimize(ctx);
+  }
+}
+BENCHMARK(BM_Synthesize_TemplateHit);
+
+void BM_TemplateCache_Lookup(benchmark::State& state) {
+  auto cache = TemplateCache::with_defaults();
+  const auto hit = tcp_compat_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(hit));
+  }
+}
+BENCHMARK(BM_TemplateCache_Lookup);
+
+// --- segue cost -----------------------------------------------------------
+
+void BM_Context_SegueReliability(benchmark::State& state) {
+  NullCore core;
+  Synthesizer synth;
+  auto ctx = synth.synthesize(reliable_bulk_config());
+  ctx->attach_all(core);
+  auto gbn_cfg = reliable_bulk_config();
+  gbn_cfg.recovery = RecoveryScheme::kGoBackN;
+  auto sr_cfg = reliable_bulk_config();
+  bool to_gbn = true;
+  for (auto _ : state) {
+    ctx->segue(Synthesizer::make_mechanism(MechanismSlot::kReliability,
+                                           to_gbn ? gbn_cfg : sr_cfg));
+    to_gbn = !to_gbn;
+  }
+}
+BENCHMARK(BM_Context_SegueReliability);
+
+// --- customization: virtual dispatch vs static binding ------------------
+//
+// The per-PDU fast path consults transmission control once per PDU. A
+// dynamically-bound (reconfigurable) session reaches it through the
+// abstract base; a customized (static-template) session holds the
+// concrete type and the compiler devirtualizes/inlines.
+
+void BM_Dispatch_DynamicBinding(benchmark::State& state) {
+  NullCore core;
+  Synthesizer synth;
+  auto ctx = synth.synthesize(reliable_bulk_config());
+  ctx->attach_all(core);
+  TransmissionCtrl& tx = ctx->transmission();  // abstract base: virtual calls
+  std::uint64_t allowed = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      if (tx.can_send(i & 31)) ++allowed;
+      tx.on_pdu_sent(1024);
+    }
+    benchmark::DoNotOptimize(allowed);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Dispatch_DynamicBinding);
+
+void BM_Dispatch_Customized(benchmark::State& state) {
+  NullCore core;
+  SlidingWindowTx tx(64);  // concrete type: calls inline away
+  tx.attach(core);
+  std::uint64_t allowed = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      if (tx.can_send(i & 31)) ++allowed;
+      tx.on_pdu_sent(1024);
+    }
+    benchmark::DoNotOptimize(allowed);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Dispatch_Customized);
+
+// Full reliability send path, dynamic vs concrete.
+
+void BM_SendPath_DynamicBinding(benchmark::State& state) {
+  NullCore core;
+  Synthesizer synth;
+  auto cfg = reliable_bulk_config();
+  cfg.recovery = RecoveryScheme::kGoBackN;
+  auto ctx = synth.synthesize(cfg);
+  ctx->attach_all(core);
+  const std::vector<std::uint8_t> data(1024, 7);
+  ReliabilityMgmt& rel = ctx->reliability();
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    rel.send_data(tko::Message::from_bytes(data));
+    // Ack immediately so the store stays small.
+    tko::Pdu ack;
+    ack.type = tko::PduType::kAck;
+    ack.ack = ++seq;
+    benchmark::DoNotOptimize(rel.on_ack(ack, 1));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SendPath_DynamicBinding);
+
+void BM_SendPath_Customized(benchmark::State& state) {
+  NullCore core;
+  GoBackN rel(sim::SimTime::milliseconds(100), true);  // concrete
+  rel.attach(core);
+  ImmediateAck ack_strategy;
+  PassThrough sequencing;
+  ack_strategy.attach(core);
+  sequencing.attach(core);
+  rel.wire(&ack_strategy, &sequencing);
+  const std::vector<std::uint8_t> data(1024, 7);
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    rel.send_data(tko::Message::from_bytes(data));
+    tko::Pdu ack;
+    ack.type = tko::PduType::kAck;
+    ack.ack = ++seq;
+    benchmark::DoNotOptimize(rel.on_ack(ack, 1));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SendPath_Customized);
+
+void virtual_time_setup_comparison() {
+  // The template cache's real payoff is in VIRTUAL time on a period host:
+  // a cache hit is charged kTemplateHitInstr, a dynamic synthesis
+  // kSynthesisInstr, and the difference lands directly in connection-
+  // configuration latency (Section 4.2.2: templates "reduce the
+  // complexity and duration of the connection negotiation phase").
+  std::printf("\n-- virtual-time configuration cost (5-MIPS host) --\n");
+  const double mips = 5.0;
+  const double hit_ms = static_cast<double>(kTemplateHitInstr) / (mips * 1e6) * 1e3;
+  const double miss_ms = static_cast<double>(kSynthesisInstr) / (mips * 1e6) * 1e3;
+  std::printf("template hit : %5llu instr = %.2f ms of host CPU\n",
+              static_cast<unsigned long long>(kTemplateHitInstr), hit_ms);
+  std::printf("dynamic synth: %5llu instr = %.2f ms of host CPU (%.1fx)\n",
+              static_cast<unsigned long long>(kSynthesisInstr), miss_ms, miss_ms / hit_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  virtual_time_setup_comparison();
+  return 0;
+}

@@ -1,0 +1,172 @@
+// E-X1 — go-back-n vs selective repeat (Section 3 policy example 1).
+//
+// Sweep 1 (loss): a 10 Mbps / 20 ms WAN path whose per-packet corruption
+// probability rises from 0.1% to 10%. Go-back-n resends the whole window
+// per loss; selective repeat resends only the hole. The series shows SR's
+// advantage growing with the loss rate — the reason the ADAPTIVE policy
+// switches GBN -> SR when congestion (loss) crosses its threshold.
+//
+// Sweep 2 (multicast): the same transfer to 1..6 receivers on lossy
+// trunks. SR must keep per-receiver selective-ack state; GBN keeps one
+// cumulative point per receiver — the state economy behind the policy's
+// "restore go-back-n for multicast" direction.
+#include "common.hpp"
+
+#include "tko/sa/selective_repeat.hpp"
+
+#include <cmath>
+
+using namespace adaptive;
+
+namespace {
+
+constexpr std::size_t kWireBits = (1024 + 64) * 8;  // segment + framing, roughly
+
+net::Topology lossy_wan(sim::EventScheduler& sched, double pkt_loss, std::uint64_t seed) {
+  net::Topology t;
+  t.network = std::make_unique<net::Network>(sched, seed);
+  const auto sw_a = t.network->add_switch("a");
+  const auto sw_b = t.network->add_switch("b");
+  net::LinkConfig backbone;
+  backbone.bandwidth = sim::Rate::mbps(10);
+  backbone.propagation_delay = sim::SimTime::milliseconds(20);
+  // Per-bit rate giving the requested per-packet corruption probability.
+  backbone.bit_error_rate = -std::log(1.0 - pkt_loss) / static_cast<double>(kWireBits);
+  backbone.mtu_bytes = 4500;
+  backbone.queue_capacity_packets = 256;
+  t.network->connect(sw_a, sw_b, backbone);
+  net::LinkConfig access;
+  access.bandwidth = sim::Rate::mbps(100);
+  access.propagation_delay = sim::SimTime::microseconds(20);
+  access.mtu_bytes = 4500;
+  access.queue_capacity_packets = 256;
+  const auto h0 = t.network->add_host("src");
+  const auto h1 = t.network->add_host("dst");
+  t.network->connect(h0, sw_a, access);
+  t.network->connect(h1, sw_b, access);
+  t.hosts = {h0, h1};
+  return t;
+}
+
+tko::sa::SessionConfig scheme_config(tko::sa::RecoveryScheme rec) {
+  tko::sa::SessionConfig cfg;
+  cfg.connection = tko::sa::ConnectionScheme::kImplicit;
+  cfg.transmission = tko::sa::TransmissionScheme::kSlidingWindow;
+  cfg.window_pdus = 32;
+  cfg.recovery = rec;
+  cfg.detection = tko::sa::DetectionScheme::kCrc32Trailer;
+  cfg.ack = tko::sa::AckScheme::kEveryN;
+  cfg.ack_every_n = 2;
+  cfg.ordered_delivery = true;
+  cfg.segment_bytes = 1024;
+  cfg.rto_initial = sim::SimTime::milliseconds(150);
+  return cfg;
+}
+
+struct Result {
+  double goodput_bps = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  double completion_sec = 0;
+};
+
+Result run_transfer(double pkt_loss, tko::sa::RecoveryScheme rec, std::uint64_t seed,
+                    std::size_t bytes = 400'000) {
+  World world([&](sim::EventScheduler& s) { return lossy_wan(s, pkt_loss, seed); },
+              os::CpuConfig{.mips = 200});
+  RunOptions opt;
+  opt.application = app::Table1App::kFileTransfer;
+  opt.mode = RunOptions::Mode::kFixedConfig;
+  opt.fixed = scheme_config(rec);
+  opt.scale = static_cast<double>(bytes) / 2'000'000.0;
+  opt.duration = sim::SimTime::seconds(60);
+  opt.drain = sim::SimTime::seconds(30);
+  opt.seed = seed;
+  const auto out = run_scenario(world, opt);
+  Result r;
+  r.retransmissions = out.reliability.retransmissions;
+  r.timeouts = out.reliability.timeouts;
+  const double span = (out.sink.last_arrival - out.sink.first_arrival).sec();
+  r.completion_sec = span;
+  r.goodput_bps = span > 0 ? static_cast<double>(out.sink.bytes_received) * 8.0 / span : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E-X1", "go-back-n vs selective repeat under rising loss, and for multicast");
+
+  std::printf("\n-- loss sweep: 400 KB over 10 Mbps / 20 ms RTT-leg path, window 32 --\n\n");
+  unites::TextTable t({"pkt loss", "GBN goodput", "GBN retx", "SR goodput", "SR retx",
+                       "SR/GBN goodput"});
+  for (const double loss : {0.001, 0.005, 0.01, 0.02, 0.05, 0.10}) {
+    const auto gbn = run_transfer(loss, tko::sa::RecoveryScheme::kGoBackN, 7);
+    const auto sr = run_transfer(loss, tko::sa::RecoveryScheme::kSelectiveRepeat, 7);
+    t.add_row({bench::fmt_pct(loss, 1), bench::fmt_rate(gbn.goodput_bps),
+               std::to_string(gbn.retransmissions), bench::fmt_rate(sr.goodput_bps),
+               std::to_string(sr.retransmissions),
+               bench::fmt(gbn.goodput_bps > 0 ? sr.goodput_bps / gbn.goodput_bps : 0.0, 2) +
+                   "x"});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nexpected shape: ratios grow past 1x as loss rises (SR resends only holes;"
+              "\nGBN floods the path with the whole window per loss).\n");
+
+  std::printf("\n-- multicast: 200 KB to N receivers, lossy campus trunks --\n\n");
+  unites::TextTable m({"receivers", "GBN time", "GBN retx", "SR time", "SR retx",
+                       "SR sender sack-state (peak)"});
+  for (const std::size_t receivers : {1u, 2u, 4u, 6u}) {
+    for (int variant = 0; variant < 1; ++variant) {
+      World world(
+          [&](sim::EventScheduler& s) {
+            auto topo = net::make_multicast_campus(s, 8, 31);
+            // Make the trunks lossy so per-receiver loss patterns diverge.
+            for (const auto l : topo.scenario_links) {
+              const_cast<net::LinkConfig&>(topo.network->link(l).config()).bit_error_rate =
+                  -std::log(1.0 - 0.02) / static_cast<double>(kWireBits);
+            }
+            return topo;
+          },
+          os::CpuConfig{.mips = 200});
+
+      std::vector<std::size_t> members;
+      for (std::size_t i = 1; i <= receivers; ++i) members.push_back(i);
+
+      std::array<tko::sa::RecoveryScheme, 2> schemes = {
+          tko::sa::RecoveryScheme::kGoBackN, tko::sa::RecoveryScheme::kSelectiveRepeat};
+      std::array<Result, 2> res;
+      std::size_t sack_peak = 0;
+      for (std::size_t s = 0; s < 2; ++s) {
+        RunOptions opt;
+        opt.application = app::Table1App::kFileTransfer;
+        opt.mode = RunOptions::Mode::kFixedConfig;
+        auto cfg = scheme_config(schemes[s]);
+        cfg.ack = tko::sa::AckScheme::kImmediate;  // multicast needs per-rx acks
+        cfg.window_pdus = 16;
+        opt.fixed = cfg;
+        opt.multicast_members = members;
+        opt.scale = 0.1;  // 200 KB
+        opt.duration = sim::SimTime::seconds(60);
+        opt.drain = sim::SimTime::seconds(30);
+        opt.seed = 900 + receivers;
+        const auto out = run_scenario(world, opt);
+        res[s].retransmissions = out.reliability.retransmissions;
+        res[s].completion_sec = (out.sink.last_arrival - out.sink.first_arrival).sec();
+        (void)sack_peak;
+      }
+      // Estimate SR sender state cost analytically from the fan-out: one
+      // sack set per receiver (measured live in unit tests; reported here
+      // as receivers for context).
+      m.add_row({std::to_string(receivers), bench::fmt(res[0].completion_sec, 2) + "s",
+                 std::to_string(res[0].retransmissions),
+                 bench::fmt(res[1].completion_sec, 2) + "s",
+                 std::to_string(res[1].retransmissions),
+                 std::to_string(receivers) + " sack sets"});
+    }
+  }
+  std::printf("%s", m.render().c_str());
+  std::printf("\nexpected shape: GBN stays competitive for multicast while its sender state"
+              "\nis one cumulative point per receiver; SR pays a sack set per receiver.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E-X3 — overweight and underweight configurations (Section 2.2).
+//
+// Overweight: TP4-like full reliability carrying loss-tolerant,
+// latency-constrained voice over an overloaded WAN. The retransmission
+// machinery the application never asked for inflates delay and jitter;
+// the ADAPTIVE lightweight configuration accepts the tolerated loss and
+// keeps latency bounded.
+//
+// Underweight: a transport without multicast support (TCP/UDP-like)
+// serving a 3-member teleconference must send every frame N times; the
+// ADAPTIVE multicast session sends each frame once and lets the network
+// replicate at the tree branches.
+#include "common.hpp"
+
+#include "net/background_traffic.hpp"
+
+using namespace adaptive;
+
+int main() {
+  bench::banner("E-X3", "overweight (TP4 for voice) and underweight (no multicast) mismatches");
+
+  // ---------------- overweight -------------------------------------------
+  std::printf("\n-- overweight: voice over an overloaded 1.5 Mbps WAN --\n\n");
+  unites::TextTable over({"configuration", "mean delay", "jitter", "loss", "retx",
+                          "sender CPU Minstr", "voice verdict"});
+  for (const auto mode :
+       {RunOptions::Mode::kManntts, RunOptions::Mode::kStaticTp4, RunOptions::Mode::kStaticStream}) {
+    World world([](sim::EventScheduler& s) { return net::make_congested_wan(s, 2, 61); });
+    net::BackgroundTrafficConfig bg;
+    bg.src = {world.node(2), 9};
+    bg.dst = {world.node(3), 9};
+    bg.burst_rate = sim::Rate::mbps(1.52);
+    bg.always_on = true;
+    net::BackgroundTraffic cross(world.network(), bg, 8);
+    cross.start();
+
+    RunOptions opt;
+    opt.application = app::Table1App::kVoice;
+    opt.mode = mode;
+    opt.duration = sim::SimTime::seconds(8);
+    const auto out = run_scenario(world, opt);
+    cross.stop();
+
+    const char* label = mode == RunOptions::Mode::kManntts  ? "ADAPTIVE lightweight"
+                        : mode == RunOptions::Mode::kStaticTp4 ? "TP4-like (overweight)"
+                                                               : "TCP-like (overweight)";
+    over.add_row({label, bench::fmt_ms(out.qos.mean_latency_sec),
+                  bench::fmt_ms(out.qos.jitter_sec), bench::fmt_pct(out.qos.loss_fraction),
+                  std::to_string(out.reliability.retransmissions),
+                  bench::fmt(static_cast<double>(out.sender_cpu_instructions) / 1e6, 1),
+                  out.qos.verdict()});
+  }
+  std::printf("%s", over.render().c_str());
+  std::printf("\nexpected shape: the heavyweight configurations retransmit into the full"
+              "\nqueue; ordered delivery stalls behind every drop, so delay and jitter blow"
+              "\nthe voice budget that the lightweight configuration meets by simply"
+              "\naccepting the loss the application tolerates.\n");
+
+  // ---------------- underweight ------------------------------------------
+  std::printf("\n-- underweight: 3-member teleconference, multicast vs N-unicast --\n\n");
+  unites::TextTable under({"configuration", "frames delivered", "sender NIC packets",
+                           "trunk packets (max link)", "delivered/NIC ratio"});
+  for (const bool use_multicast : {true, false}) {
+    World world([](sim::EventScheduler& s) { return net::make_multicast_campus(s, 8, 62); });
+    RunOptions opt;
+    opt.application = app::Table1App::kTeleconference;
+    opt.multicast_members = {1, 2, 3};
+    opt.mode = use_multicast ? RunOptions::Mode::kManntts : RunOptions::Mode::kStaticDatagram;
+    opt.duration = sim::SimTime::seconds(5);
+    const auto tx_before = world.host(0).nic().tx_packets();
+    const auto out = run_scenario(world, opt);
+    const auto tx = world.host(0).nic().tx_packets() - tx_before;
+    std::uint64_t trunk_max = 0;
+    for (const auto l : world.topology().scenario_links) {
+      trunk_max = std::max(trunk_max, world.network().link(l).stats().tx_packets);
+    }
+    under.add_row({use_multicast ? "ADAPTIVE multicast session" : "static N-unicast fan-out",
+                   std::to_string(out.sink.units_received), std::to_string(tx),
+                   std::to_string(trunk_max),
+                   bench::fmt(static_cast<double>(out.sink.units_received) /
+                                  static_cast<double>(tx == 0 ? 1 : tx),
+                              2)});
+  }
+  std::printf("%s", under.render().c_str());
+  std::printf("\nexpected shape: identical delivery, but the underweight transport pushes"
+              "\n~3x the packets through the sender NIC and the shared trunk — the cost of a"
+              "\nservice the application needed and the static menu lacked.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E-X5 — the throughput preservation problem (Section 2.1, problem A).
+//
+// "Only a limited amount of the available bandwidth in high-performance
+// networks is being delivered to applications ... this overhead is not
+// decreasing as rapidly as the network channel-speed is increasing."
+//
+// Sweep the backbone channel speed from 10 Mbps to 622 Mbps with a fixed
+// 25-MIPS host (1992-class CPU): delivered application throughput
+// saturates at what the transport system's per-packet/per-byte processing
+// permits, so the delivered fraction collapses as the channel grows. A
+// second series with a lightweight configuration (no checksum, no
+// recovery) and a third with a 100-MIPS CPU show both of the paper's
+// remedies: cheaper protocol processing and faster hosts.
+#include "common.hpp"
+
+#include <algorithm>
+
+using namespace adaptive;
+
+namespace {
+
+double run_bulk_window(sim::Rate channel, double mips, bool lightweight,
+                       std::uint16_t window, bool nic_offload = false) {
+  os::NicConfig nic;
+  if (nic_offload) {
+    // Remedy category 3: off-board processing — checksum on the adapter,
+    // interrupts amortized over 8-packet batches.
+    nic.checksum_offload = true;
+    nic.interrupt_coalescing = 8;
+    nic.coalesce_timeout = sim::SimTime::microseconds(200);
+  }
+  World world(
+      [&](sim::EventScheduler& s) { return net::make_atm_wan(s, 1, 81, channel); },
+      os::CpuConfig{.mips = mips}, mantts::ResourceLimits{}, nic);
+
+  tko::sa::SessionConfig cfg;
+  cfg.connection = tko::sa::ConnectionScheme::kImplicit;
+  cfg.segment_bytes = 4096;
+  cfg.window_pdus = window;
+  // A large window builds a deep standing queue on slow channels; give the
+  // first RTT estimate room so startup transients are not misread as loss.
+  cfg.rto_initial = sim::SimTime::seconds(2);
+  if (lightweight) {
+    cfg.transmission = tko::sa::TransmissionScheme::kUnlimited;
+    cfg.recovery = tko::sa::RecoveryScheme::kNone;
+    cfg.detection = tko::sa::DetectionScheme::kNone;
+    cfg.ack = tko::sa::AckScheme::kNone;
+    cfg.ordered_delivery = false;
+    cfg.filter_duplicates = false;
+  } else {
+    cfg.transmission = tko::sa::TransmissionScheme::kSlidingWindow;
+    cfg.recovery = tko::sa::RecoveryScheme::kSelectiveRepeat;
+    cfg.detection = tko::sa::DetectionScheme::kInternet16Trailer;
+    cfg.ack = tko::sa::AckScheme::kEveryN;
+    cfg.ack_every_n = 2;
+    cfg.ordered_delivery = true;
+  }
+
+  RunOptions opt;
+  opt.application = app::Table1App::kFileTransfer;
+  opt.mode = RunOptions::Mode::kFixedConfig;
+  opt.fixed = cfg;
+  opt.scale = 2.0;  // 4 MB
+  opt.duration = sim::SimTime::seconds(30);
+  opt.drain = sim::SimTime::seconds(10);
+  opt.seed = 82;
+  const auto out = run_scenario(world, opt);
+  const double span = (out.sink.last_arrival - out.sink.first_arrival).sec();
+  return span > 0 ? static_cast<double>(out.sink.bytes_received) * 8.0 / span : 0.0;
+}
+
+/// A deployed protocol is tuned to its environment: report the best
+/// goodput over the window sizes an operator would try.
+double run_bulk(sim::Rate channel, double mips, bool lightweight, bool nic_offload = false) {
+  if (lightweight) return run_bulk_window(channel, mips, true, 16, nic_offload);
+  double best = 0.0;
+  for (const std::uint16_t w : {std::uint16_t{16}, std::uint16_t{48}, std::uint16_t{128},
+                                std::uint16_t{256}}) {
+    best = std::max(best, run_bulk_window(channel, mips, false, w, nic_offload));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E-X5", "throughput preservation: delivered bandwidth vs channel speed");
+  std::printf("\n4 MB bulk transfer across an ATM-style WAN, access links scaled with the"
+              "\nbackbone; three transport-system configurations.\n\n");
+
+  unites::TextTable t({"channel", "25 MIPS reliable", "(fraction)", "25 MIPS lightweight",
+                       "(fraction)", "100 MIPS reliable", "(fraction)",
+                       "25 MIPS + NIC offload", "(fraction)"});
+  for (const double mbps : {10.0, 45.0, 100.0, 155.0, 622.0}) {
+    const auto channel = sim::Rate::mbps(mbps);
+    const double reliable = run_bulk(channel, 25.0, false);
+    const double light = run_bulk(channel, 25.0, true);
+    const double fast_cpu = run_bulk(channel, 100.0, false);
+    const double offload = run_bulk(channel, 25.0, false, /*nic_offload=*/true);
+    t.add_row({bench::fmt(mbps, 0) + "Mbps", bench::fmt_rate(reliable),
+               bench::fmt_pct(reliable / channel.bits_per_sec(), 1), bench::fmt_rate(light),
+               bench::fmt_pct(light / channel.bits_per_sec(), 1), bench::fmt_rate(fast_cpu),
+               bench::fmt_pct(fast_cpu / channel.bits_per_sec(), 1),
+               bench::fmt_rate(offload),
+               bench::fmt_pct(offload / channel.bits_per_sec(), 1)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nexpected shape: at 10 Mbps the network is the bottleneck (fractions near 100%%);"
+      "\nby 155-622 Mbps the 25-MIPS transport system delivers a small, flat absolute"
+      "\nrate — 1 to 2 orders of magnitude below the channel (the paper's §2.2(A)"
+      "\nobservation). The paper's three remedies each raise the ceiling - cheaper"
+      "\nprotocol processing (lightweight), a 4x CPU, and off-board NIC processing"
+      "\n(checksum offload + interrupt coalescing) - but none keeps pace with the"
+      "\nchannel.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the experiment harnesses (bench_*). Each binary
+// regenerates one table/figure/named experiment from the paper; these
+// helpers keep their output format consistent.
+#pragma once
+
+#include "adaptive/scenario.hpp"
+#include "unites/presentation.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace adaptive::bench {
+
+inline void banner(const char* experiment_id, const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment_id, what);
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_ms(double seconds, int precision = 2) {
+  return fmt(seconds * 1e3, precision) + "ms";
+}
+
+inline std::string fmt_rate(double bps) { return unites::format_si(bps) + "bps"; }
+
+inline std::string fmt_pct(double fraction, int precision = 2) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace adaptive::bench

@@ -1,0 +1,105 @@
+// Synchronized audio + video ("lip sync") over a congested WAN.
+//
+// MANTTS opens the two media streams as one coordinated group (§4.1):
+// it assigns delivery priorities by service class (conversational audio
+// above video) and computes a common playout point deep enough for the
+// slower path. Each receiver renders against that shared point with a
+// PlayoutSink, so both streams play at their source clock plus the same
+// delay — temporal synchronization exported to the application.
+//
+//   ./av_sync
+#include "adaptive/world.hpp"
+#include "app/playout.hpp"
+#include "app/workloads.hpp"
+#include "mantts/stream_group.hpp"
+#include "net/background_traffic.hpp"
+#include "unites/presentation.hpp"
+
+#include <cstdio>
+
+using namespace adaptive;
+
+int main() {
+  World world([](sim::EventScheduler& s) { return net::make_congested_wan(s, 2); });
+
+  // Background load so the two streams see real (and different) jitter.
+  net::BackgroundTrafficConfig bg;
+  bg.src = {world.node(2), 9};
+  bg.dst = {world.node(3), 9};
+  bg.burst_rate = sim::Rate::mbps(1.0);
+  bg.mean_burst = sim::SimTime::milliseconds(60);
+  bg.mean_idle = sim::SimTime::milliseconds(140);
+  net::BackgroundTraffic cross(world.network(), bg, 11);
+  cross.start();
+
+  auto audio_acd = app::make_workload(app::Table1App::kVoice, 1).acd;
+  auto video_acd = app::make_workload(app::Table1App::kVideoCompressed, 1, /*scale=*/0.1).acd;
+  // Declare the codec's true peak so Stage I classifies the stream as
+  // distributional video even though this demo runs it scaled down.
+  video_acd.quantitative.peak_throughput = sim::Rate::mbps(8);
+  audio_acd.remotes = video_acd.remotes = {world.transport_address(1)};
+
+  mantts::StreamGroupOpener opener(world.mantts(0));
+  mantts::StreamGroupResult group;
+  opener.open({audio_acd, video_acd},
+              [&](mantts::StreamGroupResult r) { group = std::move(r); });
+  world.run_for(sim::SimTime::seconds(1));
+  if (!group.complete) {
+    std::printf("group open failed\n");
+    return 1;
+  }
+
+  std::printf("stream group opened:\n");
+  for (const auto& m : group.members) {
+    std::printf("  %-28s prio=%u  %s\n", mantts::to_string(m.tsc), m.assigned_priority,
+                m.scs.describe().c_str());
+  }
+  std::printf("common playout point: %s after source timestamp\n\n",
+              group.recommended_playout.to_string().c_str());
+
+  // Receivers render against the shared playout point.
+  app::PlayoutSink audio_out(world.host(1).timers(), group.recommended_playout);
+  app::PlayoutSink video_out(world.host(1).timers(), group.recommended_playout);
+  world.transport(1).set_acceptor([&](tko::TransportSession& s) {
+    if (s.id() == group.members[0].session->id()) audio_out.attach(s);
+    if (s.id() == group.members[1].session->id()) video_out.attach(s);
+  });
+  if (auto* rx = world.transport(1).find_session(group.members[0].session->id())) {
+    audio_out.attach(*rx);
+  }
+  if (auto* rx = world.transport(1).find_session(group.members[1].session->id())) {
+    video_out.attach(*rx);
+  }
+
+  app::SourceApp audio_src(*group.members[0].session,
+                           std::make_unique<app::CbrModel>(160, sim::SimTime::milliseconds(20)),
+                           world.host(0).timers(), sim::SimTime::seconds(8));
+  app::SourceApp video_src(*group.members[1].session,
+                           std::make_unique<app::CbrModel>(800, sim::SimTime::milliseconds(40)),
+                           world.host(0).timers(), sim::SimTime::seconds(8));
+  audio_src.start();
+  video_src.start();
+  world.run_for(sim::SimTime::seconds(9));
+  cross.stop();
+
+  unites::TextTable table({"stream", "frames played", "late drops", "buffered peak",
+                           "residual jitter"});
+  const auto& a = audio_out.stats();
+  const auto& v = video_out.stats();
+  table.add_row({"audio (prio " + std::to_string(group.members[0].assigned_priority) + ")",
+                 std::to_string(a.played), std::to_string(a.late_drops),
+                 std::to_string(a.buffered_peak),
+                 std::to_string(a.playout_jitter_sec() * 1e6) + " us"});
+  table.add_row({"video (prio " + std::to_string(group.members[1].assigned_priority) + ")",
+                 std::to_string(v.played), std::to_string(v.late_drops),
+                 std::to_string(v.buffered_peak),
+                 std::to_string(v.playout_jitter_sec() * 1e6) + " us"});
+  std::printf("%s\nboth streams render at source-clock + %s: residual jitter ~0 means the"
+              "\nstreams stay in lip sync regardless of their different network jitter.\n",
+              table.render().c_str(), group.recommended_playout.to_string().c_str());
+
+  world.mantts(0).close_session(*group.members[0].session);
+  world.mantts(0).close_session(*group.members[1].session);
+  world.run_for(sim::SimTime::seconds(1));
+  return 0;
+}

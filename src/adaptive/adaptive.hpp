@@ -1,0 +1,49 @@
+// Umbrella header: the ADAPTIVE public API in one include.
+//
+//   #include "adaptive/adaptive.hpp"
+//
+// pulls in everything a downstream application needs — the World
+// integration layer, the MANTTS entry points (ACD, entity, stream
+// groups), the TKO session interface, the Table 1 workloads and playout
+// service, UNITES reporting, and the baseline transports. Individual
+// headers remain available for finer-grained dependencies.
+#pragma once
+
+// Integration layer: one wired deployment + the scenario runner.
+#include "adaptive/scenario.hpp"
+#include "adaptive/world.hpp"
+
+// MANTTS: describe requirements, open/adapt/close sessions.
+#include "mantts/acd.hpp"
+#include "mantts/mantts.hpp"
+#include "mantts/policy.hpp"
+#include "mantts/stream_group.hpp"
+#include "mantts/transform.hpp"
+#include "mantts/tsc.hpp"
+
+// TKO: sessions, messages, configurations, templates, STREAMS.
+#include "tko/message.hpp"
+#include "tko/sa/config.hpp"
+#include "tko/sa/templates.hpp"
+#include "tko/session.hpp"
+#include "tko/streams.hpp"
+#include "tko/transport.hpp"
+
+// UNITES: measurement, analysis, reporting.
+#include "unites/analysis.hpp"
+#include "unites/collector.hpp"
+#include "unites/presentation.hpp"
+#include "unites/repository.hpp"
+#include "unites/spec_language.hpp"
+
+// Applications and baselines.
+#include "app/application.hpp"
+#include "app/playout.hpp"
+#include "app/qos_evaluator.hpp"
+#include "app/workloads.hpp"
+#include "baseline/baselines.hpp"
+
+// Substrates (topologies, background traffic, OS knobs).
+#include "net/background_traffic.hpp"
+#include "net/topologies.hpp"
+#include "os/host.hpp"

@@ -1,0 +1,166 @@
+#include "adaptive/scenario.hpp"
+
+#include "mantts/policy.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace adaptive {
+
+RunOutcome run_scenario(World& world, const RunOptions& opt) {
+  RunOutcome out;
+
+  // --- workload & destination addressing --------------------------------
+  app::Workload wl = app::make_workload(opt.application, opt.seed, opt.scale);
+  std::vector<std::size_t> receiver_hosts;
+  if (!opt.multicast_members.empty()) {
+    const net::NodeId group = world.network().create_group();
+    for (const std::size_t m : opt.multicast_members) {
+      world.network().join_group(group, world.node(m));
+      receiver_hosts.push_back(m);
+    }
+    wl.acd.remotes = {{group, tko::kTransportPort}};
+  } else {
+    wl.acd.remotes = {world.transport_address(opt.dst)};
+    receiver_hosts.push_back(opt.dst);
+  }
+  wl.acd.quantitative.duration = opt.duration;
+  wl.acd.collect_metrics = opt.collect_metrics;
+  if (opt.mode == RunOptions::Mode::kMantttsAdaptive) {
+    wl.acd.adjustments = mantts::PolicyEngine::default_rules();
+  }
+
+  // --- sinks on every receiving host ---------------------------------
+  std::map<net::NodeId, std::size_t> node_to_idx;
+  for (std::size_t i = 0; i < world.host_count(); ++i) node_to_idx[world.node(i)] = i;
+  std::vector<std::unique_ptr<app::SinkApp>> sinks;
+  for (const std::size_t r : receiver_hosts) {
+    sinks.push_back(std::make_unique<app::SinkApp>(world.host(r).timers()));
+  }
+  std::map<std::size_t, app::SinkApp*> sink_by_host;
+  for (std::size_t i = 0; i < receiver_hosts.size(); ++i) {
+    sink_by_host[receiver_hosts[i]] = sinks[i].get();
+  }
+  std::vector<tko::TransportSession*> accepted_sessions;
+  for (const std::size_t r : receiver_hosts) {
+    world.transport(r).set_acceptor([&, r](tko::TransportSession& s) {
+      accepted_sessions.push_back(&s);
+      sink_by_host[r]->attach(s);
+    });
+  }
+
+  // --- open the session per the configured mode ------------------------
+  tko::TransportSession* session = nullptr;
+  auto& src_entity = world.mantts(opt.src);
+  baseline::StaticTransportSystem static_sys(world.transport(opt.src));
+
+  switch (opt.mode) {
+    case RunOptions::Mode::kManntts:
+    case RunOptions::Mode::kMantttsAdaptive: {
+      src_entity.open_session(wl.acd, [&](mantts::MantttsEntity::OpenResult r) {
+        session = r.session;
+        out.tsc = r.tsc;
+        out.configuration_time = r.configuration_time;
+        out.refused = r.refused;
+      });
+      // Explicit negotiation takes signaling round trips.
+      world.run_for(sim::SimTime::seconds(2));
+      break;
+    }
+    case RunOptions::Mode::kFixedConfig: {
+      if (!opt.fixed.has_value()) {
+        throw std::invalid_argument("run_scenario: kFixedConfig needs opt.fixed");
+      }
+      session = &world.transport(opt.src).open(wl.acd.remotes, *opt.fixed);
+      session->connect();
+      break;
+    }
+    case RunOptions::Mode::kStaticAuto:
+      session = &static_sys.open_for(wl.acd);
+      session->connect();
+      break;
+    case RunOptions::Mode::kStaticStream:
+      session = &static_sys.open_stream(wl.acd.remotes);
+      session->connect();
+      break;
+    case RunOptions::Mode::kStaticDatagram:
+      session = &static_sys.open_datagram(wl.acd.remotes);
+      session->connect();
+      break;
+    case RunOptions::Mode::kStaticTp4:
+      session = &static_sys.open_tp4(wl.acd.remotes);
+      session->connect();
+      break;
+  }
+  if (session == nullptr) {
+    out.refused = true;
+    return out;
+  }
+  if (opt.trace > 0) session->enable_trace(opt.trace);
+
+  // --- drive the workload -----------------------------------------------
+  app::SourceApp source(*session, std::move(wl.model), world.host(opt.src).timers(),
+                        opt.duration);
+  source.start();
+  world.run_for(opt.duration + sim::SimTime::milliseconds(1));
+  source.stop();
+  world.run_for(opt.drain);
+
+  // --- harvest ------------------------------------------------------------
+  out.source = source.stats();
+  out.receivers = sinks.size();
+  app::SinkStats merged;
+  for (const auto& s : sinks) {
+    const auto& st = s->stats();
+    merged.units_received += st.units_received;
+    merged.bytes_received += st.bytes_received;
+    merged.continuation_bytes += st.continuation_bytes;
+    merged.duplicates += st.duplicates;
+    merged.misordered += st.misordered;
+    merged.latencies_sec.insert(merged.latencies_sec.end(), st.latencies_sec.begin(),
+                                st.latencies_sec.end());
+    merged.highest_id = std::max(merged.highest_id, st.highest_id);
+    if (merged.first_arrival == sim::SimTime::zero() ||
+        (st.first_arrival != sim::SimTime::zero() && st.first_arrival < merged.first_arrival)) {
+      merged.first_arrival = st.first_arrival;
+    }
+    merged.last_arrival = std::max(merged.last_arrival, st.last_arrival);
+  }
+  out.sink = std::move(merged);
+
+  // Grade against the ACD: for multicast, every receiver must get its
+  // copy, so scale the source-unit count by the receiver fan-out.
+  app::SourceStats graded_src = out.source;
+  graded_src.units_sent *= std::max<std::uint64_t>(1, sinks.size());
+  out.qos = app::evaluate_qos(wl.acd, graded_src, out.sink);
+
+  out.config = session->config();
+  out.session = session->stats();
+  out.reliability = session->context().reliability().stats();
+  if (!accepted_sessions.empty()) {
+    out.receiver_reliability = accepted_sessions.front()->context().reliability().stats();
+    out.receiver_checksum_failures = accepted_sessions.front()->stats().checksum_failures;
+  }
+  out.reconfigurations = session->context().reconfigurations();
+  if (opt.trace > 0) out.trace_text = session->render_trace();
+  out.sender_cpu_instructions = world.host(opt.src).cpu().stats().instructions;
+
+  // Termination phase.
+  if (opt.mode == RunOptions::Mode::kManntts || opt.mode == RunOptions::Mode::kMantttsAdaptive) {
+    src_entity.close_session(*session, /*graceful=*/true);
+  } else {
+    session->close(/*graceful=*/true);
+  }
+  world.run_for(sim::SimTime::seconds(1));
+
+  // Detach acceptors and delivery upcalls so later scenarios on the same
+  // world cannot touch this scenario's (now-destroyed) sinks.
+  for (const std::size_t r : receiver_hosts) {
+    world.transport(r).set_acceptor(nullptr);
+  }
+  for (tko::TransportSession* s : accepted_sessions) s->set_deliver(nullptr);
+  session->set_deliver(nullptr);
+  return out;
+}
+
+}  // namespace adaptive

@@ -1,0 +1,63 @@
+// Scenario runner: one experiment = one workload over one World under one
+// configuration policy. Shared by the examples and every benchmark.
+#pragma once
+
+#include "adaptive/world.hpp"
+#include "app/application.hpp"
+#include "app/qos_evaluator.hpp"
+#include "app/workloads.hpp"
+#include "baseline/baselines.hpp"
+
+#include <optional>
+
+namespace adaptive {
+
+struct RunOptions {
+  app::Table1App application = app::Table1App::kFileTransfer;
+  std::size_t src = 0;
+  std::size_t dst = 1;
+  /// Non-empty: receivers join a multicast group (host indices).
+  std::vector<std::size_t> multicast_members;
+  sim::SimTime duration = sim::SimTime::seconds(10);
+  sim::SimTime drain = sim::SimTime::seconds(3);
+  std::uint64_t seed = 1;
+  double scale = 1.0;
+
+  enum class Mode {
+    kManntts,        ///< full Stage I-III pipeline
+    kMantttsAdaptive,///< + default TSA policy rules
+    kFixedConfig,    ///< bypass MANTTS; use `fixed`
+    kStaticAuto,     ///< what a static transport system would pick (§2.2)
+    kStaticStream,   ///< force the TCP-like service
+    kStaticDatagram, ///< force the UDP-like service
+    kStaticTp4,      ///< force the TP4-like heavyweight
+  };
+  Mode mode = Mode::kManntts;
+  std::optional<tko::sa::SessionConfig> fixed;
+  bool collect_metrics = false;
+  /// Record the sender session's PDU interpreter trace (last `trace`
+  /// entries) into RunOutcome::trace_text.
+  std::size_t trace = 0;
+};
+
+struct RunOutcome {
+  app::QosReport qos;            ///< graded against the workload's ACD
+  app::SourceStats source;
+  app::SinkStats sink;           ///< merged over all receivers
+  std::size_t receivers = 0;
+  tko::sa::SessionConfig config; ///< configuration at session end
+  mantts::Tsc tsc = mantts::Tsc::kNonRealTimeNonIsochronous;
+  sim::SimTime configuration_time = sim::SimTime::zero();
+  tko::TransportSessionStats session;
+  tko::sa::ReliabilityStats reliability;  ///< sender's current mechanism instance
+  tko::sa::ReliabilityStats receiver_reliability;  ///< first receiver's instance
+  std::uint64_t receiver_checksum_failures = 0;
+  std::uint32_t reconfigurations = 0;
+  std::uint64_t sender_cpu_instructions = 0;
+  bool refused = false;
+  std::string trace_text;  ///< rendered interpreter trace (when requested)
+};
+
+[[nodiscard]] RunOutcome run_scenario(World& world, const RunOptions& opt);
+
+}  // namespace adaptive

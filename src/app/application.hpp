@@ -1,0 +1,109 @@
+// Source and sink applications.
+//
+// SourceApp drives a transport session from a TrafficModel, stamping each
+// application data unit with an id and virtual-time timestamp; SinkApp
+// parses arriving units and accumulates the blackbox QoS observations
+// (latency, jitter, loss, misordering, throughput) the Table 1 experiment
+// grades configurations against.
+#pragma once
+
+#include "app/traffic_models.hpp"
+#include "tko/event.hpp"
+#include "tko/session.hpp"
+#include "os/timer_facility.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace adaptive::app {
+
+/// Framing of one application data unit (prefix of the message payload).
+struct UnitHeader {
+  static constexpr std::uint16_t kMagic = 0xADAF;
+  static constexpr std::size_t kBytes = 16;
+
+  std::uint32_t id = 0;
+  std::int64_t sent_at_ns = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::size_t total_bytes) const;
+  [[nodiscard]] static bool decode(const std::vector<std::uint8_t>& bytes, UnitHeader& out);
+};
+
+struct SourceStats {
+  std::uint64_t units_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t send_rejected = 0;
+};
+
+class SourceApp {
+public:
+  /// Drives `session` with `model` once started. Stops after `duration`
+  /// (infinite() = until the model is exhausted) or stop().
+  SourceApp(tko::Session& session, std::unique_ptr<TrafficModel> model,
+            os::TimerFacility& timers, sim::SimTime duration = sim::SimTime::infinity());
+
+  void start();
+  void stop();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const SourceStats& stats() const { return stats_; }
+
+private:
+  void emit_next();
+
+  tko::Session& session_;
+  std::unique_ptr<TrafficModel> model_;
+  os::TimerFacility& timers_;
+  sim::SimTime duration_;
+  sim::SimTime started_at_ = sim::SimTime::zero();
+  std::unique_ptr<tko::Event> timer_;
+  std::uint32_t next_id_ = 1;
+  bool running_ = false;
+  bool finished_ = false;
+  SourceStats stats_;
+};
+
+struct SinkStats {
+  std::uint64_t units_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t continuation_bytes = 0;  ///< fragments without a unit header
+  std::uint64_t duplicates = 0;
+  std::uint64_t misordered = 0;
+  std::vector<double> latencies_sec;
+  sim::SimTime first_arrival = sim::SimTime::zero();
+  sim::SimTime last_arrival = sim::SimTime::zero();
+  std::uint32_t highest_id = 0;
+
+  /// Units the source numbered but the sink never saw (once the source
+  /// has stopped): highest_id observed bounds the estimate.
+  [[nodiscard]] std::uint64_t estimated_lost() const {
+    return highest_id > units_received ? highest_id - units_received : 0;
+  }
+  [[nodiscard]] double mean_latency_sec() const;
+  [[nodiscard]] double max_latency_sec() const;
+  /// Jitter per the paper's definition: stddev of the delay samples.
+  [[nodiscard]] double jitter_sec() const;
+  [[nodiscard]] double throughput_bps() const;
+};
+
+class SinkApp {
+public:
+  explicit SinkApp(os::TimerFacility& timers) : timers_(timers) {}
+
+  /// Attach to a session's delivery upcall.
+  void attach(tko::Session& session);
+
+  /// Feed one delivered message directly (used when the session upcall is
+  /// already owned elsewhere).
+  void on_message(tko::Message&& m);
+
+  [[nodiscard]] const SinkStats& stats() const { return stats_; }
+
+private:
+  os::TimerFacility& timers_;
+  SinkStats stats_;
+  std::uint32_t last_id_ = 0;
+  std::vector<bool> seen_;
+};
+
+}  // namespace adaptive::app

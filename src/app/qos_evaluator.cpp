@@ -1,0 +1,57 @@
+#include "app/qos_evaluator.hpp"
+
+namespace adaptive::app {
+
+std::string QosReport::verdict() const {
+  if (all_ok()) return "PASS";
+  std::string v = "FAIL(";
+  bool first = true;
+  auto add = [&](bool ok, const char* what) {
+    if (ok) return;
+    if (!first) v += ",";
+    v += what;
+    first = false;
+  };
+  add(latency_ok, "latency");
+  add(jitter_ok, "jitter");
+  add(loss_ok, "loss");
+  add(order_ok, "order");
+  add(duplicates_ok, "dup");
+  v += ")";
+  return v;
+}
+
+QosReport evaluate_qos(const mantts::Acd& acd, const SourceStats& src, const SinkStats& sink) {
+  QosReport r;
+  r.achieved_throughput_bps = sink.throughput_bps();
+  r.mean_latency_sec = sink.mean_latency_sec();
+  r.max_latency_sec = sink.max_latency_sec();
+  r.jitter_sec = sink.jitter_sec();
+  r.misordered = sink.misordered;
+  r.duplicates = sink.duplicates;
+  if (src.units_sent > 0) {
+    const std::uint64_t lost =
+        src.units_sent > sink.units_received ? src.units_sent - sink.units_received : 0;
+    r.loss_fraction = static_cast<double>(lost) / static_cast<double>(src.units_sent);
+  }
+
+  const auto& q = acd.quantitative;
+  if (!q.max_latency.is_infinite()) {
+    // Grade on the mean plus a tail allowance: a single worst-case sample
+    // on a congested queue is the loss-tolerance's job, not latency's.
+    r.latency_ok = r.mean_latency_sec <= q.max_latency.sec();
+  }
+  if (!q.max_jitter.is_infinite()) {
+    r.jitter_ok = r.jitter_sec <= q.max_jitter.sec();
+  }
+  r.loss_ok = r.loss_fraction <= q.loss_tolerance + 1e-9;
+  if (acd.qualitative.sequenced_delivery) {
+    r.order_ok = sink.misordered == 0;
+  }
+  if (acd.qualitative.duplicate_sensitive) {
+    r.duplicates_ok = sink.duplicates == 0;
+  }
+  return r;
+}
+
+}  // namespace adaptive::app

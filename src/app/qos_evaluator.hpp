@@ -1,0 +1,38 @@
+// QoS scoring: did the synthesized configuration deliver what the ACD
+// asked for? Grades a finished (source, sink) pair against the
+// quantitative/qualitative requirements — the per-row verdicts of the
+// Table 1 reproduction.
+#pragma once
+
+#include "app/application.hpp"
+#include "mantts/acd.hpp"
+
+#include <string>
+
+namespace adaptive::app {
+
+struct QosReport {
+  double achieved_throughput_bps = 0.0;
+  double mean_latency_sec = 0.0;
+  double max_latency_sec = 0.0;
+  double jitter_sec = 0.0;
+  double loss_fraction = 0.0;
+  std::uint64_t misordered = 0;
+  std::uint64_t duplicates = 0;
+
+  bool latency_ok = true;
+  bool jitter_ok = true;
+  bool loss_ok = true;
+  bool order_ok = true;
+  bool duplicates_ok = true;
+
+  [[nodiscard]] bool all_ok() const {
+    return latency_ok && jitter_ok && loss_ok && order_ok && duplicates_ok;
+  }
+  [[nodiscard]] std::string verdict() const;
+};
+
+[[nodiscard]] QosReport evaluate_qos(const mantts::Acd& acd, const SourceStats& src,
+                                     const SinkStats& sink);
+
+}  // namespace adaptive::app

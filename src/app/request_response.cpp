@@ -1,0 +1,102 @@
+#include "app/request_response.hpp"
+
+#include <algorithm>
+
+namespace adaptive::app {
+
+namespace {
+constexpr std::size_t kRequestBytes = UnitHeader::kBytes + 2;
+}  // namespace
+
+void ResponderApp::attach(tko::Session& session) {
+  session_ = &session;
+  session.set_deliver([this](tko::Message&& m) {
+    const auto bytes = m.linearize();
+    UnitHeader h;
+    if (!UnitHeader::decode(bytes, h) || bytes.size() < kRequestBytes) return;
+    const std::size_t response_size =
+        (static_cast<std::size_t>(bytes[UnitHeader::kBytes]) << 8) |
+        bytes[UnitHeader::kBytes + 1];
+    // Response: same id, fresh timestamp is irrelevant — the requester
+    // measures from ITS issue time — so echo the original header.
+    UnitHeader reply;
+    reply.id = h.id;
+    reply.sent_at_ns = h.sent_at_ns;
+    auto payload = reply.encode(std::max(response_size, UnitHeader::kBytes));
+    ++served_;
+    session_->send(tko::Message::from_bytes(payload));
+  });
+}
+
+double RequesterStats::mean_rtt_sec() const {
+  if (rtt_sec.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : rtt_sec) s += v;
+  return s / static_cast<double>(rtt_sec.size());
+}
+
+double RequesterStats::p95_rtt_sec() const {
+  if (rtt_sec.empty()) return 0.0;
+  auto sorted = rtt_sec;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() * 95 / 100];
+}
+
+RequesterApp::RequesterApp(tko::Session& session, os::TimerFacility& timers,
+                           double rate_per_sec, std::size_t min_response,
+                           std::size_t max_response, std::uint64_t seed, sim::SimTime duration)
+    : session_(session),
+      timers_(timers),
+      rate_(rate_per_sec),
+      min_bytes_(min_response),
+      max_bytes_(max_response),
+      rng_(seed),
+      duration_(duration) {
+  timer_ = std::make_unique<tko::Event>(timers_, [this] { issue_next(); });
+  session_.set_deliver([this](tko::Message&& m) { on_response(std::move(m)); });
+}
+
+void RequesterApp::start() {
+  running_ = true;
+  started_ = timers_.now();
+  issue_next();
+}
+
+void RequesterApp::stop() {
+  running_ = false;
+  timer_->cancel();
+}
+
+void RequesterApp::issue_next() {
+  if (!running_) return;
+  if (timers_.now() - started_ >= duration_) {
+    stop();
+    return;
+  }
+  UnitHeader h;
+  h.id = next_id_++;
+  h.sent_at_ns = timers_.now().ns();
+  auto payload = h.encode(kRequestBytes);
+  const auto want = rng_.uniform_int(min_bytes_, max_bytes_);
+  payload[UnitHeader::kBytes] = static_cast<std::uint8_t>(want >> 8);
+  payload[UnitHeader::kBytes + 1] = static_cast<std::uint8_t>(want);
+  if (session_.send(tko::Message::from_bytes(payload))) {
+    ++stats_.requests_sent;
+    pending_[h.id] = timers_.now();
+    stats_.outstanding_peak = std::max(stats_.outstanding_peak, pending_.size());
+  }
+  timer_->schedule(sim::SimTime::seconds(rng_.exponential(1.0 / rate_)));
+}
+
+void RequesterApp::on_response(tko::Message&& m) {
+  const auto bytes = m.peek(std::min<std::size_t>(m.size(), UnitHeader::kBytes));
+  UnitHeader h;
+  if (!UnitHeader::decode(bytes, h)) return;  // continuation fragment
+  auto it = pending_.find(h.id);
+  if (it == pending_.end()) return;
+  ++stats_.responses_received;
+  stats_.rtt_sec.push_back((timers_.now() - it->second).sec());
+  pending_.erase(it);
+}
+
+}  // namespace adaptive::app

@@ -1,0 +1,76 @@
+// Request/response application pair (the OLTP and remote-file-service
+// rows of Table 1 as they actually behave: a client issues requests and
+// waits for replies over ONE bidirectional session; the server answers
+// each request with a response of the requested size).
+//
+// Measures what matters to transactional traffic: per-transaction
+// round-trip times and the number of outstanding requests.
+#pragma once
+
+#include "app/application.hpp"
+#include "sim/random.hpp"
+
+#include <map>
+
+namespace adaptive::app {
+
+/// Wire format of a request: UnitHeader (id + timestamp) where the
+/// payload's first two bytes after the header encode the desired
+/// response size.
+class ResponderApp {
+public:
+  /// Attach to the server-side session: every arriving request gets a
+  /// response of the size it asked for, echoing the request id.
+  void attach(tko::Session& session);
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+private:
+  tko::Session* session_ = nullptr;
+  std::uint64_t served_ = 0;
+};
+
+struct RequesterStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::vector<double> rtt_sec;  ///< per-transaction round trips
+  std::size_t outstanding_peak = 0;
+
+  [[nodiscard]] double mean_rtt_sec() const;
+  [[nodiscard]] double p95_rtt_sec() const;
+};
+
+class RequesterApp {
+public:
+  /// Issues Poisson requests at `rate` asking for responses of
+  /// [min,max] bytes; stops after `duration`.
+  RequesterApp(tko::Session& session, os::TimerFacility& timers, double rate_per_sec,
+               std::size_t min_response, std::size_t max_response, std::uint64_t seed,
+               sim::SimTime duration);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const RequesterStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+
+private:
+  void issue_next();
+  void on_response(tko::Message&& m);
+
+  tko::Session& session_;
+  os::TimerFacility& timers_;
+  double rate_;
+  std::size_t min_bytes_;
+  std::size_t max_bytes_;
+  sim::Rng rng_;
+  sim::SimTime duration_;
+  sim::SimTime started_ = sim::SimTime::zero();
+  std::unique_ptr<tko::Event> timer_;
+  bool running_ = false;
+  std::uint32_t next_id_ = 1;
+  std::map<std::uint32_t, sim::SimTime> pending_;  // id -> issue time
+  RequesterStats stats_;
+};
+
+}  // namespace adaptive::app

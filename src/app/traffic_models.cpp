@@ -1,0 +1,28 @@
+#include "app/traffic_models.hpp"
+
+namespace adaptive::app {
+
+OnOffVbrModel::OnOffVbrModel(std::size_t unit_bytes, sim::Rate burst_rate, sim::SimTime mean_on,
+                             sim::SimTime mean_off, std::uint64_t seed)
+    : bytes_(unit_bytes),
+      unit_gap_(burst_rate.transmission_time(unit_bytes)),
+      mean_on_(mean_on),
+      mean_off_(mean_off),
+      rng_(seed) {}
+
+std::optional<TrafficUnit> OnOffVbrModel::next() {
+  TrafficUnit u;
+  u.bytes = bytes_;
+  if (remaining_on_ >= unit_gap_) {
+    remaining_on_ -= unit_gap_;
+    u.gap = unit_gap_;
+    return u;
+  }
+  // Burst exhausted: sleep an OFF period, then start a new ON period.
+  const auto off = sim::SimTime::seconds(rng_.exponential(mean_off_.sec()));
+  remaining_on_ = sim::SimTime::seconds(rng_.exponential(mean_on_.sec()));
+  u.gap = off + unit_gap_;
+  return u;
+}
+
+}  // namespace adaptive::app

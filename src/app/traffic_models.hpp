@@ -1,0 +1,128 @@
+// Application traffic models.
+//
+// Section 2.1: "some applications generate highly bursty traffic (variable
+// bit-rate video), some generate continuous traffic (constant bit-rate
+// video), and others generate short, interactive request-response
+// traffic". Each model yields a sequence of (inter-arrival gap, unit size)
+// pairs; the SourceApp turns those into timed session sends.
+#pragma once
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace adaptive::app {
+
+struct TrafficUnit {
+  sim::SimTime gap;        ///< delay after the previous unit
+  std::size_t bytes = 0;   ///< application data unit size
+};
+
+class TrafficModel {
+public:
+  virtual ~TrafficModel() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Next unit, or nullopt when the model is exhausted (bulk transfers).
+  [[nodiscard]] virtual std::optional<TrafficUnit> next() = 0;
+};
+
+/// Constant bit rate: fixed-size units on a fixed clock (voice frames,
+/// uncompressed video).
+class CbrModel final : public TrafficModel {
+public:
+  CbrModel(std::size_t unit_bytes, sim::SimTime interval)
+      : bytes_(unit_bytes), interval_(interval) {}
+  [[nodiscard]] std::string_view name() const override { return "cbr"; }
+  [[nodiscard]] std::optional<TrafficUnit> next() override {
+    return TrafficUnit{interval_, bytes_};
+  }
+
+private:
+  std::size_t bytes_;
+  sim::SimTime interval_;
+};
+
+/// Markov-modulated on/off VBR (compressed video, bursty sources): during
+/// ON periods units flow at the burst rate; OFF periods are silent.
+class OnOffVbrModel final : public TrafficModel {
+public:
+  OnOffVbrModel(std::size_t unit_bytes, sim::Rate burst_rate, sim::SimTime mean_on,
+                sim::SimTime mean_off, std::uint64_t seed);
+  [[nodiscard]] std::string_view name() const override { return "on-off-vbr"; }
+  [[nodiscard]] std::optional<TrafficUnit> next() override;
+
+private:
+  std::size_t bytes_;
+  sim::SimTime unit_gap_;
+  sim::SimTime mean_on_;
+  sim::SimTime mean_off_;
+  sim::Rng rng_;
+  sim::SimTime remaining_on_ = sim::SimTime::zero();
+};
+
+/// Poisson request stream with (optionally distributed) request sizes —
+/// OLTP, RPC-style remote file service.
+class PoissonRequestModel final : public TrafficModel {
+public:
+  PoissonRequestModel(double requests_per_sec, std::size_t min_bytes, std::size_t max_bytes,
+                      std::uint64_t seed)
+      : rate_(requests_per_sec), min_(min_bytes), max_(max_bytes), rng_(seed) {}
+  [[nodiscard]] std::string_view name() const override { return "poisson-request"; }
+  [[nodiscard]] std::optional<TrafficUnit> next() override {
+    TrafficUnit u;
+    u.gap = sim::SimTime::seconds(rng_.exponential(1.0 / rate_));
+    u.bytes = static_cast<std::size_t>(rng_.uniform_int(min_, max_));
+    return u;
+  }
+
+private:
+  double rate_;
+  std::uint64_t min_;
+  std::uint64_t max_;
+  sim::Rng rng_;
+};
+
+/// Bulk transfer: `total_bytes` emitted in maximal units as fast as the
+/// session accepts them; then exhausted.
+class BulkModel final : public TrafficModel {
+public:
+  BulkModel(std::size_t total_bytes, std::size_t unit_bytes)
+      : remaining_(total_bytes), unit_(unit_bytes) {}
+  [[nodiscard]] std::string_view name() const override { return "bulk"; }
+  [[nodiscard]] std::optional<TrafficUnit> next() override {
+    if (remaining_ == 0) return std::nullopt;
+    const std::size_t n = std::min(remaining_, unit_);
+    remaining_ -= n;
+    return TrafficUnit{sim::SimTime::zero(), n};
+  }
+
+private:
+  std::size_t remaining_;
+  std::size_t unit_;
+};
+
+/// Interactive terminal traffic: tiny keystroke units separated by
+/// exponentially distributed think times, with occasional line-sized
+/// bursts (TELNET's "very-low throughput, high burst factor" row).
+class KeystrokeModel final : public TrafficModel {
+public:
+  KeystrokeModel(sim::SimTime mean_think, std::uint64_t seed)
+      : mean_think_(mean_think), rng_(seed) {}
+  [[nodiscard]] std::string_view name() const override { return "keystroke"; }
+  [[nodiscard]] std::optional<TrafficUnit> next() override {
+    TrafficUnit u;
+    u.gap = sim::SimTime::seconds(rng_.exponential(mean_think_.sec()));
+    u.bytes = rng_.bernoulli(0.1) ? 64 : 1;  // occasional paste/line
+    return u;
+  }
+
+private:
+  sim::SimTime mean_think_;
+  sim::Rng rng_;
+};
+
+}  // namespace adaptive::app

@@ -1,0 +1,154 @@
+#include "app/workloads.hpp"
+
+namespace adaptive::app {
+
+const char* to_string(Table1App a) {
+  switch (a) {
+    case Table1App::kVoice: return "Voice Conversation";
+    case Table1App::kTeleconference: return "Tele-Conferencing";
+    case Table1App::kVideoCompressed: return "Full-Motion Video (comp)";
+    case Table1App::kVideoRaw: return "Full-Motion Video (raw)";
+    case Table1App::kManufacturingControl: return "Manufacturing Control";
+    case Table1App::kFileTransfer: return "File Transfer";
+    case Table1App::kTelnet: return "TELNET";
+    case Table1App::kOltp: return "On-Line Transaction Processing";
+    case Table1App::kRemoteFileService: return "Remote File Service";
+  }
+  return "?";
+}
+
+Workload make_workload(Table1App app, std::uint64_t seed, double scale) {
+  using mantts::Acd;
+  Workload w;
+  w.name = to_string(app);
+  Acd& acd = w.acd;
+
+  switch (app) {
+    case Table1App::kVoice: {
+      // 64 kbps PCM: 160-byte frames every 20 ms. Latency/jitter first;
+      // a late sample is a lost sample.
+      w.model = std::make_unique<CbrModel>(
+          160, sim::SimTime(static_cast<std::int64_t>(20e6 / scale)));
+      acd.quantitative.average_throughput = sim::Rate::kbps(64 * scale);
+      acd.quantitative.peak_throughput = acd.quantitative.average_throughput;
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(150);
+      acd.quantitative.max_jitter = sim::SimTime::milliseconds(30);
+      acd.quantitative.loss_tolerance = 0.10;
+      acd.quantitative.duration = sim::SimTime::seconds(30);
+      acd.qualitative.isochronous = true;
+      acd.qualitative.conversational = true;
+      acd.qualitative.sequenced_delivery = false;
+      acd.qualitative.duplicate_sensitive = false;
+      break;
+    }
+    case Table1App::kTeleconference: {
+      // 256 kbps conference media, multicast, priority delivery.
+      w.model = std::make_unique<CbrModel>(
+          320, sim::SimTime(static_cast<std::int64_t>(10e6 / scale)));
+      acd.quantitative.average_throughput = sim::Rate::kbps(256 * scale);
+      acd.quantitative.peak_throughput = sim::Rate::kbps(384 * scale);
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(200);
+      acd.quantitative.max_jitter = sim::SimTime::milliseconds(40);
+      acd.quantitative.loss_tolerance = 0.05;
+      acd.quantitative.duration = sim::SimTime::seconds(600);
+      acd.quantitative.burst_factor = 1.5;
+      acd.qualitative.isochronous = true;
+      acd.qualitative.conversational = true;
+      acd.qualitative.sequenced_delivery = false;
+      acd.qualitative.duplicate_sensitive = false;
+      acd.qualitative.priority_delivery = true;
+      acd.qualitative.priority = 2;
+      break;
+    }
+    case Table1App::kVideoCompressed: {
+      // Bursty VBR, ~2 Mbps mean, 8 Mbps bursts.
+      w.model = std::make_unique<OnOffVbrModel>(1024, sim::Rate::mbps(8 * scale),
+                                                sim::SimTime::milliseconds(30),
+                                                sim::SimTime::milliseconds(90), seed);
+      acd.quantitative.average_throughput = sim::Rate::mbps(2 * scale);
+      acd.quantitative.peak_throughput = sim::Rate::mbps(8 * scale);
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(250);
+      acd.quantitative.max_jitter = sim::SimTime::milliseconds(80);
+      acd.quantitative.loss_tolerance = 0.02;
+      acd.quantitative.duration = sim::SimTime::seconds(3600);
+      acd.quantitative.burst_factor = 4.0;
+      acd.qualitative.isochronous = true;
+      acd.qualitative.sequenced_delivery = false;
+      acd.qualitative.duplicate_sensitive = false;
+      acd.qualitative.priority_delivery = true;
+      break;
+    }
+    case Table1App::kVideoRaw: {
+      // Constant very-high rate: 20 Mbps in 4 KB frames.
+      w.model = std::make_unique<CbrModel>(
+          4096, sim::SimTime(static_cast<std::int64_t>(1.638e6 / scale)));
+      acd.quantitative.average_throughput = sim::Rate::mbps(20 * scale);
+      acd.quantitative.peak_throughput = acd.quantitative.average_throughput;
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(100);
+      acd.quantitative.max_jitter = sim::SimTime::milliseconds(20);
+      acd.quantitative.loss_tolerance = 0.05;
+      acd.quantitative.duration = sim::SimTime::seconds(3600);
+      acd.qualitative.isochronous = true;
+      acd.qualitative.sequenced_delivery = false;
+      acd.qualitative.duplicate_sensitive = false;
+      acd.qualitative.priority_delivery = true;
+      break;
+    }
+    case Table1App::kManufacturingControl: {
+      // Control messages with hard deadlines; ordered, near-zero loss.
+      w.model = std::make_unique<PoissonRequestModel>(200.0 * scale, 64, 256, seed);
+      acd.quantitative.average_throughput = sim::Rate::kbps(260 * scale);
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(50);
+      acd.quantitative.loss_tolerance = 0.001;
+      acd.quantitative.duration = sim::SimTime::seconds(86'400);
+      acd.quantitative.burst_factor = 2.0;
+      acd.qualitative.realtime = true;
+      acd.qualitative.sequenced_delivery = true;
+      acd.qualitative.priority_delivery = true;
+      acd.qualitative.priority = 3;
+      break;
+    }
+    case Table1App::kFileTransfer: {
+      w.model = std::make_unique<BulkModel>(static_cast<std::size_t>(2'000'000 * scale), 4096);
+      acd.quantitative.average_throughput = sim::Rate::mbps(5 * scale);
+      acd.quantitative.loss_tolerance = 0.0;
+      acd.quantitative.duration = sim::SimTime::seconds(60);
+      acd.qualitative.sequenced_delivery = true;
+      break;
+    }
+    case Table1App::kTelnet: {
+      w.model = std::make_unique<KeystrokeModel>(sim::SimTime::milliseconds(200), seed);
+      acd.quantitative.average_throughput = sim::Rate::bps(400);
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(200);
+      acd.quantitative.loss_tolerance = 0.0;
+      acd.quantitative.duration = sim::SimTime::seconds(1800);
+      acd.quantitative.burst_factor = 10.0;
+      acd.qualitative.sequenced_delivery = true;
+      acd.qualitative.priority_delivery = true;
+      break;
+    }
+    case Table1App::kOltp: {
+      w.model = std::make_unique<PoissonRequestModel>(50.0 * scale, 128, 512, seed);
+      acd.quantitative.average_throughput = sim::Rate::kbps(130 * scale);
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(100);
+      acd.quantitative.loss_tolerance = 0.0;
+      acd.quantitative.duration = sim::SimTime::seconds(3600);
+      acd.quantitative.burst_factor = 5.0;
+      acd.qualitative.sequenced_delivery = true;
+      break;
+    }
+    case Table1App::kRemoteFileService: {
+      w.model = std::make_unique<PoissonRequestModel>(20.0 * scale, 512, 4096, seed);
+      acd.quantitative.average_throughput = sim::Rate::kbps(360 * scale);
+      acd.quantitative.max_latency = sim::SimTime::milliseconds(300);
+      acd.quantitative.loss_tolerance = 0.0;
+      acd.quantitative.duration = sim::SimTime::seconds(3600);
+      acd.quantitative.burst_factor = 5.0;
+      acd.qualitative.sequenced_delivery = true;
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace adaptive::app

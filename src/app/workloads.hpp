@@ -1,0 +1,40 @@
+// The nine Table 1 applications as runnable workloads: each pairs an
+// Application Communication Descriptor (the QoS the application asks
+// MANTTS for) with a traffic model reproducing the row's traffic shape.
+#pragma once
+
+#include "app/traffic_models.hpp"
+#include "mantts/acd.hpp"
+
+#include <memory>
+#include <string>
+
+namespace adaptive::app {
+
+enum class Table1App : std::uint8_t {
+  kVoice = 0,
+  kTeleconference,
+  kVideoCompressed,
+  kVideoRaw,
+  kManufacturingControl,
+  kFileTransfer,
+  kTelnet,
+  kOltp,
+  kRemoteFileService,
+};
+
+inline constexpr std::size_t kTable1AppCount = 9;
+
+[[nodiscard]] const char* to_string(Table1App a);
+
+struct Workload {
+  std::string name;
+  mantts::Acd acd;  ///< remotes left empty; the scenario fills them in
+  std::unique_ptr<TrafficModel> model;
+};
+
+/// Build the canonical workload for one Table 1 row. `scale` multiplies
+/// data rates/volumes (1.0 = the paper-era defaults).
+[[nodiscard]] Workload make_workload(Table1App app, std::uint64_t seed, double scale = 1.0);
+
+}  // namespace adaptive::app

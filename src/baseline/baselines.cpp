@@ -1,0 +1,60 @@
+#include "baseline/baselines.hpp"
+
+#include "tko/sa/templates.hpp"
+
+namespace adaptive::baseline {
+
+using namespace tko::sa;
+
+SessionConfig tcp_like_config() { return tcp_compat_config(); }
+
+SessionConfig udp_like_config() { return udp_compat_config(); }
+
+SessionConfig tp4_like_config() {
+  SessionConfig c;
+  c.connection = ConnectionScheme::kExplicit3Way;
+  c.transmission = TransmissionScheme::kSlidingWindow;
+  c.window_pdus = 16;
+  c.recovery = RecoveryScheme::kGoBackN;
+  c.detection = DetectionScheme::kInternet16Header;  // TP4 also checksums in-header
+  c.ack = AckScheme::kImmediate;  // ack-per-TPDU
+  c.ordered_delivery = true;
+  c.filter_duplicates = true;
+  c.segment_bytes = 1024;
+  return c;
+}
+
+tko::TransportSession& StaticTransportSystem::open_stream(std::vector<net::Address> remotes) {
+  return transport_.open(expand_multicast(std::move(remotes)), tcp_like_config());
+}
+
+tko::TransportSession& StaticTransportSystem::open_datagram(std::vector<net::Address> remotes) {
+  return transport_.open(expand_multicast(std::move(remotes)), udp_like_config());
+}
+
+tko::TransportSession& StaticTransportSystem::open_tp4(std::vector<net::Address> remotes) {
+  return transport_.open(expand_multicast(std::move(remotes)), tp4_like_config());
+}
+
+tko::TransportSession& StaticTransportSystem::open_for(const mantts::Acd& acd) {
+  // The entire "configuration" decision of a static system.
+  if (acd.quantitative.loss_tolerance > 0.0 && !acd.qualitative.sequenced_delivery) {
+    return open_datagram(acd.remotes);
+  }
+  return open_stream(acd.remotes);
+}
+
+std::vector<net::Address> StaticTransportSystem::expand_multicast(
+    std::vector<net::Address> remotes) {
+  // No multicast support: a group address becomes N unicast remotes.
+  if (remotes.size() == 1 && net::is_multicast(remotes.front().node)) {
+    const net::Address group = remotes.front();
+    remotes.clear();
+    for (const net::NodeId m : transport_.host().network().group_members(group.node)) {
+      if (m != transport_.host().node_id()) remotes.push_back({m, group.port});
+    }
+  }
+  return remotes;
+}
+
+}  // namespace adaptive::baseline

@@ -1,0 +1,48 @@
+// Baseline monolithic transports — the "static transport systems" of
+// Section 2.2, completely configured at boot time.
+//
+// A static system offers a small fixed menu (BSD-style): a reliable byte
+// stream (TCP-like) and an unreliable datagram (UDP-like); TP4-like is the
+// ISO heavyweight. Application QoS requirements are ignored beyond the
+// reliable/unreliable fork — which is exactly how the overweight and
+// underweight mismatches of the paper arise.
+#pragma once
+
+#include "mantts/acd.hpp"
+#include "tko/transport.hpp"
+
+namespace adaptive::baseline {
+
+/// TCP-like: 3-way handshake, go-back-n + cumulative delayed acks,
+/// slow start / multiplicative decrease, header-placed Internet checksum.
+[[nodiscard]] tko::sa::SessionConfig tcp_like_config();
+
+/// UDP-like: connectionless, unreliable, unordered datagrams.
+[[nodiscard]] tko::sa::SessionConfig udp_like_config();
+
+/// TP4-like: everything on, always — explicit 3-way open, full ordered
+/// reliability with immediate acks and CRC, regardless of what the
+/// application can tolerate (the canonical overweight configuration).
+[[nodiscard]] tko::sa::SessionConfig tp4_like_config();
+
+class StaticTransportSystem {
+public:
+  explicit StaticTransportSystem(tko::AdaptiveTransport& transport) : transport_(transport) {}
+
+  tko::TransportSession& open_stream(std::vector<net::Address> remotes);
+  tko::TransportSession& open_datagram(std::vector<net::Address> remotes);
+  tko::TransportSession& open_tp4(std::vector<net::Address> remotes);
+
+  /// What a static system gives an application: the reliable stream
+  /// unless the app tolerates loss — the only "adaptation" on offer. No
+  /// multicast service exists, so group destinations are expanded into
+  /// one unicast copy per member (the underweight case).
+  tko::TransportSession& open_for(const mantts::Acd& acd);
+
+private:
+  [[nodiscard]] std::vector<net::Address> expand_multicast(std::vector<net::Address> remotes);
+
+  tko::AdaptiveTransport& transport_;
+};
+
+}  // namespace adaptive::baseline

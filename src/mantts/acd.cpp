@@ -1,0 +1,24 @@
+#include "mantts/acd.hpp"
+
+namespace adaptive::mantts {
+
+std::string Acd::describe() const {
+  std::string s = "remotes=" + std::to_string(remotes.size());
+  s += " avg=" + std::to_string(static_cast<long>(quantitative.average_throughput.bits_per_sec())) +
+       "bps";
+  s += " loss_tol=" + std::to_string(quantitative.loss_tolerance);
+  if (!quantitative.max_latency.is_infinite()) {
+    s += " max_lat=" + quantitative.max_latency.to_string();
+  }
+  if (!quantitative.max_jitter.is_infinite()) {
+    s += " max_jit=" + quantitative.max_jitter.to_string();
+  }
+  if (qualitative.isochronous) s += " iso";
+  if (qualitative.realtime) s += " rt";
+  if (qualitative.sequenced_delivery) s += " seq";
+  if (wants_multicast()) s += " mcast";
+  s += " rules=" + std::to_string(adjustments.size());
+  return s;
+}
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,66 @@
+// Application Communication Descriptor — Table 2 of the paper, the record
+// an application passes through the MANTTS-API when initiating a
+// connection.
+//
+// Five parameter groups: remote session participant address(es),
+// quantitative QoS, qualitative QoS, the Transport Service Adjustment
+// (<condition, action> pairs evaluated during the session), and the
+// Transport Measurement Component (metric collection requests).
+#pragma once
+
+#include "mantts/qos.hpp"
+#include "net/packet.hpp"
+#include "unites/collector.hpp"
+
+#include <string>
+#include <vector>
+
+namespace adaptive::mantts {
+
+/// Conditions a Transport Service Adjustment rule can watch.
+enum class TsaCondition : std::uint8_t {
+  kCongestionAbove,
+  kCongestionBelow,
+  kRttAbove,       ///< threshold in seconds
+  kRttBelow,
+  kLossRateAbove,  ///< threshold as fraction
+  kLossRateBelow,
+  kRouteChanged,   ///< threshold ignored
+};
+
+/// Actions a rule triggers (the paper's Section 3 examples, plus app
+/// notification).
+enum class TsaAction : std::uint8_t {
+  kSwitchToGoBackN,
+  kSwitchToSelectiveRepeat,
+  kSwitchToFec,
+  kIncreaseInterPduGap,  ///< multiply pacing gap (congestion response)
+  kDecreaseInterPduGap,
+  kNotifyApplication,    ///< app-specific callback (e.g. change coding)
+};
+
+struct TsaRule {
+  TsaCondition condition;
+  double threshold = 0.0;
+  TsaAction action;
+  /// Minimum time between firings of this rule (hysteresis).
+  sim::SimTime cooldown = sim::SimTime::seconds(1);
+};
+
+struct Acd {
+  std::vector<net::Address> remotes;
+  QuantitativeQos quantitative;
+  QualitativeQos qualitative;
+  std::vector<TsaRule> adjustments;       ///< TSA
+  unites::MeasurementSpec measurement;    ///< TMC
+  bool collect_metrics = false;           ///< attach a UNITES collector
+
+  [[nodiscard]] bool wants_multicast() const {
+    return remotes.size() > 1 ||
+           (!remotes.empty() && net::is_multicast(remotes.front().node));
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace adaptive::mantts

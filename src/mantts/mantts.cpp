@@ -1,0 +1,316 @@
+#include "mantts/mantts.hpp"
+
+#include <algorithm>
+
+namespace adaptive::mantts {
+
+MantttsEntity::MantttsEntity(os::Host& host, tko::AdaptiveTransport& transport,
+                             const ResourceLimits& limits)
+    : host_(host),
+      transport_(transport),
+      limits_(limits),
+      nmi_(host.network(), host.node_id()) {
+  host_.bind_port(kSignalingPort, [this](net::Packet&& p) { on_signaling(std::move(p)); });
+  // Transport-level admission: SYN-carried configurations are clamped to
+  // the same local resource limits the out-of-band responder enforces.
+  transport_.set_admission(
+      [this](const tko::sa::SessionConfig& proposal) { return admit(proposal, limits_); });
+}
+
+MantttsEntity::~MantttsEntity() {
+  adaptations_.clear();
+  collectors_.clear();
+  host_.unbind_port(kSignalingPort);
+}
+
+void MantttsEntity::send_signal(net::NodeId to, const Signal& s) {
+  net::Packet pkt;
+  pkt.src = {host_.node_id(), kSignalingPort};
+  pkt.dst = {to, kSignalingPort};
+  pkt.priority = 7;  // signaling rides above all data traffic
+  pkt.payload = encode_signal(s);
+  host_.send(std::move(pkt));
+}
+
+void MantttsEntity::open_session(const Acd& acd, OpenCb cb) {
+  if (acd.remotes.empty()) {
+    cb(OpenResult{});
+    return;
+  }
+  const sim::SimTime started = host_.now();
+
+  // Stage I: transport service class.
+  const Tsc tsc = classify(acd);
+
+  // Stage II: reconcile with the network state descriptor.
+  const auto descriptor = nmi_.sample(acd.remotes.front().node);
+  tko::sa::SessionConfig scs = derive_scs(tsc, acd, descriptor);
+
+  // Explicit negotiation only pays off when the application asked for an
+  // explicit connection or the session is long enough to amortize the
+  // round trip; multicast negotiates with the group implicitly (the SYN /
+  // piggybacked SCS reaches every member).
+  const bool explicit_negotiation =
+      scs.connection != tko::sa::ConnectionScheme::kImplicit && !acd.wants_multicast();
+
+  if (!explicit_negotiation) {
+    auto& session = transport_.open(acd.remotes, scs);
+    ++stats_.sessions_opened;
+    ++active_;
+    if (acd.collect_metrics && repo_ != nullptr) {
+      collectors_[session.id()] =
+          std::make_unique<unites::SessionCollector>(*repo_, session, acd.measurement);
+    }
+    if (!acd.adjustments.empty()) {
+      // "It is not generally useful to dynamically reconfigure sessions
+      // that have very low duration" (Section 4.1.1).
+      if (acd.quantitative.duration >= kShortSessionThreshold) {
+        enable_adaptation(session, acd.adjustments);
+      } else {
+        ++stats_.adaptations_skipped_short_session;
+      }
+    }
+    session.connect();
+    OpenResult r;
+    r.session = &session;
+    r.tsc = tsc;
+    r.scs = scs;
+    r.configuration_time = host_.now() - started;
+    cb(std::move(r));
+    return;
+  }
+
+  // Explicit: CONFIG / CONFIGACK over the signaling channel first.
+  ++stats_.negotiations;
+  const std::uint32_t nonce = next_nonce_++;
+  Pending p;
+  p.acd = acd;
+  p.tsc = tsc;
+  p.proposal = scs;
+  p.cb = std::move(cb);
+  p.started = started;
+  p.retry = std::make_unique<tko::Event>(host_.timers(), [this, nonce] {
+    auto it = pending_.find(nonce);
+    if (it == pending_.end()) return;
+    if (--it->second.retries_left < 0) {
+      // Peer unreachable: deliver a refusal.
+      finish_open(nonce, it->second.proposal, /*refused=*/true);
+      return;
+    }
+    Signal s{tko::PduType::kConfig, nonce, it->second.proposal};
+    send_signal(it->second.acd.remotes.front().node, s);
+    it->second.retry->schedule(sim::SimTime::milliseconds(250));
+  });
+  auto [it, _] = pending_.emplace(nonce, std::move(p));
+  Signal s{tko::PduType::kConfig, nonce, it->second.proposal};
+  send_signal(acd.remotes.front().node, s);
+  it->second.retry->schedule(sim::SimTime::milliseconds(250));
+}
+
+void MantttsEntity::finish_open(std::uint32_t nonce, const tko::sa::SessionConfig& cfg,
+                                bool refused) {
+  auto it = pending_.find(nonce);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+
+  OpenResult r;
+  r.tsc = p.tsc;
+  r.scs = cfg;
+  r.negotiated = true;
+  r.refused = refused;
+  r.configuration_time = host_.now() - p.started;
+  if (refused) {
+    ++stats_.refusals_received;
+    p.cb(std::move(r));
+    return;
+  }
+  auto& session = transport_.open(p.acd.remotes, cfg);
+  ++stats_.sessions_opened;
+  ++active_;
+  if (p.acd.collect_metrics && repo_ != nullptr) {
+    collectors_[session.id()] =
+        std::make_unique<unites::SessionCollector>(*repo_, session, p.acd.measurement);
+  }
+  if (!p.acd.adjustments.empty()) {
+    if (p.acd.quantitative.duration >= kShortSessionThreshold) {
+      enable_adaptation(session, p.acd.adjustments);
+    } else {
+      ++stats_.adaptations_skipped_short_session;
+    }
+  }
+  session.connect();
+  r.session = &session;
+  p.cb(std::move(r));
+}
+
+void MantttsEntity::on_signaling(net::Packet&& pkt) {
+  auto sig = decode_signal(pkt.payload);
+  if (!sig.has_value()) return;
+
+  switch (sig->type) {
+    case tko::PduType::kConfig: {
+      // Responder side of negotiation: admission control, then ack with
+      // the (possibly downgraded) configuration — or refuse outright when
+      // over capacity.
+      Signal reply;
+      reply.type = tko::PduType::kConfigAck;
+      reply.token = sig->token;
+      if (active_ >= limits_.max_sessions || !sig->config.has_value()) {
+        ++stats_.admissions_refused;
+        // No config in the ack = refusal.
+      } else {
+        reply.config = admit(*sig->config, limits_);
+      }
+      send_signal(pkt.src.node, reply);
+      return;
+    }
+    case tko::PduType::kConfigAck: {
+      if (sig->config.has_value()) {
+        finish_open(sig->token, *sig->config, /*refused=*/false);
+      } else {
+        finish_open(sig->token, tko::sa::SessionConfig{}, /*refused=*/true);
+      }
+      return;
+    }
+    case tko::PduType::kReconfig: {
+      ++stats_.reconfigs_received;
+      tko::TransportSession* session = transport_.find_session(sig->token);
+      if (session != nullptr && sig->config.has_value()) {
+        session->reconfigure(*sig->config);
+        auto cb = qos_callbacks_.find(sig->token);
+        if (cb != qos_callbacks_.end() && cb->second) cb->second(*sig->config);
+      }
+      Signal reply;
+      reply.type = tko::PduType::kReconfigAck;
+      reply.token = sig->token;
+      send_signal(pkt.src.node, reply);
+      return;
+    }
+    case tko::PduType::kReconfigAck:
+      return;
+    case tko::PduType::kProbe: {
+      Signal reply;
+      reply.type = tko::PduType::kProbeReply;
+      reply.token = sig->token;
+      send_signal(pkt.src.node, reply);
+      return;
+    }
+    case tko::PduType::kProbeReply: {
+      auto it = probe_sent_at_.find(sig->token);
+      if (it == probe_sent_at_.end()) return;
+      ++stats_.probe_replies;
+      nmi_.record_probe_rtt(pkt.src.node, host_.now() - it->second);
+      probe_sent_at_.erase(it);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void MantttsEntity::send_probe(net::NodeId remote) {
+  const std::uint32_t nonce = next_nonce_++;
+  probe_sent_at_[nonce] = host_.now();
+  // Bound the outstanding-probe map: lost probes age out eldest-first.
+  if (probe_sent_at_.size() > 64) probe_sent_at_.erase(probe_sent_at_.begin());
+  ++stats_.probes_sent;
+  Signal s;
+  s.type = tko::PduType::kProbe;
+  s.token = nonce;
+  send_signal(remote, s);
+}
+
+void MantttsEntity::close_session(tko::TransportSession& session, bool graceful) {
+  disable_adaptation(session);
+  collectors_.erase(session.id());
+  qos_callbacks_.erase(session.id());
+  session.close(graceful);
+  ++stats_.sessions_closed;
+  if (active_ > 0) --active_;  // load recalculation (termination phase)
+}
+
+void MantttsEntity::enable_adaptation(tko::TransportSession& session, std::vector<TsaRule> rules,
+                                      sim::SimTime period) {
+  const std::uint32_t sid = session.id();
+  Adaptation a{&session, PolicyEngine(std::move(rules)), nullptr};
+  a.timer = std::make_unique<tko::Event>(host_.timers(), [this, sid] {
+    auto it = adaptations_.find(sid);
+    if (it == adaptations_.end()) return;
+    tko::TransportSession& s = *it->second.session;
+    if (s.state() == tko::SessionState::kClosed || s.state() == tko::SessionState::kAborted) {
+      return;
+    }
+    const net::NodeId remote = s.remotes().front().node;
+    if (probe_based_rtt_ && !net::is_multicast(remote)) send_probe(remote);
+    const auto descriptor = nmi_.sample(remote);
+    const auto actions = it->second.engine.evaluate(descriptor, host_.now());
+    if (actions.empty()) return;
+    tko::sa::SessionConfig cfg = s.config();
+    bool changed = false;
+    for (const TsaAction action : actions) {
+      ++stats_.policy_firings;
+      if (action == TsaAction::kNotifyApplication) {
+        auto cb = qos_callbacks_.find(sid);
+        if (cb != qos_callbacks_.end() && cb->second) cb->second(cfg);
+        continue;
+      }
+      cfg = apply_action(action, cfg);
+      changed = true;
+    }
+    if (changed && tko::sa::Synthesizer::validate(cfg).empty()) {
+      apply_and_propagate(s, cfg);
+    }
+  });
+  a.timer->schedule_periodic(period);
+  adaptations_.erase(sid);
+  adaptations_.emplace(sid, std::move(a));
+}
+
+void MantttsEntity::disable_adaptation(tko::TransportSession& session) {
+  adaptations_.erase(session.id());
+}
+
+void MantttsEntity::set_qos_callback(tko::TransportSession& session, QosChangeFn fn) {
+  qos_callbacks_[session.id()] = std::move(fn);
+}
+
+void MantttsEntity::reconfigure_session(tko::TransportSession& session,
+                                        const tko::sa::SessionConfig& cfg) {
+  apply_and_propagate(session, cfg);
+}
+
+Tsc MantttsEntity::retarget_session(tko::TransportSession& session,
+                                    const Acd& new_requirements) {
+  const Tsc tsc = classify(new_requirements);
+  const auto descriptor = nmi_.sample(session.remotes().front().node);
+  tko::sa::SessionConfig scs = derive_scs(tsc, new_requirements, descriptor);
+  // The connection is already up; switching connection schemes mid-flight
+  // is meaningless, so the live session keeps its establishment scheme.
+  scs.connection = session.config().connection;
+  if (tko::sa::Synthesizer::validate(scs).empty()) {
+    apply_and_propagate(session, scs);
+  }
+  return tsc;
+}
+
+void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
+                                        const tko::sa::SessionConfig& cfg) {
+  session.reconfigure(cfg);
+  auto cb = qos_callbacks_.find(session.id());
+  if (cb != qos_callbacks_.end() && cb->second) cb->second(cfg);
+
+  // Keep the remote mechanism bindings in step.
+  ++stats_.reconfigs_sent;
+  Signal s{tko::PduType::kReconfig, session.id(), cfg};
+  const auto& remotes = session.remotes();
+  if (remotes.size() == 1 && net::is_multicast(remotes.front().node)) {
+    for (const net::NodeId m : host_.network().group_members(remotes.front().node)) {
+      if (m != host_.node_id()) send_signal(m, s);
+    }
+  } else {
+    for (const auto& r : remotes) send_signal(r.node, s);
+  }
+}
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,155 @@
+// The MANTTS entity: one per host (Section 4.1).
+//
+// Owns the three communication phases:
+//  * connection negotiation & configuration — Stage I (classify), Stage II
+//    (derive SCS, reconciled with the NMI's network state), optional
+//    explicit negotiation with the remote entity over the out-of-band
+//    signaling channel (with admission control at the responder), and
+//    Stage III (synthesis via the transport's TKO synthesizer);
+//  * data transfer & reconfiguration — per-session policy engines sample
+//    the network and segue mechanisms on rule firings, keeping the remote
+//    side's configuration in step via RECONFIG signaling;
+//  * connection termination — graceful or abortive close, resource
+//    release, and load recalculation.
+#pragma once
+
+#include "mantts/acd.hpp"
+#include "mantts/negotiation.hpp"
+#include "mantts/nmi.hpp"
+#include "mantts/policy.hpp"
+#include "mantts/transform.hpp"
+#include "tko/transport.hpp"
+#include "unites/collector.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace adaptive::mantts {
+
+class MantttsEntity {
+public:
+  MantttsEntity(os::Host& host, tko::AdaptiveTransport& transport,
+                const ResourceLimits& limits = {});
+  ~MantttsEntity();
+  MantttsEntity(const MantttsEntity&) = delete;
+  MantttsEntity& operator=(const MantttsEntity&) = delete;
+
+  struct OpenResult {
+    tko::TransportSession* session = nullptr;  ///< null on refusal/failure
+    Tsc tsc = Tsc::kNonRealTimeNonIsochronous;
+    tko::sa::SessionConfig scs;
+    bool negotiated = false;  ///< explicit out-of-band negotiation happened
+    bool refused = false;
+    sim::SimTime configuration_time = sim::SimTime::zero();  ///< open_session -> session ready
+  };
+  using OpenCb = std::function<void(OpenResult)>;
+
+  /// The MANTTS-API entry point: run the transformation pipeline for
+  /// `acd` and deliver the session via `cb` (synchronously for implicit
+  /// configurations, after the signaling exchange for explicit ones).
+  void open_session(const Acd& acd, OpenCb cb);
+
+  /// Termination phase: close, release resources, recalculate load.
+  void close_session(tko::TransportSession& session, bool graceful = true);
+
+  // --- data-transfer-phase reconfiguration -----------------------------
+  /// Attach a policy engine to a live session. Every `period` the NMI is
+  /// sampled and the rules evaluated; fired actions are applied locally
+  /// (segue) and propagated to the remote entity.
+  void enable_adaptation(tko::TransportSession& session, std::vector<TsaRule> rules,
+                         sim::SimTime period = sim::SimTime::milliseconds(100));
+  void disable_adaptation(tko::TransportSession& session);
+  [[nodiscard]] bool adaptation_enabled(const tko::TransportSession& session) const {
+    return adaptations_.contains(session.id());
+  }
+
+  /// Application callback for QoS changes (fired on every applied
+  /// reconfiguration and for kNotifyApplication rule actions).
+  using QosChangeFn = std::function<void(const tko::sa::SessionConfig&)>;
+  void set_qos_callback(tko::TransportSession& session, QosChangeFn fn);
+
+  /// Explicit application-initiated reconfiguration (Section 4.1.2):
+  /// install `cfg` locally and signal the remote entity ("Adjust the
+  /// SCS": parameters/mechanisms change, the service class does not).
+  void reconfigure_session(tko::TransportSession& session, const tko::sa::SessionConfig& cfg);
+
+  /// "Adjust the TSC" (Section 4.1.2): the application's requirements
+  /// themselves changed (e.g. it switched video coding schemes and now
+  /// requires isochronous service). Re-runs Stage I and Stage II against
+  /// `new_requirements` and fresh network state, producing a potentially
+  /// completely new SCS, applied live via segue and propagated to the
+  /// remote entity. Returns the new class.
+  Tsc retarget_session(tko::TransportSession& session, const Acd& new_requirements);
+
+  /// UNITES hookup: sessions whose ACD requested metrics are instrumented
+  /// into this repository.
+  void set_repository(unites::MetricRepository* repo) { repo_ = repo; }
+
+  /// Send one PROBE to `remote`'s MANTTS entity over the signaling
+  /// channel; the reply feeds the NMI's measured-RTT estimator.
+  void send_probe(net::NodeId remote);
+
+  /// When enabled, every adaptation tick probes the session's remote
+  /// first, so policy decisions run on measured round trips rather than
+  /// the simulator's idle-path estimate.
+  void set_probe_based_rtt(bool enabled) { probe_based_rtt_ = enabled; }
+
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_closed = 0;
+    std::uint64_t negotiations = 0;
+    std::uint64_t refusals_received = 0;
+    std::uint64_t admissions_refused = 0;
+    std::uint64_t reconfigs_sent = 0;
+    std::uint64_t reconfigs_received = 0;
+    std::uint64_t policy_firings = 0;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t probe_replies = 0;
+    std::uint64_t adaptations_skipped_short_session = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_sessions() const { return active_; }
+  [[nodiscard]] NetworkMonitorInterface& nmi() { return nmi_; }
+  [[nodiscard]] os::Host& host() { return host_; }
+  [[nodiscard]] tko::AdaptiveTransport& transport() { return transport_; }
+
+private:
+  void on_signaling(net::Packet&& p);
+  void send_signal(net::NodeId to, const Signal& s);
+  void finish_open(std::uint32_t nonce, const tko::sa::SessionConfig& cfg, bool refused);
+  void apply_and_propagate(tko::TransportSession& session, const tko::sa::SessionConfig& cfg);
+
+  os::Host& host_;
+  tko::AdaptiveTransport& transport_;
+  ResourceLimits limits_;
+  NetworkMonitorInterface nmi_;
+  unites::MetricRepository* repo_ = nullptr;
+  Stats stats_;
+  std::size_t active_ = 0;
+
+  struct Pending {
+    Acd acd;
+    Tsc tsc;
+    tko::sa::SessionConfig proposal;
+    OpenCb cb;
+    sim::SimTime started;
+    std::unique_ptr<tko::Event> retry;
+    int retries_left = 3;
+  };
+  std::map<std::uint32_t, Pending> pending_;
+  std::uint32_t next_nonce_ = 1;
+  bool probe_based_rtt_ = false;
+  std::map<std::uint32_t, sim::SimTime> probe_sent_at_;  // by nonce
+
+  struct Adaptation {
+    tko::TransportSession* session;
+    PolicyEngine engine;
+    std::unique_ptr<tko::Event> timer;
+  };
+  std::map<std::uint32_t, Adaptation> adaptations_;  // by session id
+  std::map<std::uint32_t, QosChangeFn> qos_callbacks_;
+  std::map<std::uint32_t, std::unique_ptr<unites::SessionCollector>> collectors_;
+};
+
+}  // namespace adaptive::mantts

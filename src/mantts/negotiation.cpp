@@ -1,0 +1,46 @@
+#include "mantts/negotiation.hpp"
+
+#include <algorithm>
+
+namespace adaptive::mantts {
+
+std::vector<std::uint8_t> encode_signal(const Signal& s) {
+  tko::Pdu p;
+  p.type = s.type;
+  p.aux = s.token;
+  if (s.config.has_value()) {
+    p.payload = tko::Message::from_bytes(s.config->serialize());
+  }
+  auto wire = tko::encode_pdu(std::move(p), tko::ChecksumKind::kInternet16,
+                              tko::ChecksumPlacement::kTrailer);
+  return wire.linearize();
+}
+
+std::optional<Signal> decode_signal(const std::vector<std::uint8_t>& payload) {
+  auto r = tko::decode_pdu(tko::Message::from_bytes(payload));
+  if (r.status != tko::DecodeStatus::kOk) return std::nullopt;
+  const auto t = r.pdu.type;
+  if (t != tko::PduType::kConfig && t != tko::PduType::kConfigAck &&
+      t != tko::PduType::kReconfig && t != tko::PduType::kReconfigAck &&
+      t != tko::PduType::kProbe && t != tko::PduType::kProbeReply) {
+    return std::nullopt;
+  }
+  Signal s;
+  s.type = t;
+  s.token = r.pdu.aux;
+  if (r.pdu.payload.size() >= tko::sa::SessionConfig::kWireBytes) {
+    s.config = tko::sa::SessionConfig::deserialize(r.pdu.payload.peek(r.pdu.payload.size()));
+    if (!s.config.has_value()) return std::nullopt;  // corrupt SCS
+  }
+  return s;
+}
+
+tko::sa::SessionConfig admit(const tko::sa::SessionConfig& proposal,
+                             const ResourceLimits& limits) {
+  tko::sa::SessionConfig out = proposal;
+  out.window_pdus = std::min(out.window_pdus, limits.max_window_pdus);
+  out.segment_bytes = std::min(out.segment_bytes, limits.max_segment_bytes);
+  return out;
+}
+
+}  // namespace adaptive::mantts

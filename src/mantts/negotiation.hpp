@@ -1,0 +1,49 @@
+// Out-of-band signaling channel (Figure 3).
+//
+// MANTTS entities exchange CONFIG / CONFIGACK (connection negotiation) and
+// RECONFIG / RECONFIGACK (run-time renegotiation) PDUs on a dedicated
+// signaling port, separate from the data path — "out-of-band signaling
+// helps to optimize the main data transfer path, since this path does not
+// interpret packets containing control information."
+#pragma once
+
+#include "net/packet.hpp"
+#include "tko/pdu.hpp"
+#include "tko/sa/config.hpp"
+
+#include <optional>
+
+namespace adaptive::mantts {
+
+/// Well-known MANTTS signaling port on every host.
+inline constexpr net::PortId kSignalingPort = 7001;
+
+struct Signal {
+  tko::PduType type = tko::PduType::kConfig;
+  /// CONFIG/CONFIGACK: negotiation nonce. RECONFIG/RECONFIGACK: session id.
+  std::uint32_t token = 0;
+  std::optional<tko::sa::SessionConfig> config;
+};
+
+/// Build the wire payload for a signaling PDU (always integrity-checked:
+/// a corrupted SCS must never be installed).
+[[nodiscard]] std::vector<std::uint8_t> encode_signal(const Signal& s);
+
+/// Parse a signaling packet payload; nullopt on corruption or if the PDU
+/// is not a signaling type.
+[[nodiscard]] std::optional<Signal> decode_signal(const std::vector<std::uint8_t>& payload);
+
+/// Local resource limits a responder enforces during negotiation
+/// (Section 4.1.1: buffer space, window advertisements, segment sizes).
+struct ResourceLimits {
+  std::uint16_t max_window_pdus = 128;
+  std::uint32_t max_segment_bytes = 8192;
+  std::size_t max_sessions = 256;
+};
+
+/// Responder-side admission: clamp a proposed SCS to local limits.
+/// Returns the (possibly downgraded) configuration to acknowledge.
+[[nodiscard]] tko::sa::SessionConfig admit(const tko::sa::SessionConfig& proposal,
+                                           const ResourceLimits& limits);
+
+}  // namespace adaptive::mantts

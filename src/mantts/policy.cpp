@@ -1,0 +1,130 @@
+#include "mantts/policy.hpp"
+
+namespace adaptive::mantts {
+
+const char* to_string(TsaCondition c) {
+  switch (c) {
+    case TsaCondition::kCongestionAbove: return "congestion>";
+    case TsaCondition::kCongestionBelow: return "congestion<";
+    case TsaCondition::kRttAbove: return "rtt>";
+    case TsaCondition::kRttBelow: return "rtt<";
+    case TsaCondition::kLossRateAbove: return "loss>";
+    case TsaCondition::kLossRateBelow: return "loss<";
+    case TsaCondition::kRouteChanged: return "route-changed";
+  }
+  return "?";
+}
+
+const char* to_string(TsaAction a) {
+  switch (a) {
+    case TsaAction::kSwitchToGoBackN: return "switch->go-back-n";
+    case TsaAction::kSwitchToSelectiveRepeat: return "switch->selective-repeat";
+    case TsaAction::kSwitchToFec: return "switch->fec";
+    case TsaAction::kIncreaseInterPduGap: return "gap*2";
+    case TsaAction::kDecreaseInterPduGap: return "gap/2";
+    case TsaAction::kNotifyApplication: return "notify-app";
+  }
+  return "?";
+}
+
+std::vector<TsaAction> PolicyEngine::evaluate(const NetworkStateDescriptor& net,
+                                              sim::SimTime now) {
+  std::vector<TsaAction> fired;
+  // The first sample only establishes the route baseline.
+  const bool route_changed = have_route_baseline_ && net.route_version != last_route_version_;
+  last_route_version_ = net.route_version;
+  have_route_baseline_ = true;
+
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const TsaRule& rule = rules_[i];
+    RuleState& st = states_[i];
+    bool cond = false;
+    switch (rule.condition) {
+      case TsaCondition::kCongestionAbove: cond = net.congestion > rule.threshold; break;
+      case TsaCondition::kCongestionBelow: cond = net.congestion < rule.threshold; break;
+      case TsaCondition::kRttAbove: cond = net.rtt.sec() > rule.threshold; break;
+      case TsaCondition::kRttBelow: cond = net.rtt.sec() < rule.threshold; break;
+      case TsaCondition::kLossRateAbove: cond = net.recent_loss_rate > rule.threshold; break;
+      case TsaCondition::kLossRateBelow: cond = net.recent_loss_rate < rule.threshold; break;
+      case TsaCondition::kRouteChanged: cond = route_changed; break;
+    }
+    // The first sample only establishes each condition's baseline:
+    // reconfiguration responds to *changes* in network conditions, not to
+    // conditions that already held when the session was configured
+    // (Stage II already accounted for those).
+    const bool rising_edge = cond && !st.was_true && !first_evaluation_;
+    st.was_true = cond;
+    if (!rising_edge) continue;
+    if (st.last_fired >= sim::SimTime::zero() && now - st.last_fired < rule.cooldown) continue;
+    st.last_fired = now;
+    ++firings_;
+    fired.push_back(rule.action);
+  }
+  first_evaluation_ = false;
+  return fired;
+}
+
+std::vector<TsaRule> PolicyEngine::default_rules() {
+  return {
+      // Section 3 example 1: congestion past the threshold (queue-overflow
+      // loss) -> selective repeat; when it subsides, restore go-back-n and
+      // its smaller receiver buffers.
+      {TsaCondition::kCongestionAbove, 0.5, TsaAction::kSwitchToSelectiveRepeat,
+       sim::SimTime::seconds(2)},
+      {TsaCondition::kCongestionBelow, 0.1, TsaAction::kSwitchToGoBackN,
+       sim::SimTime::seconds(2)},
+      // Section 3 example 2: round-trip delay beyond the satellite
+      // threshold -> forward error correction.
+      {TsaCondition::kRttAbove, 0.150, TsaAction::kSwitchToFec, sim::SimTime::seconds(2)},
+      {TsaCondition::kRttBelow, 0.100, TsaAction::kSwitchToSelectiveRepeat,
+       sim::SimTime::seconds(2)},
+      // Section 4.1.2 example: perceived congestion widens the pacing gap.
+      {TsaCondition::kCongestionAbove, 0.75, TsaAction::kIncreaseInterPduGap,
+       sim::SimTime::seconds(1)},
+      {TsaCondition::kCongestionBelow, 0.05, TsaAction::kDecreaseInterPduGap,
+       sim::SimTime::seconds(1)},
+  };
+}
+
+tko::sa::SessionConfig apply_action(TsaAction action, const tko::sa::SessionConfig& cfg) {
+  using namespace tko::sa;
+  SessionConfig out = cfg;
+  switch (action) {
+    case TsaAction::kSwitchToGoBackN:
+      out.recovery = RecoveryScheme::kGoBackN;
+      if (out.ack == AckScheme::kNone) out.ack = AckScheme::kImmediate;
+      if (out.transmission == TransmissionScheme::kUnlimited) {
+        out.transmission = TransmissionScheme::kSlidingWindow;
+      }
+      break;
+    case TsaAction::kSwitchToSelectiveRepeat:
+      out.recovery = RecoveryScheme::kSelectiveRepeat;
+      if (out.ack == AckScheme::kNone) out.ack = AckScheme::kImmediate;
+      if (out.transmission == TransmissionScheme::kUnlimited) {
+        out.transmission = TransmissionScheme::kSlidingWindow;
+      }
+      break;
+    case TsaAction::kSwitchToFec:
+      out.recovery = RecoveryScheme::kForwardErrorCorrection;
+      if (out.fec_group_size == 0) out.fec_group_size = 4;
+      break;
+    case TsaAction::kIncreaseInterPduGap:
+      if (out.inter_pdu_gap > sim::SimTime::zero()) {
+        out.inter_pdu_gap = out.inter_pdu_gap * 2;
+      } else {
+        out.inter_pdu_gap = sim::SimTime::milliseconds(1);
+        if (out.transmission == TransmissionScheme::kSlidingWindow) {
+          out.transmission = TransmissionScheme::kWindowAndRate;
+        }
+      }
+      break;
+    case TsaAction::kDecreaseInterPduGap:
+      out.inter_pdu_gap = out.inter_pdu_gap / 2;
+      break;
+    case TsaAction::kNotifyApplication:
+      break;
+  }
+  return out;
+}
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,63 @@
+// MANTTS reconfiguration policies.
+//
+// The paper's central claim is the dual focus on policies AND mechanisms:
+// knowing *when* to switch and *what* to switch to matters as much as an
+// efficient *how*. The PolicyEngine evaluates Transport Service
+// Adjustment rules (<condition, action> pairs from the ACD, or the
+// built-in defaults reproducing Section 3's two examples) against fresh
+// network state descriptors, with edge triggering and per-rule cooldowns
+// so oscillating conditions do not thrash the configuration.
+#pragma once
+
+#include "mantts/acd.hpp"
+#include "mantts/nmi.hpp"
+#include "tko/sa/config.hpp"
+
+#include <vector>
+
+namespace adaptive::mantts {
+
+[[nodiscard]] const char* to_string(TsaCondition c);
+[[nodiscard]] const char* to_string(TsaAction a);
+
+class PolicyEngine {
+public:
+  explicit PolicyEngine(std::vector<TsaRule> rules) : rules_(std::move(rules)) {
+    states_.resize(rules_.size());
+  }
+
+  /// Evaluate all rules against `net`; returns the actions that fire now.
+  [[nodiscard]] std::vector<TsaAction> evaluate(const NetworkStateDescriptor& net,
+                                                sim::SimTime now);
+
+  [[nodiscard]] const std::vector<TsaRule>& rules() const { return rules_; }
+  [[nodiscard]] std::uint64_t firings() const { return firings_; }
+
+  /// The built-in rule set reproducing the paper's Section 3 policy
+  /// examples: congestion crossing a threshold switches go-back-n <->
+  /// selective repeat; RTT jumping past the satellite threshold switches
+  /// retransmission -> FEC (and back); sustained congestion also widens
+  /// the rate-control gap.
+  [[nodiscard]] static std::vector<TsaRule> default_rules();
+
+private:
+  struct RuleState {
+    bool was_true = false;
+    sim::SimTime last_fired = sim::SimTime(-1);
+  };
+
+  std::vector<TsaRule> rules_;
+  std::vector<RuleState> states_;
+  std::uint64_t last_route_version_ = 0;
+  bool have_route_baseline_ = false;
+  bool first_evaluation_ = true;
+  std::uint64_t firings_ = 0;
+};
+
+/// Apply one TSA action to a configuration, returning the adjusted SCS
+/// (kNotifyApplication leaves it unchanged — the entity routes that to the
+/// application callback instead).
+[[nodiscard]] tko::sa::SessionConfig apply_action(TsaAction action,
+                                                  const tko::sa::SessionConfig& cfg);
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,14 @@
+#include "mantts/qos.hpp"
+
+namespace adaptive::mantts {
+
+const char* to_string(Level l) {
+  switch (l) {
+    case Level::kLow: return "low";
+    case Level::kModerate: return "mod";
+    case Level::kHigh: return "high";
+  }
+  return "?";
+}
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,51 @@
+// Quality-of-service vocabulary (Table 2's quantitative and qualitative
+// QoS parameter rows).
+#pragma once
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace adaptive::mantts {
+
+/// Three-level sensitivity scale matching Table 1's low/mod/high cells.
+enum class Level : std::uint8_t { kLow = 0, kModerate, kHigh };
+
+[[nodiscard]] const char* to_string(Level l);
+
+/// "Specifies the performance criteria requested by the application."
+struct QuantitativeQos {
+  sim::Rate average_throughput = sim::Rate::kbps(64);
+  sim::Rate peak_throughput = sim::Rate::kbps(64);
+  sim::SimTime max_latency = sim::SimTime::infinity();
+  sim::SimTime max_jitter = sim::SimTime::infinity();
+  /// Tolerable fraction of lost application data units, [0, 1].
+  double loss_tolerance = 0.0;
+  /// Expected session duration (the DCM parameter the paper stresses:
+  /// very short sessions are not worth dynamic reconfiguration).
+  sim::SimTime duration = sim::SimTime::seconds(60);
+  /// Ratio of peak to average traffic (Table 1 "Burst Factor").
+  double burst_factor = 1.0;
+
+  friend bool operator==(const QuantitativeQos&, const QuantitativeQos&) = default;
+};
+
+/// "Specifies the functionality or behavior requested by the application."
+struct QualitativeQos {
+  bool sequenced_delivery = true;
+  bool duplicate_sensitive = true;
+  bool explicit_connection = false;  ///< application asks for a real handshake
+  bool realtime = false;             ///< hard delivery deadlines
+  bool isochronous = false;          ///< continuous, clocked media
+  /// Two-way conversational media (voice call, conference) as opposed to
+  /// one-way distribution (video playout) — the interactive vs
+  /// distributional split within the isochronous classes.
+  bool conversational = false;
+  bool priority_delivery = false;
+  std::uint8_t priority = 0;
+
+  friend bool operator==(const QualitativeQos&, const QualitativeQos&) = default;
+};
+
+}  // namespace adaptive::mantts

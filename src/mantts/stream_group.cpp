@@ -1,0 +1,61 @@
+#include "mantts/stream_group.hpp"
+
+#include <memory>
+
+namespace adaptive::mantts {
+
+std::uint8_t priority_for_class(Tsc tsc) {
+  switch (tsc) {
+    case Tsc::kInteractiveIsochronous: return 5;   // conversational audio first
+    case Tsc::kRealTimeNonIsochronous: return 4;   // control deadlines next
+    case Tsc::kDistributionalIsochronous: return 3;
+    case Tsc::kNonRealTimeNonIsochronous: return 0;
+  }
+  return 0;
+}
+
+void StreamGroupOpener::open(std::vector<Acd> members, GroupCb cb) {
+  auto result = std::make_shared<StreamGroupResult>();
+  auto remaining = std::make_shared<std::size_t>(members.size());
+  result->members.resize(members.size());
+
+  // One common playout point: the slowest member's one-way estimate plus
+  // a jitter margin, computed before the opens so every member sees it.
+  sim::SimTime worst_one_way = sim::SimTime::zero();
+  for (const Acd& acd : members) {
+    if (acd.remotes.empty()) continue;
+    const auto d = entity_.nmi().sample(acd.remotes.front().node);
+    if (d.reachable) worst_one_way = std::max(worst_one_way, d.rtt / 2);
+  }
+  result->recommended_playout = worst_one_way + kJitterMargin;
+
+  auto shared_cb = std::make_shared<GroupCb>(std::move(cb));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    Acd acd = members[i];
+    // Group coordination: assign the class-based delivery priority unless
+    // the application pinned one.
+    const Tsc tsc = classify(acd);
+    if (acd.qualitative.priority == 0) {
+      acd.qualitative.priority = priority_for_class(tsc);
+      acd.qualitative.priority_delivery = acd.qualitative.priority > 0;
+    }
+    entity_.open_session(acd, [result, remaining, shared_cb, i,
+                               tsc](MantttsEntity::OpenResult r) {
+      StreamGroupMember m;
+      m.session = r.session;
+      m.tsc = tsc;
+      m.scs = r.scs;
+      m.assigned_priority = r.scs.priority;
+      result->members[i] = std::move(m);
+      if (--*remaining == 0) {
+        result->complete = true;
+        for (const auto& member : result->members) {
+          if (member.session == nullptr) result->complete = false;
+        }
+        (*shared_cb)(std::move(*result));
+      }
+    });
+  }
+}
+
+}  // namespace adaptive::mantts

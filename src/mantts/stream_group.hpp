@@ -1,0 +1,62 @@
+// Synchronized stream groups (Section 4.1).
+//
+// "MANTTS coordinates multiple related communication sessions (e.g.,
+// determining the scheduling priorities of synchronized multimedia
+// streams)" — and Table 1 lists temporal synchronization
+// (tele-conferencing) among the QoS requirements.
+//
+// A StreamGroup opens several related sessions (say, conference audio +
+// video) as one unit: MANTTS assigns delivery priorities across the
+// members (interactive audio above video above everything else) and
+// computes one common playout point deep enough for the slowest member's
+// path — the number a lip-synced receiver feeds its PlayoutSinks so the
+// streams render in step.
+#pragma once
+
+#include "mantts/mantts.hpp"
+
+#include <vector>
+
+namespace adaptive::mantts {
+
+struct StreamGroupMember {
+  tko::TransportSession* session = nullptr;
+  Tsc tsc = Tsc::kNonRealTimeNonIsochronous;
+  tko::sa::SessionConfig scs;
+  std::uint8_t assigned_priority = 0;
+};
+
+struct StreamGroupResult {
+  std::vector<StreamGroupMember> members;
+  /// Common playout delay: worst member path delay estimate plus a jitter
+  /// margin. Feed this to every member's PlayoutSink for temporal sync.
+  sim::SimTime recommended_playout = sim::SimTime::zero();
+  bool complete = false;  ///< every member opened successfully
+};
+
+class StreamGroupOpener {
+public:
+  explicit StreamGroupOpener(MantttsEntity& entity) : entity_(entity) {}
+
+  using GroupCb = std::function<void(StreamGroupResult)>;
+
+  /// Open every ACD in `members` as one synchronized group. Priorities
+  /// are assigned by transport service class (interactive isochronous
+  /// highest) unless an ACD pinned one explicitly. The callback fires
+  /// once all member opens have completed (run the world afterwards for
+  /// explicit negotiations to finish).
+  void open(std::vector<Acd> members, GroupCb cb);
+
+  /// The jitter margin added on top of the worst path RTT/2 estimate.
+  static constexpr sim::SimTime kJitterMargin = sim::SimTime::milliseconds(40);
+
+private:
+  MantttsEntity& entity_;
+};
+
+/// Class-based priority: the latency-critical classes ride above the
+/// throughput classes (Table 1's "Priority Delivery" column, applied
+/// within a group).
+[[nodiscard]] std::uint8_t priority_for_class(Tsc tsc);
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,168 @@
+#include "mantts/transform.hpp"
+
+#include "tko/pdu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptive::mantts {
+
+using tko::sa::AckScheme;
+using tko::sa::ConnectionScheme;
+using tko::sa::DetectionScheme;
+using tko::sa::RecoveryScheme;
+using tko::sa::SessionConfig;
+using tko::sa::TransmissionScheme;
+
+namespace {
+
+/// Segment size bounded by path MTU (leave room for PDU framing and a
+/// possible piggybacked SCS).
+std::uint32_t pick_segment(std::uint32_t want, const NetworkStateDescriptor& net) {
+  if (net.mtu == 0) return want;
+  const std::size_t overhead = tko::kPduHeaderBytes + tko::kChecksumTrailerBytes +
+                               SessionConfig::kWireBytes + net::Packet::kNetworkHeaderBytes;
+  if (net.mtu <= overhead + 64) return 64;
+  return std::min<std::uint32_t>(want, static_cast<std::uint32_t>(net.mtu - overhead));
+}
+
+/// Window sized to keep the pipe full: bandwidth-delay product in PDUs,
+/// clamped to a sane range.
+std::uint16_t pick_window(const NetworkStateDescriptor& net, std::uint32_t segment_bytes) {
+  if (net.rtt <= sim::SimTime::zero() || net.bottleneck.bits_per_sec() <= 0.0) return 16;
+  const double bdp_bits = net.bottleneck.bits_per_sec() * net.rtt.sec();
+  const double pdus = bdp_bits / (8.0 * static_cast<double>(segment_bytes));
+  return static_cast<std::uint16_t>(std::clamp(pdus * 2.0, 8.0, 256.0));
+}
+
+/// Pacing gap matching the application's media rate. Bursty sources pace
+/// at (near) peak so bursts drain instead of queueing; 15% headroom keeps
+/// framing overhead from making the pacer the bottleneck.
+sim::SimTime pick_gap(const QuantitativeQos& q, std::uint32_t segment_bytes) {
+  double bps = std::max(1.0, q.average_throughput.bits_per_sec());
+  bps = std::max(bps, q.peak_throughput.bits_per_sec() * 0.9);
+  const double gap_sec = 8.0 * static_cast<double>(segment_bytes) / bps * 0.85;
+  return sim::SimTime::seconds(gap_sec);
+}
+
+}  // namespace
+
+SessionConfig derive_scs(Tsc tsc, const Acd& acd, const NetworkStateDescriptor& net) {
+  SessionConfig cfg = tsc_default_config(tsc);
+  const auto& q = acd.quantitative;
+  const auto& ql = acd.qualitative;
+
+  // --- segment size from the path MTU --------------------------------
+  cfg.segment_bytes = pick_segment(cfg.segment_bytes, net);
+
+  // --- connection management ------------------------------------------
+  // Latency-sensitive or short sessions skip the handshake; long sessions
+  // negotiate explicitly (the handshake cost amortizes); the application
+  // may force an explicit connection.
+  if (ql.explicit_connection) {
+    cfg.connection = ConnectionScheme::kExplicit3Way;
+  } else if (q.duration < kShortSessionThreshold ||
+             (!q.max_latency.is_infinite() && q.max_latency < net.rtt * 3)) {
+    cfg.connection = ConnectionScheme::kImplicit;
+  } else if (net.rtt > kFecRttThreshold) {
+    // Long-delay path: one round trip fewer matters.
+    cfg.connection = ConnectionScheme::kImplicit;
+  }
+
+  // --- reliability -------------------------------------------------------
+  const bool loss_tolerant = q.loss_tolerance >= 0.01;
+  const bool delay_bounded = !q.max_latency.is_infinite() || ql.realtime || ql.isochronous;
+  if (loss_tolerant && q.loss_tolerance >= 0.05 && net.bit_error_rate < 1e-7 &&
+      net.congestion < 0.25) {
+    // Clean path, tolerant application: recovery is dead weight.
+    cfg.recovery = RecoveryScheme::kNone;
+    cfg.ack = AckScheme::kEveryN;
+    cfg.ack_every_n = 16;
+  } else if (delay_bounded && net.rtt > kFecRttThreshold) {
+    // Retransmission would blow the delay budget on a long path: FEC.
+    cfg.recovery = RecoveryScheme::kForwardErrorCorrection;
+    cfg.fec_group_size = q.loss_tolerance >= 0.05 ? 8 : 4;
+    cfg.ack = AckScheme::kEveryN;
+    cfg.ack_every_n = 32;
+  } else if (!loss_tolerant || ql.duplicate_sensitive || ql.sequenced_delivery) {
+    // Full reliability. Go-back-n for multicast (no per-receiver sack
+    // state, minimal receiver buffering); selective repeat for unicast —
+    // switching to SR under congestion per the Section 3 policy.
+    if (acd.wants_multicast()) {
+      cfg.recovery = RecoveryScheme::kGoBackN;
+      cfg.ack = AckScheme::kImmediate;
+    } else if (net.congestion >= kCongestionSrThreshold || net.bit_error_rate >= 1e-7) {
+      cfg.recovery = RecoveryScheme::kSelectiveRepeat;
+      cfg.ack = AckScheme::kEveryN;
+      cfg.ack_every_n = 2;
+    } else {
+      cfg.recovery = RecoveryScheme::kGoBackN;
+      cfg.ack = AckScheme::kDelayed;
+    }
+  }
+
+  // --- error detection ---------------------------------------------------
+  if (net.bit_error_rate >= 1e-7) {
+    cfg.detection = DetectionScheme::kCrc32Trailer;  // errored media: strong code
+  } else if (cfg.recovery == RecoveryScheme::kNone && q.loss_tolerance >= 0.2 &&
+             net.bit_error_rate < 1e-9) {
+    cfg.detection = DetectionScheme::kNone;  // clean fiber + tolerant app
+  }
+
+  // --- transmission control ---------------------------------------------
+  if (ql.isochronous) {
+    cfg.transmission = TransmissionScheme::kRateControl;
+    cfg.inter_pdu_gap = pick_gap(q, cfg.segment_bytes);
+  } else if (ql.realtime) {
+    cfg.transmission = TransmissionScheme::kWindowAndRate;
+    cfg.window_pdus = pick_window(net, cfg.segment_bytes);
+    cfg.inter_pdu_gap = pick_gap(q, cfg.segment_bytes) / 2;
+  } else if (cfg.recovery == RecoveryScheme::kNone ||
+             cfg.recovery == RecoveryScheme::kForwardErrorCorrection) {
+    // No retransmission-driven flow control available: pace at media rate
+    // when the app declared one, else stay windowless only for datagrams.
+    if (q.average_throughput.bits_per_sec() > 0 && ql.isochronous) {
+      cfg.transmission = TransmissionScheme::kRateControl;
+      cfg.inter_pdu_gap = pick_gap(q, cfg.segment_bytes);
+    } else if (cfg.recovery == RecoveryScheme::kForwardErrorCorrection) {
+      cfg.transmission = TransmissionScheme::kRateControl;
+      cfg.inter_pdu_gap = pick_gap(q, cfg.segment_bytes);
+    } else {
+      cfg.transmission = TransmissionScheme::kUnlimited;
+    }
+  } else {
+    cfg.window_pdus = pick_window(net, cfg.segment_bytes);
+    // Congestion-prone path: slow start simulates access control.
+    if (net.congestion >= 0.25 || net.recent_loss_rate >= 0.01) {
+      cfg.transmission = TransmissionScheme::kSlowStart;
+    } else {
+      cfg.transmission = TransmissionScheme::kSlidingWindow;
+    }
+  }
+
+  // --- ordering / duplicates -------------------------------------------
+  cfg.ordered_delivery = ql.sequenced_delivery;
+  cfg.filter_duplicates = ql.duplicate_sensitive;
+  cfg.priority = ql.priority;
+
+  // --- timers -------------------------------------------------------------
+  // The retransmission timeout must cover the full round trip INCLUDING
+  // the peer's ack coalescing, or a delayed ack masquerades as a loss.
+  if (net.rtt > sim::SimTime::zero()) {
+    sim::SimTime floor = sim::SimTime::milliseconds(20);
+    if (cfg.ack == AckScheme::kDelayed) floor += cfg.delayed_ack * 2;
+    cfg.rto_initial = std::max(floor, net.rtt * 3);
+  }
+
+  // Representations: high-rate fixed-size media benefits from fixed
+  // buffers (allocation reuse); bursty variable traffic wants exact fit.
+  cfg.fixed_size_buffers = ql.isochronous && q.burst_factor <= 2.0;
+
+  return cfg;
+}
+
+SessionConfig derive_scs(const Acd& acd, const NetworkStateDescriptor& net) {
+  return derive_scs(classify(acd), acd, net);
+}
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,40 @@
+// Stage II of the MANTTS transformation (Figure 2): reconcile the
+// selected Transport Service Class with the network state descriptor to
+// produce the Session Configuration Specification.
+//
+// This is where the paper's policy knowledge lives: pick go-back-n vs
+// selective repeat vs FEC from loss tolerance, multicast fan-out, RTT and
+// congestion; size windows from the bandwidth-delay product; derive pacing
+// gaps from the media rate; pick implicit vs explicit connection
+// management from duration and latency sensitivity.
+#pragma once
+
+#include "mantts/acd.hpp"
+#include "mantts/nmi.hpp"
+#include "mantts/tsc.hpp"
+#include "tko/sa/config.hpp"
+
+namespace adaptive::mantts {
+
+/// RTT beyond which retransmission-based recovery is considered worse
+/// than FEC for delay-sensitive traffic (the satellite-link policy).
+inline constexpr sim::SimTime kFecRttThreshold = sim::SimTime::milliseconds(150);
+
+/// Congestion level beyond which selective repeat is preferred over
+/// go-back-n (queue-overflow loss makes full-window retransmission
+/// counterproductive) — Section 3's policy example.
+inline constexpr double kCongestionSrThreshold = 0.5;
+
+/// Sessions shorter than this are not worth explicit negotiation or
+/// run-time reconfiguration (the "duration" DCM parameter).
+inline constexpr sim::SimTime kShortSessionThreshold = sim::SimTime::seconds(5);
+
+/// Stage II: TSC + ACD + network state -> SCS.
+[[nodiscard]] tko::sa::SessionConfig derive_scs(Tsc tsc, const Acd& acd,
+                                                const NetworkStateDescriptor& net);
+
+/// Convenience: Stage I + Stage II in one call.
+[[nodiscard]] tko::sa::SessionConfig derive_scs(const Acd& acd,
+                                                const NetworkStateDescriptor& net);
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,151 @@
+#include "mantts/tsc.hpp"
+
+namespace adaptive::mantts {
+
+const char* to_string(Tsc t) {
+  switch (t) {
+    case Tsc::kInteractiveIsochronous: return "interactive-isochronous";
+    case Tsc::kDistributionalIsochronous: return "distributional-isochronous";
+    case Tsc::kRealTimeNonIsochronous: return "real-time-non-isochronous";
+    case Tsc::kNonRealTimeNonIsochronous: return "non-real-time-non-isochronous";
+  }
+  return "?";
+}
+
+const char* to_string(ThroughputClass t) {
+  switch (t) {
+    case ThroughputClass::kVeryLow: return "very-low";
+    case ThroughputClass::kLow: return "low";
+    case ThroughputClass::kModerate: return "mod";
+    case ThroughputClass::kHigh: return "high";
+    case ThroughputClass::kVeryHigh: return "very-high";
+  }
+  return "?";
+}
+
+const char* to_string(LossTolerance t) {
+  switch (t) {
+    case LossTolerance::kNone: return "none";
+    case LossTolerance::kLow: return "low";
+    case LossTolerance::kModerate: return "mod";
+    case LossTolerance::kHigh: return "high";
+  }
+  return "?";
+}
+
+const char* to_string(Variance v) {
+  switch (v) {
+    case Variance::kLow: return "low";
+    case Variance::kModerate: return "mod";
+    case Variance::kHigh: return "high";
+    case Variance::kVariable: return "var";
+    case Variance::kNotDefined: return "N/D";
+  }
+  return "?";
+}
+
+const std::array<Table1Row, 9>& table1() {
+  using T = Tsc;
+  using TC = ThroughputClass;
+  using LT = LossTolerance;
+  using V = Variance;
+  static const std::array<Table1Row, 9> kRows = {{
+      // app, tsc, avg thruput, burst, delay, jitter, order, loss, prio, mcast
+      {"Voice Conversation", T::kInteractiveIsochronous, TC::kLow, V::kLow, V::kHigh, V::kHigh,
+       V::kLow, LT::kHigh, false, false},
+      {"Tele-Conferencing", T::kInteractiveIsochronous, TC::kModerate, V::kModerate, V::kHigh,
+       V::kHigh, V::kLow, LT::kModerate, true, true},
+      {"Full-Motion Video (comp)", T::kDistributionalIsochronous, TC::kHigh, V::kHigh, V::kHigh,
+       V::kModerate, V::kLow, LT::kModerate, true, true},
+      {"Full-Motion Video (raw)", T::kDistributionalIsochronous, TC::kVeryHigh, V::kLow, V::kHigh,
+       V::kHigh, V::kLow, LT::kModerate, true, true},
+      {"Manufacturing Control", T::kRealTimeNonIsochronous, TC::kModerate, V::kModerate, V::kHigh,
+       V::kVariable, V::kHigh, LT::kLow, true, true},
+      {"File Transfer", T::kNonRealTimeNonIsochronous, TC::kModerate, V::kLow, V::kLow,
+       V::kNotDefined, V::kHigh, LT::kNone, false, false},
+      {"TELNET", T::kNonRealTimeNonIsochronous, TC::kVeryLow, V::kHigh, V::kHigh, V::kLow,
+       V::kHigh, LT::kNone, true, false},
+      {"On-Line Transaction Processing", T::kNonRealTimeNonIsochronous, TC::kLow, V::kHigh,
+       V::kHigh, V::kLow, V::kVariable, LT::kNone, false, false},
+      {"Remote File Service", T::kNonRealTimeNonIsochronous, TC::kLow, V::kHigh, V::kHigh,
+       V::kLow, V::kVariable, LT::kNone, false, true},
+  }};
+  return kRows;
+}
+
+Tsc classify(const Acd& acd) {
+  const auto& q = acd.quantitative;
+  if (acd.qualitative.isochronous) {
+    // Conversational media is interactive; one-way distribution — or
+    // anything at streaming-video rates — is distributional.
+    if (acd.qualitative.conversational) return Tsc::kInteractiveIsochronous;
+    if (q.average_throughput >= sim::Rate::mbps(1) || q.peak_throughput >= sim::Rate::mbps(2)) {
+      return Tsc::kDistributionalIsochronous;
+    }
+    return Tsc::kInteractiveIsochronous;
+  }
+  if (acd.qualitative.realtime) return Tsc::kRealTimeNonIsochronous;
+  return Tsc::kNonRealTimeNonIsochronous;
+}
+
+tko::sa::SessionConfig tsc_default_config(Tsc tsc) {
+  using namespace tko::sa;
+  SessionConfig c;
+  switch (tsc) {
+    case Tsc::kInteractiveIsochronous:
+      // Latency and jitter first: no handshake, no retransmission (a
+      // retransmitted voice sample is useless), pacing at the media rate.
+      c.connection = ConnectionScheme::kImplicit;
+      c.transmission = TransmissionScheme::kRateControl;
+      c.inter_pdu_gap = sim::SimTime::milliseconds(20);  // refined in Stage II
+      c.recovery = RecoveryScheme::kNone;
+      c.detection = DetectionScheme::kInternet16Trailer;
+      c.ack = AckScheme::kEveryN;
+      c.ack_every_n = 16;
+      c.ordered_delivery = false;
+      c.segment_bytes = 320;
+      break;
+    case Tsc::kDistributionalIsochronous:
+      // High-rate streaming: pacing plus FEC so loss recovery never waits
+      // a round trip.
+      c.connection = ConnectionScheme::kExplicit2Way;
+      c.transmission = TransmissionScheme::kRateControl;
+      c.inter_pdu_gap = sim::SimTime::milliseconds(1);
+      c.recovery = RecoveryScheme::kForwardErrorCorrection;
+      c.fec_group_size = 8;
+      c.detection = DetectionScheme::kInternet16Trailer;
+      c.ack = AckScheme::kEveryN;
+      c.ack_every_n = 32;
+      c.ordered_delivery = false;
+      c.segment_bytes = 4096;
+      break;
+    case Tsc::kRealTimeNonIsochronous:
+      // Ordered, low-loss, bounded-delay control traffic: selective repeat
+      // with a small window and immediate acks.
+      c.connection = ConnectionScheme::kExplicit2Way;
+      c.transmission = TransmissionScheme::kWindowAndRate;
+      c.window_pdus = 8;
+      c.inter_pdu_gap = sim::SimTime::microseconds(500);
+      c.recovery = RecoveryScheme::kSelectiveRepeat;
+      c.detection = DetectionScheme::kCrc32Trailer;
+      c.ack = AckScheme::kImmediate;
+      c.ordered_delivery = true;
+      c.segment_bytes = 512;
+      break;
+    case Tsc::kNonRealTimeNonIsochronous:
+      // Throughput-oriented reliable transfer.
+      c.connection = ConnectionScheme::kExplicit2Way;
+      c.transmission = TransmissionScheme::kSlidingWindow;
+      c.window_pdus = 32;
+      c.recovery = RecoveryScheme::kSelectiveRepeat;
+      c.detection = DetectionScheme::kInternet16Trailer;
+      c.ack = AckScheme::kEveryN;
+      c.ack_every_n = 2;
+      c.ordered_delivery = true;
+      c.segment_bytes = 1024;
+      break;
+  }
+  return c;
+}
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,59 @@
+// Transport Service Classes — Table 1 of the paper — and the Stage I
+// transformation that maps an application's QoS (ACD) onto a class.
+//
+// A TSC "embodies a set of related policy decisions": each class carries
+// default policy choices that Stage II then reconciles with network
+// characteristics to produce the SCS.
+#pragma once
+
+#include "mantts/acd.hpp"
+#include "tko/sa/config.hpp"
+
+#include <array>
+#include <string>
+
+namespace adaptive::mantts {
+
+enum class Tsc : std::uint8_t {
+  kInteractiveIsochronous = 0,   ///< voice conversation, tele-conferencing
+  kDistributionalIsochronous,    ///< full-motion video (compressed / raw)
+  kRealTimeNonIsochronous,       ///< manufacturing control
+  kNonRealTimeNonIsochronous,    ///< file transfer, TELNET, OLTP, remote files
+};
+
+[[nodiscard]] const char* to_string(Tsc t);
+
+enum class ThroughputClass : std::uint8_t { kVeryLow, kLow, kModerate, kHigh, kVeryHigh };
+enum class LossTolerance : std::uint8_t { kNone, kLow, kModerate, kHigh };
+enum class Variance : std::uint8_t { kLow, kModerate, kHigh, kVariable, kNotDefined };
+
+[[nodiscard]] const char* to_string(ThroughputClass t);
+[[nodiscard]] const char* to_string(LossTolerance t);
+[[nodiscard]] const char* to_string(Variance v);
+
+/// One row of Table 1.
+struct Table1Row {
+  const char* application;
+  Tsc tsc;
+  ThroughputClass avg_throughput;
+  Variance burst_factor;
+  Variance delay_sensitivity;
+  Variance jitter_sensitivity;
+  Variance order_sensitivity;
+  LossTolerance loss_tolerance;
+  bool priority_delivery;
+  bool multicast;
+};
+
+/// The paper's nine representative applications, verbatim from Table 1.
+[[nodiscard]] const std::array<Table1Row, 9>& table1();
+
+/// Stage I: select the transport service class for an ACD.
+[[nodiscard]] Tsc classify(const Acd& acd);
+
+/// The class's default policy bundle: the starting SessionConfig before
+/// Stage II reconciles it with network characteristics. TSCs "embody a set
+/// of default parameters, mechanisms, and/or representations".
+[[nodiscard]] tko::sa::SessionConfig tsc_default_config(Tsc tsc);
+
+}  // namespace adaptive::mantts

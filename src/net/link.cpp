@@ -1,0 +1,122 @@
+#include "net/link.hpp"
+
+#include <cmath>
+
+namespace adaptive::net {
+
+Link::Link(LinkId id, NodeId from, NodeId to, const LinkConfig& cfg,
+           sim::EventScheduler& sched, sim::Rng rng)
+    : id_(id), from_(from), to_(to), cfg_(cfg), sched_(sched), rng_(rng) {}
+
+void Link::drop(const Packet& p, const char* reason) {
+  if (on_drop_) on_drop_(p, reason);
+}
+
+void Link::transmit(Packet&& p) {
+  if (!up_) {
+    ++stats_.down_drops;
+    drop(p, "link-down");
+    return;
+  }
+  if (p.size_bytes() > cfg_.mtu_bytes + Packet::kNetworkHeaderBytes) {
+    ++stats_.mtu_drops;
+    drop(p, "mtu-exceeded");
+    return;
+  }
+  if (queued_ >= cfg_.queue_capacity_packets) {
+    // Full port: an arriving higher-priority packet displaces the lowest-
+    // priority queued one; otherwise the arrival is the victim.
+    auto lowest = queues_.rbegin();
+    while (lowest != queues_.rend() && lowest->second.empty()) ++lowest;
+    if (lowest != queues_.rend() && lowest->first < p.priority) {
+      ++stats_.queue_drops;
+      drop(lowest->second.back(), "queue-overflow");
+      lowest->second.pop_back();
+      --queued_;
+    } else {
+      ++stats_.queue_drops;
+      drop(p, "queue-overflow");
+      return;
+    }
+  }
+  queues_[p.priority].push_back(std::move(p));
+  ++queued_;
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queued_ == 0 || !up_) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  auto it = queues_.begin();
+  while (it->second.empty()) ++it;  // highest non-empty priority class
+  Packet p = std::move(it->second.front());
+  it->second.pop_front();
+  --queued_;
+
+  const auto tx_time = cfg_.bandwidth.transmission_time(p.size_bytes());
+  ++stats_.tx_packets;
+  stats_.tx_bytes += p.size_bytes();
+
+  // After serialization completes, the next queued packet may start, and
+  // this one propagates to the far end.
+  sched_.schedule_after(tx_time, [this, p = std::move(p)]() mutable {
+    sched_.schedule_after(cfg_.propagation_delay, [this, p = std::move(p)]() mutable {
+      if (!up_) {
+        ++stats_.down_drops;
+        drop(p, "link-down");
+        return;
+      }
+      apply_bit_errors(p);
+      if (deliver_) deliver_(std::move(p));
+    });
+    start_transmission();
+  });
+}
+
+void Link::apply_bit_errors(Packet& p) {
+  // Gilbert-Elliott state evolution (per packet).
+  if (cfg_.p_good_to_bad > 0.0) {
+    if (burst_state_bad_) {
+      if (rng_.bernoulli(cfg_.p_bad_to_good)) burst_state_bad_ = false;
+    } else if (rng_.bernoulli(cfg_.p_good_to_bad)) {
+      burst_state_bad_ = true;
+    }
+    if (burst_state_bad_) ++stats_.bad_state_packets;
+  }
+  const double ber = burst_state_bad_ ? cfg_.burst_error_rate : cfg_.bit_error_rate;
+  if (ber <= 0.0 || p.payload.empty()) return;
+  const double bits = static_cast<double>(p.payload.size()) * 8.0;
+  // P(at least one bit error) = 1 - (1 - ber)^bits.
+  const double p_err = 1.0 - std::pow(1.0 - ber, bits);
+  if (!rng_.bernoulli(p_err)) return;
+  ++stats_.bit_errors;
+  p.bit_error = true;
+  // Flip a uniformly chosen payload bit; flip more for very high BER links.
+  const int flips = ber >= 1e-5 ? 3 : 1;
+  for (int i = 0; i < flips; ++i) {
+    const auto bit = rng_.uniform_int(0, bits > 1 ? static_cast<std::uint64_t>(bits) - 1 : 0);
+    p.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+void Link::set_up(bool up) {
+  up_ = up;
+  if (!up_) {
+    for (auto& [_, q] : queues_) {
+      for (auto& p : q) {
+        ++stats_.down_drops;
+        drop(p, "link-down");
+      }
+      q.clear();
+    }
+    queued_ = 0;
+    busy_ = false;
+  } else if (!busy_) {
+    start_transmission();
+  }
+}
+
+}  // namespace adaptive::net

@@ -1,0 +1,31 @@
+#include "net/monitor.hpp"
+
+namespace adaptive::net {
+
+void NetworkMonitor::record(NetEventKind kind, sim::SimTime when, std::string detail) {
+  switch (kind) {
+    case NetEventKind::kDrop: ++drops_; break;
+    case NetEventKind::kDeliver: ++deliveries_; break;
+    case NetEventKind::kRouteChange: ++route_changes_; break;
+    default: break;
+  }
+  events_.push_back(NetEvent{kind, when, std::move(detail)});
+  while (events_.size() > history_limit_) events_.pop_front();
+  for (const auto& s : subscribers_) s(events_.back());
+}
+
+double NetworkMonitor::recent_loss_rate(std::size_t window) const {
+  std::uint64_t drops = 0;
+  std::uint64_t total = 0;
+  for (auto it = events_.rbegin(); it != events_.rend() && total < window; ++it) {
+    if (it->kind == NetEventKind::kDrop) {
+      ++drops;
+      ++total;
+    } else if (it->kind == NetEventKind::kDeliver) {
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(drops) / static_cast<double>(total);
+}
+
+}  // namespace adaptive::net

@@ -1,0 +1,59 @@
+// Network monitor: the observation surface behind the MANTTS Network
+// Monitor Interface (MANTTS-NMI, Section 4.1) and the UNITES traffic
+// monitors (Section 4.3).
+//
+// It records drop/delivery/route-change events network-wide and answers
+// state queries (queue occupancy along a path, recent loss rate). In the
+// real system this information would come from switch management agents;
+// in the simulator the monitor reads switch state directly — the data is
+// the same either way.
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace adaptive::net {
+
+enum class NetEventKind { kDrop, kDeliver, kRouteChange, kLinkDown, kLinkUp };
+
+struct NetEvent {
+  NetEventKind kind;
+  sim::SimTime when;
+  std::string detail;
+};
+
+class NetworkMonitor {
+public:
+  explicit NetworkMonitor(std::size_t history = 4096) : history_limit_(history) {}
+
+  void record(NetEventKind kind, sim::SimTime when, std::string detail);
+
+  /// Subscribe to every event as it happens (MANTTS policies hook here).
+  using Subscriber = std::function<void(const NetEvent&)>;
+  void subscribe(Subscriber s) { subscribers_.push_back(std::move(s)); }
+
+  [[nodiscard]] std::uint64_t total_drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t total_deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t route_changes() const { return route_changes_; }
+
+  /// Drop fraction over the most recent `window` drop+deliver events.
+  [[nodiscard]] double recent_loss_rate(std::size_t window = 256) const;
+
+  [[nodiscard]] const std::deque<NetEvent>& history() const { return events_; }
+
+private:
+  std::size_t history_limit_;
+  std::deque<NetEvent> events_;
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t route_changes_ = 0;
+};
+
+}  // namespace adaptive::net

@@ -1,0 +1,51 @@
+#include "net/multicast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adaptive::net {
+
+NodeId MulticastGroups::create_group() {
+  const NodeId g = next_group_++;
+  members_[g];  // create empty member list
+  return g;
+}
+
+bool MulticastGroups::join(NodeId group, NodeId host) {
+  auto it = members_.find(group);
+  if (it == members_.end()) throw std::invalid_argument("MulticastGroups::join: unknown group");
+  auto& m = it->second;
+  if (std::ranges::find(m, host) != m.end()) return false;
+  m.push_back(host);
+  return true;
+}
+
+bool MulticastGroups::leave(NodeId group, NodeId host) {
+  auto it = members_.find(group);
+  if (it == members_.end()) throw std::invalid_argument("MulticastGroups::leave: unknown group");
+  auto& m = it->second;
+  auto mit = std::ranges::find(m, host);
+  if (mit == m.end()) return false;
+  m.erase(mit);
+  return true;
+}
+
+const std::vector<NodeId>& MulticastGroups::members(NodeId group) const {
+  static const std::vector<NodeId> kEmpty;
+  auto it = members_.find(group);
+  return it == members_.end() ? kEmpty : it->second;
+}
+
+bool MulticastGroups::is_member(NodeId group, NodeId host) const {
+  const auto& m = members(group);
+  return std::ranges::find(m, host) != m.end();
+}
+
+std::vector<NodeId> MulticastGroups::groups() const {
+  std::vector<NodeId> out;
+  out.reserve(members_.size());
+  for (const auto& [g, _] : members_) out.push_back(g);
+  return out;
+}
+
+}  // namespace adaptive::net

@@ -1,0 +1,35 @@
+// Multicast group membership (Table 1's "Multicast" column).
+//
+// Groups are allocated from the multicast address space; membership changes
+// (participants joining/leaving a teleconference, Section 2.1) invalidate
+// the per-source forwarding trees, which the Network then recomputes.
+#pragma once
+
+#include "net/packet.hpp"
+
+#include <map>
+#include <vector>
+
+namespace adaptive::net {
+
+class MulticastGroups {
+public:
+  /// Allocate a fresh group address.
+  NodeId create_group();
+
+  /// Add `host` to `group`; returns true if membership changed.
+  bool join(NodeId group, NodeId host);
+
+  /// Remove `host` from `group`; returns true if membership changed.
+  bool leave(NodeId group, NodeId host);
+
+  [[nodiscard]] const std::vector<NodeId>& members(NodeId group) const;
+  [[nodiscard]] bool is_member(NodeId group, NodeId host) const;
+  [[nodiscard]] std::vector<NodeId> groups() const;
+
+private:
+  NodeId next_group_ = kMulticastBase;
+  std::map<NodeId, std::vector<NodeId>> members_;
+};
+
+}  // namespace adaptive::net

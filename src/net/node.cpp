@@ -1,0 +1,39 @@
+#include "net/node.hpp"
+
+namespace adaptive::net {
+
+void SwitchNode::receive(Packet&& p) {
+  ++p.hop_count;
+  if (cfg_.processing_delay > sim::SimTime::zero()) {
+    sched_.schedule_after(cfg_.processing_delay,
+                          [this, p = std::move(p)]() mutable { forward(std::move(p)); });
+  } else {
+    forward(std::move(p));
+  }
+}
+
+void SwitchNode::forward(Packet&& p) {
+  if (is_multicast(p.dst.node)) {
+    auto it = multicast_.find({p.dst.node, p.src.node});
+    if (it == multicast_.end() || it->second.empty()) {
+      ++no_route_drops_;
+      return;
+    }
+    ++forwarded_;
+    const auto& outs = it->second;
+    for (std::size_t i = 0; i + 1 < outs.size(); ++i) {
+      outs[i]->transmit(Packet(p));  // replicate
+    }
+    outs.back()->transmit(std::move(p));
+    return;
+  }
+  auto it = unicast_.find(p.dst.node);
+  if (it == unicast_.end() || it->second == nullptr) {
+    ++no_route_drops_;
+    return;
+  }
+  ++forwarded_;
+  it->second->transmit(std::move(p));
+}
+
+}  // namespace adaptive::net

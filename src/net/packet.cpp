@@ -1,0 +1,16 @@
+#include "net/packet.hpp"
+
+namespace adaptive::net {
+
+std::string to_string(const Address& a) {
+  std::string s;
+  if (is_multicast(a.node)) {
+    s = "mcast-" + std::to_string(a.node - kMulticastBase);
+  } else {
+    s = "n" + std::to_string(a.node);
+  }
+  s += ":" + std::to_string(a.port);
+  return s;
+}
+
+}  // namespace adaptive::net

@@ -1,0 +1,53 @@
+// Network-layer packet: what travels across simulated links.
+//
+// A packet carries serialized transport-PDU bytes between transport
+// endpoints (node + port). Bit errors on links flip payload bits — header
+// integrity is assumed to be protected by the MAC-layer CRC, so corrupted
+// packets arrive with intact addressing but damaged payloads, exactly the
+// case transport-layer error detection exists for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptive::net {
+
+using NodeId = std::uint32_t;
+using PortId = std::uint16_t;
+
+/// Node ids at or above this value name multicast groups, not nodes.
+inline constexpr NodeId kMulticastBase = 0xF000'0000;
+
+[[nodiscard]] constexpr bool is_multicast(NodeId id) { return id >= kMulticastBase; }
+
+/// Transport endpoint address: (node, port). For multicast destinations the
+/// node field names a group.
+struct Address {
+  NodeId node = 0;
+  PortId port = 0;
+
+  friend constexpr auto operator<=>(const Address&, const Address&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Address& a);
+
+struct Packet {
+  std::uint64_t id = 0;          ///< unique per injection, for tracing
+  Address src;
+  Address dst;
+  std::vector<std::uint8_t> payload;
+  /// Delivery priority (Table 1's "Priority Delivery"): higher values are
+  /// dequeued first at switch output ports; FIFO within a level.
+  std::uint8_t priority = 0;
+  std::uint32_t hop_count = 0;
+  bool bit_error = false;        ///< set when a link flipped payload bits
+  std::int64_t injected_at_ns = 0;
+
+  [[nodiscard]] std::size_t size_bytes() const { return payload.size() + kNetworkHeaderBytes; }
+
+  /// Fixed network+MAC framing overhead charged on every link.
+  static constexpr std::size_t kNetworkHeaderBytes = 28;
+};
+
+}  // namespace adaptive::net

@@ -1,0 +1,95 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace adaptive::net {
+
+double link_cost(const Link& l) {
+  const auto& cfg = l.config();
+  return static_cast<double>(cfg.propagation_delay.ns()) +
+         static_cast<double>(cfg.bandwidth.transmission_time(1000).ns());
+}
+
+SpfResult shortest_paths(const Adjacency& adj, NodeId src) {
+  SpfResult out;
+  using QEntry = std::pair<double, NodeId>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+  out.dist[src] = 0.0;
+  pq.push({0.0, src});
+  std::set<NodeId> done;
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (done.contains(u)) continue;
+    done.insert(u);
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (Link* l : it->second) {
+      if (!l->is_up()) continue;
+      const NodeId v = l->to();
+      const double nd = d + link_cost(*l);
+      auto dit = out.dist.find(v);
+      if (dit == out.dist.end() || nd < dit->second) {
+        out.dist[v] = nd;
+        out.pred_link[v] = l;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> extract_path(const SpfResult& spf, NodeId src, NodeId dst) {
+  std::vector<NodeId> path;
+  NodeId cur = dst;
+  while (cur != src) {
+    auto it = spf.pred_link.find(cur);
+    if (it == spf.pred_link.end()) return {};
+    path.push_back(cur);
+    cur = it->second->from();
+  }
+  path.push_back(src);
+  std::ranges::reverse(path);
+  return path;
+}
+
+std::vector<Link*> extract_path_links(const SpfResult& spf, NodeId src, NodeId dst) {
+  std::vector<Link*> links;
+  NodeId cur = dst;
+  while (cur != src) {
+    auto it = spf.pred_link.find(cur);
+    if (it == spf.pred_link.end()) return {};
+    links.push_back(it->second);
+    cur = it->second->from();
+  }
+  std::ranges::reverse(links);
+  return links;
+}
+
+std::map<NodeId, std::vector<Link*>> multicast_tree(const Adjacency& adj, NodeId src,
+                                                    const std::vector<NodeId>& members) {
+  const SpfResult spf = shortest_paths(adj, src);
+  std::map<NodeId, std::set<Link*>> tree;
+  for (NodeId m : members) {
+    if (m == src) continue;
+    NodeId cur = m;
+    while (cur != src) {
+      auto it = spf.pred_link.find(cur);
+      if (it == spf.pred_link.end()) break;  // unreachable member
+      Link* l = it->second;
+      // Stop climbing once this edge is already in the tree (shared prefix).
+      const bool inserted = tree[l->from()].insert(l).second;
+      cur = l->from();
+      if (!inserted) break;
+    }
+  }
+  std::map<NodeId, std::vector<Link*>> out;
+  for (auto& [node, links] : tree) {
+    out[node] = std::vector<Link*>(links.begin(), links.end());
+  }
+  return out;
+}
+
+}  // namespace adaptive::net

@@ -1,0 +1,44 @@
+// Shortest-path route computation over the link graph.
+//
+// Pure functions separated from the Network container so route/tree logic
+// is unit-testable without simulated time.
+#pragma once
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace adaptive::net {
+
+/// Directed adjacency: for each node, its outgoing up-links.
+using Adjacency = std::map<NodeId, std::vector<Link*>>;
+
+/// Cost of crossing a link: propagation delay plus serialization of a
+/// nominal 1000-byte packet, so both latency and bandwidth shape routes.
+[[nodiscard]] double link_cost(const Link& l);
+
+struct SpfResult {
+  /// Predecessor link on the shortest path toward each reachable node.
+  std::map<NodeId, Link*> pred_link;
+  std::map<NodeId, double> dist;
+};
+
+/// Dijkstra from `src` over `adj`, skipping down links.
+[[nodiscard]] SpfResult shortest_paths(const Adjacency& adj, NodeId src);
+
+/// The node sequence src..dst from an SPF result, empty if unreachable.
+[[nodiscard]] std::vector<NodeId> extract_path(const SpfResult& spf, NodeId src, NodeId dst);
+
+/// The link sequence src..dst, empty if unreachable.
+[[nodiscard]] std::vector<Link*> extract_path_links(const SpfResult& spf, NodeId src, NodeId dst);
+
+/// Source-rooted multicast tree: for each tree node, the outgoing links a
+/// packet from `src` to the group must be replicated onto. Members that are
+/// unreachable are silently omitted.
+[[nodiscard]] std::map<NodeId, std::vector<Link*>> multicast_tree(
+    const Adjacency& adj, NodeId src, const std::vector<NodeId>& members);
+
+}  // namespace adaptive::net

@@ -1,0 +1,33 @@
+// Reference-counted message buffers.
+//
+// Memory-to-memory copying is the transport-system overhead the paper
+// singles out (Section 4.2.1, TKO_Message); buffers are therefore shared,
+// never implicitly copied, and every physical copy is recorded so UNITES
+// whitebox metrics can report it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace adaptive::os {
+
+class Buffer {
+public:
+  explicit Buffer(std::size_t size) : data_(size) {}
+  explicit Buffer(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::uint8_t* data() { return data_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const { return data_.data(); }
+  [[nodiscard]] std::span<std::uint8_t> bytes() { return data_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data_; }
+
+private:
+  std::vector<std::uint8_t> data_;
+};
+
+using BufferRef = std::shared_ptr<Buffer>;
+
+}  // namespace adaptive::os

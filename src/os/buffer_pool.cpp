@@ -1,0 +1,18 @@
+#include "os/buffer_pool.hpp"
+
+namespace adaptive::os {
+
+BufferRef BufferPool::allocate(std::size_t size) {
+  std::size_t actual = size;
+  if (scheme_ == BufferScheme::kFixedSize) {
+    const std::size_t blocks = (size + block_size_ - 1) / block_size_;
+    actual = (blocks == 0 ? 1 : blocks) * block_size_;
+    stats_.wasted_bytes += actual - size;
+  }
+  ++stats_.allocations;
+  stats_.allocated_bytes += actual;
+  auto buf = std::make_shared<Buffer>(actual);
+  return buf;
+}
+
+}  // namespace adaptive::os

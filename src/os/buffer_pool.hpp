@@ -1,0 +1,50 @@
+// Buffer allocation facade with copy accounting.
+//
+// The pool supports the two buffer-management "representations" MANTTS
+// negotiates (Section 4.1.1): fixed-size (allocations rounded up to a
+// block size, enabling cheap reuse) and variable-size (exact allocation).
+#pragma once
+
+#include "os/buffer.hpp"
+
+#include <cstdint>
+
+namespace adaptive::os {
+
+enum class BufferScheme { kFixedSize, kVariableSize };
+
+struct BufferPoolStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t allocated_bytes = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t copied_bytes = 0;
+  std::uint64_t wasted_bytes = 0;  ///< fixed-size rounding slack
+};
+
+class BufferPool {
+public:
+  explicit BufferPool(BufferScheme scheme = BufferScheme::kVariableSize,
+                      std::size_t block_size = 2048)
+      : scheme_(scheme), block_size_(block_size) {}
+
+  [[nodiscard]] BufferRef allocate(std::size_t size);
+
+  /// Record a physical memory-to-memory copy (called by TKO_Message).
+  void record_copy(std::size_t bytes) {
+    ++stats_.copies;
+    stats_.copied_bytes += bytes;
+  }
+
+  [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
+  [[nodiscard]] BufferScheme scheme() const { return scheme_; }
+  void set_scheme(BufferScheme s) { scheme_ = s; }
+
+  void reset_stats() { stats_ = {}; }
+
+private:
+  BufferScheme scheme_;
+  std::size_t block_size_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace adaptive::os

@@ -1,0 +1,39 @@
+#include "os/host.hpp"
+
+#include <stdexcept>
+
+namespace adaptive::os {
+
+Host::Host(net::Network& net, net::NodeId node, const CpuConfig& cpu_cfg,
+           const NicConfig& nic_cfg)
+    : net_(net),
+      cpu_(net.scheduler(), cpu_cfg),
+      timers_(net.scheduler()),
+      nic_(net, node, cpu_, nic_cfg) {
+  nic_.set_rx([this](net::Packet&& p) { demux(std::move(p)); });
+}
+
+void Host::bind_port(net::PortId port, PortHandler handler) {
+  if (ports_.contains(port)) {
+    throw std::invalid_argument("Host::bind_port: port " + std::to_string(port) + " in use");
+  }
+  ports_[port] = std::move(handler);
+}
+
+void Host::unbind_port(net::PortId port) { ports_.erase(port); }
+
+net::PortId Host::allocate_port() {
+  while (ports_.contains(next_ephemeral_)) ++next_ephemeral_;
+  return next_ephemeral_++;
+}
+
+void Host::demux(net::Packet&& p) {
+  auto it = ports_.find(p.dst.port);
+  if (it == ports_.end()) {
+    ++demux_misses_;
+    return;
+  }
+  it->second(std::move(p));
+}
+
+}  // namespace adaptive::os

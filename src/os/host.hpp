@@ -1,0 +1,59 @@
+// Simulated end system: CPU, buffers, timers, NIC, and the port
+// demultiplexer protocol objects register with.
+#pragma once
+
+#include "net/network.hpp"
+#include "os/buffer_pool.hpp"
+#include "os/cpu_model.hpp"
+#include "os/nic.hpp"
+#include "os/timer_facility.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace adaptive::os {
+
+class Host {
+public:
+  using PortHandler = std::function<void(net::Packet&&)>;
+
+  Host(net::Network& net, net::NodeId node, const CpuConfig& cpu_cfg = {},
+       const NicConfig& nic_cfg = {});
+
+  [[nodiscard]] net::NodeId node_id() const { return nic_.node(); }
+
+  /// Register/unregister a handler for packets addressed to `port`.
+  void bind_port(net::PortId port, PortHandler handler);
+  void unbind_port(net::PortId port);
+  [[nodiscard]] bool port_bound(net::PortId port) const { return ports_.contains(port); }
+
+  /// Allocate an unused ephemeral port.
+  [[nodiscard]] net::PortId allocate_port();
+
+  /// Transmit via the NIC (source node is filled in automatically).
+  void send(net::Packet&& p) { nic_.send(std::move(p)); }
+
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+  [[nodiscard]] BufferPool& buffers() { return buffers_; }
+  [[nodiscard]] TimerFacility& timers() { return timers_; }
+  [[nodiscard]] Nic& nic() { return nic_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] sim::SimTime now() const { return timers_.now(); }
+
+  [[nodiscard]] std::uint64_t demux_misses() const { return demux_misses_; }
+
+private:
+  void demux(net::Packet&& p);
+
+  net::Network& net_;
+  CpuModel cpu_;
+  BufferPool buffers_;
+  TimerFacility timers_;
+  Nic nic_;
+  std::map<net::PortId, PortHandler> ports_;
+  net::PortId next_ephemeral_ = 20000;
+  std::uint64_t demux_misses_ = 0;
+};
+
+}  // namespace adaptive::os

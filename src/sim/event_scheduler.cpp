@@ -1,0 +1,72 @@
+#include "sim/event_scheduler.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace adaptive::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  if (is_infinite()) return "+inf";
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6fs", sec());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms());
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(ns_));
+  }
+  return buf;
+}
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle EventScheduler::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("EventScheduler::schedule_at: time " + when.to_string() +
+                                " is in the past (now=" + now_.to_string() + ")");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(cb), state});
+  return EventHandle(std::move(state));
+}
+
+bool EventScheduler::pop_and_run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we must copy/move out via const_cast-free
+    // approach: copy the entry (callback is moved below after pop).
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (e.state->cancelled) continue;
+    now_ = e.when;
+    e.state->fired = true;
+    ++executed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+bool EventScheduler::step() { return pop_and_run(); }
+
+std::size_t EventScheduler::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    if (pop_and_run()) ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t EventScheduler::run() {
+  std::size_t n = 0;
+  while (pop_and_run()) ++n;
+  return n;
+}
+
+}  // namespace adaptive::sim

@@ -1,0 +1,100 @@
+// Deterministic discrete-event scheduler — the heart of the simulated
+// substrate everything else (network, OS, protocol timers) runs on.
+//
+// Events fire in (time, insertion-sequence) order, which makes every run
+// bit-reproducible for a given seed. Handles returned by `schedule` allow
+// cancellation (used heavily by retransmission timers).
+#pragma once
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace adaptive::sim {
+
+class EventScheduler;
+
+/// Cancellation handle for a scheduled event. Copyable; cancelling any copy
+/// cancels the event. A default-constructed handle refers to nothing.
+class EventHandle {
+public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not yet fired. Safe to call repeatedly.
+  void cancel();
+
+  /// True if the event is still waiting to fire.
+  [[nodiscard]] bool pending() const;
+
+private:
+  friend class EventScheduler;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventScheduler {
+public:
+  using Callback = std::function<void()>;
+
+  EventScheduler() = default;
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(SimTime when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after now().
+  EventHandle schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run events until the queue drains or `until` is reached, whichever
+  /// comes first. Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Run events until the queue drains.
+  std::size_t run();
+
+  /// Execute at most one event; returns false if queue is empty.
+  bool step();
+
+  /// Number of events waiting (including cancelled ones not yet popped).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction (excludes cancelled).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace adaptive::sim

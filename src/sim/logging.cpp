@@ -1,0 +1,40 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace adaptive::sim {
+
+LogLevel Logger::level_ = LogLevel::kOff;
+std::function<void(const std::string&)> Logger::sink_;
+
+namespace {
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::set_level(LogLevel level) { level_ = level; }
+LogLevel Logger::level() { return level_; }
+
+void Logger::set_sink(std::function<void(const std::string&)> sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, SimTime now, const std::string& component,
+                 const std::string& msg) {
+  if (level < level_ || level_ == LogLevel::kOff) return;
+  std::string line = "[" + now.to_string() + "] " + level_name(level) + " " + component + ": " + msg;
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace adaptive::sim

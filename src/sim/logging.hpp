@@ -1,0 +1,34 @@
+// Minimal leveled logger stamped with virtual time.
+//
+// Off by default (experiments produce their own tables); enable per
+// component when debugging protocol traces.
+#pragma once
+
+#include "sim/time.hpp"
+
+#include <functional>
+#include <string>
+
+namespace adaptive::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+public:
+  /// Global minimum level; messages below it are dropped.
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  /// Redirect output (default: stderr). Used by tests to capture traces.
+  static void set_sink(std::function<void(const std::string&)> sink);
+
+  /// Log `msg` from `component` at virtual time `now`.
+  static void log(LogLevel level, SimTime now, const std::string& component,
+                  const std::string& msg);
+
+private:
+  static LogLevel level_;
+  static std::function<void(const std::string&)> sink_;
+};
+
+}  // namespace adaptive::sim

@@ -1,0 +1,56 @@
+// Reproducible random numbers for the simulator.
+//
+// We implement xoshiro256++ plus the distributions the traffic models and
+// loss processes need, rather than using <random> distributions whose
+// output differs across standard-library implementations. Identical seeds
+// therefore give identical experiments on every platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace adaptive::sim {
+
+class Rng {
+public:
+  /// Seeded via SplitMix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value (xoshiro256++).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with mean `mean`.
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Geometric: number of failures before first success, success prob p.
+  std::uint64_t geometric(double p);
+
+  /// Pareto with shape alpha and minimum xm (heavy-tailed burst sizes).
+  double pareto(double alpha, double xm);
+
+  /// Fork a statistically independent child stream (for per-link/per-flow
+  /// streams that stay decoupled when components are added or removed).
+  [[nodiscard]] Rng fork();
+
+private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace adaptive::sim

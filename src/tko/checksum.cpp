@@ -1,0 +1,50 @@
+#include "tko/checksum.hpp"
+
+#include <array>
+
+namespace adaptive::tko {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint16_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint16_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  std::uint32_t c = state_;
+  for (const std::uint8_t b : data) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace adaptive::tko

@@ -1,0 +1,31 @@
+// Error-detection codes for PDUs.
+//
+// Both the RFC 1071 Internet checksum (what TCP/TP4 use) and CRC-32 are
+// provided; the PDU format can place the code in the header (TCP-style) or
+// in a trailer — the paper's footnote 2 notes that header placement
+// precludes computing the checksum while the packet is being transmitted,
+// which bench_fig4_message quantifies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace adaptive::tko {
+
+/// RFC 1071 16-bit one's-complement checksum.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental CRC-32 for streaming over message segments.
+class Crc32 {
+public:
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::uint32_t value() const { return ~state_; }
+
+private:
+  std::uint32_t state_ = 0xFFFF'FFFFu;
+};
+
+}  // namespace adaptive::tko

@@ -1,0 +1,31 @@
+#include "tko/event.hpp"
+
+namespace adaptive::tko {
+
+void Event::schedule(sim::SimTime delay) {
+  cancel();
+  periodic_ = false;
+  handle_ = timers_->schedule(delay, [this] { fire(); });
+}
+
+void Event::schedule_periodic(sim::SimTime period) {
+  cancel();
+  periodic_ = true;
+  period_ = period;
+  handle_ = timers_->schedule(period, [this] { fire(); });
+}
+
+void Event::cancel() {
+  handle_.cancel();
+  periodic_ = false;
+}
+
+void Event::fire() {
+  ++expirations_;
+  if (periodic_) {
+    handle_ = timers_->schedule(period_, [this] { fire(); });
+  }
+  if (on_expire_) on_expire_();
+}
+
+}  // namespace adaptive::tko

@@ -1,0 +1,54 @@
+// TKO_Event: protocol timer objects (Section 4.2.1).
+//
+// One-shot or periodic; schedule / cancel / expire mirror the paper's
+// interface. Built on the host's TimerFacility so protocol code never
+// touches the simulation kernel directly.
+#pragma once
+
+#include "os/timer_facility.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <functional>
+
+namespace adaptive::tko {
+
+class Event {
+public:
+  using Callback = std::function<void()>;
+
+  Event(os::TimerFacility& timers, Callback on_expire)
+      : timers_(&timers), on_expire_(std::move(on_expire)) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  ~Event() { cancel(); }
+
+  /// Arm to expire once after `delay`. Rearming replaces the pending timer.
+  void schedule(sim::SimTime delay);
+
+  /// Arm to expire every `period` until cancelled.
+  void schedule_periodic(sim::SimTime period);
+
+  /// Disarm; a cancelled event never fires.
+  void cancel();
+
+  [[nodiscard]] bool pending() const { return handle_.pending(); }
+  [[nodiscard]] std::uint64_t expirations() const { return expirations_; }
+
+  /// Replace the expiry action (used when a mechanism segue re-owns a
+  /// live timer).
+  void set_callback(Callback cb) { on_expire_ = std::move(cb); }
+
+private:
+  void fire();
+
+  os::TimerFacility* timers_;
+  Callback on_expire_;
+  sim::EventHandle handle_;
+  bool periodic_ = false;
+  sim::SimTime period_ = sim::SimTime::zero();
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace adaptive::tko

@@ -1,0 +1,122 @@
+#include "tko/message.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace adaptive::tko {
+
+os::BufferRef Message::alloc(std::size_t n) const {
+  if (pool_ != nullptr) return pool_->allocate(n);
+  return std::make_shared<os::Buffer>(n);
+}
+
+Message Message::from_bytes(std::span<const std::uint8_t> bytes, os::BufferPool* pool) {
+  Message m(pool);
+  m.append(bytes);
+  return m;
+}
+
+void Message::append(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  auto buf = alloc(bytes.size());
+  std::memcpy(buf->data(), bytes.data(), bytes.size());
+  segments_.push_back(Segment{std::move(buf), 0, bytes.size()});
+  size_ += bytes.size();
+}
+
+void Message::push(std::span<const std::uint8_t> header) {
+  if (header.empty()) return;
+  auto buf = alloc(header.size());
+  std::memcpy(buf->data(), header.data(), header.size());
+  segments_.push_front(Segment{std::move(buf), 0, header.size()});
+  size_ += header.size();
+}
+
+std::vector<std::uint8_t> Message::pop(std::size_t n) {
+  if (n > size_) throw std::out_of_range("Message::pop: message too short");
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    Segment& s = segments_.front();
+    const std::size_t take = std::min(n - out.size(), s.len);
+    out.insert(out.end(), s.buf->data() + s.off, s.buf->data() + s.off + take);
+    s.off += take;
+    s.len -= take;
+    size_ -= take;
+    if (s.len == 0) segments_.pop_front();
+  }
+  record_copy(n);
+  return out;
+}
+
+std::vector<std::uint8_t> Message::peek(std::size_t n) const {
+  if (n > size_) throw std::out_of_range("Message::peek: message too short");
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (const auto& s : segments_) {
+    if (out.size() >= n) break;
+    const std::size_t take = std::min(n - out.size(), s.len);
+    out.insert(out.end(), s.buf->data() + s.off, s.buf->data() + s.off + take);
+  }
+  return out;
+}
+
+void Message::concat(Message&& tail) {
+  for (auto& s : tail.segments_) {
+    size_ += s.len;
+    segments_.push_back(std::move(s));
+  }
+  tail.segments_.clear();
+  tail.size_ = 0;
+}
+
+Message Message::split(std::size_t at) {
+  if (at > size_) throw std::out_of_range("Message::split: offset beyond end");
+  Message tail(pool_);
+  std::size_t kept = 0;
+  auto it = segments_.begin();
+  while (it != segments_.end() && kept + it->len <= at) {
+    kept += it->len;
+    ++it;
+  }
+  if (it != segments_.end() && kept < at) {
+    // Split this segment: the head keeps a prefix, the tail shares the
+    // same buffer at an adjusted offset (no byte copies).
+    const std::size_t head_len = at - kept;
+    tail.segments_.push_back(Segment{it->buf, it->off + head_len, it->len - head_len});
+    it->len = head_len;
+    ++it;
+  }
+  while (it != segments_.end()) {
+    tail.segments_.push_back(*it);
+    it = segments_.erase(it);
+  }
+  for (const auto& s : tail.segments_) tail.size_ += s.len;
+  size_ = at;
+  return tail;
+}
+
+Message Message::deep_copy() const {
+  Message out(pool_);
+  auto bytes = linearize();
+  if (!bytes.empty()) {
+    auto buf = alloc(bytes.size());
+    std::memcpy(buf->data(), bytes.data(), bytes.size());
+    out.segments_.push_back(Segment{std::move(buf), 0, bytes.size()});
+    out.size_ = bytes.size();
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Message::linearize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(size_);
+  for (const auto& s : segments_) {
+    out.insert(out.end(), s.buf->data() + s.off, s.buf->data() + s.off + s.len);
+  }
+  if (segments_.size() > 1 || !segments_.empty()) record_copy(size_);
+  return out;
+}
+
+}  // namespace adaptive::tko

@@ -1,0 +1,97 @@
+// TKO_Message: zero-copy message abstraction (Section 4.2.1).
+//
+// A message is a rope of reference-counted buffer segments with a logical
+// header region in front of the data region. Headers are prepended
+// (`push`) and stripped (`pop`) without touching payload bytes; `split`
+// and `concat` support fragmentation/reassembly by sharing segments
+// ("lazy copying"). Physical copies happen only in `linearize`,
+// `deep_copy`, and `pop`, and each is recorded in the owning BufferPool so
+// UNITES can report copy counts — the overhead the paper says dominates
+// transport systems.
+#pragma once
+
+#include "os/buffer.hpp"
+#include "os/buffer_pool.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace adaptive::tko {
+
+class Message {
+public:
+  /// An empty message. `pool` (optional) receives allocation/copy stats.
+  explicit Message(os::BufferPool* pool = nullptr) : pool_(pool) {}
+
+  /// Build a message by copying `bytes` into one fresh segment.
+  [[nodiscard]] static Message from_bytes(std::span<const std::uint8_t> bytes,
+                                          os::BufferPool* pool = nullptr);
+
+  /// Total length in bytes (headers + data).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Prepend `header` as a new front segment. Copies only the header bytes
+  /// themselves — never the existing contents.
+  void push(std::span<const std::uint8_t> header);
+
+  /// Strip and return the first `n` bytes (header parse). Throws
+  /// std::out_of_range if the message is shorter than `n`.
+  [[nodiscard]] std::vector<std::uint8_t> pop(std::size_t n);
+
+  /// Read the first `n` bytes without consuming them.
+  [[nodiscard]] std::vector<std::uint8_t> peek(std::size_t n) const;
+
+  /// Append another message's segments (reassembly); `tail` is consumed.
+  void concat(Message&& tail);
+
+  /// Append raw bytes as a new segment (copies `bytes` once).
+  void append(std::span<const std::uint8_t> bytes);
+
+  /// Split at byte offset `at`: this message keeps [0, at), the returned
+  /// message holds [at, size). Shares buffers; no payload copy.
+  [[nodiscard]] Message split(std::size_t at);
+
+  /// Shallow copy: shares all segments (the "lazy copy" the paper calls
+  /// for when a PDU is both transmitted and kept for retransmission).
+  [[nodiscard]] Message clone() const { return *this; }
+
+  /// Full physical copy into one contiguous segment (recorded).
+  [[nodiscard]] Message deep_copy() const;
+
+  /// Contiguous byte image (recorded as a copy when multi-segment).
+  [[nodiscard]] std::vector<std::uint8_t> linearize() const;
+
+  /// Number of underlying segments (diagnostic).
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+  /// Visit each contiguous byte range in order (checksum streaming).
+  template <typename Fn>
+  void for_each_segment(Fn&& fn) const {
+    for (const auto& s : segments_) {
+      fn(std::span<const std::uint8_t>(s.buf->data() + s.off, s.len));
+    }
+  }
+
+  [[nodiscard]] os::BufferPool* pool() const { return pool_; }
+
+private:
+  struct Segment {
+    os::BufferRef buf;
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+
+  void record_copy(std::size_t bytes) const {
+    if (pool_ != nullptr) pool_->record_copy(bytes);
+  }
+  [[nodiscard]] os::BufferRef alloc(std::size_t n) const;
+
+  os::BufferPool* pool_ = nullptr;
+  std::deque<Segment> segments_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace adaptive::tko

@@ -1,0 +1,85 @@
+// ADAPTIVE PDU wire format.
+//
+// A fixed, word-aligned 24-byte header (the paper's complaint about TCP:
+// unaligned fields and variable-length options raise parsing cost) plus an
+// optional 4-byte checksum trailer. Trailer placement permits computing
+// the checksum in a single streaming pass over the message segments;
+// header placement (TCP/TP4 style) needs the full image first — footnote 2
+// of the paper, measured by bench_fig4_message.
+#pragma once
+
+#include "tko/message.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace adaptive::tko {
+
+enum class PduType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kNack = 2,
+  kSyn = 3,
+  kSynAck = 4,
+  kFin = 5,
+  kFinAck = 6,
+  kConfig = 7,      ///< out-of-band SCS negotiation
+  kConfigAck = 8,
+  kReconfig = 9,    ///< mid-session explicit reconfiguration
+  kReconfigAck = 10,
+  kFecParity = 11,
+  kProbe = 12,
+  kProbeReply = 13,
+  kAbort = 14,
+  kHandshakeAck = 15,  ///< third leg of a 3-way open
+};
+
+[[nodiscard]] const char* to_string(PduType t);
+
+namespace pdu_flags {
+inline constexpr std::uint16_t kChecksumTrailer = 0x0001;
+inline constexpr std::uint16_t kPiggybackConfig = 0x0002;  ///< implicit negotiation
+inline constexpr std::uint16_t kEndOfMessage = 0x0004;
+inline constexpr std::uint16_t kCrc32 = 0x0008;            ///< else Internet checksum
+inline constexpr std::uint16_t kNoChecksum = 0x0010;
+inline constexpr std::uint16_t kGraceful = 0x0020;         ///< FIN drains buffered data
+}  // namespace pdu_flags
+
+struct Pdu {
+  PduType type = PduType::kData;
+  std::uint16_t flags = 0;
+  std::uint32_t session_id = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint16_t window = 0;
+  /// Type-specific: NACK'd sequence, FEC group id, probe nonce, ...
+  std::uint32_t aux = 0;
+  Message payload;
+
+  [[nodiscard]] bool has_flag(std::uint16_t f) const { return (flags & f) != 0; }
+};
+
+inline constexpr std::size_t kPduHeaderBytes = 24;
+inline constexpr std::size_t kChecksumTrailerBytes = 4;
+
+enum class ChecksumKind : std::uint8_t { kNone, kInternet16, kCrc32 };
+enum class ChecksumPlacement : std::uint8_t { kHeader, kTrailer };
+
+/// Serialize: prepend the header to `p.payload` (consuming it) and apply
+/// the checksum per `kind`/`placement`. The returned Message is the wire
+/// image handed to the NIC.
+[[nodiscard]] Message encode_pdu(Pdu&& p, ChecksumKind kind, ChecksumPlacement placement);
+
+enum class DecodeStatus { kOk, kChecksumMismatch, kMalformed };
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kMalformed;
+  Pdu pdu;
+};
+
+/// Parse a wire image; checksum kind/placement are read from the flags so
+/// a receiver can verify before its configuration is known.
+[[nodiscard]] DecodeResult decode_pdu(Message&& wire);
+
+}  // namespace adaptive::tko

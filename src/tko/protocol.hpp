@@ -1,0 +1,38 @@
+// TKO_Protocol: a node in the protocol graph (Section 4.2.1).
+//
+// A protocol object creates sessions and demultiplexes arriving packets to
+// them. Concrete protocols (AdaptiveTransport, the baselines) bind a host
+// port and demux by session id — the "medium-granularity" layer the paper
+// borrows from the x-kernel.
+#pragma once
+
+#include "net/packet.hpp"
+#include "os/host.hpp"
+#include "tko/session.hpp"
+
+#include <memory>
+#include <string>
+
+namespace adaptive::tko {
+
+class Protocol {
+public:
+  explicit Protocol(std::string name) : name_(std::move(name)) {}
+  virtual ~Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Packet arriving from the layer below; route it to the owning session
+  /// (creating a passive session where the protocol accepts connections).
+  virtual void demux(net::Packet&& p) = 0;
+
+  /// Number of live sessions multiplexed over this protocol object.
+  [[nodiscard]] virtual std::size_t session_count() const = 0;
+
+private:
+  std::string name_;
+};
+
+}  // namespace adaptive::tko

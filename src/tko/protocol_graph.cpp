@@ -1,0 +1,87 @@
+#include "tko/protocol_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace adaptive::tko {
+
+Protocol& ProtocolGraph::insert(std::unique_ptr<Protocol> p) {
+  if (p == nullptr) throw std::invalid_argument("ProtocolGraph::insert: null protocol");
+  const std::string name = p->name();
+  auto [it, ok] = protocols_.emplace(name, std::move(p));
+  if (!ok) throw std::invalid_argument("ProtocolGraph::insert: duplicate protocol " + name);
+  return *it->second;
+}
+
+void ProtocolGraph::remove(const std::string& name) {
+  if (protocols_.erase(name) == 0) {
+    throw std::invalid_argument("ProtocolGraph::remove: unknown protocol " + name);
+  }
+  below_.erase(name);
+  for (auto& [_, lowers] : below_) {
+    std::erase(lowers, name);
+  }
+}
+
+Protocol& ProtocolGraph::replace(const std::string& name, std::unique_ptr<Protocol> p) {
+  auto it = protocols_.find(name);
+  if (it == protocols_.end()) {
+    throw std::invalid_argument("ProtocolGraph::replace: unknown protocol " + name);
+  }
+  if (p == nullptr || p->name() != name) {
+    throw std::invalid_argument("ProtocolGraph::replace: replacement must keep the name");
+  }
+  it->second = std::move(p);
+  return *it->second;
+}
+
+void ProtocolGraph::layer(const std::string& above, const std::string& below) {
+  if (!protocols_.contains(above) || !protocols_.contains(below)) {
+    throw std::invalid_argument("ProtocolGraph::layer: unknown protocol");
+  }
+  auto& lowers = below_[above];
+  if (std::ranges::find(lowers, below) == lowers.end()) lowers.push_back(below);
+}
+
+Protocol* ProtocolGraph::find(const std::string& name) const {
+  auto it = protocols_.find(name);
+  return it == protocols_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ProtocolGraph::below(const std::string& name) const {
+  auto it = below_.find(name);
+  return it == below_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> ProtocolGraph::above(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [upper, lowers] : below_) {
+    if (std::ranges::find(lowers, name) != lowers.end()) out.push_back(upper);
+  }
+  return out;
+}
+
+std::vector<std::string> ProtocolGraph::bottom_up_order() const {
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  std::set<std::string> visiting;
+
+  // Depth-first over "below" edges: emit lower layers first.
+  std::function<void(const std::string&)> visit = [&](const std::string& name) {
+    if (done.contains(name)) return;
+    if (!visiting.insert(name).second) {
+      throw std::runtime_error("ProtocolGraph: layering cycle at " + name);
+    }
+    if (auto it = below_.find(name); it != below_.end()) {
+      for (const auto& lower : it->second) visit(lower);
+    }
+    visiting.erase(name);
+    done.insert(name);
+    order.push_back(name);
+  };
+  for (const auto& [name, _] : protocols_) visit(name);
+  return order;
+}
+
+}  // namespace adaptive::tko

@@ -1,0 +1,46 @@
+// Protocol graph: the registry of protocol objects on one host and the
+// layering relationships between them (TKO_Protocol "management operations
+// for manipulating protocol graphs", Section 4.2.1).
+//
+// Supports the insert / delete / replace operations the paper lists, with
+// above/below edges kept consistent.
+#pragma once
+
+#include "tko/protocol.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adaptive::tko {
+
+class ProtocolGraph {
+public:
+  /// Insert a protocol object; throws if the name is taken.
+  Protocol& insert(std::unique_ptr<Protocol> p);
+
+  /// Remove a protocol and all its edges; throws if it does not exist.
+  void remove(const std::string& name);
+
+  /// Replace a protocol in place, preserving its edges.
+  Protocol& replace(const std::string& name, std::unique_ptr<Protocol> p);
+
+  /// Declare `above` layered over `below`.
+  void layer(const std::string& above, const std::string& below);
+
+  [[nodiscard]] Protocol* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> below(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> above(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return protocols_.size(); }
+
+  /// Names sorted bottom-up (a protocol appears after everything below
+  /// it); throws on layering cycles.
+  [[nodiscard]] std::vector<std::string> bottom_up_order() const;
+
+private:
+  std::map<std::string, std::unique_ptr<Protocol>> protocols_;
+  std::map<std::string, std::vector<std::string>> below_;  // name -> lower layers
+};
+
+}  // namespace adaptive::tko

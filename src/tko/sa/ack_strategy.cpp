@@ -1,0 +1,58 @@
+#include "tko/sa/ack_strategy.hpp"
+
+namespace adaptive::tko::sa {
+
+void DelayedAck::on_attach() {
+  timer_ = std::make_unique<Event>(core_->timers(), [this] {
+    armed_ = false;
+    fire();
+  });
+}
+
+void DelayedAck::on_data_received(bool in_order) {
+  if (!in_order) {
+    // Out-of-order data: ack immediately so the sender learns of the gap.
+    flush();
+    return;
+  }
+  if (armed_) {
+    // Second pending segment: ack now (TCP's ack-every-other rule).
+    flush();
+    return;
+  }
+  armed_ = true;
+  timer_->schedule(delay_);
+}
+
+void DelayedAck::flush() {
+  if (armed_) {
+    timer_->cancel();
+    armed_ = false;
+  }
+  fire();
+}
+
+void EveryNAck::on_data_received(bool in_order) {
+  ++since_ack_;
+  if (!in_order || since_ack_ >= n_) {
+    since_ack_ = 0;
+    fire();
+  }
+}
+
+void EveryNAck::flush() {
+  since_ack_ = 0;
+  fire();
+}
+
+std::unique_ptr<AckStrategy> make_ack_strategy(const SessionConfig& cfg) {
+  switch (cfg.ack) {
+    case AckScheme::kNone: return std::make_unique<NoAck>();
+    case AckScheme::kImmediate: return std::make_unique<ImmediateAck>();
+    case AckScheme::kDelayed: return std::make_unique<DelayedAck>(cfg.delayed_ack);
+    case AckScheme::kEveryN: return std::make_unique<EveryNAck>(cfg.ack_every_n);
+  }
+  return std::make_unique<ImmediateAck>();
+}
+
+}  // namespace adaptive::tko::sa

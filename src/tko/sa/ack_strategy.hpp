@@ -1,0 +1,67 @@
+// Acknowledgment strategies: WHEN to acknowledge.
+//
+// Reliability mechanisms install an emitter that sends their current
+// cumulative-ack state; the strategy decides the timing — immediately,
+// coalesced behind a delayed-ack timer, or every Nth data PDU. "None"
+// supports pure FEC/no-recovery configurations where positive acks would
+// be dead weight (the overweight-configuration problem of Section 2.2).
+#pragma once
+
+#include "tko/event.hpp"
+#include "tko/sa/mechanism.hpp"
+
+#include <memory>
+
+namespace adaptive::tko::sa {
+
+class NoAck final : public AckStrategy {
+public:
+  [[nodiscard]] std::string_view name() const override { return "no-ack"; }
+  void on_data_received(bool) override {}
+  void flush() override {}
+};
+
+class ImmediateAck final : public AckStrategy {
+public:
+  [[nodiscard]] std::string_view name() const override { return "immediate-ack"; }
+  void on_data_received(bool) override { fire(); }
+  void flush() override { fire(); }
+};
+
+/// TCP-style delayed ack: every second in-order segment is acknowledged
+/// immediately, a lone segment after `delay` at the latest, and an
+/// out-of-order arrival immediately (fast loss signal). Coalescing halves
+/// ack traffic without stalling a small send window.
+class DelayedAck final : public AckStrategy {
+public:
+  explicit DelayedAck(sim::SimTime delay) : delay_(delay) {}
+
+  [[nodiscard]] std::string_view name() const override { return "delayed-ack"; }
+  void on_data_received(bool in_order) override;
+  void flush() override;
+
+private:
+  void on_attach() override;
+
+  sim::SimTime delay_;
+  std::unique_ptr<Event> timer_;
+  bool armed_ = false;
+};
+
+/// Ack every Nth accepted data PDU (and on demand).
+class EveryNAck final : public AckStrategy {
+public:
+  explicit EveryNAck(std::uint16_t n) : n_(n == 0 ? 1 : n) {}
+
+  [[nodiscard]] std::string_view name() const override { return "every-n-ack"; }
+  void on_data_received(bool in_order) override;
+  void flush() override;
+
+private:
+  std::uint16_t n_;
+  std::uint16_t since_ack_ = 0;
+};
+
+[[nodiscard]] std::unique_ptr<AckStrategy> make_ack_strategy(const SessionConfig& cfg);
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,153 @@
+#include "tko/sa/config.hpp"
+
+#include <array>
+
+namespace adaptive::tko::sa {
+
+const char* to_string(ConnectionScheme s) {
+  switch (s) {
+    case ConnectionScheme::kImplicit: return "implicit";
+    case ConnectionScheme::kExplicit2Way: return "explicit-2way";
+    case ConnectionScheme::kExplicit3Way: return "explicit-3way";
+  }
+  return "?";
+}
+
+const char* to_string(TransmissionScheme s) {
+  switch (s) {
+    case TransmissionScheme::kUnlimited: return "unlimited";
+    case TransmissionScheme::kStopAndWait: return "stop-and-wait";
+    case TransmissionScheme::kSlidingWindow: return "sliding-window";
+    case TransmissionScheme::kRateControl: return "rate-control";
+    case TransmissionScheme::kWindowAndRate: return "window+rate";
+    case TransmissionScheme::kSlowStart: return "slow-start";
+  }
+  return "?";
+}
+
+const char* to_string(RecoveryScheme s) {
+  switch (s) {
+    case RecoveryScheme::kNone: return "none";
+    case RecoveryScheme::kGoBackN: return "go-back-n";
+    case RecoveryScheme::kSelectiveRepeat: return "selective-repeat";
+    case RecoveryScheme::kForwardErrorCorrection: return "fec";
+  }
+  return "?";
+}
+
+const char* to_string(DetectionScheme s) {
+  switch (s) {
+    case DetectionScheme::kNone: return "none";
+    case DetectionScheme::kInternet16Header: return "cksum16-header";
+    case DetectionScheme::kInternet16Trailer: return "cksum16-trailer";
+    case DetectionScheme::kCrc32Trailer: return "crc32-trailer";
+  }
+  return "?";
+}
+
+const char* to_string(AckScheme s) {
+  switch (s) {
+    case AckScheme::kNone: return "none";
+    case AckScheme::kImmediate: return "immediate";
+    case AckScheme::kDelayed: return "delayed";
+    case AckScheme::kEveryN: return "every-n";
+  }
+  return "?";
+}
+
+std::string SessionConfig::describe() const {
+  std::string s;
+  s += "conn=";
+  s += to_string(connection);
+  s += " tx=";
+  s += to_string(transmission);
+  s += " rec=";
+  s += to_string(recovery);
+  s += " det=";
+  s += to_string(detection);
+  s += " ack=";
+  s += to_string(ack);
+  s += ordered_delivery ? " ordered" : " unordered";
+  if (message_oriented) s += " msg";
+  s += " w=" + std::to_string(window_pdus);
+  s += " seg=" + std::to_string(segment_bytes);
+  if (recovery == RecoveryScheme::kForwardErrorCorrection) {
+    s += " fec=" + std::to_string(fec_group_size);
+  }
+  if (inter_pdu_gap > sim::SimTime::zero()) {
+    s += " gap=" + inter_pdu_gap.to_string();
+  }
+  return s;
+}
+
+namespace {
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+}  // namespace
+
+std::vector<std::uint8_t> SessionConfig::serialize() const {
+  std::vector<std::uint8_t> b(kWireBytes, 0);
+  b[0] = static_cast<std::uint8_t>(connection);
+  b[1] = static_cast<std::uint8_t>(transmission);
+  b[2] = static_cast<std::uint8_t>(recovery);
+  b[3] = static_cast<std::uint8_t>(detection);
+  b[4] = static_cast<std::uint8_t>(ack);
+  b[5] = static_cast<std::uint8_t>((ordered_delivery ? 1 : 0) | (filter_duplicates ? 2 : 0) |
+                                   (fixed_size_buffers ? 4 : 0) | (message_oriented ? 8 : 0));
+  put_u16(&b[6], window_pdus);
+  put_u16(&b[8], ack_every_n);
+  put_u32(&b[10], static_cast<std::uint32_t>(delayed_ack.ns() / 1000));      // us
+  put_u32(&b[14], static_cast<std::uint32_t>(inter_pdu_gap.ns() / 1000));    // us
+  put_u16(&b[18], fec_group_size);
+  put_u32(&b[20], segment_bytes);
+  put_u32(&b[24], static_cast<std::uint32_t>(rto_initial.ns() / 1000));      // us
+  b[28] = priority;
+  return b;
+}
+
+std::optional<SessionConfig> SessionConfig::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kWireBytes) return std::nullopt;
+  SessionConfig c;
+  if (bytes[0] > static_cast<std::uint8_t>(ConnectionScheme::kExplicit3Way)) return std::nullopt;
+  if (bytes[1] > static_cast<std::uint8_t>(TransmissionScheme::kSlowStart)) return std::nullopt;
+  if (bytes[2] > static_cast<std::uint8_t>(RecoveryScheme::kForwardErrorCorrection)) {
+    return std::nullopt;
+  }
+  if (bytes[3] > static_cast<std::uint8_t>(DetectionScheme::kCrc32Trailer)) return std::nullopt;
+  if (bytes[4] > static_cast<std::uint8_t>(AckScheme::kEveryN)) return std::nullopt;
+  c.connection = static_cast<ConnectionScheme>(bytes[0]);
+  c.transmission = static_cast<TransmissionScheme>(bytes[1]);
+  c.recovery = static_cast<RecoveryScheme>(bytes[2]);
+  c.detection = static_cast<DetectionScheme>(bytes[3]);
+  c.ack = static_cast<AckScheme>(bytes[4]);
+  c.ordered_delivery = (bytes[5] & 1) != 0;
+  c.filter_duplicates = (bytes[5] & 2) != 0;
+  c.fixed_size_buffers = (bytes[5] & 4) != 0;
+  c.message_oriented = (bytes[5] & 8) != 0;
+  c.window_pdus = get_u16(&bytes[6]);
+  c.ack_every_n = get_u16(&bytes[8]);
+  c.delayed_ack = sim::SimTime::microseconds(get_u32(&bytes[10]));
+  c.inter_pdu_gap = sim::SimTime::microseconds(get_u32(&bytes[14]));
+  c.fec_group_size = get_u16(&bytes[18]);
+  c.segment_bytes = get_u32(&bytes[20]);
+  c.rto_initial = sim::SimTime::microseconds(get_u32(&bytes[24]));
+  c.priority = bytes[28];
+  return c;
+}
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,104 @@
+// Session Configuration Specification (SCS) vocabulary.
+//
+// The SCS is the "blueprint" MANTTS Stage II produces: an enumeration of
+// the protocol mechanisms (and their parameters) that TKO Stage III
+// synthesizes into a session (Figure 2). TKO owns this vocabulary —
+// MANTTS maps QoS onto it — so the dependency runs MANTTS -> TKO as in
+// the paper's architecture.
+//
+// The SCS has a compact binary wire encoding because it travels in
+// out-of-band CONFIG PDUs (explicit negotiation) or piggybacked on the
+// first data PDU (implicit negotiation, Section 4.1.1).
+#pragma once
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace adaptive::tko::sa {
+
+enum class ConnectionScheme : std::uint8_t {
+  kImplicit = 0,    ///< config piggybacked on first data PDU; no handshake
+  kExplicit2Way,    ///< SYN / SYNACK
+  kExplicit3Way,    ///< SYN / SYNACK / ACK (TCP-style)
+};
+
+enum class TransmissionScheme : std::uint8_t {
+  kUnlimited = 0,   ///< no flow control (datagram-style)
+  kStopAndWait,
+  kSlidingWindow,
+  kRateControl,     ///< inter-PDU gap pacing, no window
+  kWindowAndRate,   ///< window plus pacing
+  kSlowStart,       ///< window + slow-start/multiplicative-decrease (TCP-ish)
+};
+
+enum class RecoveryScheme : std::uint8_t {
+  kNone = 0,
+  kGoBackN,
+  kSelectiveRepeat,
+  kForwardErrorCorrection,
+};
+
+enum class DetectionScheme : std::uint8_t {
+  kNone = 0,
+  kInternet16Header,   ///< TCP-style: checksum in header
+  kInternet16Trailer,
+  kCrc32Trailer,
+};
+
+enum class AckScheme : std::uint8_t {
+  kNone = 0,
+  kImmediate,      ///< cumulative ACK per data PDU
+  kDelayed,        ///< cumulative, timer-coalesced
+  kEveryN,         ///< cumulative, every Nth PDU
+};
+
+[[nodiscard]] const char* to_string(ConnectionScheme);
+[[nodiscard]] const char* to_string(TransmissionScheme);
+[[nodiscard]] const char* to_string(RecoveryScheme);
+[[nodiscard]] const char* to_string(DetectionScheme);
+[[nodiscard]] const char* to_string(AckScheme);
+
+struct SessionConfig {
+  ConnectionScheme connection = ConnectionScheme::kExplicit3Way;
+  TransmissionScheme transmission = TransmissionScheme::kSlidingWindow;
+  RecoveryScheme recovery = RecoveryScheme::kSelectiveRepeat;
+  DetectionScheme detection = DetectionScheme::kInternet16Trailer;
+  AckScheme ack = AckScheme::kImmediate;
+  bool ordered_delivery = true;
+  bool filter_duplicates = true;
+  /// Message-oriented service: application data units larger than one
+  /// segment are reassembled before delivery (TSDU boundaries preserved
+  /// via the end-of-message flag). Requires ordered delivery. When false
+  /// the service is stream/packet oriented and segments deliver as they
+  /// arrive — Table 2's "(byte/packet/block)-based transmission".
+  bool message_oriented = false;
+
+  // Parameters (the Section 4.1.1 negotiation category "parameters").
+  std::uint16_t window_pdus = 16;
+  std::uint16_t ack_every_n = 2;
+  sim::SimTime delayed_ack = sim::SimTime::milliseconds(20);
+  sim::SimTime inter_pdu_gap = sim::SimTime::zero();   ///< rate control pacing
+  std::uint16_t fec_group_size = 4;                    ///< data PDUs per parity
+  std::uint32_t segment_bytes = 1024;                  ///< app-data bytes per PDU
+  sim::SimTime rto_initial = sim::SimTime::milliseconds(200);
+  std::uint8_t priority = 0;
+  bool fixed_size_buffers = false;  ///< negotiated "representation"
+
+  friend bool operator==(const SessionConfig&, const SessionConfig&) = default;
+
+  /// Human-readable one-liner for logs and experiment tables.
+  [[nodiscard]] std::string describe() const;
+
+  /// Fixed-size binary wire encoding (travels in CONFIG PDUs).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::optional<SessionConfig> deserialize(
+      std::span<const std::uint8_t> bytes);
+  static constexpr std::size_t kWireBytes = 40;
+};
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,182 @@
+#include "tko/sa/connection_mgmt.hpp"
+
+namespace adaptive::tko::sa {
+
+void ConnectionBase::on_attach() {
+  retry_timer_ = std::make_unique<Event>(core_->timers(), [] {});
+}
+
+void ConnectionBase::establish() {
+  if (cs_.established || cs_.closing) return;  // never resurrect a closed session
+  cs_.established = true;
+  retries_ = 0;
+  retry_timer_->cancel();
+  core_->connection_established();
+}
+
+void ConnectionBase::open_passive() { establish(); }
+
+void ConnectionBase::close(bool graceful) {
+  if (cs_.closing || graceful_pending_ || fin_sent_) return;
+  if (!graceful) {
+    Pdu p;
+    p.type = PduType::kAbort;
+    core_->emit(std::move(p));
+    abort();
+    return;
+  }
+  // Graceful: data may still flow (even a handshake still in flight may
+  // complete); the session calls data_drained() once reliability reports
+  // everything acknowledged, and only then do we FIN and mark closing.
+  graceful_pending_ = true;
+}
+
+void ConnectionBase::data_drained() {
+  if (graceful_pending_ && !fin_sent_) send_fin();
+}
+
+void ConnectionBase::send_fin() {
+  fin_sent_ = true;
+  graceful_pending_ = false;
+  cs_.closing = true;
+  Pdu p;
+  p.type = PduType::kFin;
+  p.flags = pdu_flags::kGraceful;
+  core_->emit(std::move(p));
+  retries_ = 0;
+  retry_timer_->set_callback([this] {
+    if (++retries_ > max_retries_) {
+      abort();
+      return;
+    }
+    Pdu fin;
+    fin.type = PduType::kFin;
+    fin.flags = pdu_flags::kGraceful;
+    core_->emit(std::move(fin));
+    retry_timer_->schedule(retry_timeout_);
+  });
+  retry_timer_->schedule(retry_timeout_);
+}
+
+void ConnectionBase::abort() {
+  retry_timer_->cancel();
+  cs_.established = false;
+  cs_.closing = true;
+  core_->connection_closed(/*aborted=*/true);
+}
+
+void ConnectionBase::on_pdu(const Pdu& p) {
+  switch (p.type) {
+    case PduType::kFin: {
+      // Peer closed: acknowledge and close our side.
+      Pdu ack;
+      ack.type = PduType::kFinAck;
+      core_->emit(std::move(ack));
+      if (!cs_.closing) {
+        cs_.closing = true;
+        retry_timer_->cancel();
+        cs_.established = false;
+        core_->connection_closed(/*aborted=*/false);
+      }
+      return;
+    }
+    case PduType::kFinAck:
+      if (fin_sent_) {
+        retry_timer_->cancel();
+        cs_.established = false;
+        core_->connection_closed(/*aborted=*/false);
+      }
+      return;
+    case PduType::kAbort:
+      abort();
+      return;
+    default:
+      on_handshake_pdu(p);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExplicitConn
+// ---------------------------------------------------------------------------
+
+void ExplicitConn::open() {
+  active_ = true;
+  send_syn();
+  retry_timer_->set_callback([this] {
+    if (cs_.established) return;
+    if (++retries_ > max_retries_) {
+      core_->count("connection.open_failed");
+      abort();
+      return;
+    }
+    core_->count("connection.syn_retransmit");
+    send_syn();
+  });
+}
+
+void ExplicitConn::send_syn() {
+  Pdu p;
+  p.type = PduType::kSyn;
+  p.payload = Message::from_bytes(syn_payload_, &core_->buffers());
+  core_->emit(std::move(p));
+  retry_timer_->schedule(retry_timeout_);
+}
+
+void ExplicitConn::open_passive() {
+  // Wait for the active side's SYN; nothing to send yet.
+}
+
+void ExplicitConn::on_handshake_pdu(const Pdu& p) {
+  switch (p.type) {
+    case PduType::kSyn: {
+      // Passive side: answer SYNACK carrying OUR configuration — the
+      // admitted (possibly clamped) one — so negotiation completes within
+      // the handshake. 2-way: established now; 3-way: wait for the HSACK
+      // (a duplicate SYN re-elicits the SYNACK either way).
+      Pdu ack;
+      ack.type = PduType::kSynAck;
+      ack.payload = Message::from_bytes(syn_payload_, &core_->buffers());
+      core_->emit(std::move(ack));
+      if (!three_way_) establish();
+      return;
+    }
+    case PduType::kSynAck:
+      if (active_ && !cs_.established) {
+        syn_acked_ = true;
+        if (three_way_) {
+          Pdu hs;
+          hs.type = PduType::kHandshakeAck;
+          core_->emit(std::move(hs));
+        }
+        establish();
+      } else if (active_ && three_way_) {
+        // Duplicate SYNACK (our HSACK was lost): re-ack.
+        Pdu hs;
+        hs.type = PduType::kHandshakeAck;
+        core_->emit(std::move(hs));
+      }
+      return;
+    case PduType::kHandshakeAck:
+      if (!active_) establish();
+      return;
+    default:
+      return;
+  }
+}
+
+std::unique_ptr<ConnectionMgmt> make_connection_mgmt(const SessionConfig& cfg) {
+  const sim::SimTime retry = cfg.rto_initial * 4;
+  const int max_retries = 5;
+  switch (cfg.connection) {
+    case ConnectionScheme::kImplicit:
+      return std::make_unique<ImplicitConn>(retry, max_retries);
+    case ConnectionScheme::kExplicit2Way:
+      return std::make_unique<ExplicitConn>(false, cfg.serialize(), retry, max_retries);
+    case ConnectionScheme::kExplicit3Way:
+      return std::make_unique<ExplicitConn>(true, cfg.serialize(), retry, max_retries);
+  }
+  return std::make_unique<ImplicitConn>(retry, max_retries);
+}
+
+}  // namespace adaptive::tko::sa

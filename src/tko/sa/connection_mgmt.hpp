@@ -1,0 +1,97 @@
+// Connection management mechanisms (Section 4.1.1 / 4.1.3).
+//
+// Implicit: no handshake — the session is usable immediately and the first
+// data PDU carries the serialized SCS so the passive side can synthesize a
+// matching configuration ("configuration information is piggybacked along
+// with the application's first PDU"). Right for latency-sensitive
+// request-response traffic and for long-delay links where handshake
+// round-trips are expensive.
+//
+// Explicit (2-way / 3-way): SYN [SCS payload] / SYNACK (/ HSACK),
+// retransmitted with backoff; graceful close is FIN/FINACK after the
+// reliability store drains, abortive close is a single ABORT.
+#pragma once
+
+#include "tko/event.hpp"
+#include "tko/sa/mechanism.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace adaptive::tko::sa {
+
+/// Base with the shared FIN/FINACK/ABORT close choreography.
+class ConnectionBase : public ConnectionMgmt {
+public:
+  void close(bool graceful) override;
+  void on_pdu(const Pdu& p) override;
+  void data_drained() override;
+  [[nodiscard]] ConnectionState snapshot() const override { return cs_; }
+  void restore(const ConnectionState& s) override { cs_ = s; }
+
+  void open_passive() override;
+
+protected:
+  explicit ConnectionBase(sim::SimTime retry_timeout, int max_retries)
+      : retry_timeout_(retry_timeout), max_retries_(max_retries) {}
+
+  void on_attach() override;
+  void establish();
+  void send_fin();
+  void abort();
+  /// Handshake PDUs (SYN/SYNACK/HSACK) — subclasses.
+  virtual void on_handshake_pdu(const Pdu& p) { (void)p; }
+
+  ConnectionState cs_;
+  sim::SimTime retry_timeout_;
+  int max_retries_;
+  int retries_ = 0;
+  bool fin_sent_ = false;
+  bool graceful_pending_ = false;
+  std::unique_ptr<Event> retry_timer_;
+};
+
+class ImplicitConn final : public ConnectionBase {
+public:
+  ImplicitConn(sim::SimTime retry_timeout, int max_retries)
+      : ConnectionBase(retry_timeout, max_retries) {}
+
+  [[nodiscard]] std::string_view name() const override { return "implicit"; }
+  void open() override { establish(); }
+  [[nodiscard]] bool can_carry_data() const override {
+    // Usable before any handshake; that is the point.
+    return !cs_.closing;
+  }
+};
+
+class ExplicitConn final : public ConnectionBase {
+public:
+  /// `syn_payload` is the serialized SCS carried in the SYN.
+  ExplicitConn(bool three_way, std::vector<std::uint8_t> syn_payload,
+               sim::SimTime retry_timeout, int max_retries)
+      : ConnectionBase(retry_timeout, max_retries),
+        three_way_(three_way),
+        syn_payload_(std::move(syn_payload)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return three_way_ ? "explicit-3way" : "explicit-2way";
+  }
+  void open() override;
+  void open_passive() override;
+  [[nodiscard]] bool can_carry_data() const override {
+    return cs_.established && !cs_.closing;
+  }
+
+private:
+  void on_handshake_pdu(const Pdu& p) override;
+  void send_syn();
+
+  bool three_way_;
+  std::vector<std::uint8_t> syn_payload_;
+  bool active_ = false;
+  bool syn_acked_ = false;
+};
+
+[[nodiscard]] std::unique_ptr<ConnectionMgmt> make_connection_mgmt(const SessionConfig& cfg);
+
+}  // namespace adaptive::tko::sa

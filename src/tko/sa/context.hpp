@@ -1,0 +1,61 @@
+// TKO_Context: the per-session mechanism table (Figure 5).
+//
+// One object per mechanism slot, reached through abstract-base pointers —
+// the paper's contrast with BSD's link-time protocol switch, where every
+// session of a protocol shares one fixed binding. Here each session owns
+// its bindings, and `segue` swaps any slot at run time with typed state
+// transfer, so reconfiguration loses no data.
+#pragma once
+
+#include "tko/sa/mechanism.hpp"
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace adaptive::tko::sa {
+
+class Context {
+public:
+  Context() = default;
+
+  /// Install a mechanism into its slot (construction-time; replaces any
+  /// prior occupant without state transfer).
+  void install(std::unique_ptr<Mechanism> m);
+
+  /// Bind every mechanism to the session and wire the reliability
+  /// composite to its sibling slots. Call once, after the slots are full.
+  void attach_all(SessionCore& core);
+
+  /// Run-time replacement with state transfer (the paper's segue). The
+  /// new mechanism is attached, imports the old one's state, and is
+  /// rewired; the old one is destroyed. Returns a reference to the
+  /// installed mechanism.
+  Mechanism& segue(std::unique_ptr<Mechanism> next);
+
+  [[nodiscard]] bool complete() const;
+  [[nodiscard]] std::uint32_t reconfigurations() const { return reconfigurations_; }
+
+  [[nodiscard]] ConnectionMgmt& connection() const;
+  [[nodiscard]] TransmissionCtrl& transmission() const;
+  [[nodiscard]] ReliabilityMgmt& reliability() const;
+  [[nodiscard]] ErrorDetection& detection() const;
+  [[nodiscard]] AckStrategy& ack_strategy() const;
+  [[nodiscard]] Sequencing& sequencing() const;
+
+  /// "gbn -> selective-repeat" style summary of current bindings.
+  [[nodiscard]] std::string describe() const;
+
+private:
+  void rewire();
+  [[nodiscard]] Mechanism* slot(MechanismSlot s) const {
+    return slots_[static_cast<std::size_t>(s)].get();
+  }
+
+  std::array<std::unique_ptr<Mechanism>, static_cast<std::size_t>(MechanismSlot::kSlotCount)>
+      slots_;
+  SessionCore* core_ = nullptr;
+  std::uint32_t reconfigurations_ = 0;
+};
+
+}  // namespace adaptive::tko::sa

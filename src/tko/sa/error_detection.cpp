@@ -1,0 +1,17 @@
+#include "tko/sa/error_detection.hpp"
+
+#include <memory>
+
+namespace adaptive::tko::sa {
+
+std::unique_ptr<ErrorDetection> make_error_detection(DetectionScheme s) {
+  switch (s) {
+    case DetectionScheme::kNone: return std::make_unique<NoDetection>();
+    case DetectionScheme::kInternet16Header: return std::make_unique<Internet16Header>();
+    case DetectionScheme::kInternet16Trailer: return std::make_unique<Internet16Trailer>();
+    case DetectionScheme::kCrc32Trailer: return std::make_unique<Crc32Trailer>();
+  }
+  return std::make_unique<NoDetection>();
+}
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,166 @@
+#include "tko/sa/fec.hpp"
+
+#include <algorithm>
+
+namespace adaptive::tko::sa {
+
+std::vector<std::uint8_t> FecReliability::to_block(const Message& m, std::size_t block_len) {
+  std::vector<std::uint8_t> block(block_len, 0);
+  const auto bytes = m.peek(m.size());
+  block[0] = static_cast<std::uint8_t>(bytes.size() >> 8);
+  block[1] = static_cast<std::uint8_t>(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), block.begin() + 2);
+  return block;
+}
+
+void FecReliability::send_data(Message&& payload) {
+  const std::uint32_t seq = st_.next_seq++;
+  ++stats_.data_sent;
+  group_payloads_.push_back(payload.clone());
+
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = seq;
+  p.aux = group_base_;  // group membership travels with the data
+  p.payload = std::move(payload);
+  core_->emit(std::move(p));
+
+  if (group_payloads_.size() >= group_size_) emit_parity();
+}
+
+void FecReliability::emit_parity() {
+  if (group_payloads_.empty()) return;
+  std::size_t max_len = 0;
+  for (const auto& m : group_payloads_) max_len = std::max(max_len, m.size());
+  const std::size_t block_len = max_len + 2;
+
+  std::vector<std::uint8_t> parity(block_len, 0);
+  for (const auto& m : group_payloads_) {
+    const auto block = to_block(m, block_len);
+    for (std::size_t i = 0; i < block_len; ++i) parity[i] ^= block[i];
+  }
+
+  Pdu p;
+  p.type = PduType::kFecParity;
+  p.seq = group_base_ + static_cast<std::uint32_t>(group_payloads_.size());  // info only
+  p.aux = group_base_;
+  p.payload = Message::from_bytes(parity, &core_->buffers());
+  ++stats_.parity_sent;
+  core_->emit(std::move(p));
+
+  group_base_ = st_.next_seq;
+  group_payloads_.clear();
+}
+
+std::uint32_t FecReliability::on_ack(const Pdu&, net::NodeId) { return 0; }
+
+void FecReliability::accept(std::uint32_t seq, Message&& payload) {
+  const bool in_order = receiver_mark(seq);
+  if (!in_order && st_.rcv_cum + 4u * group_size_ < seq) {
+    // Gap spans multiple closed groups: it is permanent.
+    st_.rcv_cum = seq;
+    st_.rcv_out_of_order.erase(st_.rcv_out_of_order.begin(),
+                               st_.rcv_out_of_order.upper_bound(seq));
+    if (sequencing_ != nullptr) sequencing_->gap_skip(seq);
+  }
+  offer_up(seq, std::move(payload));
+  if (ack_ != nullptr) ack_->on_data_received(in_order);
+}
+
+void FecReliability::on_data(Pdu&& p, net::NodeId) {
+  if (p.type == PduType::kFecParity) {
+    auto& g = rx_groups_[p.aux];
+    if (g.parity.empty()) g.parity = p.payload.linearize();
+    try_recover(p.aux);
+    purge_old_groups(p.aux);
+    return;
+  }
+  if (p.type != PduType::kData) return;
+  if (filter_duplicates_ && receiver_seen(p.seq)) {
+    ++stats_.duplicates_received;
+    return;
+  }
+  const std::uint32_t base = p.aux;
+  auto& g = rx_groups_[base];
+  if (!g.resolved) g.data.emplace(p.seq, p.payload.clone());
+  accept(p.seq, std::move(p.payload));
+  try_recover(base);
+  purge_old_groups(base);
+}
+
+void FecReliability::try_recover(std::uint32_t base) {
+  auto it = rx_groups_.find(base);
+  if (it == rx_groups_.end() || it->second.resolved) return;
+  RxGroup& g = it->second;
+  if (g.parity.empty()) return;
+
+  // Group spans [base, base + k - 1]; with groups closed on the sender at
+  // exactly k PDUs, one missing member is recoverable.
+  const std::uint32_t hi = base + group_size_ - 1;
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t s = base; s <= hi; ++s) {
+    if (!g.data.contains(s) && !receiver_seen(s)) missing.push_back(s);
+  }
+  if (missing.empty()) {
+    g.resolved = true;
+    g.data.clear();
+    return;
+  }
+  if (missing.size() > 1) return;  // not recoverable (yet)
+
+  const std::size_t block_len = g.parity.size();
+  std::vector<std::uint8_t> rec = g.parity;
+  for (const auto& [seq, m] : g.data) {
+    if (seq < base || seq > hi) continue;
+    const auto block = to_block(m, block_len);
+    for (std::size_t i = 0; i < block_len; ++i) rec[i] ^= block[i];
+  }
+  const std::size_t len = (static_cast<std::size_t>(rec[0]) << 8) | rec[1];
+  if (len + 2 > block_len) return;  // corrupted parity path; give up
+  ++stats_.fec_recoveries;
+  core_->count("reliability.fec_recovery");
+  Message recovered(&core_->buffers());
+  recovered.append(std::span<const std::uint8_t>(rec.data() + 2, len));
+  g.resolved = true;
+  g.data.clear();
+  accept(missing.front(), std::move(recovered));
+}
+
+void FecReliability::purge_old_groups(std::uint32_t current_base) {
+  // Keep the current and previous group; older incomplete groups are
+  // unrecoverable — count their holes and forget them.
+  const std::uint32_t keep_from =
+      current_base > group_size_ ? current_base - group_size_ : 0;
+  for (auto it = rx_groups_.begin(); it != rx_groups_.end();) {
+    if (it->first >= keep_from) break;
+    if (!it->second.resolved) {
+      const std::uint32_t hi = it->first + group_size_ - 1;
+      for (std::uint32_t s = it->first; s <= hi; ++s) {
+        if (!receiver_seen(s)) ++stats_.unrecovered_losses;
+      }
+    }
+    it = rx_groups_.erase(it);
+  }
+}
+
+void FecReliability::restore(ReliabilityState&& s) {
+  // A retransmission-based predecessor hands over its unacked store; FEC
+  // keeps no store, so re-emit those PDUs once (receivers deduplicate) —
+  // the "no loss of data" guarantee of the segue.
+  auto unacked = std::move(s.unacked);
+  s.unacked.clear();
+  ReliabilityBase::restore(std::move(s));
+  group_base_ = st_.next_seq;
+  for (auto& [seq, payload] : unacked) {
+    ++stats_.retransmissions;
+    Pdu p;
+    p.type = PduType::kData;
+    p.seq = seq;
+    p.aux = 0;  // pre-segue sequences carry no group; never FEC-protected
+    p.payload = std::move(payload);
+    core_->emit(std::move(p));
+  }
+  st_.send_base = st_.next_seq;
+}
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,64 @@
+// Forward error correction: XOR parity groups.
+//
+// Every `group_size` data PDUs the sender emits one parity PDU whose
+// payload is the XOR of the group's length-prefixed, padded data blocks;
+// a receiver missing exactly one PDU of the group reconstructs it locally.
+// No acknowledgments, no retransmission state, no sender timers — recovery
+// latency is independent of the path RTT, which is why the Section 3
+// policy switches retransmission -> FEC when a route moves onto a
+// satellite link.
+#pragma once
+
+#include "tko/sa/reliability.hpp"
+
+#include <map>
+#include <vector>
+
+namespace adaptive::tko::sa {
+
+class FecReliability final : public ReliabilityBase {
+public:
+  FecReliability(sim::SimTime initial_rto, bool filter_duplicates, std::uint16_t group_size)
+      : ReliabilityBase(initial_rto, filter_duplicates),
+        group_size_(group_size == 0 ? 1 : group_size) {}
+
+  [[nodiscard]] std::string_view name() const override { return "fec"; }
+
+  void send_data(Message&& payload) override;
+  std::uint32_t on_ack(const Pdu& p, net::NodeId from) override;
+  void on_nack(const Pdu&, net::NodeId) override {}
+  void on_data(Pdu&& p, net::NodeId from) override;
+
+  [[nodiscard]] bool all_acked() const override { return true; }  // nothing retained
+  [[nodiscard]] std::uint32_t in_flight() const override { return 0; }
+  void on_close_drain() override { emit_parity(); }
+
+  void restore(ReliabilityState&& s) override;
+
+  [[nodiscard]] std::uint16_t group_size() const { return group_size_; }
+
+private:
+  /// Length-prefixed padded block used for parity arithmetic.
+  [[nodiscard]] static std::vector<std::uint8_t> to_block(const Message& m, std::size_t block_len);
+
+  void emit_parity();
+  void try_recover(std::uint32_t base);
+  void purge_old_groups(std::uint32_t current_base);
+  void accept(std::uint32_t seq, Message&& payload);
+
+  std::uint16_t group_size_;
+
+  // Sender: running XOR state of the open group.
+  std::vector<Message> group_payloads_;
+  std::uint32_t group_base_ = 1;
+
+  // Receiver: per-group received data + parity until resolved.
+  struct RxGroup {
+    std::map<std::uint32_t, Message> data;
+    std::vector<std::uint8_t> parity;  // empty until the parity PDU arrives
+    bool resolved = false;
+  };
+  std::map<std::uint32_t, RxGroup> rx_groups_;
+};
+
+}  // namespace adaptive::tko::sa

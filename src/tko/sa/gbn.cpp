@@ -1,0 +1,98 @@
+#include "tko/sa/gbn.hpp"
+
+namespace adaptive::tko::sa {
+
+void GoBackN::on_attach() {
+  retx_timer_ = std::make_unique<Event>(core_->timers(), [this] { on_timeout(); });
+}
+
+void GoBackN::arm_timer() {
+  if (st_.unacked.empty()) {
+    retx_timer_->cancel();
+  } else if (!retx_timer_->pending()) {
+    retx_timer_->schedule(rtt_.rto());
+  }
+}
+
+void GoBackN::emit_data(std::uint32_t seq, Message payload, bool retransmission) {
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = seq;
+  p.payload = std::move(payload);
+  if (retransmission) {
+    ++stats_.retransmissions;
+    send_time_.erase(seq);  // Karn: never sample a retransmitted PDU
+  } else {
+    ++stats_.data_sent;
+    send_time_[seq] = core_->now();
+  }
+  core_->emit(std::move(p));
+}
+
+void GoBackN::send_data(Message&& payload) {
+  const std::uint32_t seq = st_.next_seq++;
+  st_.unacked.emplace(seq, payload.clone());  // lazy copy: shares buffers
+  emit_data(seq, std::move(payload), /*retransmission=*/false);
+  arm_timer();
+}
+
+std::uint32_t GoBackN::on_ack(const Pdu& p, net::NodeId from) {
+  const std::uint32_t newly = apply_cum_ack(p.ack, from);
+  if (newly > 0) {
+    retx_timer_->cancel();
+    arm_timer();
+  }
+  return newly;
+}
+
+void GoBackN::on_nack(const Pdu& p, net::NodeId) {
+  core_->loss_signal();
+  go_back(p.aux);
+}
+
+void GoBackN::on_timeout() {
+  if (st_.unacked.empty()) return;
+  ++stats_.timeouts;
+  rtt_.backoff();
+  core_->loss_signal();
+  core_->count("reliability.timeout");
+  go_back(st_.send_base);
+  retx_timer_->schedule(rtt_.rto());
+}
+
+void GoBackN::go_back(std::uint32_t from_seq) {
+  // Retransmit every retained PDU at or beyond `from_seq`, in order.
+  for (auto it = st_.unacked.lower_bound(from_seq); it != st_.unacked.end(); ++it) {
+    emit_data(it->first, it->second.clone(), /*retransmission=*/true);
+  }
+}
+
+void GoBackN::on_data(Pdu&& p, net::NodeId) {
+  if (p.type != PduType::kData) return;  // go-back-n ignores FEC parity
+  if (p.seq <= st_.rcv_cum) {
+    ++stats_.duplicates_received;
+    // Duplicate: re-ack so a lost ACK cannot stall the sender.
+    if (ack_ != nullptr) ack_->on_data_received(/*in_order=*/false);
+    return;
+  }
+  if (p.seq != st_.rcv_cum + 1) {
+    // Classic go-back-n: discard out-of-order data, re-ack the cumulative
+    // point (serves as an implicit NACK via duplicate acks).
+    core_->count("reliability.discard_out_of_order");
+    if (ack_ != nullptr) ack_->on_data_received(/*in_order=*/false);
+    return;
+  }
+  receiver_mark(p.seq);
+  offer_up(p.seq, std::move(p.payload));
+  if (ack_ != nullptr) ack_->on_data_received(/*in_order=*/true);
+}
+
+void GoBackN::restore(ReliabilityState&& s) {
+  ReliabilityBase::restore(std::move(s));
+  // Discard any out-of-order receiver state a selective-repeat predecessor
+  // accumulated? No — those PDUs were already delivered to sequencing.
+  // Keep the set so duplicates remain detectable.
+  arm_timer();
+}
+
+}  // namespace adaptive::tko::sa

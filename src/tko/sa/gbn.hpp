@@ -1,0 +1,39 @@
+// Go-back-N retransmission.
+//
+// Sender retains every unacknowledged PDU and, on timeout or NACK,
+// retransmits from the oldest outstanding sequence onward. The receiver
+// accepts only the next in-order sequence and re-acks the cumulative
+// point for anything else — minimal receiver buffering, which is exactly
+// why the paper's Section 3 policy prefers go-back-n for multicast
+// sessions (N receivers, no per-receiver resequencing cost).
+#pragma once
+
+#include "tko/sa/reliability.hpp"
+
+namespace adaptive::tko::sa {
+
+class GoBackN final : public ReliabilityBase {
+public:
+  GoBackN(sim::SimTime initial_rto, bool filter_duplicates)
+      : ReliabilityBase(initial_rto, filter_duplicates) {}
+
+  [[nodiscard]] std::string_view name() const override { return "go-back-n"; }
+
+  void send_data(Message&& payload) override;
+  std::uint32_t on_ack(const Pdu& p, net::NodeId from) override;
+  void on_nack(const Pdu& p, net::NodeId from) override;
+  void on_data(Pdu&& p, net::NodeId from) override;
+
+  void restore(ReliabilityState&& s) override;
+
+private:
+  void on_attach() override;
+  void arm_timer();
+  void on_timeout();
+  void go_back(std::uint32_t from_seq);
+  void emit_data(std::uint32_t seq, Message payload, bool retransmission);
+
+  std::unique_ptr<Event> retx_timer_;
+};
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,18 @@
+#include "tko/sa/mechanism.hpp"
+
+namespace adaptive::tko::sa {
+
+const char* to_string(MechanismSlot s) {
+  switch (s) {
+    case MechanismSlot::kConnection: return "connection";
+    case MechanismSlot::kTransmission: return "transmission";
+    case MechanismSlot::kReliability: return "reliability";
+    case MechanismSlot::kErrorDetection: return "error-detection";
+    case MechanismSlot::kAckStrategy: return "ack-strategy";
+    case MechanismSlot::kSequencing: return "sequencing";
+    case MechanismSlot::kSlotCount: break;
+  }
+  return "?";
+}
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,161 @@
+#include "tko/sa/reliability.hpp"
+
+#include "tko/sa/fec.hpp"
+#include "tko/sa/gbn.hpp"
+#include "tko/sa/selective_repeat.hpp"
+
+#include <algorithm>
+
+namespace adaptive::tko::sa {
+
+void ReliabilityBase::wire(AckStrategy* ack, Sequencing* sequencing) {
+  ack_ = ack;
+  sequencing_ = sequencing;
+  if (ack_ != nullptr) {
+    ack_->set_emitter([this] { emit_ack(); });
+  }
+}
+
+void ReliabilityBase::emit_ack() {
+  Pdu ack;
+  ack.type = PduType::kAck;
+  ack.ack = st_.rcv_cum;
+  core_->emit(std::move(ack));
+}
+
+bool ReliabilityBase::receiver_seen(std::uint32_t seq) const {
+  return seq <= st_.rcv_cum || st_.rcv_out_of_order.contains(seq);
+}
+
+bool ReliabilityBase::receiver_mark(std::uint32_t seq) {
+  if (seq == st_.rcv_cum + 1) {
+    ++st_.rcv_cum;
+    // Pull any buffered successors into the cumulative range.
+    auto it = st_.rcv_out_of_order.find(st_.rcv_cum + 1);
+    while (it != st_.rcv_out_of_order.end()) {
+      st_.rcv_out_of_order.erase(it);
+      ++st_.rcv_cum;
+      it = st_.rcv_out_of_order.find(st_.rcv_cum + 1);
+    }
+    return true;
+  }
+  st_.rcv_out_of_order.insert(seq);
+  return false;
+}
+
+void ReliabilityBase::offer_up(std::uint32_t seq, Message&& payload) {
+  if (sequencing_ != nullptr) {
+    sequencing_->offer(seq, std::move(payload));
+  } else {
+    core_->deliver(std::move(payload));
+  }
+}
+
+std::uint32_t ReliabilityBase::effective_cum_ack() const {
+  const std::size_t receivers = core_->receiver_count();
+  if (receivers <= 1) {
+    auto it = st_.per_receiver_cum.begin();
+    return it == st_.per_receiver_cum.end() ? st_.send_base - 1 : it->second;
+  }
+  if (st_.per_receiver_cum.size() < receivers) return st_.send_base - 1;
+  std::uint32_t m = UINT32_MAX;
+  for (const auto& [_, cum] : st_.per_receiver_cum) m = std::min(m, cum);
+  return m;
+}
+
+std::uint32_t ReliabilityBase::apply_cum_ack(std::uint32_t cum, net::NodeId from) {
+  auto& rec = st_.per_receiver_cum[from];
+  rec = std::max(rec, cum);
+  const std::uint32_t eff = effective_cum_ack();
+  std::uint32_t newly = 0;
+  while (st_.send_base <= eff) {
+    auto it = st_.unacked.find(st_.send_base);
+    if (it != st_.unacked.end()) {
+      st_.unacked.erase(it);
+      ++newly;
+    }
+    // RTT sample (Karn: send_time_ entries are erased on retransmission).
+    auto ts = send_time_.find(st_.send_base);
+    if (ts != send_time_.end()) {
+      rtt_.sample(core_->now() - ts->second);
+      send_time_.erase(ts);
+    }
+    ++st_.send_base;
+  }
+  if (newly > 0) rtt_.clear_backoff();
+  return newly;
+}
+
+// ---------------------------------------------------------------------------
+// NoneReliability
+// ---------------------------------------------------------------------------
+
+void NoneReliability::send_data(Message&& payload) {
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = st_.next_seq++;
+  p.payload = std::move(payload);
+  send_time_[p.seq] = core_->now();
+  // Bound the sample map: unacknowledged probes age out.
+  if (send_time_.size() > 256) send_time_.erase(send_time_.begin());
+  ++stats_.data_sent;
+  core_->emit(std::move(p));
+}
+
+std::uint32_t NoneReliability::on_ack(const Pdu& p, net::NodeId from) {
+  // Acks (if the ack scheme sends any) feed RTT monitoring only.
+  auto ts = send_time_.find(p.ack);
+  if (ts != send_time_.end()) {
+    rtt_.sample(core_->now() - ts->second);
+    send_time_.erase(ts);
+  }
+  auto& rec = st_.per_receiver_cum[from];
+  rec = std::max(rec, p.ack);
+  return 0;
+}
+
+void NoneReliability::on_data(Pdu&& p, net::NodeId) {
+  if (p.type != PduType::kData) return;
+  if (filter_duplicates_ && receiver_seen(p.seq)) {
+    ++stats_.duplicates_received;
+    return;
+  }
+  const bool in_order = receiver_mark(p.seq);
+  // Without retransmission the out-of-order set must not grow without
+  // bound: drop tracking below a sliding horizon.
+  while (!st_.rcv_out_of_order.empty() &&
+         *st_.rcv_out_of_order.begin() + 1024 < *st_.rcv_out_of_order.rbegin()) {
+    st_.rcv_out_of_order.erase(st_.rcv_out_of_order.begin());
+  }
+  // With no recovery a gap will never fill; once it is clearly permanent,
+  // jump the cumulative point forward so ordered delivery cannot deadlock.
+  if (!in_order && st_.rcv_cum + 64 < p.seq) {
+    st_.rcv_cum = p.seq;
+    st_.rcv_out_of_order.erase(st_.rcv_out_of_order.begin(),
+                               st_.rcv_out_of_order.upper_bound(p.seq));
+    if (sequencing_ != nullptr) sequencing_->gap_skip(p.seq);
+  }
+  offer_up(p.seq, std::move(p.payload));
+  if (ack_ != nullptr) ack_->on_data_received(in_order);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ReliabilityMgmt> make_reliability(const SessionConfig& cfg) {
+  switch (cfg.recovery) {
+    case RecoveryScheme::kNone:
+      return std::make_unique<NoneReliability>(cfg.rto_initial, cfg.filter_duplicates);
+    case RecoveryScheme::kGoBackN:
+      return std::make_unique<GoBackN>(cfg.rto_initial, cfg.filter_duplicates);
+    case RecoveryScheme::kSelectiveRepeat:
+      return std::make_unique<SelectiveRepeat>(cfg.rto_initial, cfg.filter_duplicates);
+    case RecoveryScheme::kForwardErrorCorrection:
+      return std::make_unique<FecReliability>(cfg.rto_initial, cfg.filter_duplicates,
+                                              cfg.fec_group_size);
+  }
+  return std::make_unique<NoneReliability>(cfg.rto_initial, cfg.filter_duplicates);
+}
+
+}  // namespace adaptive::tko::sa

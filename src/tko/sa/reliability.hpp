@@ -1,0 +1,91 @@
+// Reliability management: shared base and the no-recovery scheme.
+//
+// The reliability composite performs the paper's three sub-activities:
+// error *detection* hand-off (corrupted PDUs never reach here — the
+// session drops them after ErrorDetection fails), error *reporting*
+// (ACK/NACK emission, timed by the AckStrategy slot), and error *recovery*
+// (retransmission or reconstruction — the concrete subclasses).
+//
+// All schemes share one sequence-number space and one receiver-side
+// tracking representation (ReliabilityState), which is what makes the
+// paper's on-the-fly segue between schemes possible without losing data.
+#pragma once
+
+#include "tko/event.hpp"
+#include "tko/sa/mechanism.hpp"
+#include "tko/sa/rtt_estimator.hpp"
+
+#include <memory>
+
+namespace adaptive::tko::sa {
+
+class ReliabilityBase : public ReliabilityMgmt {
+public:
+  void wire(AckStrategy* ack, Sequencing* sequencing) override;
+
+  [[nodiscard]] ReliabilityState snapshot() override { return std::move(st_); }
+  void restore(ReliabilityState&& s) override { st_ = std::move(s); }
+
+  [[nodiscard]] bool all_acked() const override { return st_.unacked.empty(); }
+  [[nodiscard]] std::uint32_t in_flight() const override {
+    return static_cast<std::uint32_t>(st_.unacked.size());
+  }
+
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+
+protected:
+  explicit ReliabilityBase(sim::SimTime initial_rto, bool filter_duplicates)
+      : rtt_(initial_rto), filter_duplicates_(filter_duplicates) {}
+
+  /// Emit the current cumulative ack (AckStrategy's emitter action).
+  virtual void emit_ack();
+
+  /// Has the receiver already accepted `seq`?
+  [[nodiscard]] bool receiver_seen(std::uint32_t seq) const;
+
+  /// Record acceptance of `seq`; advances the cumulative point through any
+  /// buffered out-of-order sequences. Returns true if `seq` was in order.
+  bool receiver_mark(std::uint32_t seq);
+
+  /// Hand an accepted payload to sequencing (or straight up if unwired).
+  void offer_up(std::uint32_t seq, Message&& payload);
+
+  /// Effective cumulative ack across all receivers (multicast: the
+  /// minimum; a receiver that has never acked pins it at send_base - 1).
+  [[nodiscard]] std::uint32_t effective_cum_ack() const;
+
+  /// Record `cum` from receiver `from`; erase newly-acked PDUs from the
+  /// store and return how many sequences were newly acknowledged.
+  std::uint32_t apply_cum_ack(std::uint32_t cum, net::NodeId from);
+
+  AckStrategy* ack_ = nullptr;
+  Sequencing* sequencing_ = nullptr;
+  ReliabilityState st_;
+  RttEstimator rtt_;
+  bool filter_duplicates_;
+  std::map<std::uint32_t, sim::SimTime> send_time_;  ///< Karn-valid RTT samples
+};
+
+/// No recovery: sequence numbers are still assigned (for dedup/ordering
+/// and monitoring), nothing is retained, nothing is retransmitted — the
+/// lightweight configuration for loss-tolerant isochronous traffic.
+class NoneReliability final : public ReliabilityBase {
+public:
+  NoneReliability(sim::SimTime initial_rto, bool filter_duplicates)
+      : ReliabilityBase(initial_rto, filter_duplicates) {}
+
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+
+  void send_data(Message&& payload) override;
+  std::uint32_t on_ack(const Pdu& p, net::NodeId from) override;
+  void on_nack(const Pdu&, net::NodeId) override {}
+  void on_data(Pdu&& p, net::NodeId from) override;
+
+  [[nodiscard]] bool all_acked() const override { return true; }
+  [[nodiscard]] std::uint32_t in_flight() const override { return 0; }
+};
+
+/// Factory over every concrete scheme (declared in their own headers).
+[[nodiscard]] std::unique_ptr<ReliabilityMgmt> make_reliability(const SessionConfig& cfg);
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,46 @@
+#include "tko/sa/rtt_estimator.hpp"
+
+#include <algorithm>
+
+namespace adaptive::tko::sa {
+
+namespace {
+constexpr std::int64_t kMinRtoNs = 1'000'000;         // 1 ms floor
+constexpr std::int64_t kMaxRtoNs = 60'000'000'000;    // 60 s ceiling
+constexpr std::uint32_t kMaxBackoffShift = 6;         // 64x
+}  // namespace
+
+void RttEstimator::sample(sim::SimTime rtt) {
+  ++samples_;
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    // Jacobson/Karels: alpha = 1/8, beta = 1/4.
+    const std::int64_t err = rtt.ns() - srtt_.ns();
+    srtt_ = sim::SimTime(srtt_.ns() + err / 8);
+    const std::int64_t abs_err = err < 0 ? -err : err;
+    rttvar_ = sim::SimTime(rttvar_.ns() + (abs_err - rttvar_.ns()) / 4);
+  }
+  // Keep at least a 25% margin over SRTT even when the variance estimate
+  // has decayed: on a windowed path the standing queue makes the true RTT
+  // creep upward between samples, and a collapsed margin turns that into
+  // a spurious-retransmission storm.
+  const std::int64_t margin = std::max(4 * rttvar_.ns(), srtt_.ns() / 4);
+  const std::int64_t rto_ns = std::clamp(srtt_.ns() + margin, kMinRtoNs, kMaxRtoNs);
+  rto_ = sim::SimTime(rto_ns);
+}
+
+sim::SimTime RttEstimator::rto() const {
+  const sim::SimTime base = has_sample_ ? rto_ : initial_rto_;
+  const std::int64_t ns =
+      std::min<std::int64_t>(base.ns() << backoff_shift_, kMaxRtoNs);
+  return sim::SimTime(ns);
+}
+
+void RttEstimator::backoff() {
+  backoff_shift_ = std::min(backoff_shift_ + 1, kMaxBackoffShift);
+}
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,48 @@
+// Round-trip-time estimation (Jacobson/Karels SRTT + variance) with
+// exponential retransmission-timeout backoff and Karn's rule (samples from
+// retransmitted PDUs are discarded).
+//
+// Shared by the retransmission-based reliability mechanisms and exported
+// to MANTTS policies as the "round-trip delay" signal that triggers the
+// retransmission->FEC segue (Section 3's satellite-path example).
+#pragma once
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+
+namespace adaptive::tko::sa {
+
+class RttEstimator {
+public:
+  explicit RttEstimator(sim::SimTime initial_rto = sim::SimTime::milliseconds(200))
+      : rto_(initial_rto), initial_rto_(initial_rto) {}
+
+  /// Record a valid RTT sample (not from a retransmitted PDU).
+  void sample(sim::SimTime rtt);
+
+  /// Current retransmission timeout (with backoff applied).
+  [[nodiscard]] sim::SimTime rto() const;
+
+  /// Exponential backoff after a timeout; capped at 64x.
+  void backoff();
+
+  /// Reset backoff after a successful ack.
+  void clear_backoff() { backoff_shift_ = 0; }
+
+  [[nodiscard]] sim::SimTime srtt() const { return srtt_; }
+  [[nodiscard]] sim::SimTime rttvar() const { return rttvar_; }
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] std::uint32_t samples() const { return samples_; }
+
+private:
+  sim::SimTime srtt_ = sim::SimTime::zero();
+  sim::SimTime rttvar_ = sim::SimTime::zero();
+  sim::SimTime rto_;
+  sim::SimTime initial_rto_;
+  bool has_sample_ = false;
+  std::uint32_t samples_ = 0;
+  std::uint32_t backoff_shift_ = 0;
+};
+
+}  // namespace adaptive::tko::sa

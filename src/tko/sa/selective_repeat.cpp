@@ -1,0 +1,191 @@
+#include "tko/sa/selective_repeat.hpp"
+
+#include <algorithm>
+
+namespace adaptive::tko::sa {
+
+void SelectiveRepeat::on_attach() {
+  retx_timer_ = std::make_unique<Event>(core_->timers(), [this] { on_timeout(); });
+}
+
+void SelectiveRepeat::arm_timer() {
+  retx_timer_->cancel();
+  if (deadline_.empty()) return;
+  sim::SimTime earliest = sim::SimTime::infinity();
+  for (const auto& [_, t] : deadline_) earliest = std::min(earliest, t);
+  const sim::SimTime now = core_->now();
+  retx_timer_->schedule(earliest > now ? earliest - now : sim::SimTime::zero());
+}
+
+void SelectiveRepeat::send_data(Message&& payload) {
+  const std::uint32_t seq = st_.next_seq++;
+  st_.unacked.emplace(seq, payload.clone());
+  deadline_[seq] = core_->now() + rtt_.rto();
+  send_time_[seq] = core_->now();
+  ++stats_.data_sent;
+
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = seq;
+  p.payload = std::move(payload);
+  core_->emit(std::move(p));
+  arm_timer();
+}
+
+void SelectiveRepeat::retransmit(std::uint32_t seq) {
+  auto it = st_.unacked.find(seq);
+  if (it == st_.unacked.end()) return;
+  ++stats_.retransmissions;
+  send_time_.erase(seq);  // Karn
+  deadline_[seq] = core_->now() + rtt_.rto();
+
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = seq;
+  p.payload = it->second.clone();
+  core_->emit(std::move(p));
+}
+
+bool SelectiveRepeat::fully_acked(std::uint32_t seq) const {
+  const std::size_t receivers = std::max<std::size_t>(1, core_->receiver_count());
+  std::size_t acked = 0;
+  for (const auto& [node, cum] : st_.per_receiver_cum) {
+    if (seq <= cum) {
+      ++acked;
+      continue;
+    }
+    auto sit = sacked_.find(node);
+    if (sit != sacked_.end() && sit->second.contains(seq)) ++acked;
+  }
+  return acked >= receivers;
+}
+
+void SelectiveRepeat::reap_acked() {
+  for (auto it = st_.unacked.begin(); it != st_.unacked.end();) {
+    if (fully_acked(it->first)) {
+      deadline_.erase(it->first);
+      auto ts = send_time_.find(it->first);
+      if (ts != send_time_.end()) {
+        rtt_.sample(core_->now() - ts->second);
+        send_time_.erase(ts);
+      }
+      it = st_.unacked.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Advance send_base over fully-acked prefix.
+  while (st_.send_base < st_.next_seq && !st_.unacked.contains(st_.send_base) &&
+         fully_acked(st_.send_base)) {
+    ++st_.send_base;
+  }
+}
+
+std::uint32_t SelectiveRepeat::on_ack(const Pdu& p, net::NodeId from) {
+  const std::size_t before = st_.unacked.size();
+  auto& cum = st_.per_receiver_cum[from];
+  cum = std::max(cum, p.ack);
+  // Decode the selective bitmap: bit i set => (ack + 1 + i) received.
+  auto& sacks = sacked_[from];
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    if ((p.aux >> i) & 1u) sacks.insert(p.ack + 1 + i);
+  }
+  // Trim per-receiver sack state below the cumulative point.
+  sacks.erase(sacks.begin(), sacks.upper_bound(cum));
+
+  reap_acked();
+  const std::size_t after = st_.unacked.size();
+  const auto newly = static_cast<std::uint32_t>(before - after);
+  if (newly > 0) {
+    rtt_.clear_backoff();
+    arm_timer();
+  }
+  return newly;
+}
+
+void SelectiveRepeat::on_nack(const Pdu& p, net::NodeId) {
+  core_->loss_signal();
+  retransmit(p.aux);
+  arm_timer();
+}
+
+void SelectiveRepeat::on_timeout() {
+  const sim::SimTime now = core_->now();
+  bool any = false;
+  for (auto& [seq, t] : deadline_) {
+    if (t <= now) {
+      any = true;
+      break;
+    }
+  }
+  if (any) {
+    ++stats_.timeouts;
+    rtt_.backoff();
+    core_->loss_signal();
+    core_->count("reliability.timeout");
+    // Retransmit only expired PDUs (selective).
+    std::vector<std::uint32_t> expired;
+    for (const auto& [seq, t] : deadline_) {
+      if (t <= now) expired.push_back(seq);
+    }
+    for (const std::uint32_t seq : expired) retransmit(seq);
+  }
+  arm_timer();
+}
+
+void SelectiveRepeat::on_data(Pdu&& p, net::NodeId) {
+  if (p.type != PduType::kData) return;
+  if (receiver_seen(p.seq)) {
+    ++stats_.duplicates_received;
+    if (ack_ != nullptr) ack_->on_data_received(/*in_order=*/false);
+    return;
+  }
+  // NACK unseen gaps below this arrival; refresh a NACK after several
+  // more arrivals if the hole persists (the original may have been lost).
+  if (p.seq > st_.rcv_cum + 1) {
+    for (std::uint32_t miss = st_.rcv_cum + 1; miss < p.seq; ++miss) {
+      if (receiver_seen(miss)) continue;
+      auto [it, fresh] = nacked_.try_emplace(miss, kNackRefreshArrivals);
+      if (!fresh) {
+        if (--it->second > 0) continue;
+        it->second = kNackRefreshArrivals;
+      }
+      ++stats_.nacks_sent;
+      Pdu nack;
+      nack.type = PduType::kNack;
+      nack.ack = st_.rcv_cum;
+      nack.aux = miss;
+      core_->emit(std::move(nack));
+    }
+  }
+  const bool in_order = receiver_mark(p.seq);
+  nacked_.erase(nacked_.begin(), nacked_.upper_bound(st_.rcv_cum));
+  offer_up(p.seq, std::move(p.payload));
+  if (ack_ != nullptr) ack_->on_data_received(in_order);
+}
+
+void SelectiveRepeat::emit_ack() {
+  Pdu ack;
+  ack.type = PduType::kAck;
+  ack.ack = st_.rcv_cum;
+  std::uint32_t bitmap = 0;
+  for (const std::uint32_t seq : st_.rcv_out_of_order) {
+    if (seq > st_.rcv_cum && seq <= st_.rcv_cum + 32) {
+      bitmap |= 1u << (seq - st_.rcv_cum - 1);
+    }
+  }
+  ack.aux = bitmap;
+  core_->emit(std::move(ack));
+}
+
+void SelectiveRepeat::restore(ReliabilityState&& s) {
+  ReliabilityBase::restore(std::move(s));
+  // Every inherited unacked PDU gets a fresh deadline; a go-back-n
+  // predecessor had a single timer, we track per PDU.
+  deadline_.clear();
+  const sim::SimTime due = core_->now() + rtt_.rto();
+  for (const auto& [seq, _] : st_.unacked) deadline_[seq] = due;
+  arm_timer();
+}
+
+}  // namespace adaptive::tko::sa

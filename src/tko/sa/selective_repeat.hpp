@@ -1,0 +1,67 @@
+// Selective-repeat retransmission.
+//
+// The receiver buffers out-of-order data and reports it through a
+// selective-ack bitmap (32 sequences past the cumulative point, carried in
+// the PDU aux word) plus explicit NACKs for observed gaps; the sender
+// retransmits only what is actually missing. Under congestion loss this
+// wastes far less of the path than go-back-n — the crossover the
+// Section 3 policy exploits — at the price of receiver buffering and,
+// for multicast, per-receiver acknowledgment state.
+#pragma once
+
+#include "tko/sa/reliability.hpp"
+
+#include <map>
+#include <set>
+
+namespace adaptive::tko::sa {
+
+class SelectiveRepeat final : public ReliabilityBase {
+public:
+  SelectiveRepeat(sim::SimTime initial_rto, bool filter_duplicates)
+      : ReliabilityBase(initial_rto, filter_duplicates) {}
+
+  [[nodiscard]] std::string_view name() const override { return "selective-repeat"; }
+
+  void send_data(Message&& payload) override;
+  std::uint32_t on_ack(const Pdu& p, net::NodeId from) override;
+  void on_nack(const Pdu& p, net::NodeId from) override;
+  void on_data(Pdu&& p, net::NodeId from) override;
+
+  void restore(ReliabilityState&& s) override;
+
+  /// Receiver-side buffered (out-of-order) sequence count — the buffering
+  /// cost the go-back-n policy avoids.
+  [[nodiscard]] std::size_t receiver_buffered() const { return st_.rcv_out_of_order.size(); }
+
+  /// Sender-side per-receiver selective-ack bookkeeping entries — the
+  /// state cost that grows with multicast fan-out (why Section 3's policy
+  /// prefers go-back-n for multicast).
+  [[nodiscard]] std::size_t sack_state_entries() const {
+    std::size_t n = 0;
+    for (const auto& [_, s] : sacked_) n += s.size();
+    return n + sacked_.size();
+  }
+
+private:
+  void on_attach() override;
+  void emit_ack() override;  ///< cumulative + selective bitmap
+  void arm_timer();
+  void on_timeout();
+  void retransmit(std::uint32_t seq);
+  [[nodiscard]] bool fully_acked(std::uint32_t seq) const;
+  void reap_acked();
+
+  std::unique_ptr<Event> retx_timer_;
+  /// Per-PDU retransmission deadline (single timer over the earliest).
+  std::map<std::uint32_t, sim::SimTime> deadline_;
+  /// Multicast: per-receiver selectively-acked sequences above their cum.
+  std::map<net::NodeId, std::set<std::uint32_t>> sacked_;
+  /// Gaps already NACKed, with a countdown of subsequent arrivals before
+  /// the NACK is refreshed (a lost NACK must not stall recovery until the
+  /// sender's RTO under heavy loss).
+  std::map<std::uint32_t, std::uint8_t> nacked_;
+  static constexpr std::uint8_t kNackRefreshArrivals = 8;
+};
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,66 @@
+#include "tko/sa/sequencing.hpp"
+
+namespace adaptive::tko::sa {
+
+void PassThrough::offer(std::uint32_t seq, Message&& payload) {
+  high_water_ = std::max(high_water_, seq);
+  core_->deliver(std::move(payload));
+}
+
+SequencingState PassThrough::snapshot() {
+  SequencingState s;
+  s.next_deliver = high_water_ + 1;
+  return s;
+}
+
+void PassThrough::restore(SequencingState&& s) {
+  high_water_ = s.next_deliver == 0 ? 0 : s.next_deliver - 1;
+  // Anything the previous mechanism was holding is released unordered —
+  // a segue to unordered delivery must not lose data.
+  for (auto& [seq, m] : s.held) {
+    high_water_ = std::max(high_water_, seq);
+    core_->deliver(std::move(m));
+  }
+}
+
+void Resequencer::offer(std::uint32_t seq, Message&& payload) {
+  if (seq < state_.next_deliver) return;  // stale duplicate after segue
+  state_.held.emplace(seq, std::move(payload));
+  drain();
+}
+
+void Resequencer::drain() {
+  auto it = state_.held.find(state_.next_deliver);
+  while (it != state_.held.end()) {
+    core_->deliver(std::move(it->second));
+    state_.held.erase(it);
+    ++state_.next_deliver;
+    it = state_.held.find(state_.next_deliver);
+  }
+}
+
+void Resequencer::gap_skip(std::uint32_t next_expected) {
+  if (next_expected <= state_.next_deliver) return;
+  // Release everything below the new horizon in sequence order.
+  auto it = state_.held.begin();
+  while (it != state_.held.end() && it->first < next_expected) {
+    core_->deliver(std::move(it->second));
+    it = state_.held.erase(it);
+  }
+  state_.next_deliver = next_expected;
+  drain();
+}
+
+SequencingState Resequencer::snapshot() { return std::move(state_); }
+
+void Resequencer::restore(SequencingState&& s) {
+  state_ = std::move(s);
+  drain();
+}
+
+std::unique_ptr<Sequencing> make_sequencing(const SessionConfig& cfg) {
+  if (cfg.ordered_delivery) return std::make_unique<Resequencer>();
+  return std::make_unique<PassThrough>();
+}
+
+}  // namespace adaptive::tko::sa

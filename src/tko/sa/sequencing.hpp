@@ -1,0 +1,48 @@
+// Sequencing mechanisms: delivery order (Table 1's "Order Sens" column).
+//
+// PassThrough delivers accepted data immediately (voice/video classes,
+// which are latency-sensitive and order-insensitive); Resequencer holds
+// out-of-order data until the gap fills (file transfer, transaction
+// processing). Both accept already-deduplicated data from reliability.
+#pragma once
+
+#include "tko/sa/mechanism.hpp"
+
+#include <memory>
+
+namespace adaptive::tko::sa {
+
+class PassThrough final : public Sequencing {
+public:
+  [[nodiscard]] std::string_view name() const override { return "pass-through"; }
+
+  void offer(std::uint32_t seq, Message&& payload) override;
+  [[nodiscard]] std::size_t held() const override { return 0; }
+
+  [[nodiscard]] SequencingState snapshot() override;
+  void restore(SequencingState&& s) override;
+
+private:
+  std::uint32_t high_water_ = 0;  ///< tracked only so a segue to ordered mode knows where it is
+};
+
+class Resequencer final : public Sequencing {
+public:
+  [[nodiscard]] std::string_view name() const override { return "resequencer"; }
+
+  void offer(std::uint32_t seq, Message&& payload) override;
+  void gap_skip(std::uint32_t next_expected) override;
+  [[nodiscard]] std::size_t held() const override { return state_.held.size(); }
+
+  [[nodiscard]] SequencingState snapshot() override;
+  void restore(SequencingState&& s) override;
+
+private:
+  void drain();
+
+  SequencingState state_;
+};
+
+[[nodiscard]] std::unique_ptr<Sequencing> make_sequencing(const SessionConfig& cfg);
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,109 @@
+#include "tko/sa/templates.hpp"
+
+namespace adaptive::tko::sa {
+
+void TemplateCache::add(TemplateEntry entry) { by_name_[entry.name] = std::move(entry); }
+
+const TemplateEntry* TemplateCache::lookup(const SessionConfig& cfg) {
+  for (const auto& [_, entry] : by_name_) {
+    if (entry.config == cfg) {
+      ++hits_;
+      return &entry;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+const TemplateEntry* TemplateCache::lookup_name(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+SessionConfig tcp_compat_config() {
+  SessionConfig c;
+  c.connection = ConnectionScheme::kExplicit3Way;
+  c.transmission = TransmissionScheme::kSlowStart;
+  c.recovery = RecoveryScheme::kGoBackN;
+  c.detection = DetectionScheme::kInternet16Header;  // TCP: checksum in header
+  c.ack = AckScheme::kDelayed;
+  c.ordered_delivery = true;
+  c.window_pdus = 32;
+  return c;
+}
+
+SessionConfig udp_compat_config() {
+  SessionConfig c;
+  c.connection = ConnectionScheme::kImplicit;
+  c.transmission = TransmissionScheme::kUnlimited;
+  c.recovery = RecoveryScheme::kNone;
+  c.detection = DetectionScheme::kInternet16Header;
+  c.ack = AckScheme::kNone;
+  c.ordered_delivery = false;
+  c.filter_duplicates = false;
+  return c;
+}
+
+SessionConfig lightweight_isochronous_config() {
+  SessionConfig c;
+  c.connection = ConnectionScheme::kImplicit;
+  c.transmission = TransmissionScheme::kRateControl;
+  c.recovery = RecoveryScheme::kNone;
+  c.detection = DetectionScheme::kInternet16Trailer;
+  c.ack = AckScheme::kEveryN;  // sparse acks feed RTT/loss monitoring
+  c.ack_every_n = 16;
+  c.ordered_delivery = false;
+  return c;
+}
+
+SessionConfig reliable_bulk_config() {
+  SessionConfig c;
+  c.connection = ConnectionScheme::kExplicit2Way;
+  c.transmission = TransmissionScheme::kSlidingWindow;
+  c.recovery = RecoveryScheme::kSelectiveRepeat;
+  c.detection = DetectionScheme::kCrc32Trailer;
+  c.ack = AckScheme::kEveryN;
+  c.ack_every_n = 2;
+  c.ordered_delivery = true;
+  c.window_pdus = 64;
+  return c;
+}
+
+SessionConfig interactive_config() {
+  SessionConfig c;
+  c.connection = ConnectionScheme::kImplicit;  // no setup latency
+  c.transmission = TransmissionScheme::kSlidingWindow;
+  c.recovery = RecoveryScheme::kSelectiveRepeat;
+  c.detection = DetectionScheme::kInternet16Trailer;
+  c.ack = AckScheme::kImmediate;
+  c.ordered_delivery = true;
+  c.window_pdus = 8;
+  c.segment_bytes = 256;
+  return c;
+}
+
+SessionConfig realtime_control_config() {
+  SessionConfig c;
+  c.connection = ConnectionScheme::kExplicit2Way;
+  c.transmission = TransmissionScheme::kWindowAndRate;
+  c.recovery = RecoveryScheme::kSelectiveRepeat;
+  c.detection = DetectionScheme::kCrc32Trailer;
+  c.ack = AckScheme::kImmediate;
+  c.ordered_delivery = true;
+  c.window_pdus = 8;
+  c.inter_pdu_gap = sim::SimTime::microseconds(500);
+  return c;
+}
+
+TemplateCache TemplateCache::with_defaults() {
+  TemplateCache cache;
+  cache.add({"tcp-compat", tcp_compat_config(), TemplateKind::kStatic});
+  cache.add({"udp-compat", udp_compat_config(), TemplateKind::kStatic});
+  cache.add({"isochronous-light", lightweight_isochronous_config(), TemplateKind::kReconfigurable});
+  cache.add({"reliable-bulk", reliable_bulk_config(), TemplateKind::kReconfigurable});
+  cache.add({"interactive", interactive_config(), TemplateKind::kReconfigurable});
+  cache.add({"realtime-control", realtime_control_config(), TemplateKind::kReconfigurable});
+  return cache;
+}
+
+}  // namespace adaptive::tko::sa

@@ -1,0 +1,62 @@
+// TKO_Template cache (Section 4.2.2).
+//
+// Pre-assembled session configurations for commonly requested SCSs, so the
+// connection-configuration phase skips the synthesis planning work.
+// Static templates are additionally eligible for the customized
+// (devirtualized) data path; reconfigurable templates keep dynamic
+// bindings so segue remains possible. Backward-compatibility templates
+// ("tcp-compat", "udp-compat") reproduce legacy protocol behaviour.
+#pragma once
+
+#include "tko/sa/config.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace adaptive::tko::sa {
+
+enum class TemplateKind : std::uint8_t {
+  kStatic,          ///< never changes; fully customizable
+  kReconfigurable,  ///< may segue later; dynamic dispatch retained
+};
+
+struct TemplateEntry {
+  std::string name;
+  SessionConfig config;
+  TemplateKind kind = TemplateKind::kReconfigurable;
+};
+
+class TemplateCache {
+public:
+  void add(TemplateEntry entry);
+
+  /// Exact-match lookup by configuration (counts hits/misses).
+  [[nodiscard]] const TemplateEntry* lookup(const SessionConfig& cfg);
+
+  [[nodiscard]] const TemplateEntry* lookup_name(const std::string& name) const;
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return by_name_.size(); }
+
+  /// The default template set: one per transport service class plus the
+  /// legacy-compatibility entries.
+  [[nodiscard]] static TemplateCache with_defaults();
+
+private:
+  std::map<std::string, TemplateEntry> by_name_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Canned configurations (also used directly by tests and benches).
+[[nodiscard]] SessionConfig tcp_compat_config();
+[[nodiscard]] SessionConfig udp_compat_config();
+[[nodiscard]] SessionConfig lightweight_isochronous_config();
+[[nodiscard]] SessionConfig reliable_bulk_config();
+[[nodiscard]] SessionConfig interactive_config();
+[[nodiscard]] SessionConfig realtime_control_config();
+
+}  // namespace adaptive::tko::sa

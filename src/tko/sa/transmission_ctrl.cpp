@@ -1,0 +1,89 @@
+#include "tko/sa/transmission_ctrl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptive::tko::sa {
+
+TransmissionState SlidingWindowTx::snapshot() const {
+  TransmissionState s;
+  s.peer_window = peer_window_;
+  s.cwnd_pdus = window_;
+  return s;
+}
+
+void SlidingWindowTx::restore(const TransmissionState& s) { peer_window_ = s.peer_window; }
+
+TransmissionState RateControlTx::snapshot() const {
+  TransmissionState s;
+  s.earliest_send = next_allowed_;
+  return s;
+}
+
+void RateControlTx::restore(const TransmissionState& s) { next_allowed_ = s.earliest_send; }
+
+TransmissionState WindowAndRateTx::snapshot() const {
+  TransmissionState s;
+  s.peer_window = peer_window_;
+  s.earliest_send = next_allowed_;
+  return s;
+}
+
+void WindowAndRateTx::restore(const TransmissionState& s) {
+  peer_window_ = s.peer_window;
+  next_allowed_ = s.earliest_send;
+}
+
+void SlowStartTx::on_ack(std::uint32_t newly_acked) {
+  for (std::uint32_t i = 0; i < newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start: exponential growth per RTT
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance: linear growth per RTT
+    }
+  }
+  cwnd_ = std::min<double>(cwnd_, window_);
+  if (newly_acked > 0) core_->tx_ready();
+}
+
+void SlowStartTx::on_loss() {
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);  // multiplicative decrease
+  cwnd_ = 1.0;
+  if (core_ != nullptr) core_->count("cwnd.collapse");
+}
+
+std::uint32_t SlowStartTx::effective_window() const {
+  const auto cw = static_cast<std::uint32_t>(std::max(1.0, std::floor(cwnd_)));
+  return std::min({static_cast<std::uint32_t>(window_),
+                   static_cast<std::uint32_t>(peer_window_), cw});
+}
+
+TransmissionState SlowStartTx::snapshot() const {
+  TransmissionState s = SlidingWindowTx::snapshot();
+  s.cwnd_pdus = cwnd_;
+  return s;
+}
+
+void SlowStartTx::restore(const TransmissionState& s) {
+  SlidingWindowTx::restore(s);
+  if (s.cwnd_pdus > 0.0) cwnd_ = s.cwnd_pdus;
+}
+
+std::unique_ptr<TransmissionCtrl> make_transmission_ctrl(const SessionConfig& cfg) {
+  switch (cfg.transmission) {
+    case TransmissionScheme::kUnlimited: return std::make_unique<UnlimitedTx>();
+    case TransmissionScheme::kStopAndWait: return std::make_unique<StopAndWaitTx>();
+    case TransmissionScheme::kSlidingWindow:
+      return std::make_unique<SlidingWindowTx>(cfg.window_pdus);
+    case TransmissionScheme::kRateControl:
+      return std::make_unique<RateControlTx>(cfg.inter_pdu_gap, cfg.segment_bytes);
+    case TransmissionScheme::kWindowAndRate:
+      return std::make_unique<WindowAndRateTx>(cfg.window_pdus, cfg.inter_pdu_gap,
+                                               cfg.segment_bytes);
+    case TransmissionScheme::kSlowStart:
+      return std::make_unique<SlowStartTx>(cfg.window_pdus);
+  }
+  return std::make_unique<SlidingWindowTx>(cfg.window_pdus);
+}
+
+}  // namespace adaptive::tko::sa

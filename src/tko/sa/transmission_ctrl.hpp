@@ -1,0 +1,164 @@
+// Concrete transmission-control mechanisms.
+//
+// The lightweight/overweight spectrum of Section 2.2: Unlimited (no flow
+// control — datagrams), StopAndWait, SlidingWindow (fixed window bounded
+// by the peer's advertisement), RateControl (inter-PDU gap pacing, the
+// mechanism MANTTS adjusts in its "increase the inter-PDU gap under
+// congestion" example), WindowAndRate (both), and SlowStart (TCP-style
+// congestion window with multiplicative decrease — the baseline's access-
+// control simulation the paper mentions).
+#pragma once
+
+#include "tko/sa/mechanism.hpp"
+
+#include <memory>
+
+namespace adaptive::tko::sa {
+
+class UnlimitedTx final : public TransmissionCtrl {
+public:
+  [[nodiscard]] std::string_view name() const override { return "unlimited"; }
+  [[nodiscard]] bool can_send(std::uint32_t) const override { return true; }
+  void on_pdu_sent(std::size_t) override {}
+  void on_ack(std::uint32_t) override {}
+  [[nodiscard]] TransmissionState snapshot() const override { return {}; }
+  void restore(const TransmissionState&) override {}
+};
+
+class StopAndWaitTx final : public TransmissionCtrl {
+public:
+  [[nodiscard]] std::string_view name() const override { return "stop-and-wait"; }
+  [[nodiscard]] bool can_send(std::uint32_t in_flight) const override { return in_flight == 0; }
+  void on_pdu_sent(std::size_t) override {}
+  void on_ack(std::uint32_t) override { core_->tx_ready(); }
+  [[nodiscard]] TransmissionState snapshot() const override { return {}; }
+  void restore(const TransmissionState&) override {}
+};
+
+class SlidingWindowTx : public TransmissionCtrl {
+public:
+  explicit SlidingWindowTx(std::uint16_t window) : window_(window == 0 ? 1 : window) {}
+
+  [[nodiscard]] std::string_view name() const override { return "sliding-window"; }
+  [[nodiscard]] bool can_send(std::uint32_t in_flight) const override {
+    return in_flight < effective_window();
+  }
+  void on_pdu_sent(std::size_t) override {}
+  void on_ack(std::uint32_t newly_acked) override {
+    if (newly_acked > 0) core_->tx_ready();
+  }
+  void on_peer_window(std::uint16_t w) override { peer_window_ = w; }
+  [[nodiscard]] std::uint16_t advertised_window() const override { return window_; }
+
+  [[nodiscard]] TransmissionState snapshot() const override;
+  void restore(const TransmissionState& s) override;
+
+protected:
+  [[nodiscard]] virtual std::uint32_t effective_window() const {
+    return std::min<std::uint32_t>(window_, peer_window_);
+  }
+
+  std::uint16_t window_;
+  std::uint16_t peer_window_ = 0xFFFF;
+};
+
+class RateControlTx : public TransmissionCtrl {
+public:
+  /// `gap` is the pacing interval for a nominal PDU of `nominal_bytes`;
+  /// smaller/larger PDUs are charged proportionally, so the mechanism
+  /// paces bytes-per-second, not PDUs-per-second.
+  explicit RateControlTx(sim::SimTime gap, std::size_t nominal_bytes = 0)
+      : gap_(gap), nominal_bytes_(nominal_bytes) {}
+
+  [[nodiscard]] std::string_view name() const override { return "rate-control"; }
+  [[nodiscard]] bool can_send(std::uint32_t) const override {
+    return core_->now() >= next_allowed_;
+  }
+  [[nodiscard]] sim::SimTime earliest_send() const override { return next_allowed_; }
+  void on_pdu_sent(std::size_t bytes) override {
+    next_allowed_ = core_->now() + scaled_gap(gap_, bytes, nominal_bytes_);
+  }
+  void on_ack(std::uint32_t) override {}
+
+  [[nodiscard]] static sim::SimTime scaled_gap(sim::SimTime gap, std::size_t bytes,
+                                               std::size_t nominal) {
+    if (nominal == 0 || bytes == 0) return gap;
+    return sim::SimTime(static_cast<std::int64_t>(
+        static_cast<double>(gap.ns()) * static_cast<double>(bytes) /
+        static_cast<double>(nominal)));
+  }
+
+  /// MANTTS "adjust the SCS" hook: retune the pacing gap in place.
+  void set_gap(sim::SimTime gap) { gap_ = gap; }
+  [[nodiscard]] sim::SimTime gap() const { return gap_; }
+
+  [[nodiscard]] TransmissionState snapshot() const override;
+  void restore(const TransmissionState& s) override;
+
+private:
+  sim::SimTime gap_;
+  std::size_t nominal_bytes_;
+  sim::SimTime next_allowed_ = sim::SimTime::zero();
+};
+
+class WindowAndRateTx final : public TransmissionCtrl {
+public:
+  WindowAndRateTx(std::uint16_t window, sim::SimTime gap, std::size_t nominal_bytes = 0)
+      : window_(window == 0 ? 1 : window), gap_(gap), nominal_bytes_(nominal_bytes) {}
+
+  [[nodiscard]] std::string_view name() const override { return "window+rate"; }
+  [[nodiscard]] bool can_send(std::uint32_t in_flight) const override {
+    return in_flight < std::min<std::uint32_t>(window_, peer_window_) &&
+           core_->now() >= next_allowed_;
+  }
+  [[nodiscard]] sim::SimTime earliest_send() const override { return next_allowed_; }
+  void on_pdu_sent(std::size_t bytes) override {
+    next_allowed_ = core_->now() + RateControlTx::scaled_gap(gap_, bytes, nominal_bytes_);
+  }
+  void on_ack(std::uint32_t newly_acked) override {
+    if (newly_acked > 0) core_->tx_ready();
+  }
+  void on_peer_window(std::uint16_t w) override { peer_window_ = w; }
+  [[nodiscard]] std::uint16_t advertised_window() const override { return window_; }
+  void set_gap(sim::SimTime gap) { gap_ = gap; }
+  [[nodiscard]] sim::SimTime gap() const { return gap_; }
+
+  [[nodiscard]] TransmissionState snapshot() const override;
+  void restore(const TransmissionState& s) override;
+
+private:
+  std::uint16_t window_;
+  std::uint16_t peer_window_ = 0xFFFF;
+  sim::SimTime gap_;
+  std::size_t nominal_bytes_;
+  sim::SimTime next_allowed_ = sim::SimTime::zero();
+};
+
+/// TCP-style congestion control: slow start, congestion avoidance, and
+/// multiplicative decrease on loss. Used by the TCP-like baseline and
+/// available to ADAPTIVE configurations on congestion-prone WANs.
+class SlowStartTx final : public SlidingWindowTx {
+public:
+  explicit SlowStartTx(std::uint16_t max_window)
+      : SlidingWindowTx(max_window), cwnd_(1.0), ssthresh_(max_window / 2.0) {}
+
+  [[nodiscard]] std::string_view name() const override { return "slow-start"; }
+  void on_ack(std::uint32_t newly_acked) override;
+  void on_loss() override;
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+
+  [[nodiscard]] TransmissionState snapshot() const override;
+  void restore(const TransmissionState& s) override;
+
+protected:
+  [[nodiscard]] std::uint32_t effective_window() const override;
+
+private:
+  double cwnd_;
+  double ssthresh_;
+};
+
+[[nodiscard]] std::unique_ptr<TransmissionCtrl> make_transmission_ctrl(const SessionConfig& cfg);
+
+}  // namespace adaptive::tko::sa

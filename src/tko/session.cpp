@@ -1,0 +1,24 @@
+#include "tko/session.hpp"
+
+namespace adaptive::tko {
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "idle";
+    case SessionState::kConnecting: return "connecting";
+    case SessionState::kEstablished: return "established";
+    case SessionState::kClosing: return "closing";
+    case SessionState::kClosed: return "closed";
+    case SessionState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+std::optional<std::string> Session::control(std::string_view op) const {
+  if (op == "state") return std::string(to_string(state()));
+  if (op == "local") return net::to_string(local_);
+  if (op == "peer" && !remotes_.empty()) return net::to_string(remotes_.front());
+  return std::nullopt;
+}
+
+}  // namespace adaptive::tko

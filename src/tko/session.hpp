@@ -1,0 +1,90 @@
+// TKO_Session: the junction between protocol architecture and session
+// architecture (Section 4.2.1).
+//
+// A Session encapsulates per-connection context (local/remote addresses)
+// and the operations for sending and receiving TKO_Message objects.
+// Concrete sessions — the ADAPTIVE TransportSession, the baseline TCP/UDP/
+// TP4 sessions — derive from this interface, so applications and the
+// protocol graph treat every transport uniformly ("plug-compatible").
+#pragma once
+
+#include "net/packet.hpp"
+#include "tko/message.hpp"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptive::tko {
+
+enum class SessionState {
+  kIdle,
+  kConnecting,
+  kEstablished,
+  kClosing,
+  kClosed,
+  kAborted,
+};
+
+[[nodiscard]] const char* to_string(SessionState s);
+
+class Session {
+public:
+  virtual ~Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Queue application data for transmission. Returns false if the session
+  /// cannot accept data (closed/aborted).
+  virtual bool send(Message&& m) = 0;
+
+  /// Begin connection establishment (no-op for connectionless sessions).
+  virtual void connect() = 0;
+
+  /// Close; `graceful` drains buffered data first.
+  virtual void close(bool graceful = true) = 0;
+
+  [[nodiscard]] virtual SessionState state() const = 0;
+
+  /// Upcall invoked for each in-profile application data unit received.
+  using DeliverFn = std::function<void(Message&&)>;
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Upcall invoked when the session becomes established / closes.
+  using StateFn = std::function<void(SessionState)>;
+  void set_on_state(StateFn fn) { on_state_ = std::move(fn); }
+
+  /// Generic control interface ("dispatching system calls that store
+  /// and/or retrieve session control information"). Known ops include
+  /// "peer", "mtu", "state"; unknown ops return nullopt.
+  [[nodiscard]] virtual std::optional<std::string> control(std::string_view op) const;
+
+  [[nodiscard]] const net::Address& local() const { return local_; }
+  [[nodiscard]] const std::vector<net::Address>& remotes() const { return remotes_; }
+  [[nodiscard]] bool is_multicast_session() const {
+    return remotes_.size() > 1 ||
+           (!remotes_.empty() && net::is_multicast(remotes_.front().node));
+  }
+
+protected:
+  Session(net::Address local, std::vector<net::Address> remotes)
+      : local_(local), remotes_(std::move(remotes)) {}
+
+  void deliver_up(Message&& m) {
+    if (deliver_) deliver_(std::move(m));
+  }
+  void notify_state(SessionState s) {
+    if (on_state_) on_state_(s);
+  }
+
+  net::Address local_;
+  std::vector<net::Address> remotes_;
+
+private:
+  DeliverFn deliver_;
+  StateFn on_state_;
+};
+
+}  // namespace adaptive::tko

@@ -1,0 +1,99 @@
+#include "tko/streams.hpp"
+
+#include "tko/pdu.hpp"
+
+#include <algorithm>
+
+namespace adaptive::tko {
+
+void StreamModule::put_next_write(Message&& m) {
+  stream_->write_from(index_, std::move(m));
+}
+
+void StreamModule::put_next_read(Message&& m) {
+  stream_->read_from(index_, std::move(m));
+}
+
+void Stream::write(Message&& m) { write_from(static_cast<std::size_t>(-1), std::move(m)); }
+
+void Stream::write_from(std::size_t below_index, Message&& m) {
+  // Next module below `below_index` (head == index -1 conceptually).
+  const std::size_t next = below_index + 1;
+  if (next < stack_.size()) {
+    stack_[next]->write_put(std::move(m));
+    return;
+  }
+  if (driver_tx_) driver_tx_(std::move(m));
+}
+
+void Stream::inject_from_driver(Message&& m) { read_from(stack_.size(), std::move(m)); }
+
+void Stream::read_from(std::size_t above_index, Message&& m) {
+  if (above_index == 0) {
+    if (read_) read_(std::move(m));
+    return;
+  }
+  const std::size_t next = above_index - 1;
+  if (next < stack_.size()) {
+    stack_[next]->read_put(std::move(m));
+    return;
+  }
+  if (read_) read_(std::move(m));
+}
+
+StreamModule& Stream::push(std::unique_ptr<StreamModule> module) {
+  module->stream_ = this;
+  stack_.insert(stack_.begin(), std::move(module));
+  reindex();
+  return *stack_.front();
+}
+
+std::unique_ptr<StreamModule> Stream::pop() {
+  if (stack_.empty()) return nullptr;
+  auto out = std::move(stack_.front());
+  stack_.erase(stack_.begin());
+  out->stream_ = nullptr;
+  reindex();
+  return out;
+}
+
+void Stream::reindex() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) stack_[i]->index_ = i;
+}
+
+StreamModule* Stream::find(std::string_view name) const {
+  for (const auto& m : stack_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Stream::describe() const {
+  std::vector<std::string> out;
+  out.reserve(stack_.size());
+  for (const auto& m : stack_) out.push_back(m->name());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PduFramingModule
+// ---------------------------------------------------------------------------
+
+void PduFramingModule::write_put(Message&& m) {
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = next_seq_++;
+  p.payload = std::move(m);
+  put_next_write(encode_pdu(std::move(p), kind_, placement_));
+}
+
+void PduFramingModule::read_put(Message&& m) {
+  auto r = decode_pdu(std::move(m));
+  if (r.status != DecodeStatus::kOk) {
+    ++corrupted_;
+    return;  // absorbed: corrupted frames never reach the head
+  }
+  put_next_read(std::move(r.pdu.payload));
+}
+
+}  // namespace adaptive::tko

@@ -1,0 +1,147 @@
+// System V Release 4 STREAMS-style composition substrate.
+//
+// The paper's prototype was "hosted on both the x-kernel and System V
+// release 4 STREAMS." The x-kernel flavor is the ProtocolGraph /
+// Protocol / Session family; this is the STREAMS flavor: a full-duplex
+// pipeline of modules between a stream head (the application boundary)
+// and a driver (the network boundary). Modules are pushed and popped at
+// run time (I_PUSH / I_POP), which is the property that made STREAMS a
+// natural host for a dynamically composed transport.
+//
+// Write-side messages flow head -> modules -> driver; read-side messages
+// flow driver -> modules -> head. Each module sees both directions and
+// may transform, absorb, or originate messages.
+#pragma once
+
+#include "tko/message.hpp"
+#include "tko/pdu.hpp"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adaptive::tko {
+
+class Stream;
+
+class StreamModule {
+public:
+  explicit StreamModule(std::string name) : name_(std::move(name)) {}
+  virtual ~StreamModule() = default;
+  StreamModule(const StreamModule&) = delete;
+  StreamModule& operator=(const StreamModule&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Write-side put procedure (toward the driver). Default: pass through.
+  virtual void write_put(Message&& m) { put_next_write(std::move(m)); }
+  /// Read-side put procedure (toward the head). Default: pass through.
+  virtual void read_put(Message&& m) { put_next_read(std::move(m)); }
+
+protected:
+  void put_next_write(Message&& m);
+  void put_next_read(Message&& m);
+
+private:
+  friend class Stream;
+  std::string name_;
+  Stream* stream_ = nullptr;
+  std::size_t index_ = 0;  ///< position in the stack (0 = nearest the head)
+};
+
+class Stream {
+public:
+  /// The driver's transmit entry: write-side messages that traverse the
+  /// whole stack end up here (hand them to a NIC, a loopback, a test...).
+  using DriverTxFn = std::function<void(Message&&)>;
+  explicit Stream(DriverTxFn driver_tx) : driver_tx_(std::move(driver_tx)) {}
+
+  /// Messages that traverse the read side up to the stream head.
+  using ReadFn = std::function<void(Message&&)>;
+  void set_read_handler(ReadFn fn) { read_ = std::move(fn); }
+
+  /// Application write at the stream head (flows down the stack).
+  void write(Message&& m);
+
+  /// Driver receive (flows up the stack toward the head).
+  void inject_from_driver(Message&& m);
+
+  /// I_PUSH: insert a module directly below the stream head.
+  StreamModule& push(std::unique_ptr<StreamModule> module);
+
+  /// I_POP: remove and return the module nearest the head; null if empty.
+  std::unique_ptr<StreamModule> pop();
+
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+  [[nodiscard]] StreamModule* find(std::string_view name) const;
+
+  /// Module names head-to-driver (diagnostics).
+  [[nodiscard]] std::vector<std::string> describe() const;
+
+private:
+  friend class StreamModule;
+  void write_from(std::size_t below_index, Message&& m);
+  void read_from(std::size_t above_index, Message&& m);
+  void reindex();
+
+  DriverTxFn driver_tx_;
+  ReadFn read_;
+  /// stack_[0] is nearest the head; stack_.back() nearest the driver.
+  std::vector<std::unique_ptr<StreamModule>> stack_;
+};
+
+// ---------------------------------------------------------------------------
+// Stock modules
+// ---------------------------------------------------------------------------
+
+/// Arbitrary transformation/filter module built from two callables —
+/// handy for tests and quick experiments. Returning nullopt absorbs the
+/// message.
+class LambdaModule final : public StreamModule {
+public:
+  using Fn = std::function<std::optional<Message>(Message&&)>;
+  LambdaModule(std::string name, Fn on_write, Fn on_read)
+      : StreamModule(std::move(name)), on_write_(std::move(on_write)),
+        on_read_(std::move(on_read)) {}
+
+  void write_put(Message&& m) override {
+    if (!on_write_) return put_next_write(std::move(m));
+    auto out = on_write_(std::move(m));
+    if (out.has_value()) put_next_write(std::move(*out));
+  }
+  void read_put(Message&& m) override {
+    if (!on_read_) return put_next_read(std::move(m));
+    auto out = on_read_(std::move(m));
+    if (out.has_value()) put_next_read(std::move(*out));
+  }
+
+private:
+  Fn on_write_;
+  Fn on_read_;
+};
+
+/// PDU framing as a STREAMS module: write side wraps payloads in DATA
+/// PDUs (sequence numbers, checksum per the chosen scheme); read side
+/// verifies and strips, absorbing corrupted messages. Demonstrates a TKO
+/// protocol function living in the STREAMS environment.
+class PduFramingModule final : public StreamModule {
+public:
+  PduFramingModule(ChecksumKind kind, ChecksumPlacement placement)
+      : StreamModule("pdu-framing"), kind_(kind), placement_(placement) {}
+
+  void write_put(Message&& m) override;
+  void read_put(Message&& m) override;
+
+  [[nodiscard]] std::uint64_t corrupted_dropped() const { return corrupted_; }
+  [[nodiscard]] std::uint32_t next_seq() const { return next_seq_; }
+
+private:
+  ChecksumKind kind_;
+  ChecksumPlacement placement_;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace adaptive::tko

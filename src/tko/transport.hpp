@@ -1,0 +1,206 @@
+// The ADAPTIVE transport: TransportSession + AdaptiveTransport protocol.
+//
+// TransportSession is the executable session object Stage III produces: it
+// owns a TKO_Context of mechanisms and acts as the interpreter that runs
+// PDUs through them (Section 4.2). It implements the generic Session
+// interface upward (applications) and the SessionCore interface inward
+// (mechanisms).
+//
+// AdaptiveTransport is the TKO_Protocol object: it binds the transport
+// port on a host, multiplexes sessions by session id, creates passive
+// sessions from SYN-carried or piggybacked SCSs, and owns the synthesizer
+// and template cache.
+//
+// Protocol processing is charged to the host CPU in virtual time with a
+// per-PDU instruction budget derived from the mechanisms in use, so
+// lightweight configurations are measurably faster end to end — the
+// paper's overweight-configuration argument made quantitative.
+#pragma once
+
+#include "os/host.hpp"
+#include "tko/pdu.hpp"
+#include "tko/protocol.hpp"
+#include "tko/sa/context.hpp"
+#include "tko/sa/synthesizer.hpp"
+#include "tko/session.hpp"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace adaptive::tko {
+
+/// Well-known port of the ADAPTIVE transport on every host.
+inline constexpr net::PortId kTransportPort = 7000;
+
+class AdaptiveTransport;
+
+struct TransportSessionStats {
+  std::uint64_t pdus_sent = 0;
+  std::uint64_t pdus_received = 0;
+  std::uint64_t bytes_sent = 0;       ///< app payload bytes handed to the network
+  std::uint64_t bytes_delivered = 0;  ///< app payload bytes delivered upward
+  std::uint64_t checksum_failures = 0;
+  std::uint64_t messages_delivered = 0;
+  sim::SimTime connect_started = sim::SimTime::zero();
+  sim::SimTime established_at = sim::SimTime::zero();
+};
+
+class TransportSession final : public Session, public sa::SessionCore {
+public:
+  TransportSession(AdaptiveTransport& proto, std::uint32_t id, net::Address local,
+                   std::vector<net::Address> remotes, const sa::SessionConfig& cfg,
+                   std::unique_ptr<sa::Context> ctx, bool active);
+  ~TransportSession() override;
+
+  // ---- Session interface (application-facing) -------------------------
+  bool send(Message&& m) override;
+  void connect() override;
+  void close(bool graceful = true) override;
+  [[nodiscard]] SessionState state() const override { return state_; }
+  [[nodiscard]] std::optional<std::string> control(std::string_view op) const override;
+
+  // ---- SessionCore interface (mechanism-facing) ----------------------
+  void emit(Pdu&& p) override;
+  void deliver(Message&& m) override;
+  os::TimerFacility& timers() override;
+  os::BufferPool& buffers() override;
+  [[nodiscard]] sim::SimTime now() const override;
+  [[nodiscard]] std::size_t receiver_count() const override;
+  void tx_ready() override;
+  void connection_established() override;
+  void connection_closed(bool aborted) override;
+  void loss_signal() override;
+  void count(std::string_view metric, double value = 1.0) override;
+
+  // ---- management ------------------------------------------------------
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] const sa::SessionConfig& config() const { return cfg_; }
+  [[nodiscard]] sa::Context& context() { return *ctx_; }
+  [[nodiscard]] const TransportSessionStats& stats() const { return stats_; }
+  [[nodiscard]] os::Host& host();
+
+  /// Packet handed over by the protocol demultiplexer. Charges receive-
+  /// side CPU before protocol processing.
+  void handle_packet(net::Packet&& p);
+
+  /// Apply a new SCS to the live session: every slot whose mechanism
+  /// choice differs is replaced via segue (no data loss). MANTTS's
+  /// "adjust the SCS" reconfiguration action.
+  void reconfigure(const sa::SessionConfig& next);
+
+  /// UNITES instrumentation: receives every whitebox count() this session
+  /// makes. Unset = uninstrumented (near-zero overhead).
+  using MetricFn = std::function<void(std::string_view, double)>;
+  void set_metric_hook(MetricFn fn) { metric_ = std::move(fn); }
+
+  /// MANTTS hook observing loss signals (policy trigger input).
+  using LossFn = std::function<void()>;
+  void set_loss_observer(LossFn fn) { on_loss_ = std::move(fn); }
+
+  // ---- interpreter trace -----------------------------------------------
+  /// The session object "guides the actions of an interpreter that
+  /// performs protocol processing activities on PDUs" (Section 4.1.1);
+  /// the trace records that interpreter's steps: every PDU in or out,
+  /// with direction, type, and sequencing fields — the protocol-debugging
+  /// view a controlled prototyping environment owes its users.
+  struct TraceEntry {
+    sim::SimTime when;
+    bool outbound = false;
+    PduType type = PduType::kData;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::size_t payload_bytes = 0;
+  };
+  void enable_trace(std::size_t capacity) {
+    trace_capacity_ = capacity;
+    trace_.clear();
+  }
+  void disable_trace() { trace_capacity_ = 0; }
+  [[nodiscard]] const std::deque<TraceEntry>& trace() const { return trace_; }
+  [[nodiscard]] std::string render_trace() const;
+
+private:
+  void process_pdu(Pdu&& p, net::NodeId from);
+  void pump();
+  void check_close_drain();
+  [[nodiscard]] std::uint64_t tx_instr(std::size_t payload_bytes, PduType type) const;
+  [[nodiscard]] std::uint64_t rx_instr(std::size_t wire_bytes) const;
+  void send_wire(Message&& wire);
+
+  AdaptiveTransport& proto_;
+  std::uint32_t id_;
+  sa::SessionConfig cfg_;
+  std::unique_ptr<sa::Context> ctx_;
+  bool active_;
+  SessionState state_ = SessionState::kIdle;
+  std::deque<Message> tx_queue_;
+  bool peer_confirmed_ = false;
+  std::uint32_t piggyback_budget_ = 16;
+  bool pump_scheduled_ = false;
+  sim::EventHandle pump_timer_;
+  /// Message-oriented reassembly: delivered bytes accumulate here until a
+  /// complete [u32 length][payload] TSDU record is available.
+  Message rx_assembly_;
+  TransportSessionStats stats_;
+  MetricFn metric_;
+  LossFn on_loss_;
+  std::size_t trace_capacity_ = 0;
+  std::deque<TraceEntry> trace_;
+
+  void record_trace(bool outbound, const Pdu& p);
+};
+
+class AdaptiveTransport final : public Protocol {
+public:
+  explicit AdaptiveTransport(os::Host& host, net::PortId port = kTransportPort);
+  ~AdaptiveTransport() override;
+
+  /// Active open: synthesize a session toward `remotes` (one unicast
+  /// address, several unicast addresses, or one multicast group address)
+  /// with configuration `cfg`. Synthesis cost is charged to the host CPU.
+  TransportSession& open(std::vector<net::Address> remotes, const sa::SessionConfig& cfg);
+
+  /// Invoked when a passive session is created by an arriving SYN or
+  /// piggybacked-config data PDU.
+  using AcceptFn = std::function<void(TransportSession&)>;
+  void set_acceptor(AcceptFn fn) { acceptor_ = std::move(fn); }
+
+  /// Admission control applied to every remotely proposed configuration
+  /// (SYN-carried or piggybacked) before a passive session is synthesized.
+  /// The possibly-downgraded result travels back in the SYNACK — the
+  /// paper's "negotiation combined with explicit connection management
+  /// during the initial handshake" (Section 4.1.1). Default: accept as-is.
+  using AdmissionFn = std::function<sa::SessionConfig(const sa::SessionConfig&)>;
+  void set_admission(AdmissionFn fn) { admission_ = std::move(fn); }
+
+  void demux(net::Packet&& p) override;
+  [[nodiscard]] std::size_t session_count() const override { return sessions_.size(); }
+
+  [[nodiscard]] TransportSession* find_session(std::uint32_t id);
+  void destroy_session(std::uint32_t id);
+
+  [[nodiscard]] os::Host& host() { return host_; }
+  [[nodiscard]] net::PortId port() const { return port_; }
+  [[nodiscard]] sa::Synthesizer& synthesizer() { return synth_; }
+  [[nodiscard]] sa::TemplateCache& templates() { return templates_; }
+
+  [[nodiscard]] std::uint64_t orphan_pdus() const { return orphans_; }
+
+private:
+  TransportSession& create_passive(std::uint32_t id, net::Address remote,
+                                   const sa::SessionConfig& cfg);
+
+  os::Host& host_;
+  net::PortId port_;
+  sa::TemplateCache templates_ = sa::TemplateCache::with_defaults();
+  sa::Synthesizer synth_{&templates_};
+  std::map<std::uint32_t, std::unique_ptr<TransportSession>> sessions_;
+  std::uint32_t next_session_ = 1;
+  AcceptFn acceptor_;
+  AdmissionFn admission_;
+  std::uint64_t orphans_ = 0;
+};
+
+}  // namespace adaptive::tko

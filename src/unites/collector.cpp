@@ -1,0 +1,76 @@
+#include "unites/collector.hpp"
+
+namespace adaptive::unites {
+
+SessionCollector::SessionCollector(MetricRepository& repo, tko::TransportSession& session,
+                                   const MeasurementSpec& spec)
+    : repo_(repo), session_(&session), spec_(spec) {
+  if (spec_.whitebox) {
+    session_->set_metric_hook([this](std::string_view name, double value) {
+      if (!accepts(name)) return;
+      ++whitebox_events_;
+      repo_.record(MetricKey{session_->host().node_id(), session_->id(), std::string(name)},
+                   session_->now(), value);
+    });
+  }
+  timer_ = std::make_unique<tko::Event>(session_->host().timers(), [this] { sample(); });
+  timer_->schedule_periodic(spec_.sampling_period);
+}
+
+SessionCollector::~SessionCollector() { detach(); }
+
+void SessionCollector::detach() {
+  if (session_ == nullptr) return;
+  if (spec_.whitebox) session_->set_metric_hook(nullptr);
+  timer_->cancel();
+  session_ = nullptr;
+}
+
+bool SessionCollector::accepts(std::string_view name) const {
+  if (spec_.filter.empty()) return true;
+  for (const auto& prefix : spec_.filter) {
+    if (name.substr(0, prefix.size()) == prefix) return true;
+  }
+  return false;
+}
+
+void SessionCollector::sample() {
+  if (session_ == nullptr) return;
+  const auto& st = session_->stats();
+  const std::uint64_t bytes = st.bytes_delivered;
+  const double bps =
+      static_cast<double>(bytes - last_bytes_) * 8.0 / spec_.sampling_period.sec();
+  last_bytes_ = bytes;
+  repo_.record(
+      MetricKey{session_->host().node_id(), session_->id(), metrics::kThroughputBps},
+      session_->now(), bps);
+}
+
+HostCollector::HostCollector(MetricRepository& repo, os::Host& host, sim::SimTime period)
+    : repo_(repo), host_(&host) {
+  timer_ = std::make_unique<tko::Event>(host_->timers(), [this] { sample(); });
+  timer_->schedule_periodic(period);
+}
+
+HostCollector::~HostCollector() { detach(); }
+
+void HostCollector::detach() {
+  if (host_ == nullptr) return;
+  timer_->cancel();
+  host_ = nullptr;
+}
+
+void HostCollector::sample() {
+  if (host_ == nullptr) return;
+  const auto now = host_->now();
+  const auto instr = host_->cpu().stats().instructions;
+  repo_.record(MetricKey{host_->node_id(), 0, metrics::kCpuInstructions}, now,
+               static_cast<double>(instr - last_instr_));
+  last_instr_ = instr;
+  const auto copies = host_->buffers().stats().copies;
+  repo_.record(MetricKey{host_->node_id(), 0, metrics::kCopies}, now,
+               static_cast<double>(copies - last_copies_));
+  last_copies_ = copies;
+}
+
+}  // namespace adaptive::unites

@@ -1,0 +1,75 @@
+// UNITES collectors: wire instrumentation into live sessions and hosts.
+//
+// SessionCollector implements the paper's two collection paths: (1) the
+// Transport Measurement Component route — the TKO subsystem "selectively
+// instruments the synthesized configurations and the metrics are
+// automatically collected at run-time" — and (2) periodic blackbox
+// sampling (throughput from delivered-byte deltas). HostCollector samples
+// host-wide figures (CPU instructions, buffer copies).
+#pragma once
+
+#include "os/host.hpp"
+#include "tko/event.hpp"
+#include "tko/transport.hpp"
+#include "unites/repository.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adaptive::unites {
+
+/// The ACD's Transport Measurement Component: which metrics to collect
+/// and how often to sample periodic ones.
+struct MeasurementSpec {
+  bool whitebox = true;  ///< attach the in-session count() hook
+  sim::SimTime sampling_period = sim::SimTime::milliseconds(100);
+  /// Metric-name prefixes to accept (empty = accept all).
+  std::vector<std::string> filter;
+};
+
+class SessionCollector {
+public:
+  SessionCollector(MetricRepository& repo, tko::TransportSession& session,
+                   const MeasurementSpec& spec);
+  ~SessionCollector();
+  SessionCollector(const SessionCollector&) = delete;
+  SessionCollector& operator=(const SessionCollector&) = delete;
+
+  /// Stop sampling and detach the whitebox hook.
+  void detach();
+
+  [[nodiscard]] std::uint64_t whitebox_events() const { return whitebox_events_; }
+
+private:
+  void sample();
+  [[nodiscard]] bool accepts(std::string_view name) const;
+
+  MetricRepository& repo_;
+  tko::TransportSession* session_;
+  MeasurementSpec spec_;
+  std::unique_ptr<tko::Event> timer_;
+  std::uint64_t last_bytes_ = 0;
+  std::uint64_t whitebox_events_ = 0;
+};
+
+class HostCollector {
+public:
+  HostCollector(MetricRepository& repo, os::Host& host, sim::SimTime period);
+  ~HostCollector();
+  HostCollector(const HostCollector&) = delete;
+  HostCollector& operator=(const HostCollector&) = delete;
+
+  void detach();
+
+private:
+  void sample();
+
+  MetricRepository& repo_;
+  os::Host* host_;
+  std::unique_ptr<tko::Event> timer_;
+  std::uint64_t last_instr_ = 0;
+  std::uint64_t last_copies_ = 0;
+};
+
+}  // namespace adaptive::unites

@@ -1,0 +1,12 @@
+#include "unites/metric.hpp"
+
+namespace adaptive::unites {
+
+MetricClass classify_metric(std::string_view name) {
+  if (name == metrics::kThroughputBps || name == metrics::kLatencyNs) {
+    return MetricClass::kBlackbox;
+  }
+  return MetricClass::kWhitebox;
+}
+
+}  // namespace adaptive::unites

@@ -1,0 +1,60 @@
+// UNITES metric taxonomy (Section 4.3).
+//
+// Blackbox metrics are observable without internal instrumentation
+// (throughput, latency); whitebox metrics require hooks inside synthesized
+// session configurations (connection setup time, retransmissions, jitter,
+// per-function instruction counts). A MetricKey names one time series:
+// (host, connection, metric); connection 0 means host-wide.
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptive::unites {
+
+enum class MetricClass : std::uint8_t { kBlackbox, kWhitebox };
+
+struct MetricKey {
+  net::NodeId host = 0;
+  std::uint32_t connection = 0;  ///< session id; 0 = host-wide
+  std::string name;
+
+  friend auto operator<=>(const MetricKey&, const MetricKey&) = default;
+};
+
+struct Sample {
+  sim::SimTime when;
+  double value = 0.0;
+};
+
+using Series = std::vector<Sample>;
+
+/// Well-known metric names used across the system (free-form names are
+/// also accepted; these are the ones ADAPTIVE's own instrumentation
+/// emits).
+namespace metrics {
+// Blackbox.
+inline constexpr const char* kThroughputBps = "throughput.bps";
+inline constexpr const char* kLatencyNs = "latency.ns";
+// Whitebox.
+inline constexpr const char* kConnectionSetupNs = "connection.setup_ns";
+inline constexpr const char* kRetransmissions = "reliability.retransmissions";
+inline constexpr const char* kTimeouts = "reliability.timeout";
+inline constexpr const char* kJitterNs = "jitter.ns";
+inline constexpr const char* kPacketLoss = "loss.packets";
+inline constexpr const char* kPdusSent = "pdu.sent";
+inline constexpr const char* kPdusReceived = "pdu.received";
+inline constexpr const char* kChecksumErrors = "pdu.checksum_error";
+inline constexpr const char* kCopies = "buffer.copies";
+inline constexpr const char* kCpuInstructions = "cpu.instructions";
+inline constexpr const char* kSegues = "context.segue";
+}  // namespace metrics
+
+[[nodiscard]] MetricClass classify_metric(std::string_view name);
+
+}  // namespace adaptive::unites

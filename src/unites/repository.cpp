@@ -1,0 +1,71 @@
+#include "unites/repository.hpp"
+
+#include <algorithm>
+
+namespace adaptive::unites {
+
+void MetricRepository::record(const MetricKey& key, sim::SimTime when, double value) {
+  auto& stored = data_[key];
+  stored.samples.push_back(Sample{when, value});
+  if (stored.samples.size() > cap_) {
+    // Age out the oldest half in one move (amortized O(1) per record).
+    stored.samples.erase(stored.samples.begin(),
+                         stored.samples.begin() + static_cast<std::ptrdiff_t>(cap_ / 2));
+  }
+  auto& s = summaries_[key];
+  if (s.count == 0) {
+    s.min = s.max = value;
+  } else {
+    s.min = std::min(s.min, value);
+    s.max = std::max(s.max, value);
+  }
+  ++s.count;
+  s.sum += value;
+  s.last = value;
+  ++total_samples_;
+}
+
+const Series* MetricRepository::series(const MetricKey& key) const {
+  auto it = data_.find(key);
+  return it == data_.end() ? nullptr : &it->second.samples;
+}
+
+std::optional<SeriesSummary> MetricRepository::summary(const MetricKey& key) const {
+  auto it = summaries_.find(key);
+  if (it == summaries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<MetricKey> MetricRepository::keys() const {
+  std::vector<MetricKey> out;
+  out.reserve(data_.size());
+  for (const auto& [k, _] : data_) out.push_back(k);
+  return out;
+}
+
+std::vector<MetricKey> MetricRepository::keys_for_host(net::NodeId host) const {
+  std::vector<MetricKey> out;
+  for (const auto& [k, _] : data_) {
+    if (k.host == host) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<MetricKey> MetricRepository::keys_for_connection(net::NodeId host,
+                                                             std::uint32_t connection) const {
+  std::vector<MetricKey> out;
+  for (const auto& [k, _] : data_) {
+    if (k.host == host && k.connection == connection) out.push_back(k);
+  }
+  return out;
+}
+
+double MetricRepository::systemwide_sum(std::string_view name) const {
+  double sum = 0.0;
+  for (const auto& [k, s] : summaries_) {
+    if (k.name == name) sum += s.sum;
+  }
+  return sum;
+}
+
+}  // namespace adaptive::unites

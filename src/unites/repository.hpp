@@ -1,0 +1,65 @@
+// UNITES Metric Repository (Figure 6): the database collected metric
+// information lands in.
+//
+// "A repository is necessary when many active connections are instrumented
+// and monitored, since too much data is generated to collect and process
+// in real-time" — each series is bounded, and aggregate counters survive
+// even after raw samples age out. Queries come in the three presentations
+// the paper lists: systemwide, per-host, and per-connection.
+#pragma once
+
+#include "unites/metric.hpp"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace adaptive::unites {
+
+struct SeriesSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+};
+
+class MetricRepository {
+public:
+  explicit MetricRepository(std::size_t max_samples_per_series = 65'536)
+      : cap_(max_samples_per_series) {}
+
+  void record(const MetricKey& key, sim::SimTime when, double value);
+
+  [[nodiscard]] const Series* series(const MetricKey& key) const;
+  [[nodiscard]] std::optional<SeriesSummary> summary(const MetricKey& key) const;
+
+  /// All keys, optionally filtered to one host and/or one connection.
+  [[nodiscard]] std::vector<MetricKey> keys() const;
+  [[nodiscard]] std::vector<MetricKey> keys_for_host(net::NodeId host) const;
+  [[nodiscard]] std::vector<MetricKey> keys_for_connection(net::NodeId host,
+                                                           std::uint32_t connection) const;
+
+  /// Systemwide total of a counter-style metric across hosts/connections.
+  [[nodiscard]] double systemwide_sum(std::string_view name) const;
+
+  [[nodiscard]] std::size_t series_count() const { return data_.size(); }
+  [[nodiscard]] std::uint64_t total_samples() const { return total_samples_; }
+
+  void clear() {
+    data_.clear();
+    summaries_.clear();
+    total_samples_ = 0;
+  }
+
+private:
+  struct Stored {
+    Series samples;
+  };
+  std::size_t cap_;
+  std::map<MetricKey, Stored> data_;
+  std::map<MetricKey, SeriesSummary> summaries_;
+  std::uint64_t total_samples_ = 0;
+};
+
+}  // namespace adaptive::unites

@@ -1,0 +1,178 @@
+#include "unites/spec_language.hpp"
+
+#include "unites/analysis.hpp"
+#include "unites/presentation.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace adaptive::unites {
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto not_space = [](unsigned char c) { return std::isspace(c) == 0; };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), not_space));
+  s.erase(std::find_if(s.rbegin(), s.rend(), not_space).base(), s.end());
+  return s;
+}
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+bool known_stat(const std::string& s) {
+  static const char* kStats[] = {"count", "sum",  "mean", "min", "max", "stddev",
+                                 "p50",   "p95",  "p99",  "rate", "last"};
+  return std::any_of(std::begin(kStats), std::end(kStats),
+                     [&](const char* k) { return s == k; });
+}
+
+/// Parse "50ms" / "2s" / "100us" into a SimTime.
+std::optional<sim::SimTime> parse_period(const std::string& token) {
+  std::size_t i = 0;
+  while (i < token.size() && (std::isdigit(static_cast<unsigned char>(token[i])) != 0)) ++i;
+  if (i == 0) return std::nullopt;
+  const long value = std::stol(token.substr(0, i));
+  const std::string unit = token.substr(i);
+  if (unit == "us") return sim::SimTime::microseconds(value);
+  if (unit == "ms") return sim::SimTime::milliseconds(value);
+  if (unit == "s") return sim::SimTime::seconds(static_cast<double>(value));
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MetricSpecProgram> parse_metric_spec(std::string_view text,
+                                                   std::vector<std::string>* errors) {
+  MetricSpecProgram program;
+  program.measurement.whitebox = false;  // until a collect statement appears
+  bool ok = true;
+  auto fail = [&](int line_no, const std::string& msg) {
+    ok = false;
+    if (errors != nullptr) {
+      errors->push_back("line " + std::to_string(line_no) + ": " + msg);
+    }
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto words = split_words(line);
+
+    if (words[0] == "collect") {
+      if (words.size() != 2 && !(words.size() == 4 && words[2] == "every")) {
+        fail(line_no, "expected: collect <pattern> [every <period>]");
+        continue;
+      }
+      program.measurement.whitebox = true;
+      std::string pattern = words[1];
+      if (pattern != "*") {
+        // "pdu.*" -> prefix "pdu."; a bare name is itself a prefix.
+        if (pattern.size() >= 2 && pattern.ends_with("*")) {
+          pattern.pop_back();
+        }
+        program.measurement.filter.push_back(pattern);
+      } else {
+        program.measurement.filter.clear();  // '*' collects everything
+      }
+      if (words.size() == 4) {
+        const auto period = parse_period(words[3]);
+        if (!period.has_value()) {
+          fail(line_no, "bad period '" + words[3] + "' (use e.g. 50ms, 2s)");
+          continue;
+        }
+        program.measurement.sampling_period =
+            std::min(program.measurement.sampling_period, *period);
+      }
+      continue;
+    }
+
+    if (words[0] == "report") {
+      // report <stat>[, <stat>...] of <metric>
+      auto of = std::find(words.begin(), words.end(), "of");
+      if (of == words.end() || of + 1 == words.end()) {
+        fail(line_no, "expected: report <stat>[,<stat>] of <metric>");
+        continue;
+      }
+      ReportStatement stmt;
+      std::string stats_blob;
+      for (auto it = words.begin() + 1; it != of; ++it) stats_blob += *it;
+      std::string stat;
+      std::istringstream stats_in(stats_blob);
+      bool stats_ok = true;
+      while (std::getline(stats_in, stat, ',')) {
+        stat = trim(stat);
+        if (stat.empty()) continue;
+        if (!known_stat(stat)) {
+          fail(line_no, "unknown statistic '" + stat + "'");
+          stats_ok = false;
+          break;
+        }
+        stmt.stats.push_back(stat);
+      }
+      if (!stats_ok) continue;
+      if (stmt.stats.empty()) {
+        fail(line_no, "no statistics requested");
+        continue;
+      }
+      stmt.metric = *(of + 1);
+      program.reports.push_back(std::move(stmt));
+      continue;
+    }
+
+    fail(line_no, "unknown statement '" + words[0] + "'");
+  }
+  if (!ok) return std::nullopt;
+  return program;
+}
+
+std::string run_reports(const MetricSpecProgram& program, const MetricRepository& repo,
+                        net::NodeId host, std::uint32_t connection) {
+  TextTable table({"metric", "statistic", "value"});
+  for (const auto& stmt : program.reports) {
+    const MetricKey key{host, connection, stmt.metric};
+    const Series* series = repo.series(key);
+    if (series == nullptr) {
+      table.add_row({stmt.metric, "-", "(no samples)"});
+      continue;
+    }
+    const auto stats = analyze(*series);
+    const auto summary = repo.summary(key);
+    for (const auto& stat : stmt.stats) {
+      double v = 0.0;
+      bool have = true;
+      if (stat == "count") v = static_cast<double>(stats.count);
+      else if (stat == "sum") v = summary.has_value() ? summary->sum : 0.0;
+      else if (stat == "mean") v = stats.mean;
+      else if (stat == "min") v = stats.min;
+      else if (stat == "max") v = stats.max;
+      else if (stat == "stddev") v = stats.stddev;
+      else if (stat == "p50") v = stats.p50;
+      else if (stat == "p95") v = stats.p95;
+      else if (stat == "p99") v = stats.p99;
+      else if (stat == "last") v = summary.has_value() ? summary->last : 0.0;
+      else if (stat == "rate") {
+        const auto r = rate_per_second(*series);
+        have = r.has_value();
+        v = r.value_or(0.0);
+      }
+      table.add_row({stmt.metric, stat + (stat == "rate" ? "/s" : ""),
+                     have ? format_si(v) : "(undefined)"});
+    }
+  }
+  return table.render();
+}
+
+}  // namespace adaptive::unites

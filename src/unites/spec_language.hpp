@@ -1,0 +1,51 @@
+// UNITES metric-specification language (Section 4.3).
+//
+// "Metrics also may be requested using either a graphics-based or
+// language-based interface" — this is the language-based one, in the
+// spirit of Sjodin et al.'s measurement specification language. A spec is
+// a line-oriented program:
+//
+//     # comments and blank lines are ignored
+//     collect pdu.* every 50ms      # whitebox prefix filter + sampling period
+//     collect connection.*
+//     report mean, p95 of latency.ns
+//     report sum of reliability.timeout
+//     report rate of data.delivered_bytes
+//
+// `collect` statements compile into a MeasurementSpec (attachable to a
+// session through the ACD's Transport Measurement Component); `report`
+// statements run against the metric repository and render a table.
+#pragma once
+
+#include "unites/collector.hpp"
+#include "unites/repository.hpp"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptive::unites {
+
+struct ReportStatement {
+  std::vector<std::string> stats;  ///< count|sum|mean|min|max|stddev|p50|p95|p99|rate|last
+  std::string metric;
+};
+
+struct MetricSpecProgram {
+  MeasurementSpec measurement;
+  std::vector<ReportStatement> reports;
+};
+
+/// Parse a spec. On failure returns nullopt and, when `errors` is given,
+/// one message per offending line ("line N: ...").
+[[nodiscard]] std::optional<MetricSpecProgram> parse_metric_spec(
+    std::string_view text, std::vector<std::string>* errors = nullptr);
+
+/// Execute the program's report statements against `repo` for one
+/// connection, rendering a fixed-width table (one row per report).
+[[nodiscard]] std::string run_reports(const MetricSpecProgram& program,
+                                      const MetricRepository& repo, net::NodeId host,
+                                      std::uint32_t connection);
+
+}  // namespace adaptive::unites

@@ -1,0 +1,417 @@
+// Tests for MANTTS: Table 1 data, Stage I/II transformations, the NMI,
+// TSA policy engine, negotiation codec/admission, and the entity's full
+// open/adapt/close life cycle over a simulated network.
+#include "adaptive/world.hpp"
+#include "mantts/mantts.hpp"
+#include "mantts/negotiation.hpp"
+#include "mantts/policy.hpp"
+#include "mantts/transform.hpp"
+#include "mantts/tsc.hpp"
+#include "net/background_traffic.hpp"
+#include "net/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaptive::mantts {
+namespace {
+
+using tko::sa::AckScheme;
+using tko::sa::ConnectionScheme;
+using tko::sa::DetectionScheme;
+using tko::sa::RecoveryScheme;
+using tko::sa::SessionConfig;
+using tko::sa::TransmissionScheme;
+
+Acd voice_acd() {
+  Acd acd;
+  acd.remotes = {{1, tko::kTransportPort}};
+  acd.quantitative.average_throughput = sim::Rate::kbps(64);
+  acd.quantitative.max_latency = sim::SimTime::milliseconds(150);
+  acd.quantitative.max_jitter = sim::SimTime::milliseconds(30);
+  acd.quantitative.loss_tolerance = 0.1;
+  acd.quantitative.duration = sim::SimTime::seconds(30);
+  acd.qualitative.isochronous = true;
+  acd.qualitative.conversational = true;
+  acd.qualitative.sequenced_delivery = false;
+  acd.qualitative.duplicate_sensitive = false;
+  return acd;
+}
+
+Acd bulk_acd() {
+  Acd acd;
+  acd.remotes = {{1, tko::kTransportPort}};
+  acd.quantitative.average_throughput = sim::Rate::mbps(5);
+  acd.quantitative.loss_tolerance = 0.0;
+  acd.quantitative.duration = sim::SimTime::seconds(120);
+  acd.qualitative.sequenced_delivery = true;
+  return acd;
+}
+
+NetworkStateDescriptor lan_state() {
+  NetworkStateDescriptor d;
+  d.reachable = true;
+  d.rtt = sim::SimTime::milliseconds(2);
+  d.bottleneck = sim::Rate::mbps(10);
+  d.mtu = 1500;
+  d.bit_error_rate = 1e-9;
+  return d;
+}
+
+TEST(Table1, HasAllNineRows) {
+  const auto& rows = table1();
+  EXPECT_EQ(rows.size(), 9u);
+  EXPECT_STREQ(rows[0].application, "Voice Conversation");
+  EXPECT_EQ(rows[0].loss_tolerance, LossTolerance::kHigh);
+  EXPECT_FALSE(rows[0].multicast);
+  EXPECT_STREQ(rows[4].application, "Manufacturing Control");
+  EXPECT_EQ(rows[4].tsc, Tsc::kRealTimeNonIsochronous);
+  EXPECT_TRUE(rows[1].multicast);  // tele-conferencing
+  EXPECT_EQ(rows[5].loss_tolerance, LossTolerance::kNone);  // file transfer
+}
+
+TEST(StageI, ClassifiesByQos) {
+  EXPECT_EQ(classify(voice_acd()), Tsc::kInteractiveIsochronous);
+  EXPECT_EQ(classify(bulk_acd()), Tsc::kNonRealTimeNonIsochronous);
+
+  Acd video = voice_acd();
+  video.qualitative.conversational = false;  // one-way distribution
+  video.quantitative.average_throughput = sim::Rate::mbps(20);
+  EXPECT_EQ(classify(video), Tsc::kDistributionalIsochronous);
+
+  Acd control = bulk_acd();
+  control.qualitative.realtime = true;
+  EXPECT_EQ(classify(control), Tsc::kRealTimeNonIsochronous);
+}
+
+TEST(StageI, DefaultConfigsAreValid) {
+  for (const Tsc t : {Tsc::kInteractiveIsochronous, Tsc::kDistributionalIsochronous,
+                      Tsc::kRealTimeNonIsochronous, Tsc::kNonRealTimeNonIsochronous}) {
+    EXPECT_TRUE(tko::sa::Synthesizer::validate(tsc_default_config(t)).empty())
+        << to_string(t);
+  }
+}
+
+TEST(StageII, VoiceGetsLightweightConfig) {
+  const auto cfg = derive_scs(voice_acd(), lan_state());
+  EXPECT_EQ(cfg.connection, ConnectionScheme::kImplicit);
+  EXPECT_EQ(cfg.recovery, RecoveryScheme::kNone);  // loss-tolerant on a clean LAN
+  EXPECT_EQ(cfg.transmission, TransmissionScheme::kRateControl);
+  EXPECT_FALSE(cfg.ordered_delivery);
+  EXPECT_TRUE(tko::sa::Synthesizer::validate(cfg).empty());
+}
+
+TEST(StageII, BulkGetsReliableWindowedConfig) {
+  const auto cfg = derive_scs(bulk_acd(), lan_state());
+  EXPECT_NE(cfg.recovery, RecoveryScheme::kNone);
+  EXPECT_TRUE(cfg.ordered_delivery);
+  EXPECT_GE(cfg.window_pdus, 4);
+  EXPECT_TRUE(tko::sa::Synthesizer::validate(cfg).empty());
+}
+
+TEST(StageII, LongRttSwitchesDelayBoundedTrafficToFec) {
+  auto state = lan_state();
+  state.rtt = sim::SimTime::milliseconds(500);  // satellite-class
+  Acd control = bulk_acd();
+  control.qualitative.realtime = true;
+  control.quantitative.max_latency = sim::SimTime::milliseconds(600);
+  const auto cfg = derive_scs(control, state);
+  EXPECT_EQ(cfg.recovery, RecoveryScheme::kForwardErrorCorrection);
+}
+
+TEST(StageII, CongestionPrefersSelectiveRepeatForUnicast) {
+  auto state = lan_state();
+  state.congestion = 0.8;
+  const auto cfg = derive_scs(bulk_acd(), state);
+  EXPECT_EQ(cfg.recovery, RecoveryScheme::kSelectiveRepeat);
+  EXPECT_EQ(cfg.transmission, TransmissionScheme::kSlowStart);
+}
+
+TEST(StageII, MulticastPrefersGoBackN) {
+  Acd acd = bulk_acd();
+  acd.remotes = {{net::kMulticastBase, tko::kTransportPort}};
+  const auto cfg = derive_scs(acd, lan_state());
+  EXPECT_EQ(cfg.recovery, RecoveryScheme::kGoBackN);
+}
+
+TEST(StageII, HighBerPicksCrc) {
+  auto state = lan_state();
+  state.bit_error_rate = 1e-6;
+  const auto cfg = derive_scs(bulk_acd(), state);
+  EXPECT_EQ(cfg.detection, DetectionScheme::kCrc32Trailer);
+}
+
+TEST(StageII, WindowScalesWithBandwidthDelayProduct) {
+  auto lan = lan_state();
+  auto fat = lan_state();
+  fat.rtt = sim::SimTime::milliseconds(100);
+  fat.bottleneck = sim::Rate::mbps(155);
+  const auto w_lan = derive_scs(bulk_acd(), lan).window_pdus;
+  const auto w_fat = derive_scs(bulk_acd(), fat).window_pdus;
+  EXPECT_GT(w_fat, w_lan);
+  EXPECT_LE(w_fat, 256);
+}
+
+TEST(StageII, SegmentBoundedByMtu) {
+  auto state = lan_state();
+  state.mtu = 576;
+  const auto cfg = derive_scs(bulk_acd(), state);
+  EXPECT_LE(cfg.segment_bytes + tko::kPduHeaderBytes + tko::kChecksumTrailerBytes +
+                SessionConfig::kWireBytes + net::Packet::kNetworkHeaderBytes,
+            576u + net::Packet::kNetworkHeaderBytes);
+}
+
+TEST(Nmi, SamplesPathProperties) {
+  sim::EventScheduler sched;
+  auto topo = net::make_dual_path_wan(sched);
+  NetworkMonitorInterface nmi(*topo.network, topo.hosts[0]);
+  auto d = nmi.sample(topo.hosts[1]);
+  EXPECT_TRUE(d.reachable);
+  EXPECT_GT(d.rtt, sim::SimTime::milliseconds(20));
+  EXPECT_LT(d.rtt, sim::SimTime::milliseconds(100));
+  EXPECT_EQ(d.mtu, 4500u);
+  const auto v0 = d.route_version;
+
+  topo.network->set_link_pair_up(topo.scenario_links[0], false);
+  d = nmi.sample(topo.hosts[1]);
+  EXPECT_GT(d.rtt, sim::SimTime::milliseconds(400));  // satellite detour
+  EXPECT_NE(d.route_version, v0);
+}
+
+TEST(Nmi, UnreachableReported) {
+  sim::EventScheduler sched;
+  net::Network net(sched, 1);
+  const auto a = net.add_host("a");
+  const auto b = net.add_host("b");
+  net.recompute_routes();
+  NetworkMonitorInterface nmi(net, a);
+  EXPECT_FALSE(nmi.sample(b).reachable);
+}
+
+TEST(Policy, EdgeTriggeredWithCooldown) {
+  PolicyEngine engine({{TsaCondition::kCongestionAbove, 0.5, TsaAction::kSwitchToSelectiveRepeat,
+                        sim::SimTime::seconds(1)}});
+  NetworkStateDescriptor hot;
+  hot.congestion = 0.9;
+  NetworkStateDescriptor cool;
+  cool.congestion = 0.1;
+
+  auto t = sim::SimTime::zero();
+  // The first sample only establishes baselines — even if the condition
+  // already holds (Stage II handled pre-existing conditions).
+  EXPECT_EQ(engine.evaluate(hot, t).size(), 0u);
+  (void)engine.evaluate(cool, t);
+  EXPECT_EQ(engine.evaluate(hot, t).size(), 1u);   // rising edge fires
+  EXPECT_EQ(engine.evaluate(hot, t).size(), 0u);   // level does not
+  EXPECT_EQ(engine.evaluate(cool, t).size(), 0u);
+  // Rising edge again but still inside cooldown: suppressed.
+  t = sim::SimTime::milliseconds(500);
+  EXPECT_EQ(engine.evaluate(hot, t).size(), 0u);
+  (void)engine.evaluate(cool, t);
+  t = sim::SimTime::seconds(3);
+  EXPECT_EQ(engine.evaluate(hot, t).size(), 1u);
+  EXPECT_EQ(engine.firings(), 2u);
+}
+
+TEST(Policy, RouteChangeCondition) {
+  PolicyEngine engine(
+      {{TsaCondition::kRouteChanged, 0.0, TsaAction::kSwitchToFec, sim::SimTime::zero()}});
+  NetworkStateDescriptor d;
+  d.route_version = 1;
+  EXPECT_EQ(engine.evaluate(d, sim::SimTime::zero()).size(), 0u);  // baseline
+  d.route_version = 2;
+  EXPECT_EQ(engine.evaluate(d, sim::SimTime::milliseconds(1)).size(), 1u);
+}
+
+TEST(Policy, ApplyActionAdjustsConfig) {
+  SessionConfig cfg = tko::sa::reliable_bulk_config();
+  auto fec = apply_action(TsaAction::kSwitchToFec, cfg);
+  EXPECT_EQ(fec.recovery, RecoveryScheme::kForwardErrorCorrection);
+  auto gbn = apply_action(TsaAction::kSwitchToGoBackN, cfg);
+  EXPECT_EQ(gbn.recovery, RecoveryScheme::kGoBackN);
+
+  SessionConfig paced = cfg;
+  paced.inter_pdu_gap = sim::SimTime::milliseconds(2);
+  EXPECT_EQ(apply_action(TsaAction::kIncreaseInterPduGap, paced).inter_pdu_gap,
+            sim::SimTime::milliseconds(4));
+  EXPECT_EQ(apply_action(TsaAction::kDecreaseInterPduGap, paced).inter_pdu_gap,
+            sim::SimTime::milliseconds(1));
+  // Unpaced windowed config grows a pacing stage when asked to slow down.
+  const auto now_paced = apply_action(TsaAction::kIncreaseInterPduGap, cfg);
+  EXPECT_GT(now_paced.inter_pdu_gap, sim::SimTime::zero());
+  EXPECT_EQ(now_paced.transmission, TransmissionScheme::kWindowAndRate);
+}
+
+TEST(Negotiation, SignalRoundTrip) {
+  Signal s;
+  s.type = tko::PduType::kConfig;
+  s.token = 77;
+  s.config = tko::sa::reliable_bulk_config();
+  const auto wire = encode_signal(s);
+  const auto back = decode_signal(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, tko::PduType::kConfig);
+  EXPECT_EQ(back->token, 77u);
+  ASSERT_TRUE(back->config.has_value());
+  EXPECT_EQ(*back->config, tko::sa::reliable_bulk_config());
+}
+
+TEST(Negotiation, CorruptSignalRejected) {
+  Signal s;
+  s.type = tko::PduType::kConfig;
+  s.config = tko::sa::reliable_bulk_config();
+  auto wire = encode_signal(s);
+  wire[tko::kPduHeaderBytes + 3] ^= 0xFF;
+  EXPECT_FALSE(decode_signal(wire).has_value());
+}
+
+TEST(Negotiation, AdmissionClampsResources) {
+  ResourceLimits limits;
+  limits.max_window_pdus = 8;
+  limits.max_segment_bytes = 512;
+  SessionConfig proposal = tko::sa::reliable_bulk_config();
+  proposal.window_pdus = 64;
+  proposal.segment_bytes = 4096;
+  const auto admitted = admit(proposal, limits);
+  EXPECT_EQ(admitted.window_pdus, 8);
+  EXPECT_EQ(admitted.segment_bytes, 512u);
+}
+
+// ---------------------------------------------------------------------------
+// Entity end-to-end
+// ---------------------------------------------------------------------------
+
+class EntityFixture : public ::testing::Test {
+protected:
+  EntityFixture()
+      : world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 4, 9); }) {}
+
+  Acd voice_acd_for(std::size_t dst) {
+    Acd acd = voice_acd();
+    acd.remotes = {world.transport_address(dst)};
+    return acd;
+  }
+  Acd bulk_acd_for(std::size_t dst) {
+    Acd acd = bulk_acd();
+    acd.remotes = {world.transport_address(dst)};
+    return acd;
+  }
+
+  World world;
+};
+
+TEST_F(EntityFixture, ImplicitOpenIsSynchronous) {
+  MantttsEntity::OpenResult result;
+  world.mantts(0).open_session(voice_acd_for(1), [&](auto r) { result = std::move(r); });
+  ASSERT_NE(result.session, nullptr);
+  EXPECT_EQ(result.tsc, Tsc::kInteractiveIsochronous);
+  EXPECT_FALSE(result.negotiated);
+  EXPECT_EQ(result.scs.connection, ConnectionScheme::kImplicit);
+  EXPECT_EQ(world.mantts(0).active_sessions(), 1u);
+}
+
+TEST_F(EntityFixture, ExplicitOpenNegotiatesOutOfBand) {
+  MantttsEntity::OpenResult result;
+  bool done = false;
+  world.mantts(0).open_session(bulk_acd_for(1), [&](auto r) {
+    result = std::move(r);
+    done = true;
+  });
+  EXPECT_FALSE(done);  // waiting for CONFIGACK
+  world.run_for(sim::SimTime::seconds(1));
+  ASSERT_TRUE(done);
+  ASSERT_NE(result.session, nullptr);
+  EXPECT_TRUE(result.negotiated);
+  EXPECT_GT(result.configuration_time, sim::SimTime::zero());
+  EXPECT_EQ(world.mantts(0).stats().negotiations, 1u);
+  world.run_for(sim::SimTime::seconds(1));
+  EXPECT_EQ(result.session->state(), tko::SessionState::kEstablished);
+}
+
+TEST_F(EntityFixture, ResponderClampsProposal) {
+  // Rebuild with a constrained responder via per-entity limits: entity 1
+  // is replaced in-place is not supported, so open toward a host whose
+  // entity has small limits by constructing a dedicated world.
+  mantts::ResourceLimits tight;
+  tight.max_window_pdus = 4;
+  World small([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 9); },
+              os::CpuConfig{}, tight);
+  MantttsEntity::OpenResult result;
+  Acd acd = bulk_acd();
+  acd.remotes = {small.transport_address(1)};
+  small.mantts(0).open_session(acd, [&](auto r) { result = std::move(r); });
+  small.run_for(sim::SimTime::seconds(1));
+  ASSERT_NE(result.session, nullptr);
+  EXPECT_LE(result.scs.window_pdus, 4);
+}
+
+TEST_F(EntityFixture, TransferCompletesUnderMantttsConfig) {
+  MantttsEntity::OpenResult result;
+  world.mantts(0).open_session(bulk_acd_for(1), [&](auto r) { result = std::move(r); });
+  world.run_for(sim::SimTime::seconds(1));
+  ASSERT_NE(result.session, nullptr);
+
+  std::size_t delivered = 0;
+  world.transport(1).set_acceptor([&](tko::TransportSession& s) {
+    s.set_deliver([&](tko::Message&& m) { delivered += m.size(); });
+  });
+  // Acceptor set after open: the passive session may already exist.
+  if (auto* passive = world.transport(1).find_session(result.session->id())) {
+    passive->set_deliver([&](tko::Message&& m) { delivered += m.size(); });
+  }
+  result.session->send(
+      tko::Message::from_bytes(std::vector<std::uint8_t>(30'000, 5), &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(3));
+  EXPECT_EQ(delivered, 30'000u);
+  world.mantts(0).close_session(*result.session);
+  EXPECT_EQ(world.mantts(0).active_sessions(), 0u);
+  EXPECT_EQ(world.mantts(0).stats().sessions_closed, 1u);
+}
+
+TEST_F(EntityFixture, ExplicitReconfigurationPropagatesToPeer) {
+  MantttsEntity::OpenResult result;
+  world.mantts(0).open_session(bulk_acd_for(1), [&](auto r) { result = std::move(r); });
+  world.run_for(sim::SimTime::seconds(1));
+  ASSERT_NE(result.session, nullptr);
+  world.run_for(sim::SimTime::seconds(1));
+
+  auto cfg = result.session->config();
+  cfg.recovery = cfg.recovery == RecoveryScheme::kGoBackN ? RecoveryScheme::kSelectiveRepeat
+                                                          : RecoveryScheme::kGoBackN;
+  world.mantts(0).reconfigure_session(*result.session, cfg);
+  world.run_for(sim::SimTime::seconds(1));
+
+  EXPECT_EQ(result.session->config().recovery, cfg.recovery);
+  auto* passive = world.transport(1).find_session(result.session->id());
+  ASSERT_NE(passive, nullptr);
+  EXPECT_EQ(passive->config().recovery, cfg.recovery);
+  EXPECT_EQ(world.mantts(0).stats().reconfigs_sent, 1u);
+  EXPECT_EQ(world.mantts(1).stats().reconfigs_received, 1u);
+}
+
+TEST_F(EntityFixture, QosCallbackFires) {
+  MantttsEntity::OpenResult result;
+  world.mantts(0).open_session(voice_acd_for(1), [&](auto r) { result = std::move(r); });
+  ASSERT_NE(result.session, nullptr);
+  int notified = 0;
+  world.mantts(0).set_qos_callback(*result.session, [&](const SessionConfig&) { ++notified; });
+  auto cfg = result.session->config();
+  cfg.ack = AckScheme::kImmediate;
+  world.mantts(0).reconfigure_session(*result.session, cfg);
+  EXPECT_EQ(notified, 1);
+}
+
+TEST_F(EntityFixture, MetricsCollectedWhenAcdAsks) {
+  Acd acd = bulk_acd_for(1);
+  acd.collect_metrics = true;
+  MantttsEntity::OpenResult result;
+  world.mantts(0).open_session(acd, [&](auto r) { result = std::move(r); });
+  world.run_for(sim::SimTime::seconds(1));
+  ASSERT_NE(result.session, nullptr);
+  result.session->send(
+      tko::Message::from_bytes(std::vector<std::uint8_t>(10'000, 2), &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(2));
+  EXPECT_GT(world.repository().total_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace adaptive::mantts

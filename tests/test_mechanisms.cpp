@@ -1,0 +1,935 @@
+// Unit tests for the TKO session-architecture mechanisms, driven through a
+// fake SessionCore so each mechanism is exercised in isolation, plus the
+// Context/segue and Synthesizer/template machinery.
+#include "tko/sa/ack_strategy.hpp"
+#include "tko/sa/connection_mgmt.hpp"
+#include "tko/sa/context.hpp"
+#include "tko/sa/error_detection.hpp"
+#include "tko/sa/fec.hpp"
+#include "tko/sa/gbn.hpp"
+#include "tko/sa/reliability.hpp"
+#include "tko/sa/rtt_estimator.hpp"
+#include "tko/sa/selective_repeat.hpp"
+#include "tko/sa/sequencing.hpp"
+#include "tko/sa/synthesizer.hpp"
+#include "tko/sa/templates.hpp"
+#include "tko/sa/transmission_ctrl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+namespace adaptive::tko::sa {
+namespace {
+
+class FakeCore final : public SessionCore {
+public:
+  FakeCore() : timers_(sched) {}
+
+  void emit(Pdu&& p) override { emitted.push_back(std::move(p)); }
+  void deliver(Message&& m) override { delivered.push_back(m.linearize()); }
+  os::TimerFacility& timers() override { return timers_; }
+  os::BufferPool& buffers() override { return pool_; }
+  [[nodiscard]] sim::SimTime now() const override { return sched.now(); }
+  [[nodiscard]] std::size_t receiver_count() const override { return receivers; }
+  void tx_ready() override { ++tx_ready_calls; }
+  void connection_established() override { ++established; }
+  void connection_closed(bool aborted) override { aborted ? ++aborts : ++closes; }
+  void loss_signal() override { ++losses; }
+  void count(std::string_view metric, double value) override {
+    counts[std::string(metric)] += value;
+  }
+
+  [[nodiscard]] std::size_t sent(PduType t) const {
+    std::size_t n = 0;
+    for (const auto& p : emitted) {
+      if (p.type == t) ++n;
+    }
+    return n;
+  }
+
+  sim::EventScheduler sched;
+  os::TimerFacility timers_;
+  os::BufferPool pool_;
+  std::vector<Pdu> emitted;
+  std::vector<std::vector<std::uint8_t>> delivered;
+  std::size_t receivers = 1;
+  int tx_ready_calls = 0, established = 0, closes = 0, aborts = 0, losses = 0;
+  std::map<std::string, double> counts;
+};
+
+Message msg(std::initializer_list<int> v, os::BufferPool* pool = nullptr) {
+  std::vector<std::uint8_t> b;
+  for (int x : v) b.push_back(static_cast<std::uint8_t>(x));
+  return Message::from_bytes(b, pool);
+}
+
+Pdu data_pdu(std::uint32_t seq, std::initializer_list<int> payload = {1, 2, 3},
+             std::uint32_t aux = 0) {
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = seq;
+  p.aux = aux;
+  p.payload = msg(payload);
+  return p;
+}
+
+Pdu ack_pdu(std::uint32_t cum, std::uint32_t bitmap = 0) {
+  Pdu p;
+  p.type = PduType::kAck;
+  p.ack = cum;
+  p.aux = bitmap;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// RttEstimator
+// ---------------------------------------------------------------------------
+
+TEST(RttEstimator, FirstSampleInitializes) {
+  RttEstimator rtt;
+  rtt.sample(sim::SimTime::milliseconds(100));
+  EXPECT_EQ(rtt.srtt(), sim::SimTime::milliseconds(100));
+  EXPECT_EQ(rtt.rttvar(), sim::SimTime::milliseconds(50));
+  // RTO = srtt + 4*rttvar = 300ms.
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(300));
+}
+
+TEST(RttEstimator, ConvergesOnStableRtt) {
+  RttEstimator rtt;
+  for (int i = 0; i < 100; ++i) rtt.sample(sim::SimTime::milliseconds(50));
+  EXPECT_NEAR(rtt.srtt().ms(), 50.0, 1.0);
+  EXPECT_LT(rtt.rttvar().ms(), 2.0);
+  // RTO converges to srtt plus its 25% safety margin.
+  EXPECT_LT(rtt.rto().ms(), 65.0);
+  EXPECT_GE(rtt.rto().ms(), 60.0);
+}
+
+TEST(RttEstimator, BackoffDoublesAndClears) {
+  RttEstimator rtt(sim::SimTime::milliseconds(200));
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(200));
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(400));
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(800));
+  rtt.clear_backoff();
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(200));
+}
+
+TEST(RttEstimator, BackoffIsCapped) {
+  RttEstimator rtt(sim::SimTime::milliseconds(100));
+  for (int i = 0; i < 20; ++i) rtt.backoff();
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(6400));  // 64x cap
+}
+
+TEST(RttEstimator, RtoHasFloor) {
+  RttEstimator rtt;
+  for (int i = 0; i < 50; ++i) rtt.sample(sim::SimTime::microseconds(10));
+  EXPECT_GE(rtt.rto(), sim::SimTime::milliseconds(1));
+}
+
+// ---------------------------------------------------------------------------
+// Ack strategies
+// ---------------------------------------------------------------------------
+
+TEST(AckStrategies, ImmediateFiresEveryTime) {
+  FakeCore core;
+  ImmediateAck ack;
+  ack.attach(core);
+  int fired = 0;
+  ack.set_emitter([&] { ++fired; });
+  ack.on_data_received(true);
+  ack.on_data_received(true);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(AckStrategies, NoAckNeverFires) {
+  FakeCore core;
+  NoAck ack;
+  ack.attach(core);
+  int fired = 0;
+  ack.set_emitter([&] { ++fired; });
+  ack.on_data_received(true);
+  ack.flush();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(AckStrategies, DelayedAcksEverySecondSegment) {
+  FakeCore core;
+  DelayedAck ack(sim::SimTime::milliseconds(20));
+  ack.attach(core);
+  int fired = 0;
+  ack.set_emitter([&] { ++fired; });
+  ack.on_data_received(true);
+  EXPECT_EQ(fired, 0);  // first segment waits
+  ack.on_data_received(true);
+  EXPECT_EQ(fired, 1);  // second acks immediately (TCP rule)
+  ack.on_data_received(true);
+  EXPECT_EQ(fired, 1);  // a lone third waits for the timer...
+  core.sched.run();
+  EXPECT_EQ(fired, 2);  // ...which fires at the delay
+  EXPECT_EQ(core.sched.now(), sim::SimTime::milliseconds(20));
+}
+
+TEST(AckStrategies, DelayedAcksImmediatelyOnOutOfOrder) {
+  FakeCore core;
+  DelayedAck ack(sim::SimTime::milliseconds(20));
+  ack.attach(core);
+  int fired = 0;
+  ack.set_emitter([&] { ++fired; });
+  ack.on_data_received(false);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(AckStrategies, EveryNFiresOnNth) {
+  FakeCore core;
+  EveryNAck ack(3);
+  ack.attach(core);
+  int fired = 0;
+  ack.set_emitter([&] { ++fired; });
+  ack.on_data_received(true);
+  ack.on_data_received(true);
+  EXPECT_EQ(fired, 0);
+  ack.on_data_received(true);
+  EXPECT_EQ(fired, 1);
+  ack.flush();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Sequencing
+// ---------------------------------------------------------------------------
+
+TEST(Sequencing, PassThroughDeliversImmediately) {
+  FakeCore core;
+  PassThrough s;
+  s.attach(core);
+  s.offer(5, msg({5}));
+  s.offer(2, msg({2}));
+  ASSERT_EQ(core.delivered.size(), 2u);
+  EXPECT_EQ(core.delivered[0][0], 5);
+  EXPECT_EQ(core.delivered[1][0], 2);
+}
+
+TEST(Sequencing, ResequencerHoldsUntilGapFills) {
+  FakeCore core;
+  Resequencer s;
+  s.attach(core);
+  s.offer(2, msg({2}));
+  s.offer(3, msg({3}));
+  EXPECT_TRUE(core.delivered.empty());
+  EXPECT_EQ(s.held(), 2u);
+  s.offer(1, msg({1}));
+  ASSERT_EQ(core.delivered.size(), 3u);
+  EXPECT_EQ(core.delivered[0][0], 1);
+  EXPECT_EQ(core.delivered[1][0], 2);
+  EXPECT_EQ(core.delivered[2][0], 3);
+  EXPECT_EQ(s.held(), 0u);
+}
+
+TEST(Sequencing, ResequencerGapSkipReleasesInOrder) {
+  FakeCore core;
+  Resequencer s;
+  s.attach(core);
+  s.offer(3, msg({3}));
+  s.offer(5, msg({5}));
+  s.gap_skip(5);
+  // 3 released (below horizon), 5 delivered (drain from new horizon).
+  ASSERT_EQ(core.delivered.size(), 2u);
+  EXPECT_EQ(core.delivered[0][0], 3);
+  EXPECT_EQ(core.delivered[1][0], 5);
+}
+
+TEST(Sequencing, SegueResequencerToPassThroughReleasesHeld) {
+  FakeCore core;
+  Resequencer r;
+  r.attach(core);
+  r.offer(2, msg({2}));
+  r.offer(4, msg({4}));
+  PassThrough p;
+  p.attach(core);
+  p.segue_from(r);
+  // No data may be lost across the segue.
+  EXPECT_EQ(core.delivered.size(), 2u);
+}
+
+TEST(Sequencing, SeguePassThroughToResequencerContinues) {
+  FakeCore core;
+  PassThrough p;
+  p.attach(core);
+  p.offer(1, msg({1}));
+  p.offer(2, msg({2}));
+  Resequencer r;
+  r.attach(core);
+  r.segue_from(p);
+  r.offer(3, msg({3}));
+  EXPECT_EQ(core.delivered.size(), 3u);  // 3 delivers right away
+  r.offer(5, msg({5}));
+  EXPECT_EQ(core.delivered.size(), 3u);  // 5 held: 4 missing
+}
+
+// ---------------------------------------------------------------------------
+// Transmission control
+// ---------------------------------------------------------------------------
+
+TEST(TransmissionCtrl, StopAndWaitAllowsOne) {
+  FakeCore core;
+  StopAndWaitTx tx;
+  tx.attach(core);
+  EXPECT_TRUE(tx.can_send(0));
+  EXPECT_FALSE(tx.can_send(1));
+  tx.on_ack(1);
+  EXPECT_EQ(core.tx_ready_calls, 1);
+}
+
+TEST(TransmissionCtrl, SlidingWindowHonorsBothWindows) {
+  FakeCore core;
+  SlidingWindowTx tx(8);
+  tx.attach(core);
+  EXPECT_TRUE(tx.can_send(7));
+  EXPECT_FALSE(tx.can_send(8));
+  tx.on_peer_window(4);  // peer advertises less
+  EXPECT_FALSE(tx.can_send(4));
+  EXPECT_TRUE(tx.can_send(3));
+  EXPECT_EQ(tx.advertised_window(), 8);
+}
+
+TEST(TransmissionCtrl, RateControlSpacesSends) {
+  FakeCore core;
+  RateControlTx tx(sim::SimTime::milliseconds(10));
+  tx.attach(core);
+  EXPECT_TRUE(tx.can_send(100));  // no window limit
+  tx.on_pdu_sent(1000);
+  EXPECT_FALSE(tx.can_send(0));
+  EXPECT_EQ(tx.earliest_send(), sim::SimTime::milliseconds(10));
+  core.sched.run_until(sim::SimTime::milliseconds(10));
+  EXPECT_TRUE(tx.can_send(0));
+}
+
+TEST(TransmissionCtrl, RateControlGapAdjustableInPlace) {
+  FakeCore core;
+  RateControlTx tx(sim::SimTime::milliseconds(10));
+  tx.attach(core);
+  tx.set_gap(sim::SimTime::milliseconds(50));  // MANTTS congestion response
+  tx.on_pdu_sent(1000);
+  EXPECT_EQ(tx.earliest_send(), sim::SimTime::milliseconds(50));
+}
+
+TEST(TransmissionCtrl, SlowStartGrowsExponentiallyThenLinearly) {
+  FakeCore core;
+  SlowStartTx tx(64);
+  tx.attach(core);
+  EXPECT_FALSE(tx.can_send(1));  // cwnd starts at 1
+  for (int i = 0; i < 31; ++i) tx.on_ack(1);
+  EXPECT_NEAR(tx.cwnd(), 32.0, 0.01);  // ssthresh
+  tx.on_ack(1);
+  EXPECT_LT(tx.cwnd(), 33.0);  // now linear (1/cwnd per ack)
+  EXPECT_GT(tx.cwnd(), 32.0);
+}
+
+TEST(TransmissionCtrl, SlowStartMultiplicativeDecrease) {
+  FakeCore core;
+  SlowStartTx tx(64);
+  tx.attach(core);
+  for (int i = 0; i < 20; ++i) tx.on_ack(1);
+  const double before = tx.cwnd();
+  tx.on_loss();
+  EXPECT_NEAR(tx.cwnd(), 1.0, 0.01);
+  tx.on_ack(1);
+  tx.on_ack(1);
+  EXPECT_LT(tx.cwnd(), before);
+}
+
+TEST(TransmissionCtrl, SegueWindowToRateKeepsPeerState) {
+  FakeCore core;
+  SlidingWindowTx w(16);
+  w.attach(core);
+  w.on_peer_window(5);
+  WindowAndRateTx wr(16, sim::SimTime::milliseconds(1));
+  wr.attach(core);
+  wr.segue_from(w);
+  EXPECT_FALSE(wr.can_send(5));  // peer window carried over
+  EXPECT_TRUE(wr.can_send(4));
+}
+
+// ---------------------------------------------------------------------------
+// Go-back-N
+// ---------------------------------------------------------------------------
+
+class GbnTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    gbn = std::make_unique<GoBackN>(sim::SimTime::milliseconds(100), true);
+    gbn->attach(core);
+    ack_strategy.attach(core);
+    sequencing.attach(core);
+    gbn->wire(&ack_strategy, &sequencing);
+  }
+  FakeCore core;
+  ImmediateAck ack_strategy;
+  PassThrough sequencing;
+  std::unique_ptr<GoBackN> gbn;
+};
+
+TEST_F(GbnTest, AssignsSequentialSeqs) {
+  gbn->send_data(msg({1}));
+  gbn->send_data(msg({2}));
+  ASSERT_EQ(core.emitted.size(), 2u);
+  EXPECT_EQ(core.emitted[0].seq, 1u);
+  EXPECT_EQ(core.emitted[1].seq, 2u);
+  EXPECT_EQ(gbn->in_flight(), 2u);
+  EXPECT_FALSE(gbn->all_acked());
+}
+
+TEST_F(GbnTest, CumulativeAckReleases) {
+  gbn->send_data(msg({1}));
+  gbn->send_data(msg({2}));
+  gbn->send_data(msg({3}));
+  EXPECT_EQ(gbn->on_ack(ack_pdu(2), 99), 2u);
+  EXPECT_EQ(gbn->in_flight(), 1u);
+  EXPECT_EQ(gbn->on_ack(ack_pdu(3), 99), 1u);
+  EXPECT_TRUE(gbn->all_acked());
+}
+
+TEST_F(GbnTest, TimeoutRetransmitsAllUnacked) {
+  gbn->send_data(msg({1}));
+  gbn->send_data(msg({2}));
+  core.emitted.clear();
+  core.sched.run_until(sim::SimTime::milliseconds(150));
+  EXPECT_EQ(core.sent(PduType::kData), 2u);  // both went again
+  EXPECT_EQ(gbn->stats().retransmissions, 2u);
+  EXPECT_EQ(gbn->stats().timeouts, 1u);
+  EXPECT_EQ(core.losses, 1);
+}
+
+TEST_F(GbnTest, NackTriggersGoBack) {
+  gbn->send_data(msg({1}));
+  gbn->send_data(msg({2}));
+  gbn->send_data(msg({3}));
+  core.emitted.clear();
+  Pdu nack;
+  nack.type = PduType::kNack;
+  nack.aux = 2;
+  gbn->on_nack(nack, 99);
+  EXPECT_EQ(core.sent(PduType::kData), 2u);  // 2 and 3
+}
+
+TEST_F(GbnTest, ReceiverAcceptsInOrderOnly) {
+  gbn->on_data(data_pdu(1), 99);
+  gbn->on_data(data_pdu(3), 99);  // gap: discarded
+  gbn->on_data(data_pdu(2), 99);
+  EXPECT_EQ(core.delivered.size(), 2u);  // 1 and 2; 3 was dropped
+  // Every arrival elicited an ack (immediate strategy).
+  EXPECT_EQ(core.sent(PduType::kAck), 3u);
+  EXPECT_EQ(core.emitted.back().ack, 2u);
+}
+
+TEST_F(GbnTest, ReceiverReacksDuplicates) {
+  gbn->on_data(data_pdu(1), 99);
+  gbn->on_data(data_pdu(1), 99);
+  EXPECT_EQ(gbn->stats().duplicates_received, 1u);
+  EXPECT_EQ(core.delivered.size(), 1u);
+  EXPECT_EQ(core.sent(PduType::kAck), 2u);
+}
+
+TEST_F(GbnTest, MulticastNeedsAllReceivers) {
+  core.receivers = 2;
+  gbn->send_data(msg({1}));
+  EXPECT_EQ(gbn->on_ack(ack_pdu(1), 50), 0u);  // only one receiver acked
+  EXPECT_FALSE(gbn->all_acked());
+  EXPECT_EQ(gbn->on_ack(ack_pdu(1), 51), 1u);
+  EXPECT_TRUE(gbn->all_acked());
+}
+
+// ---------------------------------------------------------------------------
+// Selective repeat
+// ---------------------------------------------------------------------------
+
+class SrTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    sr = std::make_unique<SelectiveRepeat>(sim::SimTime::milliseconds(100), true);
+    sr->attach(core);
+    ack_strategy.attach(core);
+    sequencing.attach(core);
+    sr->wire(&ack_strategy, &sequencing);
+  }
+  FakeCore core;
+  ImmediateAck ack_strategy;
+  Resequencer sequencing;
+  std::unique_ptr<SelectiveRepeat> sr;
+};
+
+TEST_F(SrTest, ReceiverBuffersOutOfOrderAndNacksGap) {
+  sr->on_data(data_pdu(1), 99);
+  sr->on_data(data_pdu(3), 99);  // gap at 2 -> NACK(2), payload buffered
+  EXPECT_EQ(core.sent(PduType::kNack), 1u);
+  EXPECT_EQ(core.delivered.size(), 1u);  // only 1 delivered (ordered)
+  EXPECT_EQ(sr->receiver_buffered(), 1u);
+  sr->on_data(data_pdu(2), 99);
+  EXPECT_EQ(core.delivered.size(), 3u);
+  EXPECT_EQ(sr->receiver_buffered(), 0u);
+}
+
+TEST_F(SrTest, NackNotRepeatedForSameGap) {
+  sr->on_data(data_pdu(2), 99);
+  sr->on_data(data_pdu(3), 99);
+  sr->on_data(data_pdu(4), 99);
+  EXPECT_EQ(core.sent(PduType::kNack), 1u);  // seq 1 nacked once
+}
+
+TEST_F(SrTest, SelectiveAckBitmapReportsHeld) {
+  sr->on_data(data_pdu(2), 99);
+  // Ack carries cum=0 and bitmap bit 1 (seq 2 = cum+2).
+  const Pdu& ack = core.emitted.back();
+  EXPECT_EQ(ack.type, PduType::kAck);
+  EXPECT_EQ(ack.ack, 0u);
+  EXPECT_EQ(ack.aux, 0b10u);
+}
+
+TEST_F(SrTest, SenderRetransmitsOnlyNackedSeq) {
+  sr->send_data(msg({1}));
+  sr->send_data(msg({2}));
+  sr->send_data(msg({3}));
+  core.emitted.clear();
+  Pdu nack;
+  nack.type = PduType::kNack;
+  nack.aux = 2;
+  sr->on_nack(nack, 99);
+  EXPECT_EQ(core.sent(PduType::kData), 1u);
+  EXPECT_EQ(core.emitted[0].seq, 2u);
+}
+
+TEST_F(SrTest, SackBitmapClearsRetransmitState) {
+  sr->send_data(msg({1}));
+  sr->send_data(msg({2}));
+  sr->send_data(msg({3}));
+  // Receiver got 1 and 3: cum=1, bitmap bit for 3.
+  EXPECT_EQ(sr->on_ack(ack_pdu(1, 0b10), 99), 2u);  // 1 and 3 released
+  EXPECT_EQ(sr->in_flight(), 1u);                   // only 2 outstanding
+  core.emitted.clear();
+  core.sched.run_until(sim::SimTime::milliseconds(400));
+  // Timeout retransmits only seq 2.
+  EXPECT_GE(core.sent(PduType::kData), 1u);
+  for (const auto& p : core.emitted) {
+    if (p.type == PduType::kData) {
+      EXPECT_EQ(p.seq, 2u);
+    }
+  }
+}
+
+TEST_F(SrTest, TimeoutRetransmitsOnlyExpired) {
+  sr->send_data(msg({1}));
+  core.sched.run_until(sim::SimTime::milliseconds(50));
+  sr->send_data(msg({2}));
+  core.emitted.clear();
+  // First timeout at ~100ms covers seq 1 only (seq 2 due at 150).
+  core.sched.run_until(sim::SimTime::milliseconds(110));
+  ASSERT_EQ(core.sent(PduType::kData), 1u);
+  EXPECT_EQ(core.emitted[0].seq, 1u);
+}
+
+TEST_F(SrTest, MulticastReleasesWhenAllReceiversHold) {
+  core.receivers = 2;
+  sr->send_data(msg({1}));
+  sr->send_data(msg({2}));
+  EXPECT_EQ(sr->on_ack(ack_pdu(2), 50), 0u);
+  EXPECT_EQ(sr->on_ack(ack_pdu(1, 0b1), 51), 2u);  // cum 1 + sack 2
+  EXPECT_TRUE(sr->all_acked());
+}
+
+// ---------------------------------------------------------------------------
+// FEC
+// ---------------------------------------------------------------------------
+
+class FecTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    fec = std::make_unique<FecReliability>(sim::SimTime::milliseconds(100), true, 4);
+    fec->attach(core);
+    ack_strategy.attach(core);
+    sequencing.attach(core);
+    fec->wire(&ack_strategy, &sequencing);
+  }
+  FakeCore core;
+  NoAck ack_strategy;
+  PassThrough sequencing;
+  std::unique_ptr<FecReliability> fec;
+};
+
+TEST_F(FecTest, EmitsParityEveryGroup) {
+  for (int i = 0; i < 8; ++i) fec->send_data(msg({i}));
+  EXPECT_EQ(core.sent(PduType::kData), 8u);
+  EXPECT_EQ(core.sent(PduType::kFecParity), 2u);
+  EXPECT_EQ(fec->stats().parity_sent, 2u);
+}
+
+TEST_F(FecTest, CloseDrainFlushesPartialGroup) {
+  fec->send_data(msg({1}));
+  fec->send_data(msg({2}));
+  EXPECT_EQ(core.sent(PduType::kFecParity), 0u);
+  fec->on_close_drain();
+  EXPECT_EQ(core.sent(PduType::kFecParity), 1u);
+}
+
+TEST_F(FecTest, ReceiverRecoversSingleLossFromParity) {
+  // Sender side produces the group; replay all but seq 2 into a receiver.
+  FakeCore rx_core;
+  FecReliability rx(sim::SimTime::milliseconds(100), true, 4);
+  rx.attach(rx_core);
+  NoAck rx_ack;
+  PassThrough rx_seq;
+  rx_ack.attach(rx_core);
+  rx_seq.attach(rx_core);
+  rx.wire(&rx_ack, &rx_seq);
+
+  fec->send_data(msg({10, 11}));
+  fec->send_data(msg({20, 21, 22}));
+  fec->send_data(msg({30}));
+  fec->send_data(msg({40, 41}));
+  ASSERT_EQ(core.emitted.size(), 5u);
+  for (auto& p : core.emitted) {
+    if (p.type == PduType::kData && p.seq == 2) continue;  // lost
+    Pdu copy;
+    copy.type = p.type;
+    copy.seq = p.seq;
+    copy.aux = p.aux;
+    copy.payload = p.payload.clone();
+    rx.on_data(std::move(copy), 1);
+  }
+  EXPECT_EQ(rx.stats().fec_recoveries, 1u);
+  ASSERT_EQ(rx_core.delivered.size(), 4u);
+  // Recovered payload must be byte-exact.
+  bool found = false;
+  for (const auto& d : rx_core.delivered) {
+    if (d == std::vector<std::uint8_t>{20, 21, 22}) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FecTest, TwoLossesInGroupAreUnrecoverable) {
+  FakeCore rx_core;
+  FecReliability rx(sim::SimTime::milliseconds(100), true, 4);
+  rx.attach(rx_core);
+  NoAck rx_ack;
+  PassThrough rx_seq;
+  rx_ack.attach(rx_core);
+  rx_seq.attach(rx_core);
+  rx.wire(&rx_ack, &rx_seq);
+
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 4; ++i) fec->send_data(msg({g * 4 + i}));
+  }
+  for (auto& p : core.emitted) {
+    if (p.type == PduType::kData && (p.seq == 2 || p.seq == 3)) continue;  // two losses, group 1
+    Pdu copy;
+    copy.type = p.type;
+    copy.seq = p.seq;
+    copy.aux = p.aux;
+    copy.payload = p.payload.clone();
+    rx.on_data(std::move(copy), 1);
+  }
+  EXPECT_EQ(rx.stats().fec_recoveries, 0u);
+  EXPECT_EQ(rx_core.delivered.size(), 10u);
+  EXPECT_GE(rx.stats().unrecovered_losses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-scheme segue (the paper's no-data-loss reconfiguration)
+// ---------------------------------------------------------------------------
+
+TEST(Segue, GbnToSelectiveRepeatKeepsUnacked) {
+  FakeCore core;
+  ImmediateAck ack;
+  PassThrough seq;
+  ack.attach(core);
+  seq.attach(core);
+  GoBackN gbn(sim::SimTime::milliseconds(100), true);
+  gbn.attach(core);
+  gbn.wire(&ack, &seq);
+  gbn.send_data(msg({1}));
+  gbn.send_data(msg({2}));
+  gbn.send_data(msg({3}));
+  (void)gbn.on_ack(ack_pdu(1), 9);
+
+  SelectiveRepeat sr(sim::SimTime::milliseconds(100), true);
+  sr.attach(core);
+  sr.segue_from(gbn);
+  sr.wire(&ack, &seq);
+  EXPECT_EQ(sr.in_flight(), 2u);  // seqs 2,3 carried across
+  core.emitted.clear();
+  (void)sr.on_ack(ack_pdu(3), 9);
+  EXPECT_TRUE(sr.all_acked());
+  // New data continues the same sequence space.
+  sr.send_data(msg({4}));
+  EXPECT_EQ(core.emitted.back().seq, 4u);
+}
+
+TEST(Segue, SelectiveRepeatToGbnKeepsReceiverState) {
+  FakeCore core;
+  ImmediateAck ack;
+  Resequencer seq;
+  ack.attach(core);
+  seq.attach(core);
+  SelectiveRepeat sr(sim::SimTime::milliseconds(100), true);
+  sr.attach(core);
+  sr.wire(&ack, &seq);
+  sr.on_data(data_pdu(1), 9);
+  sr.on_data(data_pdu(3), 9);  // buffered out of order
+
+  GoBackN gbn(sim::SimTime::milliseconds(100), true);
+  gbn.attach(core);
+  gbn.segue_from(sr);
+  gbn.wire(&ack, &seq);
+  // Missing seq 2 arrives post-segue: cum jumps to 3, everything delivers.
+  gbn.on_data(data_pdu(2), 9);
+  EXPECT_EQ(core.delivered.size(), 3u);
+  // Retransmitted 3 (e.g. from the old sender config) is a duplicate.
+  gbn.on_data(data_pdu(3), 9);
+  EXPECT_EQ(core.delivered.size(), 3u);
+  EXPECT_EQ(gbn.stats().duplicates_received, 1u);
+}
+
+TEST(Segue, RetransmitToFecReemitsUnacked) {
+  FakeCore core;
+  ImmediateAck ack;
+  PassThrough seq;
+  ack.attach(core);
+  seq.attach(core);
+  GoBackN gbn(sim::SimTime::milliseconds(100), true);
+  gbn.attach(core);
+  gbn.wire(&ack, &seq);
+  gbn.send_data(msg({1}));
+  gbn.send_data(msg({2}));
+  core.emitted.clear();
+
+  FecReliability fec(sim::SimTime::milliseconds(100), true, 4);
+  fec.attach(core);
+  fec.segue_from(gbn);
+  fec.wire(&ack, &seq);
+  // The two unacked PDUs were re-emitted so nothing can be lost.
+  EXPECT_EQ(core.sent(PduType::kData), 2u);
+  EXPECT_TRUE(fec.all_acked());
+  // Sequence space continues.
+  fec.send_data(msg({3}));
+  EXPECT_EQ(core.emitted.back().seq, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Connection management
+// ---------------------------------------------------------------------------
+
+TEST(ConnectionMgmt, ImplicitIsImmediatelyUsable) {
+  FakeCore core;
+  ImplicitConn conn(sim::SimTime::milliseconds(100), 3);
+  conn.attach(core);
+  EXPECT_TRUE(conn.can_carry_data());
+  conn.open();
+  EXPECT_EQ(core.established, 1);
+  EXPECT_TRUE(core.emitted.empty());  // no handshake traffic
+}
+
+TEST(ConnectionMgmt, TwoWayHandshake) {
+  FakeCore active_core, passive_core;
+  SessionConfig cfg;
+  ExplicitConn a(false, cfg.serialize(), sim::SimTime::milliseconds(100), 3);
+  ExplicitConn p(false, cfg.serialize(), sim::SimTime::milliseconds(100), 3);
+  a.attach(active_core);
+  p.attach(passive_core);
+  a.open();
+  p.open_passive();
+  ASSERT_EQ(active_core.sent(PduType::kSyn), 1u);
+  EXPECT_FALSE(a.can_carry_data());
+  p.on_pdu(active_core.emitted[0]);
+  ASSERT_EQ(passive_core.sent(PduType::kSynAck), 1u);
+  EXPECT_EQ(passive_core.established, 1);  // 2-way: passive up on SYN
+  a.on_pdu(passive_core.emitted[0]);
+  EXPECT_EQ(active_core.established, 1);
+  EXPECT_TRUE(a.can_carry_data());
+}
+
+TEST(ConnectionMgmt, ThreeWayHandshake) {
+  FakeCore ac, pc;
+  SessionConfig cfg;
+  ExplicitConn a(true, cfg.serialize(), sim::SimTime::milliseconds(100), 3);
+  ExplicitConn p(true, cfg.serialize(), sim::SimTime::milliseconds(100), 3);
+  a.attach(ac);
+  p.attach(pc);
+  a.open();
+  p.on_pdu(ac.emitted[0]);             // SYN ->
+  EXPECT_EQ(pc.established, 0);        // 3-way: passive waits for HSACK
+  a.on_pdu(pc.emitted[0]);             // <- SYNACK
+  EXPECT_EQ(ac.established, 1);
+  ASSERT_EQ(ac.sent(PduType::kHandshakeAck), 1u);
+  p.on_pdu(ac.emitted.back());         // HSACK ->
+  EXPECT_EQ(pc.established, 1);
+}
+
+TEST(ConnectionMgmt, SynRetransmittedUntilGiveUp) {
+  FakeCore core;
+  SessionConfig cfg;
+  ExplicitConn a(true, cfg.serialize(), sim::SimTime::milliseconds(100), 3);
+  a.attach(core);
+  a.open();
+  core.sched.run();  // no peer: retries then abort
+  EXPECT_EQ(core.sent(PduType::kSyn), 4u);  // initial + 3 retries
+  EXPECT_EQ(core.aborts, 1);
+}
+
+TEST(ConnectionMgmt, GracefulCloseWaitsForDrain) {
+  FakeCore core;
+  ImplicitConn conn(sim::SimTime::milliseconds(100), 3);
+  conn.attach(core);
+  conn.open();
+  conn.close(true);
+  EXPECT_EQ(core.sent(PduType::kFin), 0u);  // waiting for drain
+  conn.data_drained();
+  EXPECT_EQ(core.sent(PduType::kFin), 1u);
+  Pdu finack;
+  finack.type = PduType::kFinAck;
+  conn.on_pdu(finack);
+  EXPECT_EQ(core.closes, 1);
+}
+
+TEST(ConnectionMgmt, PeerFinElicitsFinAckAndClose) {
+  FakeCore core;
+  ImplicitConn conn(sim::SimTime::milliseconds(100), 3);
+  conn.attach(core);
+  conn.open();
+  Pdu fin;
+  fin.type = PduType::kFin;
+  conn.on_pdu(fin);
+  EXPECT_EQ(core.sent(PduType::kFinAck), 1u);
+  EXPECT_EQ(core.closes, 1);
+}
+
+TEST(ConnectionMgmt, AbortiveCloseIsImmediate) {
+  FakeCore core;
+  ImplicitConn conn(sim::SimTime::milliseconds(100), 3);
+  conn.attach(core);
+  conn.open();
+  conn.close(false);
+  EXPECT_EQ(core.sent(PduType::kAbort), 1u);
+  EXPECT_EQ(core.aborts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Context, synthesizer, templates, config
+// ---------------------------------------------------------------------------
+
+TEST(Config, SerializeDeserializeRoundTrip) {
+  SessionConfig c = reliable_bulk_config();
+  c.window_pdus = 48;
+  c.inter_pdu_gap = sim::SimTime::microseconds(250);
+  c.priority = 3;
+  auto bytes = c.serialize();
+  ASSERT_EQ(bytes.size(), SessionConfig::kWireBytes);
+  auto back = SessionConfig::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, c);
+}
+
+TEST(Config, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> junk(SessionConfig::kWireBytes, 0xFF);
+  EXPECT_FALSE(SessionConfig::deserialize(junk).has_value());
+  EXPECT_FALSE(SessionConfig::deserialize(std::vector<std::uint8_t>(3)).has_value());
+}
+
+TEST(Config, DescribeMentionsKeyChoices) {
+  const auto d = tcp_compat_config().describe();
+  EXPECT_NE(d.find("go-back-n"), std::string::npos);
+  EXPECT_NE(d.find("slow-start"), std::string::npos);
+}
+
+TEST(Context, SynthesizeAndAttachAllSlots) {
+  FakeCore core;
+  Synthesizer synth;
+  auto ctx = synth.synthesize(reliable_bulk_config());
+  EXPECT_TRUE(ctx->complete());
+  ctx->attach_all(core);
+  EXPECT_EQ(ctx->reliability().name(), "selective-repeat");
+  EXPECT_EQ(ctx->transmission().name(), "sliding-window");
+  EXPECT_EQ(ctx->connection().name(), "explicit-2way");
+  EXPECT_NE(ctx->describe().find("selective-repeat"), std::string::npos);
+}
+
+TEST(Context, SegueSwapsAndCounts) {
+  FakeCore core;
+  Synthesizer synth;
+  auto ctx = synth.synthesize(reliable_bulk_config());
+  ctx->attach_all(core);
+  ctx->reliability().send_data(msg({1}, &core.pool_));
+  auto cfg = reliable_bulk_config();
+  cfg.recovery = RecoveryScheme::kGoBackN;
+  ctx->segue(Synthesizer::make_mechanism(MechanismSlot::kReliability, cfg));
+  EXPECT_EQ(ctx->reliability().name(), "go-back-n");
+  EXPECT_EQ(ctx->reliability().in_flight(), 1u);  // state carried
+  EXPECT_EQ(ctx->reconfigurations(), 1u);
+  EXPECT_GT(core.counts["context.segue"], 0.0);
+}
+
+TEST(Context, IncompleteAttachThrows) {
+  FakeCore core;
+  Context ctx;
+  ctx.install(std::make_unique<NoAck>());
+  EXPECT_FALSE(ctx.complete());
+  EXPECT_THROW(ctx.attach_all(core), std::logic_error);
+}
+
+TEST(Synthesizer, ValidatesInconsistentConfigs) {
+  SessionConfig bad = reliable_bulk_config();
+  bad.ack = AckScheme::kNone;  // retransmission without acks
+  EXPECT_FALSE(Synthesizer::validate(bad).empty());
+  Synthesizer synth;
+  EXPECT_THROW((void)synth.synthesize(bad), std::invalid_argument);
+  EXPECT_EQ(synth.stats().validation_failures, 1u);
+
+  SessionConfig bad2 = reliable_bulk_config();
+  bad2.transmission = TransmissionScheme::kRateControl;
+  bad2.inter_pdu_gap = sim::SimTime::zero();
+  EXPECT_FALSE(Synthesizer::validate(bad2).empty());
+
+  SessionConfig bad3 = reliable_bulk_config();
+  bad3.detection = DetectionScheme::kNone;
+  EXPECT_FALSE(Synthesizer::validate(bad3).empty());
+
+  EXPECT_TRUE(Synthesizer::validate(udp_compat_config()).empty());
+  EXPECT_TRUE(Synthesizer::validate(tcp_compat_config()).empty());
+}
+
+TEST(Templates, CacheHitSkipsPlanningCost) {
+  auto cache = TemplateCache::with_defaults();
+  Synthesizer synth(&cache);
+  (void)synth.synthesize(tcp_compat_config());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(synth.last_cost_instr(), kTemplateHitInstr);
+
+  SessionConfig custom = tcp_compat_config();
+  custom.window_pdus = 17;  // not in cache
+  (void)synth.synthesize(custom);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(synth.last_cost_instr(), kSynthesisInstr);
+}
+
+TEST(Templates, LookupByName) {
+  auto cache = TemplateCache::with_defaults();
+  const auto* t = cache.lookup_name("udp-compat");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind, TemplateKind::kStatic);
+  EXPECT_EQ(t->config, udp_compat_config());
+  EXPECT_EQ(cache.lookup_name("nonexistent"), nullptr);
+}
+
+TEST(ErrorDetectionMechanisms, FactoryMatchesScheme) {
+  EXPECT_EQ(make_error_detection(DetectionScheme::kNone)->kind(), ChecksumKind::kNone);
+  auto hdr = make_error_detection(DetectionScheme::kInternet16Header);
+  EXPECT_EQ(hdr->kind(), ChecksumKind::kInternet16);
+  EXPECT_EQ(hdr->placement(), ChecksumPlacement::kHeader);
+  auto crc = make_error_detection(DetectionScheme::kCrc32Trailer);
+  EXPECT_EQ(crc->kind(), ChecksumKind::kCrc32);
+  EXPECT_EQ(crc->placement(), ChecksumPlacement::kTrailer);
+}
+
+}  // namespace
+}  // namespace adaptive::tko::sa

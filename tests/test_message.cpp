@@ -1,0 +1,259 @@
+// Tests for TKO_Message (zero-copy rope), checksums, and the PDU codec.
+#include "tko/checksum.hpp"
+#include "tko/message.hpp"
+#include "tko/pdu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace adaptive::tko {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+std::vector<std::uint8_t> iota_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+TEST(Message, FromBytesAndLinearize) {
+  const auto data = iota_bytes(100);
+  auto m = Message::from_bytes(data);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.linearize(), data);
+}
+
+TEST(Message, PushPopHeaders) {
+  auto m = Message::from_bytes(iota_bytes(10));
+  m.push(bytes({0xAA, 0xBB}));
+  EXPECT_EQ(m.size(), 12u);
+  const auto h = m.pop(2);
+  EXPECT_EQ(h, bytes({0xAA, 0xBB}));
+  EXPECT_EQ(m.size(), 10u);
+  EXPECT_EQ(m.linearize(), iota_bytes(10));
+}
+
+TEST(Message, PushDoesNotCopyPayload) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(1000), &pool);
+  const auto copies_before = pool.stats().copied_bytes;
+  m.push(bytes({1, 2, 3, 4}));
+  EXPECT_EQ(pool.stats().copied_bytes, copies_before);  // header prepend is copy-free
+}
+
+TEST(Message, PopAcrossSegments) {
+  auto m = Message::from_bytes(bytes({1, 2}));
+  m.push(bytes({0xFF}));  // segments: [FF][1 2]
+  const auto head = m.pop(2);
+  EXPECT_EQ(head, bytes({0xFF, 1}));
+  EXPECT_EQ(m.linearize(), bytes({2}));
+  EXPECT_THROW((void)m.pop(5), std::out_of_range);
+}
+
+TEST(Message, PeekDoesNotConsume) {
+  auto m = Message::from_bytes(iota_bytes(16));
+  EXPECT_EQ(m.peek(4), bytes({0, 1, 2, 3}));
+  EXPECT_EQ(m.size(), 16u);
+}
+
+TEST(Message, SplitSharesBuffers) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(100), &pool);
+  const auto copies_before = pool.stats().copied_bytes;
+  auto tail = m.split(40);
+  EXPECT_EQ(m.size(), 40u);
+  EXPECT_EQ(tail.size(), 60u);
+  EXPECT_EQ(pool.stats().copied_bytes, copies_before);  // zero-copy split
+  auto all = m.linearize();
+  const auto t = tail.linearize();
+  all.insert(all.end(), t.begin(), t.end());
+  EXPECT_EQ(all, iota_bytes(100));
+}
+
+TEST(Message, SplitEdgeCases) {
+  auto m = Message::from_bytes(iota_bytes(10));
+  auto tail = m.split(0);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(tail.size(), 10u);
+  auto tail2 = tail.split(10);
+  EXPECT_EQ(tail.size(), 10u);
+  EXPECT_EQ(tail2.size(), 0u);
+  EXPECT_THROW((void)tail.split(11), std::out_of_range);
+}
+
+TEST(Message, ConcatReassembles) {
+  auto a = Message::from_bytes(bytes({1, 2, 3}));
+  auto b = Message::from_bytes(bytes({4, 5}));
+  a.concat(std::move(b));
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.linearize(), bytes({1, 2, 3, 4, 5}));
+}
+
+TEST(Message, CloneIsShallowDeepCopyIsNot) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(50), &pool);
+  pool.reset_stats();
+  auto shallow = m.clone();
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);
+  auto deep = m.deep_copy();
+  EXPECT_GE(pool.stats().copied_bytes, 50u);
+  EXPECT_EQ(shallow.linearize(), deep.linearize());
+}
+
+TEST(Message, SegmentIterationCoversAllBytes) {
+  auto m = Message::from_bytes(iota_bytes(10));
+  m.push(bytes({0xEE}));
+  m.append(bytes({0xDD}));
+  std::vector<std::uint8_t> seen;
+  m.for_each_segment([&](std::span<const std::uint8_t> s) {
+    seen.insert(seen.end(), s.begin(), s.end());
+  });
+  EXPECT_EQ(seen, m.linearize());
+  EXPECT_EQ(m.segment_count(), 3u);
+}
+
+TEST(Checksum, Rfc1071KnownVector) {
+  // Classic example: bytes 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+  const auto data = bytes({0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7});
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const auto even = bytes({0x12, 0x34});
+  const auto odd = bytes({0x12, 0x34, 0x56});
+  EXPECT_NE(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, Crc32KnownVector) {
+  const std::string s = "123456789";
+  std::vector<std::uint8_t> data(s.begin(), s.end());
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Checksum, Crc32IncrementalMatchesOneShot) {
+  const auto data = iota_bytes(1000);
+  Crc32 inc;
+  inc.update(std::span(data).subspan(0, 137));
+  inc.update(std::span(data).subspan(137, 400));
+  inc.update(std::span(data).subspan(537));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Checksum, DetectsSingleBitFlip) {
+  auto data = iota_bytes(500);
+  const auto before16 = internet_checksum(data);
+  const auto before32 = crc32(data);
+  data[250] ^= 0x10;
+  EXPECT_NE(internet_checksum(data), before16);
+  EXPECT_NE(crc32(data), before32);
+}
+
+class PduCodec : public ::testing::TestWithParam<std::pair<ChecksumKind, ChecksumPlacement>> {};
+
+TEST_P(PduCodec, RoundTrip) {
+  const auto [kind, placement] = GetParam();
+  Pdu p;
+  p.type = PduType::kData;
+  p.session_id = 0xDEADBEEF;
+  p.seq = 42;
+  p.ack = 41;
+  p.window = 16;
+  p.aux = 7;
+  p.payload = Message::from_bytes(iota_bytes(300));
+
+  auto wire = encode_pdu(std::move(p), kind, placement);
+  auto r = decode_pdu(std::move(wire));
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.pdu.type, PduType::kData);
+  EXPECT_EQ(r.pdu.session_id, 0xDEADBEEFu);
+  EXPECT_EQ(r.pdu.seq, 42u);
+  EXPECT_EQ(r.pdu.ack, 41u);
+  EXPECT_EQ(r.pdu.window, 16u);
+  if (placement == ChecksumPlacement::kTrailer || kind == ChecksumKind::kNone) {
+    EXPECT_EQ(r.pdu.aux, 7u);  // header placement sacrifices aux
+  }
+  EXPECT_EQ(r.pdu.payload.linearize(), iota_bytes(300));
+}
+
+TEST_P(PduCodec, DetectsPayloadCorruption) {
+  const auto [kind, placement] = GetParam();
+  if (kind == ChecksumKind::kNone) GTEST_SKIP() << "no detection configured";
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = 1;
+  p.payload = Message::from_bytes(iota_bytes(200));
+  auto wire = encode_pdu(std::move(p), kind, placement);
+  auto corrupt = wire.linearize();
+  corrupt[kPduHeaderBytes + 50] ^= 0x01;
+  auto r = decode_pdu(Message::from_bytes(corrupt));
+  EXPECT_EQ(r.status, DecodeStatus::kChecksumMismatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectionModes, PduCodec,
+    ::testing::Values(std::pair{ChecksumKind::kNone, ChecksumPlacement::kTrailer},
+                      std::pair{ChecksumKind::kInternet16, ChecksumPlacement::kHeader},
+                      std::pair{ChecksumKind::kInternet16, ChecksumPlacement::kTrailer},
+                      std::pair{ChecksumKind::kCrc32, ChecksumPlacement::kTrailer}));
+
+TEST(PduCodec, RejectsMalformed) {
+  EXPECT_EQ(decode_pdu(Message::from_bytes(bytes({1, 2, 3}))).status, DecodeStatus::kMalformed);
+  // Bad version byte.
+  std::vector<std::uint8_t> junk(kPduHeaderBytes, 0);
+  junk[0] = 99;
+  EXPECT_EQ(decode_pdu(Message::from_bytes(junk)).status, DecodeStatus::kMalformed);
+}
+
+TEST(PduCodec, RejectsLengthMismatch) {
+  Pdu p;
+  p.type = PduType::kData;
+  p.payload = Message::from_bytes(iota_bytes(50));
+  auto wire = encode_pdu(std::move(p), ChecksumKind::kNone, ChecksumPlacement::kTrailer);
+  auto trimmed = wire.linearize();
+  trimmed.pop_back();
+  EXPECT_EQ(decode_pdu(Message::from_bytes(trimmed)).status, DecodeStatus::kMalformed);
+}
+
+TEST(PduCodec, EmptyPayloadRoundTrip) {
+  Pdu p;
+  p.type = PduType::kAck;
+  p.ack = 10;
+  auto wire = encode_pdu(std::move(p), ChecksumKind::kInternet16, ChecksumPlacement::kTrailer);
+  auto r = decode_pdu(std::move(wire));
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.pdu.type, PduType::kAck);
+  EXPECT_EQ(r.pdu.ack, 10u);
+  EXPECT_EQ(r.pdu.payload.size(), 0u);
+}
+
+TEST(PduCodec, TrailerPlacementKeepsPayloadZeroCopy) {
+  os::BufferPool pool;
+  Pdu p;
+  p.type = PduType::kData;
+  p.payload = Message::from_bytes(iota_bytes(1000), &pool);
+  pool.reset_stats();
+  auto wire = encode_pdu(std::move(p), ChecksumKind::kCrc32, ChecksumPlacement::kTrailer);
+  // CRC32 streams over segments: no payload copy during encode.
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);
+  EXPECT_GT(wire.segment_count(), 1u);
+}
+
+TEST(PduCodec, HeaderPlacementForcesLinearization) {
+  os::BufferPool pool;
+  Pdu p;
+  p.type = PduType::kData;
+  p.payload = Message::from_bytes(iota_bytes(1000), &pool);
+  pool.reset_stats();
+  auto wire = encode_pdu(std::move(p), ChecksumKind::kInternet16, ChecksumPlacement::kHeader);
+  EXPECT_GE(pool.stats().copied_bytes, 1000u);  // the extra pass footnote 2 decries
+  EXPECT_EQ(wire.segment_count(), 1u);
+}
+
+}  // namespace
+}  // namespace adaptive::tko

@@ -1,0 +1,480 @@
+// Property-based and parameterized sweeps.
+//
+//  * ConfigMatrix: every representative mechanism combination transfers
+//    data correctly end to end (completeness for reliable schemes, no
+//    duplicates, ordering where configured) — on a clean LAN and on a
+//    lossy WAN.
+//  * SegueMatrix: every recovery-scheme transition applied mid-transfer
+//    preserves the no-data-loss guarantee (for reliable pairs) and never
+//    duplicates or reorders.
+//  * Message model checking: random operation sequences against a plain
+//    byte-vector reference model.
+//  * Routing invariants on random topologies.
+#include "adaptive/world.hpp"
+#include "net/topologies.hpp"
+#include "tko/message.hpp"
+#include "tko/sa/synthesizer.hpp"
+#include "tko/sa/templates.hpp"
+#include "tko/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace adaptive {
+namespace {
+
+using tko::sa::AckScheme;
+using tko::sa::ConnectionScheme;
+using tko::sa::DetectionScheme;
+using tko::sa::RecoveryScheme;
+using tko::sa::SessionConfig;
+using tko::sa::TransmissionScheme;
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t salt = 0) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i * 13 + salt);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ConfigMatrix
+// ---------------------------------------------------------------------------
+
+struct ConfigCase {
+  ConnectionScheme connection;
+  RecoveryScheme recovery;
+  DetectionScheme detection;
+  bool ordered;
+  bool lossy_network;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ConfigCase>& info) {
+  const auto& c = info.param;
+  std::string s = tko::sa::to_string(c.connection);
+  s += "_";
+  s += tko::sa::to_string(c.recovery);
+  s += "_";
+  s += tko::sa::to_string(c.detection);
+  s += c.ordered ? "_ordered" : "_unordered";
+  s += c.lossy_network ? "_lossy" : "_clean";
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+SessionConfig make_case_config(const ConfigCase& c) {
+  SessionConfig cfg;
+  cfg.connection = c.connection;
+  cfg.recovery = c.recovery;
+  cfg.detection = c.detection;
+  cfg.ordered_delivery = c.ordered;
+  cfg.segment_bytes = 700;
+  cfg.rto_initial = sim::SimTime::milliseconds(200);
+  switch (c.recovery) {
+    case RecoveryScheme::kNone:
+      cfg.transmission = TransmissionScheme::kRateControl;
+      cfg.inter_pdu_gap = sim::SimTime::microseconds(800);
+      cfg.ack = AckScheme::kEveryN;
+      cfg.ack_every_n = 8;
+      break;
+    case RecoveryScheme::kGoBackN:
+      cfg.transmission = TransmissionScheme::kSlidingWindow;
+      cfg.window_pdus = 12;
+      cfg.ack = AckScheme::kImmediate;
+      break;
+    case RecoveryScheme::kSelectiveRepeat:
+      cfg.transmission = TransmissionScheme::kSlidingWindow;
+      cfg.window_pdus = 12;
+      cfg.ack = AckScheme::kEveryN;
+      cfg.ack_every_n = 2;
+      break;
+    case RecoveryScheme::kForwardErrorCorrection:
+      cfg.transmission = TransmissionScheme::kRateControl;
+      cfg.inter_pdu_gap = sim::SimTime::microseconds(800);
+      cfg.fec_group_size = 4;
+      cfg.ack = AckScheme::kNone;
+      break;
+  }
+  // Retransmission without detection cannot work on an errored path; the
+  // validator rejects it, so the matrix never produces that pairing.
+  return cfg;
+}
+
+class ConfigMatrix : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigMatrix, TransfersCorrectly) {
+  const ConfigCase& c = GetParam();
+  const SessionConfig cfg = make_case_config(c);
+  ASSERT_TRUE(tko::sa::Synthesizer::validate(cfg).empty());
+
+  World world([&](sim::EventScheduler& s) {
+    return c.lossy_network ? net::make_congested_wan(s, 1, 500)
+                           : net::make_ethernet_lan(s, 2, 500);
+  });
+
+  std::vector<std::vector<std::uint8_t>> received;
+  world.transport(1).set_acceptor([&](tko::TransportSession& s) {
+    s.set_deliver([&](tko::Message&& m) { received.push_back(m.linearize()); });
+  });
+
+  auto& session = world.transport(0).open({world.transport_address(1)}, cfg);
+  constexpr int kUnits = 40;
+  for (int i = 0; i < kUnits; ++i) {
+    session.send(tko::Message::from_bytes(pattern(700, static_cast<std::uint8_t>(i)),
+                                          &world.host(0).buffers()));
+  }
+  session.close(/*graceful=*/true);
+  world.run_for(sim::SimTime::seconds(c.lossy_network ? 60 : 10));
+
+  const bool reliable = c.recovery == RecoveryScheme::kGoBackN ||
+                        c.recovery == RecoveryScheme::kSelectiveRepeat;
+  if (reliable) {
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(kUnits));
+    EXPECT_EQ(session.state(), tko::SessionState::kClosed);
+  } else if (!c.lossy_network) {
+    // Clean LAN: even unreliable schemes deliver everything.
+    EXPECT_EQ(received.size(), static_cast<std::size_t>(kUnits));
+  } else {
+    EXPECT_GT(received.size(), static_cast<std::size_t>(kUnits) / 2);
+    EXPECT_LE(received.size(), static_cast<std::size_t>(kUnits));
+  }
+  // No duplicates ever (filter_duplicates defaults on).
+  std::set<std::vector<std::uint8_t>> unique(received.begin(), received.end());
+  EXPECT_EQ(unique.size(), received.size());
+  // Ordered delivery: payload salts must be non-decreasing.
+  if (c.ordered && reliable) {
+    // pattern(700, salt)[0] == salt, and units were sent with salts
+    // 0, 1, 2, ...: ordered delivery means byte 0 increments each unit.
+    for (std::size_t i = 1; i < received.size(); ++i) {
+      EXPECT_EQ(received[i][0], static_cast<std::uint8_t>(received[i - 1][0] + 1))
+          << "out of order at " << i;
+    }
+  }
+}
+
+std::vector<ConfigCase> all_config_cases() {
+  std::vector<ConfigCase> cases;
+  for (const auto conn : {ConnectionScheme::kImplicit, ConnectionScheme::kExplicit2Way,
+                          ConnectionScheme::kExplicit3Way}) {
+    for (const auto rec :
+         {RecoveryScheme::kNone, RecoveryScheme::kGoBackN, RecoveryScheme::kSelectiveRepeat,
+          RecoveryScheme::kForwardErrorCorrection}) {
+      for (const auto det : {DetectionScheme::kInternet16Header,
+                             DetectionScheme::kInternet16Trailer,
+                             DetectionScheme::kCrc32Trailer}) {
+        for (const bool ordered : {false, true}) {
+          for (const bool lossy : {false, true}) {
+            cases.push_back({conn, rec, det, ordered, lossy});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanismCombinations, ConfigMatrix,
+                         ::testing::ValuesIn(all_config_cases()), case_name);
+
+// ---------------------------------------------------------------------------
+// SegueMatrix
+// ---------------------------------------------------------------------------
+
+struct SeguePair {
+  RecoveryScheme from;
+  RecoveryScheme to;
+};
+
+std::string segue_name(const ::testing::TestParamInfo<SeguePair>& info) {
+  std::string s = std::string(tko::sa::to_string(info.param.from)) + "_to_" +
+                  tko::sa::to_string(info.param.to);
+  for (auto& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+class SegueMatrix : public ::testing::TestWithParam<SeguePair> {};
+
+TEST_P(SegueMatrix, MidTransferSwitchPreservesData) {
+  const auto [from, to] = GetParam();
+  SessionConfig cfg;
+  cfg.connection = ConnectionScheme::kImplicit;
+  cfg.transmission = TransmissionScheme::kSlidingWindow;
+  cfg.window_pdus = 8;
+  cfg.recovery = from;
+  cfg.detection = DetectionScheme::kCrc32Trailer;
+  cfg.ack = from == RecoveryScheme::kForwardErrorCorrection ? AckScheme::kEveryN
+                                                            : AckScheme::kImmediate;
+  cfg.ack_every_n = 4;
+  cfg.ordered_delivery = true;
+  cfg.segment_bytes = 512;
+  if (from == RecoveryScheme::kForwardErrorCorrection) {
+    cfg.transmission = TransmissionScheme::kRateControl;
+    cfg.inter_pdu_gap = sim::SimTime::microseconds(500);
+  }
+  ASSERT_TRUE(tko::sa::Synthesizer::validate(cfg).empty()) << cfg.describe();
+
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 321); });
+  std::size_t received_bytes = 0;
+  std::set<std::vector<std::uint8_t>> unique;
+  std::size_t received_count = 0;
+  world.transport(1).set_acceptor([&](tko::TransportSession& s) {
+    s.set_deliver([&](tko::Message&& m) {
+      auto b = m.linearize();
+      received_bytes += b.size();
+      ++received_count;
+      unique.insert(std::move(b));
+    });
+  });
+
+  auto& session = world.transport(0).open({world.transport_address(1)}, cfg);
+  constexpr int kUnits = 60;
+  int sent = 0;
+  for (; sent < kUnits / 2; ++sent) {
+    session.send(tko::Message::from_bytes(pattern(512, static_cast<std::uint8_t>(sent)),
+                                          &world.host(0).buffers()));
+  }
+  world.run_for(sim::SimTime::milliseconds(5));  // some PDUs in flight
+
+  auto cfg2 = cfg;
+  cfg2.recovery = to;
+  if (to == RecoveryScheme::kForwardErrorCorrection) {
+    cfg2.ack = AckScheme::kEveryN;
+    cfg2.transmission = TransmissionScheme::kRateControl;
+    cfg2.inter_pdu_gap = sim::SimTime::microseconds(500);
+  } else if (to == RecoveryScheme::kGoBackN || to == RecoveryScheme::kSelectiveRepeat) {
+    cfg2.ack = AckScheme::kImmediate;
+    cfg2.transmission = TransmissionScheme::kSlidingWindow;
+  }
+  ASSERT_TRUE(tko::sa::Synthesizer::validate(cfg2).empty()) << cfg2.describe();
+  session.reconfigure(cfg2);
+  EXPECT_EQ(session.context().reliability().name(),
+            std::string_view(tko::sa::to_string(to)));
+
+  for (; sent < kUnits; ++sent) {
+    session.send(tko::Message::from_bytes(pattern(512, static_cast<std::uint8_t>(sent)),
+                                          &world.host(0).buffers()));
+  }
+  world.run_for(sim::SimTime::seconds(10));
+
+  // On a clean LAN no scheme loses data, so EVERY transition must deliver
+  // all 60 units exactly once.
+  EXPECT_EQ(received_count, static_cast<std::size_t>(kUnits)) << "units lost across segue";
+  EXPECT_EQ(unique.size(), received_count) << "duplicate delivery across segue";
+  EXPECT_EQ(received_bytes, static_cast<std::size_t>(kUnits) * 512);
+}
+
+std::vector<SeguePair> all_segue_pairs() {
+  std::vector<SeguePair> pairs;
+  const RecoveryScheme schemes[] = {RecoveryScheme::kNone, RecoveryScheme::kGoBackN,
+                                    RecoveryScheme::kSelectiveRepeat,
+                                    RecoveryScheme::kForwardErrorCorrection};
+  for (const auto from : schemes) {
+    for (const auto to : schemes) {
+      if (from != to) pairs.push_back({from, to});
+    }
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecoveryTransitions, SegueMatrix,
+                         ::testing::ValuesIn(all_segue_pairs()), segue_name);
+
+// Retransmission-to-retransmission transitions must also survive a LOSSY
+// path: the inherited unacked store keeps recovering what the wire ate.
+class LossySegue : public ::testing::TestWithParam<SeguePair> {};
+
+TEST_P(LossySegue, ReliableTransitionsDeliverEverythingUnderLoss) {
+  const auto [from, to] = GetParam();
+  SessionConfig cfg;
+  cfg.connection = ConnectionScheme::kImplicit;
+  cfg.transmission = TransmissionScheme::kSlidingWindow;
+  cfg.window_pdus = 8;
+  cfg.recovery = from;
+  cfg.detection = DetectionScheme::kCrc32Trailer;
+  cfg.ack = AckScheme::kImmediate;
+  cfg.ordered_delivery = true;
+  cfg.segment_bytes = 512;
+
+  World world([](sim::EventScheduler& s) { return net::make_congested_wan(s, 1, 611); });
+  std::size_t received_bytes = 0;
+  std::set<std::vector<std::uint8_t>> unique;
+  world.transport(1).set_acceptor([&](tko::TransportSession& s) {
+    s.set_deliver([&](tko::Message&& m) {
+      auto b = m.linearize();
+      received_bytes += b.size();
+      unique.insert(std::move(b));
+    });
+  });
+  auto& session = world.transport(0).open({world.transport_address(1)}, cfg);
+
+  constexpr int kUnits = 80;
+  int sent = 0;
+  for (; sent < kUnits / 2; ++sent) {
+    session.send(tko::Message::from_bytes(pattern(512, static_cast<std::uint8_t>(sent)),
+                                          &world.host(0).buffers()));
+  }
+  world.run_for(sim::SimTime::milliseconds(200));  // losses in flight
+
+  auto cfg2 = cfg;
+  cfg2.recovery = to;
+  session.reconfigure(cfg2);
+  for (; sent < kUnits; ++sent) {
+    session.send(tko::Message::from_bytes(pattern(512, static_cast<std::uint8_t>(sent)),
+                                          &world.host(0).buffers()));
+  }
+  world.run_for(sim::SimTime::seconds(60));
+
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kUnits)) << "loss across lossy segue";
+  EXPECT_EQ(received_bytes, static_cast<std::size_t>(kUnits) * 512);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RetransmittingPairs, LossySegue,
+    ::testing::Values(SeguePair{RecoveryScheme::kGoBackN, RecoveryScheme::kSelectiveRepeat},
+                      SeguePair{RecoveryScheme::kSelectiveRepeat, RecoveryScheme::kGoBackN}),
+    segue_name);
+
+// ---------------------------------------------------------------------------
+// Message model checking
+// ---------------------------------------------------------------------------
+
+class MessageModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MessageModel, RandomOperationsMatchReference) {
+  sim::Rng rng(GetParam());
+  os::BufferPool pool;
+  tko::Message msg(&pool);
+  std::vector<std::uint8_t> ref;
+
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.uniform_int(0, 5)) {
+      case 0: {  // append
+        const auto n = rng.uniform_int(0, 64);
+        std::vector<std::uint8_t> bytes(n);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        msg.append(bytes);
+        ref.insert(ref.end(), bytes.begin(), bytes.end());
+        break;
+      }
+      case 1: {  // push header
+        const auto n = rng.uniform_int(1, 24);
+        std::vector<std::uint8_t> bytes(n);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        msg.push(bytes);
+        ref.insert(ref.begin(), bytes.begin(), bytes.end());
+        break;
+      }
+      case 2: {  // pop
+        if (ref.empty()) break;
+        const auto n = rng.uniform_int(1, ref.size());
+        const auto got = msg.pop(n);
+        const std::vector<std::uint8_t> want(ref.begin(), ref.begin() + static_cast<long>(n));
+        ASSERT_EQ(got, want) << "pop mismatch at step " << step;
+        ref.erase(ref.begin(), ref.begin() + static_cast<long>(n));
+        break;
+      }
+      case 3: {  // split then re-concat (must be identity)
+        const auto at = ref.empty() ? 0 : rng.uniform_int(0, ref.size());
+        auto tail = msg.split(at);
+        msg.concat(std::move(tail));
+        break;
+      }
+      case 4: {  // clone and deep_copy must match the reference
+        auto c = msg.clone();
+        ASSERT_EQ(c.linearize(), ref);
+        auto d = msg.deep_copy();
+        ASSERT_EQ(d.linearize(), ref);
+        break;
+      }
+      case 5: {  // peek prefix
+        if (ref.empty()) break;
+        const auto n = rng.uniform_int(1, ref.size());
+        const auto got = msg.peek(n);
+        const std::vector<std::uint8_t> want(ref.begin(), ref.begin() + static_cast<long>(n));
+        ASSERT_EQ(got, want);
+        break;
+      }
+    }
+    ASSERT_EQ(msg.size(), ref.size()) << "size mismatch at step " << step;
+  }
+  EXPECT_EQ(msg.linearize(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageModel, ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Routing invariants on random topologies
+// ---------------------------------------------------------------------------
+
+class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperty, RandomTopologyInvariants) {
+  sim::Rng rng(GetParam());
+  sim::EventScheduler sched;
+  net::Network net(sched, GetParam());
+
+  const std::size_t n_switches = 2 + rng.uniform_int(0, 4);
+  const std::size_t n_hosts = 2 + rng.uniform_int(0, 4);
+  std::vector<net::NodeId> switches, hosts;
+  for (std::size_t i = 0; i < n_switches; ++i) {
+    switches.push_back(net.add_switch("s" + std::to_string(i)));
+  }
+  // Ring of switches guarantees connectivity; random chords added on top.
+  for (std::size_t i = 0; i < n_switches; ++i) {
+    net::LinkConfig cfg;
+    cfg.mtu_bytes = 1000 + rng.uniform_int(0, 4000);
+    net.connect(switches[i], switches[(i + 1) % n_switches], cfg);
+  }
+  for (int chord = 0; chord < 2; ++chord) {
+    const auto a = switches[rng.uniform_int(0, n_switches - 1)];
+    const auto b = switches[rng.uniform_int(0, n_switches - 1)];
+    if (a != b) {
+      net::LinkConfig cfg;
+      cfg.mtu_bytes = 1000 + rng.uniform_int(0, 4000);
+      net.connect(a, b, cfg);
+    }
+  }
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    hosts.push_back(net.add_host("h" + std::to_string(i)));
+    net::LinkConfig cfg;
+    cfg.mtu_bytes = 1000 + rng.uniform_int(0, 4000);
+    net.connect(hosts.back(), switches[rng.uniform_int(0, n_switches - 1)], cfg);
+  }
+
+  for (const auto a : hosts) {
+    for (const auto b : hosts) {
+      if (a == b) continue;
+      const auto path = net.path(a, b);
+      ASSERT_GE(path.size(), 2u) << "connected graph must route all host pairs";
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      // Path is simple (no repeated nodes).
+      std::set<net::NodeId> seen(path.begin(), path.end());
+      EXPECT_EQ(seen.size(), path.size());
+      // MTU equals the min over the path links (probe by delivery).
+      const auto mtu = net.path_mtu(a, b);
+      EXPECT_GE(mtu, 1000u);
+      EXPECT_LE(mtu, 5000u);
+      // A packet exactly at the path MTU is deliverable end to end.
+      int got = 0;
+      net.set_host_rx(b, [&](net::Packet&&) { ++got; });
+      net::Packet p;
+      p.src = {a, 1};
+      p.dst = {b, 1};
+      p.payload.assign(mtu - net::Packet::kNetworkHeaderBytes, 1);
+      net.inject(std::move(p));
+      sched.run();
+      EXPECT_EQ(got, 1) << "MTU-sized packet must survive the path";
+      net.set_host_rx(b, nullptr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty, ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace adaptive

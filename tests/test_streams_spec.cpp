@@ -1,0 +1,298 @@
+// Tests for the STREAMS-style composition substrate and the UNITES
+// metric-specification language, plus the remaining extension features
+// (message-oriented delivery, in-handshake negotiation).
+#include "adaptive/world.hpp"
+#include "tko/streams.hpp"
+#include "unites/spec_language.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaptive {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// STREAMS
+// ---------------------------------------------------------------------------
+
+TEST(Streams, EmptyStackIsPassThrough) {
+  std::vector<std::uint8_t> tx;
+  std::vector<std::uint8_t> rx;
+  tko::Stream stream([&](tko::Message&& m) { tx = m.linearize(); });
+  stream.set_read_handler([&](tko::Message&& m) { rx = m.linearize(); });
+
+  stream.write(tko::Message::from_bytes(bytes_of({1, 2, 3})));
+  EXPECT_EQ(tx, bytes_of({1, 2, 3}));
+  stream.inject_from_driver(tko::Message::from_bytes(bytes_of({4, 5})));
+  EXPECT_EQ(rx, bytes_of({4, 5}));
+}
+
+TEST(Streams, ModulesTransformBothDirections) {
+  std::vector<std::uint8_t> tx;
+  std::vector<std::uint8_t> rx;
+  tko::Stream stream([&](tko::Message&& m) { tx = m.linearize(); });
+  stream.set_read_handler([&](tko::Message&& m) { rx = m.linearize(); });
+
+  // A module that prepends 0xAA going down and strips one byte going up.
+  stream.push(std::make_unique<tko::LambdaModule>(
+      "marker",
+      [](tko::Message&& m) {
+        const std::uint8_t h[1] = {0xAA};
+        m.push(h);
+        return std::optional<tko::Message>(std::move(m));
+      },
+      [](tko::Message&& m) {
+        (void)m.pop(1);
+        return std::optional<tko::Message>(std::move(m));
+      }));
+
+  stream.write(tko::Message::from_bytes(bytes_of({7})));
+  EXPECT_EQ(tx, bytes_of({0xAA, 7}));
+  stream.inject_from_driver(tko::Message::from_bytes(bytes_of({0xAA, 9})));
+  EXPECT_EQ(rx, bytes_of({9}));
+}
+
+TEST(Streams, PushPopReconfiguresLive) {
+  std::vector<std::size_t> tx_sizes;
+  tko::Stream stream([&](tko::Message&& m) { tx_sizes.push_back(m.size()); });
+
+  auto pad = [](tko::Message&& m) {
+    const std::uint8_t h[4] = {0, 0, 0, 0};
+    m.push(h);
+    return std::optional<tko::Message>(std::move(m));
+  };
+  stream.push(std::make_unique<tko::LambdaModule>("pad4", pad, nullptr));
+  stream.write(tko::Message::from_bytes(bytes_of({1})));
+  EXPECT_EQ(tx_sizes.back(), 5u);
+
+  stream.push(std::make_unique<tko::LambdaModule>("pad4b", pad, nullptr));
+  EXPECT_EQ(stream.depth(), 2u);
+  EXPECT_EQ(stream.describe(), (std::vector<std::string>{"pad4b", "pad4"}));
+  stream.write(tko::Message::from_bytes(bytes_of({1})));
+  EXPECT_EQ(tx_sizes.back(), 9u);
+
+  auto popped = stream.pop();  // removes pad4b (nearest the head)
+  ASSERT_NE(popped, nullptr);
+  EXPECT_EQ(popped->name(), "pad4b");
+  stream.write(tko::Message::from_bytes(bytes_of({1})));
+  EXPECT_EQ(tx_sizes.back(), 5u);
+  EXPECT_NE(stream.find("pad4"), nullptr);
+  EXPECT_EQ(stream.find("pad4b"), nullptr);
+}
+
+TEST(Streams, ModulesCanAbsorbMessages) {
+  int delivered = 0;
+  tko::Stream stream([&](tko::Message&&) { ++delivered; });
+  stream.push(std::make_unique<tko::LambdaModule>(
+      "drop-odd-sized",
+      [](tko::Message&& m) {
+        return m.size() % 2 == 1 ? std::nullopt : std::optional<tko::Message>(std::move(m));
+      },
+      nullptr));
+  stream.write(tko::Message::from_bytes(bytes_of({1})));        // absorbed
+  stream.write(tko::Message::from_bytes(bytes_of({1, 2})));     // passes
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Streams, PduFramingRoundTripAndCorruptionDrop) {
+  // Two stream stacks joined back to back: A's driver feeds B's read side.
+  std::vector<std::vector<std::uint8_t>> received;
+  std::vector<std::uint8_t> wire;
+  tko::Stream b([](tko::Message&&) {});
+  b.set_read_handler([&](tko::Message&& m) { received.push_back(m.linearize()); });
+  auto& b_framing = static_cast<tko::PduFramingModule&>(b.push(
+      std::make_unique<tko::PduFramingModule>(tko::ChecksumKind::kCrc32,
+                                              tko::ChecksumPlacement::kTrailer)));
+
+  tko::Stream a([&](tko::Message&& m) {
+    wire = m.linearize();
+    b.inject_from_driver(tko::Message::from_bytes(wire));
+  });
+  a.push(std::make_unique<tko::PduFramingModule>(tko::ChecksumKind::kCrc32,
+                                                 tko::ChecksumPlacement::kTrailer));
+
+  a.write(tko::Message::from_bytes(bytes_of({10, 20, 30})));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], bytes_of({10, 20, 30}));
+
+  // Corrupt the captured wire image and replay it: the framing module
+  // must absorb it.
+  wire[tko::kPduHeaderBytes + 1] ^= 0x40;
+  b.inject_from_driver(tko::Message::from_bytes(wire));
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_EQ(b_framing.corrupted_dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metric specification language
+// ---------------------------------------------------------------------------
+
+TEST(SpecLanguage, ParsesCollectAndReport) {
+  const char* text = R"(
+    # collect whitebox metrics
+    collect pdu.* every 50ms
+    collect connection.*
+    report mean, p95 of latency.ns
+    report sum of reliability.timeout
+  )";
+  std::vector<std::string> errors;
+  const auto program = unites::parse_metric_spec(text, &errors);
+  ASSERT_TRUE(program.has_value()) << (errors.empty() ? "" : errors[0]);
+  EXPECT_TRUE(program->measurement.whitebox);
+  ASSERT_EQ(program->measurement.filter.size(), 2u);
+  EXPECT_EQ(program->measurement.filter[0], "pdu.");
+  EXPECT_EQ(program->measurement.sampling_period, sim::SimTime::milliseconds(50));
+  ASSERT_EQ(program->reports.size(), 2u);
+  EXPECT_EQ(program->reports[0].stats, (std::vector<std::string>{"mean", "p95"}));
+  EXPECT_EQ(program->reports[0].metric, "latency.ns");
+}
+
+TEST(SpecLanguage, WildcardCollectsEverything) {
+  const auto program = unites::parse_metric_spec("collect *");
+  ASSERT_TRUE(program.has_value());
+  EXPECT_TRUE(program->measurement.whitebox);
+  EXPECT_TRUE(program->measurement.filter.empty());
+}
+
+TEST(SpecLanguage, RejectsBadStatements) {
+  std::vector<std::string> errors;
+  EXPECT_FALSE(unites::parse_metric_spec("gather pdu.*", &errors).has_value());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("line 1"), std::string::npos);
+
+  errors.clear();
+  EXPECT_FALSE(unites::parse_metric_spec("report wibble of x", &errors).has_value());
+  EXPECT_NE(errors[0].find("wibble"), std::string::npos);
+
+  errors.clear();
+  EXPECT_FALSE(unites::parse_metric_spec("collect x every fast", &errors).has_value());
+  EXPECT_FALSE(unites::parse_metric_spec("report mean x", &errors).has_value());
+}
+
+TEST(SpecLanguage, EndToEndAgainstLiveSession) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 91); });
+  const auto program = unites::parse_metric_spec(R"(
+    collect pdu.* every 20ms
+    report sum of pdu.sent
+    report count of pdu.received
+    report rate of data.delivered_bytes
+  )");
+  ASSERT_TRUE(program.has_value());
+
+  auto& session =
+      world.transport(0).open({world.transport_address(1)}, tko::sa::reliable_bulk_config());
+  world.transport(1).set_acceptor(
+      [](tko::TransportSession& s) { s.set_deliver([](tko::Message&&) {}); });
+  unites::SessionCollector collector(world.repository(), session, program->measurement);
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(20'000, 3),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(2));
+
+  const auto report = unites::run_reports(*program, world.repository(),
+                                          world.host(0).node_id(), session.id());
+  EXPECT_NE(report.find("pdu.sent"), std::string::npos);
+  EXPECT_NE(report.find("sum"), std::string::npos);
+  // The filter admits pdu.* only, so delivered_bytes has no samples.
+  EXPECT_NE(report.find("(no samples)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Message-oriented delivery (TSDU boundaries)
+// ---------------------------------------------------------------------------
+
+TEST(MessageMode, LargeUnitsReassembleAcrossSegments) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 92); });
+  auto cfg = tko::sa::reliable_bulk_config();
+  cfg.connection = tko::sa::ConnectionScheme::kImplicit;
+  cfg.segment_bytes = 512;
+  cfg.message_oriented = true;
+
+  std::vector<std::vector<std::uint8_t>> messages;
+  world.transport(1).set_acceptor([&](tko::TransportSession& s) {
+    s.set_deliver([&](tko::Message&& m) { messages.push_back(m.linearize()); });
+  });
+  auto& session = world.transport(0).open({world.transport_address(1)}, cfg);
+
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> unit(1000 + i * 700);
+    for (std::size_t j = 0; j < unit.size(); ++j) {
+      unit[j] = static_cast<std::uint8_t>(j * 7 + i);
+    }
+    sent.push_back(unit);
+    session.send(tko::Message::from_bytes(unit, &world.host(0).buffers()));
+  }
+  world.run_for(sim::SimTime::seconds(2));
+
+  // Each application message arrives whole, in order, byte-exact —
+  // despite every one spanning multiple 512-byte segments.
+  ASSERT_EQ(messages.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(messages[i], sent[i]);
+}
+
+TEST(MessageMode, ValidatorRequiresOrderedReliable) {
+  auto cfg = tko::sa::reliable_bulk_config();
+  cfg.message_oriented = true;
+  EXPECT_TRUE(tko::sa::Synthesizer::validate(cfg).empty());
+  cfg.ordered_delivery = false;
+  EXPECT_FALSE(tko::sa::Synthesizer::validate(cfg).empty());
+  cfg.ordered_delivery = true;
+  cfg.recovery = tko::sa::RecoveryScheme::kNone;
+  cfg.ack = tko::sa::AckScheme::kNone;
+  cfg.transmission = tko::sa::TransmissionScheme::kUnlimited;
+  EXPECT_FALSE(tko::sa::Synthesizer::validate(cfg).empty());
+}
+
+TEST(MessageMode, SurvivesConfigWireRoundTrip) {
+  auto cfg = tko::sa::reliable_bulk_config();
+  cfg.message_oriented = true;
+  const auto back = tko::sa::SessionConfig::deserialize(cfg.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->message_oriented);
+  EXPECT_EQ(*back, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// In-handshake negotiation (SYNACK counter-proposal)
+// ---------------------------------------------------------------------------
+
+TEST(HandshakeNegotiation, SynackCounterProposalAdoptedByActiveSide) {
+  mantts::ResourceLimits tight;
+  tight.max_window_pdus = 4;
+  tight.max_segment_bytes = 256;
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 93); },
+              os::CpuConfig{}, tight);
+
+  // Open directly at the transport (no out-of-band negotiation): the
+  // responder's MANTTS-installed admission clamps the SYN-carried config
+  // and the SYNACK carries the counter-proposal back.
+  auto cfg = tko::sa::reliable_bulk_config();
+  cfg.window_pdus = 64;
+  cfg.segment_bytes = 4096;
+  auto& session = world.transport(0).open({world.transport_address(1)}, cfg);
+  session.connect();
+  world.run_for(sim::SimTime::seconds(1));
+
+  ASSERT_EQ(session.state(), tko::SessionState::kEstablished);
+  EXPECT_EQ(session.config().window_pdus, 4);
+  EXPECT_EQ(session.config().segment_bytes, 256u);
+  auto* passive = world.transport(1).find_session(session.id());
+  ASSERT_NE(passive, nullptr);
+  EXPECT_EQ(passive->config().window_pdus, 4);
+
+  // And the clamped session still moves data correctly.
+  std::size_t got = 0;
+  passive->set_deliver([&](tko::Message&& m) { got += m.size(); });
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(10'000, 1),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(2));
+  EXPECT_EQ(got, 10'000u);
+}
+
+}  // namespace
+}  // namespace adaptive

@@ -1,0 +1,209 @@
+// Tests for UNITES: repository, analysis, collectors, presentation.
+#include "adaptive/world.hpp"
+#include "net/topologies.hpp"
+#include "tko/sa/templates.hpp"
+#include "unites/analysis.hpp"
+#include "unites/collector.hpp"
+#include "unites/presentation.hpp"
+#include "unites/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaptive::unites {
+namespace {
+
+Sample s(double t_ms, double v) { return Sample{sim::SimTime::seconds(t_ms / 1000.0), v}; }
+
+TEST(MetricClassification, BlackboxVsWhitebox) {
+  EXPECT_EQ(classify_metric(metrics::kThroughputBps), MetricClass::kBlackbox);
+  EXPECT_EQ(classify_metric(metrics::kLatencyNs), MetricClass::kBlackbox);
+  EXPECT_EQ(classify_metric(metrics::kRetransmissions), MetricClass::kWhitebox);
+  EXPECT_EQ(classify_metric("custom.thing"), MetricClass::kWhitebox);
+}
+
+TEST(Repository, RecordAndQuery) {
+  MetricRepository repo;
+  const MetricKey key{1, 42, "x"};
+  repo.record(key, sim::SimTime::milliseconds(1), 10.0);
+  repo.record(key, sim::SimTime::milliseconds(2), 20.0);
+  const Series* series = repo.series(key);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 2u);
+  const auto sum = repo.summary(key);
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(sum->count, 2u);
+  EXPECT_DOUBLE_EQ(sum->sum, 30.0);
+  EXPECT_DOUBLE_EQ(sum->min, 10.0);
+  EXPECT_DOUBLE_EQ(sum->max, 20.0);
+  EXPECT_DOUBLE_EQ(sum->last, 20.0);
+  EXPECT_EQ(repo.series(MetricKey{1, 42, "y"}), nullptr);
+}
+
+TEST(Repository, KeysFilters) {
+  MetricRepository repo;
+  repo.record({1, 10, "a"}, sim::SimTime::zero(), 1);
+  repo.record({1, 11, "a"}, sim::SimTime::zero(), 1);
+  repo.record({2, 10, "a"}, sim::SimTime::zero(), 1);
+  EXPECT_EQ(repo.keys().size(), 3u);
+  EXPECT_EQ(repo.keys_for_host(1).size(), 2u);
+  EXPECT_EQ(repo.keys_for_connection(1, 11).size(), 1u);
+  EXPECT_DOUBLE_EQ(repo.systemwide_sum("a"), 3.0);
+}
+
+TEST(Repository, CapsSeriesButKeepsSummary) {
+  MetricRepository repo(16);
+  const MetricKey key{1, 1, "x"};
+  for (int i = 0; i < 100; ++i) repo.record(key, sim::SimTime::milliseconds(i), 1.0);
+  EXPECT_LE(repo.series(key)->size(), 16u);
+  EXPECT_EQ(repo.summary(key)->count, 100u);  // aggregate survives aging
+}
+
+TEST(Analysis, BasicStats) {
+  Series series = {s(0, 1), s(1, 2), s(2, 3), s(3, 4), s(4, 5)};
+  const auto st = analyze(series);
+  EXPECT_EQ(st.count, 5u);
+  EXPECT_DOUBLE_EQ(st.mean, 3.0);
+  EXPECT_DOUBLE_EQ(st.min, 1.0);
+  EXPECT_DOUBLE_EQ(st.max, 5.0);
+  EXPECT_DOUBLE_EQ(st.p50, 3.0);
+  EXPECT_NEAR(st.stddev, std::sqrt(2.0), 1e-9);
+  EXPECT_EQ(analyze({}).count, 0u);
+}
+
+TEST(Analysis, Percentiles) {
+  Series series;
+  for (int i = 1; i <= 100; ++i) series.push_back(s(i, i));
+  const auto st = analyze(series);
+  EXPECT_NEAR(st.p95, 95.05, 0.5);
+  EXPECT_NEAR(st.p99, 99.01, 0.5);
+}
+
+TEST(Analysis, JitterIsDelayStddev) {
+  Series constant = {s(0, 5), s(1, 5), s(2, 5)};
+  EXPECT_DOUBLE_EQ(jitter(constant), 0.0);
+  Series varying = {s(0, 1), s(1, 9)};
+  EXPECT_DOUBLE_EQ(jitter(varying), 4.0);
+}
+
+TEST(Analysis, RatePerSecond) {
+  Series series = {s(0, 100), s(1000, 100)};  // 200 units over 1 s
+  const auto r = rate_per_second(series);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 200.0);
+  EXPECT_FALSE(rate_per_second({s(0, 1)}).has_value());
+}
+
+TEST(Analysis, WindowedRate) {
+  Series series = {s(0, 10), s(100, 10), s(600, 40)};
+  const auto windows = windowed_rate(series, sim::SimTime::milliseconds(500));
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].value, 40.0);  // 20 units / 0.5 s
+  EXPECT_DOUBLE_EQ(windows[1].value, 80.0);
+}
+
+TEST(Presentation, TextTableAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every line has the same length (fixed-width alignment).
+  std::size_t prev = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto nl = out.find('\n', pos);
+    const auto len = nl - pos;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    pos = nl + 1;
+  }
+}
+
+TEST(Presentation, FormatSi) {
+  EXPECT_EQ(format_si(1'500'000.0, 1), "1.5M");
+  EXPECT_EQ(format_si(2'000.0, 0), "2k");
+  EXPECT_EQ(format_si(3.25e9, 2), "3.25G");
+  EXPECT_EQ(format_si(12.0, 0), "12");
+}
+
+TEST(Collectors, SessionCollectorGathersWhiteboxAndThroughput) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 5); });
+  auto& session =
+      world.transport(0).open({world.transport_address(1)}, tko::sa::reliable_bulk_config());
+  MetricRepository repo;
+  MeasurementSpec spec;
+  spec.sampling_period = sim::SimTime::milliseconds(50);
+  SessionCollector collector(repo, session, spec);
+
+  std::vector<std::uint8_t> data(20'000, 7);
+  session.send(tko::Message::from_bytes(data, &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(1));
+
+  EXPECT_GT(collector.whitebox_events(), 0u);
+  const MetricKey sent{world.host(0).node_id(), session.id(), metrics::kPdusSent};
+  ASSERT_TRUE(repo.summary(sent).has_value());
+  EXPECT_GT(repo.summary(sent)->sum, 10.0);
+  const MetricKey tput{world.host(0).node_id(), session.id(), metrics::kThroughputBps};
+  ASSERT_NE(repo.series(tput), nullptr);
+  EXPECT_GE(repo.series(tput)->size(), 10u);
+  collector.detach();
+}
+
+TEST(Collectors, FilterRestrictsMetrics) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 5); });
+  auto& session =
+      world.transport(0).open({world.transport_address(1)}, tko::sa::reliable_bulk_config());
+  MetricRepository repo;
+  MeasurementSpec spec;
+  spec.filter = {"connection."};
+  SessionCollector collector(repo, session, spec);
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(5000, 1),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(1));
+  for (const auto& key : repo.keys()) {
+    if (key.name == metrics::kThroughputBps) continue;  // periodic blackbox
+    EXPECT_EQ(key.name.substr(0, 11), "connection.") << key.name;
+  }
+}
+
+TEST(Collectors, HostCollectorSamplesCpuAndCopies) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 5); });
+  MetricRepository repo;
+  HostCollector collector(repo, world.host(0), sim::SimTime::milliseconds(100));
+  auto& session =
+      world.transport(0).open({world.transport_address(1)}, tko::sa::udp_compat_config());
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(3000, 1),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(1));
+  const MetricKey cpu{world.host(0).node_id(), 0, metrics::kCpuInstructions};
+  ASSERT_TRUE(repo.summary(cpu).has_value());
+  EXPECT_GT(repo.summary(cpu)->sum, 0.0);
+}
+
+TEST(Presentation, ReportsRenderWithoutCrashing) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 5); });
+  auto& session =
+      world.transport(0).open({world.transport_address(1)}, tko::sa::reliable_bulk_config());
+  MetricRepository repo;
+  MeasurementSpec spec;
+  SessionCollector collector(repo, session, spec);
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(8000, 1),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(1));
+  const auto conn = render_connection_report(repo, world.host(0).node_id(), session.id());
+  EXPECT_NE(conn.find("pdu.sent"), std::string::npos);
+  const auto host = render_host_report(repo, world.host(0).node_id());
+  EXPECT_NE(host.find("pdu.sent"), std::string::npos);
+  const auto csv = series_to_csv(
+      repo, MetricKey{world.host(0).node_id(), session.id(), metrics::kThroughputBps});
+  EXPECT_NE(csv.find("when_ns,value"), std::string::npos);
+  EXPECT_GT(csv.size(), 20u);
+}
+
+}  // namespace
+}  // namespace adaptive::unites
