@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_endtoend.dir/bench_fig1_endtoend.cpp.o"
+  "CMakeFiles/bench_fig1_endtoend.dir/bench_fig1_endtoend.cpp.o.d"
+  "bench_fig1_endtoend"
+  "bench_fig1_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

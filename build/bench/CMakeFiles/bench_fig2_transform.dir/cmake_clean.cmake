@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_transform.dir/bench_fig2_transform.cpp.o"
+  "CMakeFiles/bench_fig2_transform.dir/bench_fig2_transform.cpp.o.d"
+  "bench_fig2_transform"
+  "bench_fig2_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_unites.dir/bench_fig6_unites.cpp.o"
+  "CMakeFiles/bench_fig6_unites.dir/bench_fig6_unites.cpp.o.d"
+  "bench_fig6_unites"
+  "bench_fig6_unites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_unites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

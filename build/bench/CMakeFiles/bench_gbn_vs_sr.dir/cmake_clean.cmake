@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gbn_vs_sr.dir/bench_gbn_vs_sr.cpp.o"
+  "CMakeFiles/bench_gbn_vs_sr.dir/bench_gbn_vs_sr.cpp.o.d"
+  "bench_gbn_vs_sr"
+  "bench_gbn_vs_sr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gbn_vs_sr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overweight.dir/bench_overweight.cpp.o"
+  "CMakeFiles/bench_overweight.dir/bench_overweight.cpp.o.d"
+  "bench_overweight"
+  "bench_overweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

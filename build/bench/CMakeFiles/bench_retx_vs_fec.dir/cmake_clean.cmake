@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retx_vs_fec.dir/bench_retx_vs_fec.cpp.o"
+  "CMakeFiles/bench_retx_vs_fec.dir/bench_retx_vs_fec.cpp.o.d"
+  "bench_retx_vs_fec"
+  "bench_retx_vs_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retx_vs_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

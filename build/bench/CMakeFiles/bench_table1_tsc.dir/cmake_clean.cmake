@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tsc.dir/bench_table1_tsc.cpp.o"
+  "CMakeFiles/bench_table1_tsc.dir/bench_table1_tsc.cpp.o.d"
+  "bench_table1_tsc"
+  "bench_table1_tsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

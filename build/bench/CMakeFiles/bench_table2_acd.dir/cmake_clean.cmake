@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_acd.dir/bench_table2_acd.cpp.o"
+  "CMakeFiles/bench_table2_acd.dir/bench_table2_acd.cpp.o.d"
+  "bench_table2_acd"
+  "bench_table2_acd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_acd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

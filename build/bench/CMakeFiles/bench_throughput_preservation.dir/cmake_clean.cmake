@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_preservation.dir/bench_throughput_preservation.cpp.o"
+  "CMakeFiles/bench_throughput_preservation.dir/bench_throughput_preservation.cpp.o.d"
+  "bench_throughput_preservation"
+  "bench_throughput_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

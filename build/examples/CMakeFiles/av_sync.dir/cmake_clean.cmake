@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_sync.dir/av_sync.cpp.o"
+  "CMakeFiles/av_sync.dir/av_sync.cpp.o.d"
+  "av_sync"
+  "av_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_methodology.dir/experiment_methodology.cpp.o"
+  "CMakeFiles/experiment_methodology.dir/experiment_methodology.cpp.o.d"
+  "experiment_methodology"
+  "experiment_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

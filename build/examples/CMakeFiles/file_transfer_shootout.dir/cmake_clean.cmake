@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_transfer_shootout.dir/file_transfer_shootout.cpp.o"
+  "CMakeFiles/file_transfer_shootout.dir/file_transfer_shootout.cpp.o.d"
+  "file_transfer_shootout"
+  "file_transfer_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_transfer_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

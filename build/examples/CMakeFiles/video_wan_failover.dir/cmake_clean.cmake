@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_wan_failover.dir/video_wan_failover.cpp.o"
+  "CMakeFiles/video_wan_failover.dir/video_wan_failover.cpp.o.d"
+  "video_wan_failover"
+  "video_wan_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_wan_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

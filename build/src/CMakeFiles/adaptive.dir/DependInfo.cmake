@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/scenario.cpp" "src/CMakeFiles/adaptive.dir/adaptive/scenario.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/adaptive/scenario.cpp.o.d"
+  "/root/repo/src/adaptive/world.cpp" "src/CMakeFiles/adaptive.dir/adaptive/world.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/adaptive/world.cpp.o.d"
+  "/root/repo/src/app/application.cpp" "src/CMakeFiles/adaptive.dir/app/application.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/app/application.cpp.o.d"
+  "/root/repo/src/app/playout.cpp" "src/CMakeFiles/adaptive.dir/app/playout.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/app/playout.cpp.o.d"
+  "/root/repo/src/app/qos_evaluator.cpp" "src/CMakeFiles/adaptive.dir/app/qos_evaluator.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/app/qos_evaluator.cpp.o.d"
+  "/root/repo/src/app/request_response.cpp" "src/CMakeFiles/adaptive.dir/app/request_response.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/app/request_response.cpp.o.d"
+  "/root/repo/src/app/traffic_models.cpp" "src/CMakeFiles/adaptive.dir/app/traffic_models.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/app/traffic_models.cpp.o.d"
+  "/root/repo/src/app/workloads.cpp" "src/CMakeFiles/adaptive.dir/app/workloads.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/app/workloads.cpp.o.d"
+  "/root/repo/src/baseline/baselines.cpp" "src/CMakeFiles/adaptive.dir/baseline/baselines.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/baseline/baselines.cpp.o.d"
+  "/root/repo/src/mantts/acd.cpp" "src/CMakeFiles/adaptive.dir/mantts/acd.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/acd.cpp.o.d"
+  "/root/repo/src/mantts/mantts.cpp" "src/CMakeFiles/adaptive.dir/mantts/mantts.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/mantts.cpp.o.d"
+  "/root/repo/src/mantts/negotiation.cpp" "src/CMakeFiles/adaptive.dir/mantts/negotiation.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/negotiation.cpp.o.d"
+  "/root/repo/src/mantts/nmi.cpp" "src/CMakeFiles/adaptive.dir/mantts/nmi.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/nmi.cpp.o.d"
+  "/root/repo/src/mantts/policy.cpp" "src/CMakeFiles/adaptive.dir/mantts/policy.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/policy.cpp.o.d"
+  "/root/repo/src/mantts/qos.cpp" "src/CMakeFiles/adaptive.dir/mantts/qos.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/qos.cpp.o.d"
+  "/root/repo/src/mantts/stream_group.cpp" "src/CMakeFiles/adaptive.dir/mantts/stream_group.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/stream_group.cpp.o.d"
+  "/root/repo/src/mantts/transform.cpp" "src/CMakeFiles/adaptive.dir/mantts/transform.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/transform.cpp.o.d"
+  "/root/repo/src/mantts/tsc.cpp" "src/CMakeFiles/adaptive.dir/mantts/tsc.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/mantts/tsc.cpp.o.d"
+  "/root/repo/src/net/background_traffic.cpp" "src/CMakeFiles/adaptive.dir/net/background_traffic.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/background_traffic.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/adaptive.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/monitor.cpp" "src/CMakeFiles/adaptive.dir/net/monitor.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/monitor.cpp.o.d"
+  "/root/repo/src/net/multicast.cpp" "src/CMakeFiles/adaptive.dir/net/multicast.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/multicast.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/adaptive.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/adaptive.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/adaptive.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/adaptive.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/topologies.cpp" "src/CMakeFiles/adaptive.dir/net/topologies.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/net/topologies.cpp.o.d"
+  "/root/repo/src/os/buffer_pool.cpp" "src/CMakeFiles/adaptive.dir/os/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/os/buffer_pool.cpp.o.d"
+  "/root/repo/src/os/cpu_model.cpp" "src/CMakeFiles/adaptive.dir/os/cpu_model.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/os/cpu_model.cpp.o.d"
+  "/root/repo/src/os/host.cpp" "src/CMakeFiles/adaptive.dir/os/host.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/os/host.cpp.o.d"
+  "/root/repo/src/os/nic.cpp" "src/CMakeFiles/adaptive.dir/os/nic.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/os/nic.cpp.o.d"
+  "/root/repo/src/sim/event_scheduler.cpp" "src/CMakeFiles/adaptive.dir/sim/event_scheduler.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/sim/event_scheduler.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/adaptive.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/adaptive.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/sim/random.cpp.o.d"
+  "/root/repo/src/tko/checksum.cpp" "src/CMakeFiles/adaptive.dir/tko/checksum.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/checksum.cpp.o.d"
+  "/root/repo/src/tko/event.cpp" "src/CMakeFiles/adaptive.dir/tko/event.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/event.cpp.o.d"
+  "/root/repo/src/tko/message.cpp" "src/CMakeFiles/adaptive.dir/tko/message.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/message.cpp.o.d"
+  "/root/repo/src/tko/pdu.cpp" "src/CMakeFiles/adaptive.dir/tko/pdu.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/pdu.cpp.o.d"
+  "/root/repo/src/tko/protocol_graph.cpp" "src/CMakeFiles/adaptive.dir/tko/protocol_graph.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/protocol_graph.cpp.o.d"
+  "/root/repo/src/tko/sa/ack_strategy.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/ack_strategy.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/ack_strategy.cpp.o.d"
+  "/root/repo/src/tko/sa/config.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/config.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/config.cpp.o.d"
+  "/root/repo/src/tko/sa/connection_mgmt.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/connection_mgmt.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/connection_mgmt.cpp.o.d"
+  "/root/repo/src/tko/sa/context.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/context.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/context.cpp.o.d"
+  "/root/repo/src/tko/sa/error_detection.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/error_detection.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/error_detection.cpp.o.d"
+  "/root/repo/src/tko/sa/fec.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/fec.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/fec.cpp.o.d"
+  "/root/repo/src/tko/sa/gbn.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/gbn.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/gbn.cpp.o.d"
+  "/root/repo/src/tko/sa/mechanism.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/mechanism.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/mechanism.cpp.o.d"
+  "/root/repo/src/tko/sa/reliability.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/reliability.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/reliability.cpp.o.d"
+  "/root/repo/src/tko/sa/rtt_estimator.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/rtt_estimator.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tko/sa/selective_repeat.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/selective_repeat.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/selective_repeat.cpp.o.d"
+  "/root/repo/src/tko/sa/sequencing.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/sequencing.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/sequencing.cpp.o.d"
+  "/root/repo/src/tko/sa/synthesizer.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/synthesizer.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/synthesizer.cpp.o.d"
+  "/root/repo/src/tko/sa/templates.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/templates.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/templates.cpp.o.d"
+  "/root/repo/src/tko/sa/transmission_ctrl.cpp" "src/CMakeFiles/adaptive.dir/tko/sa/transmission_ctrl.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/sa/transmission_ctrl.cpp.o.d"
+  "/root/repo/src/tko/session.cpp" "src/CMakeFiles/adaptive.dir/tko/session.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/session.cpp.o.d"
+  "/root/repo/src/tko/streams.cpp" "src/CMakeFiles/adaptive.dir/tko/streams.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/streams.cpp.o.d"
+  "/root/repo/src/tko/transport.cpp" "src/CMakeFiles/adaptive.dir/tko/transport.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/tko/transport.cpp.o.d"
+  "/root/repo/src/unites/analysis.cpp" "src/CMakeFiles/adaptive.dir/unites/analysis.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/unites/analysis.cpp.o.d"
+  "/root/repo/src/unites/collector.cpp" "src/CMakeFiles/adaptive.dir/unites/collector.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/unites/collector.cpp.o.d"
+  "/root/repo/src/unites/metric.cpp" "src/CMakeFiles/adaptive.dir/unites/metric.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/unites/metric.cpp.o.d"
+  "/root/repo/src/unites/presentation.cpp" "src/CMakeFiles/adaptive.dir/unites/presentation.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/unites/presentation.cpp.o.d"
+  "/root/repo/src/unites/repository.cpp" "src/CMakeFiles/adaptive.dir/unites/repository.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/unites/repository.cpp.o.d"
+  "/root/repo/src/unites/spec_language.cpp" "src/CMakeFiles/adaptive.dir/unites/spec_language.cpp.o" "gcc" "src/CMakeFiles/adaptive.dir/unites/spec_language.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mantts.dir/test_mantts.cpp.o"
+  "CMakeFiles/test_mantts.dir/test_mantts.cpp.o.d"
+  "test_mantts"
+  "test_mantts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mantts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

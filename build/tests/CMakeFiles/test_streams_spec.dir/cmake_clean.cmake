@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streams_spec.dir/test_streams_spec.cpp.o"
+  "CMakeFiles/test_streams_spec.dir/test_streams_spec.cpp.o.d"
+  "test_streams_spec"
+  "test_streams_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streams_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

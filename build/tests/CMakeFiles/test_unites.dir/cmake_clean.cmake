@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unites.dir/test_unites.cpp.o"
+  "CMakeFiles/test_unites.dir/test_unites.cpp.o.d"
+  "test_unites"
+  "test_unites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

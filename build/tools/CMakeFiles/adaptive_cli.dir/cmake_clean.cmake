@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_cli.dir/adaptive_cli.cpp.o"
+  "CMakeFiles/adaptive_cli.dir/adaptive_cli.cpp.o.d"
+  "adaptive_cli"
+  "adaptive_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
