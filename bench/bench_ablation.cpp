@@ -39,6 +39,7 @@ double completion_sec(const RunOutcome& out) {
 
 int main() {
   bench::banner("ablations", "one SCS dimension at a time");
+  bench::Report report("ablation");
 
   // ---- 1. acknowledgment strategy ---------------------------------------
   std::printf("\n-- ack strategy: 500 KB, selective repeat, 10 Mbps WAN --\n\n");
@@ -60,6 +61,8 @@ int main() {
       cfg.ack = c.scheme;
       if (c.n != 0) cfg.ack_every_n = c.n;
       const auto out = run_fixed(world, cfg);
+      report.add_latencies_sec("ack.latency.ns", out.sink.latencies_sec);
+      report.dist("ack.completion_sec").add(completion_sec(out));
       // ACKs received by the sender == acks the receiver put on the wire
       // (modulo loss).
       const auto acks = out.session.pdus_received;
@@ -112,6 +115,7 @@ int main() {
       cfg.segment_bytes = seg;
       cfg.window_pdus = 32;
       const auto out = run_fixed(world, cfg);
+      report.dist("segment.completion_sec").add(completion_sec(out));
       const double overhead =
           static_cast<double>(out.session.pdus_sent) * (24.0 + 4.0 + 28.0) /
           static_cast<double>(out.sink.bytes_received == 0 ? 1 : out.sink.bytes_received);
@@ -316,5 +320,6 @@ int main() {
     std::printf("\nexpected shape: reaction time tracks the sampling period (the paper's"
                 "\n'when to reconfigure' question has a measurement-frequency cost axis).\n");
   }
+  report.write();
   return 0;
 }

@@ -82,6 +82,16 @@ int main() {
                                                session->id())
                   .c_str());
 
+  bench::Report report("fig1_endtoend");
+  report.add_latencies_sec("latency.ns", sink.stats().latencies_sec);
+  report.scalar("units.sent", static_cast<double>(source.stats().units_sent));
+  report.scalar("units.received", static_cast<double>(sink.stats().units_received));
+  report.scalar("retransmissions",
+                static_cast<double>(session->context().reliability().stats().retransmissions));
+  report.scalar("policy.firings", static_cast<double>(world.mantts(0).stats().policy_firings));
+  report.scalar("segues", static_cast<double>(session->context().reconfigurations()));
+  report.write();
+
   world.mantts(0).close_session(*session);
   world.run_for(sim::SimTime::seconds(1));
   std::printf("[termination] closed; entity load: %zu active sessions\n",

@@ -107,5 +107,18 @@ int main() {
               " on a template-cache hit (see bench_fig5_synthesis for wall-clock)\n",
               static_cast<unsigned long long>(tko::sa::kSynthesisInstr),
               static_cast<unsigned long long>(tko::sa::kTemplateHitInstr));
+
+  bench::Report report("fig2_transform");
+  report.scalar("transform.mean_ns", ns_per);
+  auto& d = report.dist("transform.ns");
+  for (int i = 0; i < 10'000; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto cfg = mantts::derive_scs(acd, state);
+    const auto t1 = std::chrono::steady_clock::now();
+    sink += cfg.window_pdus;
+    d.add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  report.write();
   return 0;
 }

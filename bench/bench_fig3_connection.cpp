@@ -132,6 +132,7 @@ int main() {
       {"satellite (500ms RTT)", sim::SimTime::milliseconds(250), sim::Rate::mbps(10)},
   };
 
+  bench::Report report("fig3_connection");
   for (const auto& p : paths) {
     std::printf("\n-- %s --\n\n", p.name);
     unites::TextTable t({"connection scheme", "setup", "first byte", "2KB total",
@@ -150,6 +151,10 @@ int main() {
     };
     for (const auto& row : rows) {
       const auto timing = run_scheme(p, row.scheme, row.negotiate);
+      if (timing.setup_ms >= 0) report.dist("setup.ns").add(timing.setup_ms * 1e6);
+      if (timing.first_byte_ms >= 0) {
+        report.dist("first_byte.ns").add(timing.first_byte_ms * 1e6);
+      }
       t.add_row({row.label, bench::fmt(timing.setup_ms, 2) + "ms",
                  bench::fmt(timing.first_byte_ms, 2) + "ms",
                  bench::fmt(timing.short_total_ms, 2) + "ms",
@@ -161,5 +166,6 @@ int main() {
       "\nexpected shape: implicit delivers the first byte a full round trip (or more)"
       "\nearlier — decisive for the 2KB request, negligible for the 500KB transfer —"
       "\nand the gap widens with path RTT (the long-delay-link argument of §4.1.1).\n");
+  report.write();
   return 0;
 }

@@ -6,12 +6,15 @@
 // deep copy (fragmentation), and footnote 2's checksum-placement claim —
 // trailer placement permits a single streaming pass, header placement
 // forces linearization.
+#include "common.hpp"
+
 #include "tko/checksum.hpp"
 #include "tko/message.hpp"
 #include "tko/pdu.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <numeric>
 
 namespace {
@@ -159,6 +162,48 @@ void BM_Checksum_Crc32(benchmark::State& state) {
 }
 BENCHMARK(BM_Checksum_Crc32)->Arg(1024)->Arg(16384);
 
+void write_report() {
+  // Re-measure the headline data points with plain chrono timing so the
+  // machine-readable file carries full distributions, not just the
+  // google-benchmark means printed above.
+  bench::Report report("fig4_message");
+  const auto data = payload_bytes(4096);
+  const auto header = payload_bytes(24);
+  const auto base = Message::from_bytes(data);
+  auto& pushpop = report.dist("message.pushpop_ns");
+  for (int i = 0; i < 20'000; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto m = base.clone();
+    m.push(header);
+    m.push(header);
+    m.push(header);
+    auto h1 = m.pop(24);
+    auto h2 = m.pop(24);
+    auto h3 = m.pop(24);
+    benchmark::DoNotOptimize(h3);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)h1;
+    (void)h2;
+    pushpop.add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  auto& crc = report.dist("checksum.crc32_ns");
+  for (int i = 0; i < 20'000; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(tko::crc32(data));
+    const auto t1 = std::chrono::steady_clock::now();
+    crc.add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  report.scalar("payload.bytes", static_cast<double>(data.size()));
+  report.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  write_report();
+  return 0;
+}

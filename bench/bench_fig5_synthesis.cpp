@@ -6,6 +6,8 @@
 // to the extra level of indirection"; customization generates
 // non-dynamically-bound configurations where performance beats
 // flexibility; pre-assembled TKO_Templates cut configuration latency.
+#include "common.hpp"
+
 #include "tko/sa/ack_strategy.hpp"
 #include "tko/sa/context.hpp"
 #include "tko/sa/gbn.hpp"
@@ -16,6 +18,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 namespace {
@@ -199,11 +202,47 @@ void virtual_time_setup_comparison() {
               static_cast<unsigned long long>(kSynthesisInstr), miss_ms, miss_ms / hit_ms);
 }
 
+void write_report() {
+  // Chrono-timed distributions for the machine-readable file: full
+  // synthesis vs template-cache hit, per call.
+  bench::Report report("fig5_synthesis");
+  const auto cfg = reliable_bulk_config();
+  {
+    Synthesizer synth;  // no cache
+    auto& d = report.dist("synthesize.dynamic_ns");
+    for (int i = 0; i < 5'000; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto ctx = synth.synthesize(cfg);
+      benchmark::DoNotOptimize(ctx);
+      const auto t1 = std::chrono::steady_clock::now();
+      d.add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    }
+  }
+  {
+    auto cache = TemplateCache::with_defaults();
+    Synthesizer synth(&cache);
+    auto& d = report.dist("synthesize.template_hit_ns");
+    for (int i = 0; i < 5'000; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto ctx = synth.synthesize(cfg);
+      benchmark::DoNotOptimize(ctx);
+      const auto t1 = std::chrono::steady_clock::now();
+      d.add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    }
+  }
+  report.scalar("virtual.template_hit_instr", static_cast<double>(kTemplateHitInstr));
+  report.scalar("virtual.synthesis_instr", static_cast<double>(kSynthesisInstr));
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   virtual_time_setup_comparison();
+  write_report();
   return 0;
 }

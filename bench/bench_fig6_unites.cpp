@@ -109,5 +109,25 @@ int main() {
               static_cast<double>(record_ns) / kN, kN);
   std::printf("analyze (full stats over %zu-sample series): %.1f us/query (acc %.1f)\n",
               repo.series(key)->size(), static_cast<double>(query_ns) / kQ / 1e3, acc);
+
+  bench::Report report("fig6_unites");
+  report.scalar("overhead.none_us_per_pdu", none.wall_us_per_pdu);
+  report.scalar("overhead.filtered_us_per_pdu", filtered.wall_us_per_pdu);
+  report.scalar("overhead.full_us_per_pdu", full.wall_us_per_pdu);
+  report.scalar("record.ns_per_sample", static_cast<double>(record_ns) / kN);
+  // Distribution of repository record cost, sampled per batch of 1k.
+  auto& d = report.dist("record.batch_us");
+  unites::MetricRepository repo2;
+  for (int b = 0; b < 500; ++b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 1'000; ++i) {
+      repo2.record(key, sim::SimTime::nanoseconds(i), static_cast<double>(i & 1023));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    d.add(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+          1e3);
+  }
+  report.write();
   return 0;
 }

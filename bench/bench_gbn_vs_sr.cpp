@@ -68,6 +68,7 @@ struct Result {
   std::uint64_t retransmissions = 0;
   std::uint64_t timeouts = 0;
   double completion_sec = 0;
+  std::vector<double> latencies_sec;
 };
 
 Result run_transfer(double pkt_loss, tko::sa::RecoveryScheme rec, std::uint64_t seed,
@@ -89,6 +90,7 @@ Result run_transfer(double pkt_loss, tko::sa::RecoveryScheme rec, std::uint64_t 
   const double span = (out.sink.last_arrival - out.sink.first_arrival).sec();
   r.completion_sec = span;
   r.goodput_bps = span > 0 ? static_cast<double>(out.sink.bytes_received) * 8.0 / span : 0.0;
+  r.latencies_sec = out.sink.latencies_sec;
   return r;
 }
 
@@ -98,11 +100,14 @@ int main() {
   bench::banner("E-X1", "go-back-n vs selective repeat under rising loss, and for multicast");
 
   std::printf("\n-- loss sweep: 400 KB over 10 Mbps / 20 ms RTT-leg path, window 32 --\n\n");
+  bench::Report report("gbn_vs_sr");
   unites::TextTable t({"pkt loss", "GBN goodput", "GBN retx", "SR goodput", "SR retx",
                        "SR/GBN goodput"});
   for (const double loss : {0.001, 0.005, 0.01, 0.02, 0.05, 0.10}) {
     const auto gbn = run_transfer(loss, tko::sa::RecoveryScheme::kGoBackN, 7);
     const auto sr = run_transfer(loss, tko::sa::RecoveryScheme::kSelectiveRepeat, 7);
+    report.add_latencies_sec("gbn.latency.ns", gbn.latencies_sec);
+    report.add_latencies_sec("sr.latency.ns", sr.latencies_sec);
     t.add_row({bench::fmt_pct(loss, 1), bench::fmt_rate(gbn.goodput_bps),
                std::to_string(gbn.retransmissions), bench::fmt_rate(sr.goodput_bps),
                std::to_string(sr.retransmissions),
@@ -168,5 +173,6 @@ int main() {
   std::printf("%s", m.render().c_str());
   std::printf("\nexpected shape: GBN stays competitive for multicast while its sender state"
               "\nis one cumulative point per receiver; SR pays a sack set per receiver.\n");
+  report.write();
   return 0;
 }

@@ -21,6 +21,7 @@ int main() {
 
   // ---------------- overweight -------------------------------------------
   std::printf("\n-- overweight: voice over an overloaded 1.5 Mbps WAN --\n\n");
+  bench::Report report("overweight");
   unites::TextTable over({"configuration", "mean delay", "jitter", "loss", "retx",
                           "sender CPU Minstr", "voice verdict"});
   for (const auto mode :
@@ -44,6 +45,11 @@ int main() {
     const char* label = mode == RunOptions::Mode::kManntts  ? "ADAPTIVE lightweight"
                         : mode == RunOptions::Mode::kStaticTp4 ? "TP4-like (overweight)"
                                                                : "TCP-like (overweight)";
+    report.add_latencies_sec(mode == RunOptions::Mode::kManntts ? "adaptive.latency.ns"
+                             : mode == RunOptions::Mode::kStaticTp4
+                                 ? "tp4.latency.ns"
+                                 : "stream.latency.ns",
+                             out.sink.latencies_sec);
     over.add_row({label, bench::fmt_ms(out.qos.mean_latency_sec),
                   bench::fmt_ms(out.qos.jitter_sec), bench::fmt_pct(out.qos.loss_fraction),
                   std::to_string(out.reliability.retransmissions),
@@ -85,5 +91,6 @@ int main() {
   std::printf("\nexpected shape: identical delivery, but the underweight transport pushes"
               "\n~3x the packets through the sender NIC and the shared trunk — the cost of a"
               "\nservice the application needed and the static menu lacked.\n");
+  report.write();
   return 0;
 }

@@ -27,6 +27,7 @@ int main() {
 
   // ---------------- scenario A: congestion onset --------------------------
   std::printf("\n-- A: 1.8 MB transfer; 3 Mbps cross-traffic floods the T1 from t=4s to t=30s --\n\n");
+  bench::Report report("reconfig");
   unites::TextTable a({"configuration", "completed", "bytes delivered", "retx", "segues",
                        "data intact"});
   for (int contender = 0; contender < 3; ++contender) {
@@ -73,6 +74,11 @@ int main() {
     }
     const auto out = run_scenario(world, opt);
     const bool intact = out.sink.bytes_received == out.source.bytes_sent;
+    if (contender == 2) {
+      report.add_latencies_sec("adaptive.latency.ns", out.sink.latencies_sec);
+      report.scalar("adaptive.segues", static_cast<double>(out.reconfigurations));
+      report.scalar("adaptive.retx", static_cast<double>(out.reliability.retransmissions));
+    }
     a.add_row({label,
                bench::fmt((out.sink.last_arrival - out.sink.first_arrival).sec(), 1) + "s",
                std::to_string(out.sink.bytes_received),
@@ -111,6 +117,9 @@ int main() {
       opt.fixed = cfg;
     }
     const auto out = run_scenario(world, opt);
+    report.add_latencies_sec(adaptive_mode ? "failover.adaptive.latency.ns"
+                                           : "failover.static.latency.ns",
+                             out.sink.latencies_sec);
 
     auto lat = out.sink.latencies_sec;
     std::sort(lat.begin(), lat.end());
@@ -126,5 +135,6 @@ int main() {
               "\nbut the static session adds RTO-scale recovery spikes on every loss while"
               "\nthe ADAPTIVE session's FEC reconstructs locally — and its recovery column"
               "\nshows the segue happened.\n");
+  report.write();
   return 0;
 }

@@ -45,6 +45,8 @@ RunOutcome run_one(Table1App a, RunOptions::Mode mode, std::uint64_t seed) {
 int main() {
   bench::banner("E-T1 / Table 1", "transport service classes, regenerated from measurement");
 
+  bench::Report report("table1_tsc");
+
   std::printf("\n-- ADAPTIVE: MANTTS-synthesized session per application --\n\n");
   unites::TextTable table({"application", "TSC (Stage I)", "recovery", "tx-ctrl", "thruput",
                            "delay", "jitter", "loss", "mis", "verdict"});
@@ -53,6 +55,7 @@ int main() {
     const auto a = static_cast<Table1App>(i);
     const auto out = run_one(a, RunOptions::Mode::kManntts, 40 + i);
     if (out.qos.all_ok()) ++pass;
+    report.add_latencies_sec("latency.ns", out.sink.latencies_sec);
     table.add_row({app::to_string(a), mantts::to_string(out.tsc),
                    std::string(tko::sa::to_string(out.config.recovery)),
                    std::string(tko::sa::to_string(out.config.transmission)),
@@ -147,5 +150,11 @@ int main() {
                  row.priority_delivery ? "yes" : "no", row.multicast ? "yes" : "no"});
   }
   std::printf("%s", ref.render().c_str());
+
+  report.scalar("adaptive.pass", static_cast<double>(pass));
+  report.scalar("static.pass", static_cast<double>(base_pass));
+  report.scalar("stressed.adaptive_pass", static_cast<double>(adaptive_pass));
+  report.scalar("stressed.static_pass", static_cast<double>(static_pass));
+  report.write();
   return 0;
 }

@@ -11,6 +11,8 @@
 #include "mantts/policy.hpp"
 #include "mantts/transform.hpp"
 
+#include <chrono>
+
 using namespace adaptive;
 
 int main() {
@@ -96,6 +98,26 @@ int main() {
               world.repository()
                   .keys_for_connection(world.host(0).node_id(), session->id())
                   .size());
+
+  bench::Report report("table2_acd");
+  report.scalar("scs.wire_bytes", static_cast<double>(bytes.size()));
+  report.scalar("repo.samples", static_cast<double>(world.repository().total_samples()));
+  report.scalar("configuration_time.ns",
+                static_cast<double>(opened.configuration_time.ns()));
+  // Distribution of the SCS codec cost (the CONFIG PDU hot path).
+  {
+    auto& d = report.dist("scs.roundtrip_ns");
+    for (int i = 0; i < 10'000; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto wire = opened.scs.serialize();
+      const auto rt = tko::sa::SessionConfig::deserialize(wire);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!rt.has_value()) break;
+      d.add(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    }
+  }
+  report.write();
 
   world.mantts(0).close_session(*session);
   world.run_for(sim::SimTime::seconds(1));

@@ -88,6 +88,7 @@ int main() {
   std::printf("\n4 MB bulk transfer across an ATM-style WAN, access links scaled with the"
               "\nbackbone; three transport-system configurations.\n\n");
 
+  bench::Report report("throughput_preservation");
   unites::TextTable t({"channel", "25 MIPS reliable", "(fraction)", "25 MIPS lightweight",
                        "(fraction)", "100 MIPS reliable", "(fraction)",
                        "25 MIPS + NIC offload", "(fraction)"});
@@ -97,6 +98,15 @@ int main() {
     const double light = run_bulk(channel, 25.0, true);
     const double fast_cpu = run_bulk(channel, 100.0, false);
     const double offload = run_bulk(channel, 25.0, false, /*nic_offload=*/true);
+    const std::string prefix = bench::fmt(mbps, 0) + "mbps.";
+    report.scalar(prefix + "reliable.bps", reliable);
+    report.scalar(prefix + "lightweight.bps", light);
+    report.scalar(prefix + "fast_cpu.bps", fast_cpu);
+    report.scalar(prefix + "nic_offload.bps", offload);
+    report.dist("goodput.bps").add(reliable);
+    report.dist("goodput.bps").add(light);
+    report.dist("goodput.bps").add(fast_cpu);
+    report.dist("goodput.bps").add(offload);
     t.add_row({bench::fmt(mbps, 0) + "Mbps", bench::fmt_rate(reliable),
                bench::fmt_pct(reliable / channel.bits_per_sec(), 1), bench::fmt_rate(light),
                bench::fmt_pct(light / channel.bits_per_sec(), 1), bench::fmt_rate(fast_cpu),
@@ -113,5 +123,6 @@ int main() {
       "\nprotocol processing (lightweight), a 4x CPU, and off-board NIC processing"
       "\n(checksum offload + interrupt coalescing) - but none keeps pace with the"
       "\nchannel.\n");
+  report.write();
   return 0;
 }

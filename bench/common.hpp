@@ -4,10 +4,16 @@
 #pragma once
 
 #include "adaptive/scenario.hpp"
+#include "unites/export.hpp"
+#include "unites/histogram.hpp"
 #include "unites/presentation.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace adaptive::bench {
 
@@ -32,5 +38,62 @@ inline std::string fmt_rate(double bps) { return unites::format_si(bps) + "bps";
 inline std::string fmt_pct(double fraction, int precision = 2) {
   return fmt(fraction * 100.0, precision) + "%";
 }
+
+/// Machine-readable result file: every bench binary writes
+/// BENCH_<name>.json next to its stdout tables, so regressions can be
+/// checked by tooling instead of by eyeball. Scalars are single numbers;
+/// distributions are log-bucketed histograms exported with percentiles.
+class Report {
+public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  void scalar(const std::string& metric, double value) {
+    scalars_.emplace_back(metric, value);
+  }
+
+  /// Named distribution to fill with samples; exported as count/mean/
+  /// p50/p90/p99/p99.9/min/max.
+  [[nodiscard]] unites::Histogram& dist(const std::string& metric) { return dists_[metric]; }
+
+  /// Convenience: feed a latency vector (seconds) into `metric` as
+  /// nanosecond samples.
+  void add_latencies_sec(const std::string& metric, const std::vector<double>& latencies_sec) {
+    auto& h = dists_[metric];
+    for (const double s : latencies_sec) h.add(s * 1e9);
+  }
+
+  /// Write BENCH_<name>.json into the working directory.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\"bench\":\"" << unites::json_escape(name_) << "\",\"scalars\":{";
+    bool first = true;
+    for (const auto& [k, v] : scalars_) {
+      if (!first) out << ",";
+      first = false;
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      out << "\"" << unites::json_escape(k) << "\":" << buf;
+    }
+    out << "},\"distributions\":{";
+    first = true;
+    for (const auto& [k, h] : dists_) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << unites::json_escape(k) << "\":" << unites::histogram_to_json(h);
+    }
+    out << "}}\n";
+    std::printf("[bench] wrote %s\n", path.c_str());
+  }
+
+private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::map<std::string, unites::Histogram> dists_;
+};
 
 }  // namespace adaptive::bench

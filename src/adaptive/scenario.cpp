@@ -45,7 +45,18 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   for (const std::size_t r : receiver_hosts) {
     world.transport(r).set_acceptor([&, r](tko::TransportSession& s) {
       accepted_sessions.push_back(&s);
-      sink_by_host[r]->attach(s);
+      app::SinkApp* sink = sink_by_host[r];
+      sink->attach(s);
+      if (opt.collect_metrics) {
+        // Blackbox latency observations feed the repository as they occur,
+        // so latency.ns is available as a histogram (p50/p99), not just as
+        // the post-run latencies_sec vector.
+        auto& repo = world.repository();
+        unites::MetricKey key{world.node(r), s.id(), unites::metrics::kLatencyNs};
+        sink->set_latency_observer([&repo, key](sim::SimTime now, double latency_ns) {
+          repo.record(key, now, latency_ns);
+        });
+      }
     });
   }
 

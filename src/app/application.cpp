@@ -1,5 +1,7 @@
 #include "app/application.hpp"
 
+#include "unites/trace.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -69,9 +71,12 @@ void SourceApp::emit_next() {
     h.id = next_id_++;
     h.sent_at_ns = timers_.now().ns();
     auto payload = h.encode(bytes);
+    const std::size_t payload_bytes = payload.size();
     if (session_.send(tko::Message::from_bytes(payload))) {
       ++stats_.units_sent;
-      stats_.bytes_sent += payload.size();
+      stats_.bytes_sent += payload_bytes;
+      unites::trace().instant(unites::TraceCategory::kApp, "app.submit", timers_.now(), 0, h.id,
+                              static_cast<double>(payload_bytes));
     } else {
       ++stats_.send_rejected;
     }
@@ -144,7 +149,11 @@ void SinkApp::on_message(tko::Message&& m) {
   stats_.highest_id = std::max(stats_.highest_id, h.id);
   if (h.id < last_id_) ++stats_.misordered;
   last_id_ = h.id;
-  stats_.latencies_sec.push_back((now - sim::SimTime(h.sent_at_ns)).sec());
+  const sim::SimTime latency = now - sim::SimTime(h.sent_at_ns);
+  stats_.latencies_sec.push_back(latency.sec());
+  unites::trace().instant(unites::TraceCategory::kApp, "app.deliver", now, 0, h.id,
+                          static_cast<double>(latency.ns()));
+  if (on_latency_) on_latency_(now, static_cast<double>(latency.ns()));
 }
 
 }  // namespace adaptive::app

@@ -13,6 +13,7 @@
 #include "os/timer_facility.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -99,11 +100,18 @@ public:
 
   [[nodiscard]] const SinkStats& stats() const { return stats_; }
 
+  /// UNITES hook: called once per accepted data unit with the end-to-end
+  /// latency in nanoseconds, so observations can feed a metric repository
+  /// (histograms) as they happen instead of post-run from latencies_sec.
+  using LatencyFn = std::function<void(sim::SimTime now, double latency_ns)>;
+  void set_latency_observer(LatencyFn fn) { on_latency_ = std::move(fn); }
+
 private:
   os::TimerFacility& timers_;
   SinkStats stats_;
   std::uint32_t last_id_ = 0;
   std::vector<bool> seen_;
+  LatencyFn on_latency_;
 };
 
 }  // namespace adaptive::app

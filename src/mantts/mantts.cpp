@@ -1,5 +1,7 @@
 #include "mantts/mantts.hpp"
 
+#include "unites/trace.hpp"
+
 #include <algorithm>
 
 namespace adaptive::mantts {
@@ -52,6 +54,9 @@ void MantttsEntity::open_session(const Acd& acd, OpenCb cb) {
   // piggybacked SCS reaches every member).
   const bool explicit_negotiation =
       scs.connection != tko::sa::ConnectionScheme::kImplicit && !acd.wants_multicast();
+  unites::trace().instant(unites::TraceCategory::kMantts, "mantts.open", started,
+                          host_.node_id(), 0, static_cast<double>(acd.remotes.size()),
+                          explicit_negotiation ? "explicit" : "implicit");
 
   if (!explicit_negotiation) {
     auto& session = transport_.open(acd.remotes, scs);
@@ -120,6 +125,9 @@ void MantttsEntity::finish_open(std::uint32_t nonce, const tko::sa::SessionConfi
   r.negotiated = true;
   r.refused = refused;
   r.configuration_time = host_.now() - p.started;
+  unites::trace().span(unites::TraceCategory::kMantts, "mantts.negotiate", p.started,
+                       r.configuration_time, host_.node_id(), nonce, 0.0,
+                       refused ? "refused" : "accepted");
   if (refused) {
     ++stats_.refusals_received;
     p.cb(std::move(r));
@@ -162,6 +170,9 @@ void MantttsEntity::on_signaling(net::Packet&& pkt) {
       } else {
         reply.config = admit(*sig->config, limits_);
       }
+      unites::trace().instant(unites::TraceCategory::kMantts, "mantts.config_recv", host_.now(),
+                              host_.node_id(), sig->token, 0.0,
+                              reply.config.has_value() ? "admitted" : "refused");
       send_signal(pkt.src.node, reply);
       return;
     }
@@ -175,6 +186,8 @@ void MantttsEntity::on_signaling(net::Packet&& pkt) {
     }
     case tko::PduType::kReconfig: {
       ++stats_.reconfigs_received;
+      unites::trace().instant(unites::TraceCategory::kMantts, "mantts.reconfig_recv",
+                              host_.now(), host_.node_id(), sig->token);
       tko::TransportSession* session = transport_.find_session(sig->token);
       if (session != nullptr && sig->config.has_value()) {
         session->reconfigure(*sig->config);
@@ -215,6 +228,8 @@ void MantttsEntity::send_probe(net::NodeId remote) {
   // Bound the outstanding-probe map: lost probes age out eldest-first.
   if (probe_sent_at_.size() > 64) probe_sent_at_.erase(probe_sent_at_.begin());
   ++stats_.probes_sent;
+  unites::trace().instant(unites::TraceCategory::kMantts, "mantts.probe", host_.now(),
+                          host_.node_id(), nonce, static_cast<double>(remote));
   Signal s;
   s.type = tko::PduType::kProbe;
   s.token = nonce;
@@ -250,6 +265,8 @@ void MantttsEntity::enable_adaptation(tko::TransportSession& session, std::vecto
     bool changed = false;
     for (const TsaAction action : actions) {
       ++stats_.policy_firings;
+      unites::trace().instant(unites::TraceCategory::kMantts, "mantts.policy_fire", host_.now(),
+                              host_.node_id(), sid, static_cast<double>(action));
       if (action == TsaAction::kNotifyApplication) {
         auto cb = qos_callbacks_.find(sid);
         if (cb != qos_callbacks_.end() && cb->second) cb->second(cfg);
@@ -302,6 +319,8 @@ void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
 
   // Keep the remote mechanism bindings in step.
   ++stats_.reconfigs_sent;
+  unites::trace().instant(unites::TraceCategory::kMantts, "mantts.reconfig_send", host_.now(),
+                          host_.node_id(), session.id());
   Signal s{tko::PduType::kReconfig, session.id(), cfg};
   const auto& remotes = session.remotes();
   if (remotes.size() == 1 && net::is_multicast(remotes.front().node)) {

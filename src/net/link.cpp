@@ -1,5 +1,7 @@
 #include "net/link.hpp"
 
+#include "unites/trace.hpp"
+
 #include <cmath>
 
 namespace adaptive::net {
@@ -9,6 +11,8 @@ Link::Link(LinkId id, NodeId from, NodeId to, const LinkConfig& cfg,
     : id_(id), from_(from), to_(to), cfg_(cfg), sched_(sched), rng_(rng) {}
 
 void Link::drop(const Packet& p, const char* reason) {
+  unites::trace().instant(unites::TraceCategory::kNet, "net.drop", sched_.now(), from_, 0,
+                          static_cast<double>(p.size_bytes()), reason);
   if (on_drop_) on_drop_(p, reason);
 }
 
@@ -59,6 +63,8 @@ void Link::start_transmission() {
   const auto tx_time = cfg_.bandwidth.transmission_time(p.size_bytes());
   ++stats_.tx_packets;
   stats_.tx_bytes += p.size_bytes();
+  unites::trace().span(unites::TraceCategory::kNet, "net.tx", sched_.now(), tx_time, from_, 0,
+                       static_cast<double>(p.size_bytes()));
 
   // After serialization completes, the next queued packet may start, and
   // this one propagates to the far end.

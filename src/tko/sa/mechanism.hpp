@@ -63,6 +63,11 @@ public:
   /// Whitebox instrumentation hook (UNITES). Cheap no-op when the session
   /// is not instrumented.
   virtual void count(std::string_view metric, double value = 1.0) = 0;
+
+  /// Identity for trace events: the owning host's node id and the session
+  /// id. Defaults keep unit-test session stubs source-compatible.
+  [[nodiscard]] virtual net::NodeId node_id() const { return 0; }
+  [[nodiscard]] virtual std::uint32_t session_id() const { return 0; }
 };
 
 enum class MechanismSlot : std::uint8_t {

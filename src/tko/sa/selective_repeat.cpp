@@ -1,5 +1,8 @@
 #include "tko/sa/selective_repeat.hpp"
 
+#include "unites/metric.hpp"
+#include "unites/trace.hpp"
+
 #include <algorithm>
 
 namespace adaptive::tko::sa {
@@ -38,6 +41,8 @@ void SelectiveRepeat::retransmit(std::uint32_t seq) {
   ++stats_.retransmissions;
   send_time_.erase(seq);  // Karn
   deadline_[seq] = core_->now() + rtt_.rto();
+  unites::trace().instant(unites::TraceCategory::kTko, "tko.retransmit", core_->now(),
+                          core_->node_id(), core_->session_id(), seq, "selective-repeat");
 
   Pdu p;
   p.type = PduType::kData;
@@ -123,6 +128,10 @@ void SelectiveRepeat::on_timeout() {
     rtt_.backoff();
     core_->loss_signal();
     core_->count("reliability.timeout");
+    core_->count(unites::metrics::kRtoNs, static_cast<double>(rtt_.rto().ns()));
+    unites::trace().instant(unites::TraceCategory::kTko, "tko.rto", core_->now(),
+                            core_->node_id(), core_->session_id(),
+                            static_cast<double>(rtt_.rto().ns()), "selective-repeat");
     // Retransmit only expired PDUs (selective).
     std::vector<std::uint32_t> expired;
     for (const auto& [seq, t] : deadline_) {

@@ -7,6 +7,8 @@
 #include "tko/sa/sequencing.hpp"
 #include "tko/sa/transmission_ctrl.hpp"
 
+#include "unites/trace.hpp"
+
 #include <stdexcept>
 
 namespace adaptive::tko::sa {
@@ -77,6 +79,10 @@ std::unique_ptr<Context> Synthesizer::synthesize(const SessionConfig& cfg) {
     const auto problems = validate(cfg);
     if (!problems.empty()) {
       ++stats_.validation_failures;
+      if (clock_) {
+        unites::trace().instant(unites::TraceCategory::kTko, "tko.synthesize_failed", clock_(),
+                                node_, 0, static_cast<double>(problems.size()));
+      }
       std::string msg = "SCS validation failed:";
       for (const auto& p : problems) msg += " [" + p + "]";
       throw std::invalid_argument(msg);
@@ -84,6 +90,11 @@ std::unique_ptr<Context> Synthesizer::synthesize(const SessionConfig& cfg) {
     last_cost_ = kSynthesisInstr;
   }
   ++stats_.synthesized;
+  if (clock_) {
+    unites::trace().instant(unites::TraceCategory::kTko, "tko.synthesize", clock_(), node_, 0,
+                            static_cast<double>(last_cost_),
+                            tpl != nullptr ? "template-hit" : "full-synthesis");
+  }
 
   auto ctx = std::make_unique<Context>();
   for (std::size_t i = 0; i < static_cast<std::size_t>(MechanismSlot::kSlotCount); ++i) {

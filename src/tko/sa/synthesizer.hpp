@@ -13,6 +13,7 @@
 #include "tko/sa/context.hpp"
 #include "tko/sa/templates.hpp"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,10 +55,20 @@ public:
 
   [[nodiscard]] const SynthesizerStats& stats() const { return stats_; }
 
+  /// Trace identity: the owning transport supplies virtual time and its
+  /// node id, so synthesize() can stamp "tko.synthesize" trace events.
+  /// Without a clock the synthesizer stays silent on the trace timeline.
+  void set_trace_identity(std::function<sim::SimTime()> clock, net::NodeId node) {
+    clock_ = std::move(clock);
+    node_ = node;
+  }
+
 private:
   TemplateCache* cache_;
   SynthesizerStats stats_;
   std::uint64_t last_cost_ = kSynthesisInstr;
+  std::function<sim::SimTime()> clock_;
+  net::NodeId node_ = 0;
 };
 
 }  // namespace adaptive::tko::sa

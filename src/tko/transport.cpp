@@ -1,5 +1,7 @@
 #include "tko/transport.hpp"
 
+#include "unites/trace.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -100,6 +102,7 @@ void TransportSession::connect() {
   if (state_ != SessionState::kIdle) return;
   state_ = SessionState::kConnecting;
   stats_.connect_started = now();
+  unites::trace().instant(unites::TraceCategory::kTko, "tko.connect", now(), node_id(), id_);
   ctx_->connection().open();
 }
 
@@ -109,6 +112,9 @@ bool TransportSession::send(Message&& m) {
     return false;
   }
   if (state_ == SessionState::kIdle) connect();
+
+  unites::trace().instant(unites::TraceCategory::kTko, "tko.submit", now(), node_id(), id_,
+                          static_cast<double>(m.size()));
 
   // Application -> transport boundary: one user/kernel crossing.
   proto_.host().cpu().run_context_switch(nullptr);
@@ -386,6 +392,8 @@ void TransportSession::deliver(Message&& m) {
   proto_.host().cpu().run_context_switch(nullptr);
   stats_.bytes_delivered += m.size();
   count("data.delivered_bytes", static_cast<double>(m.size()));
+  unites::trace().instant(unites::TraceCategory::kTko, "tko.deliver", now(), node_id(), id_,
+                          static_cast<double>(m.size()));
   if (!cfg_.message_oriented) {
     ++stats_.messages_delivered;
     deliver_up(std::move(m));
@@ -417,6 +425,9 @@ void TransportSession::connection_established() {
   if (stats_.connect_started > sim::SimTime::zero() || active_) {
     count("connection.setup_ns",
           static_cast<double>((stats_.established_at - stats_.connect_started).ns()));
+    unites::trace().span(unites::TraceCategory::kTko, "tko.connection_setup",
+                         stats_.connect_started, stats_.established_at - stats_.connect_started,
+                         node_id(), id_);
   }
   if (state_ != SessionState::kClosing) {
     // A close() issued during the handshake stays in force: the session
@@ -488,6 +499,8 @@ void TransportSession::reconfigure(const sa::SessionConfig& next) {
   if (det_changed) swap_slot(Slot::kErrorDetection);
   if (conn_changed) swap_slot(Slot::kConnection);
   count("session.reconfigured");
+  unites::trace().instant(unites::TraceCategory::kTko, "tko.reconfigure", now(), node_id(), id_,
+                          static_cast<double>(ctx_->reconfigurations()));
   pump();
 }
 
@@ -498,6 +511,7 @@ void TransportSession::reconfigure(const sa::SessionConfig& next) {
 AdaptiveTransport::AdaptiveTransport(os::Host& host, net::PortId port)
     : Protocol("adaptive-transport"), host_(host), port_(port) {
   host_.bind_port(port_, [this](net::Packet&& p) { demux(std::move(p)); });
+  synth_.set_trace_identity([this] { return host_.now(); }, host_.node_id());
 }
 
 AdaptiveTransport::~AdaptiveTransport() { host_.unbind_port(port_); }

@@ -73,6 +73,8 @@ public:
   void connection_closed(bool aborted) override;
   void loss_signal() override;
   void count(std::string_view metric, double value = 1.0) override;
+  [[nodiscard]] net::NodeId node_id() const override { return local_.node; }
+  [[nodiscard]] std::uint32_t session_id() const override { return id_; }
 
   // ---- management ------------------------------------------------------
   [[nodiscard]] std::uint32_t id() const { return id_; }

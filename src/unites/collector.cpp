@@ -26,12 +26,17 @@ void SessionCollector::detach() {
   session_ = nullptr;
 }
 
-bool SessionCollector::accepts(std::string_view name) const {
-  if (spec_.filter.empty()) return true;
-  for (const auto& prefix : spec_.filter) {
+bool SessionCollector::matches_filter(std::string_view name,
+                                      const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return true;
+  for (const auto& prefix : prefixes) {
     if (name.substr(0, prefix.size()) == prefix) return true;
   }
   return false;
+}
+
+bool SessionCollector::accepts(std::string_view name) const {
+  return matches_filter(name, spec_.filter);
 }
 
 void SessionCollector::sample() {

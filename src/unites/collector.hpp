@@ -36,10 +36,15 @@ public:
   SessionCollector(const SessionCollector&) = delete;
   SessionCollector& operator=(const SessionCollector&) = delete;
 
-  /// Stop sampling and detach the whitebox hook.
+  /// Stop sampling and detach the whitebox hook. Idempotent.
   void detach();
 
   [[nodiscard]] std::uint64_t whitebox_events() const { return whitebox_events_; }
+
+  /// True when `name` starts with any of `prefixes` (empty = accept all) —
+  /// the TMC's metric-name filter predicate.
+  [[nodiscard]] static bool matches_filter(std::string_view name,
+                                           const std::vector<std::string>& prefixes);
 
 private:
   void sample();

@@ -1,0 +1,104 @@
+#include "unites/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace adaptive::unites {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
+  const auto events = recorder.snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Name each node's track so Perfetto shows "node N" instead of "pid N".
+  std::set<net::NodeId> nodes;
+  for (const auto& e : events) nodes.insert(e.node);
+  for (const net::NodeId n : nodes) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":" << n
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\"node " << n << "\"}}";
+  }
+  for (const auto& e : events) {
+    if (!first) out << ",";
+    first = false;
+    const double ts_us = static_cast<double>(e.when.ns()) / 1e3;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"" << to_string(e.category)
+        << "\",\"pid\":" << e.node << ",\"tid\":" << e.session << ",\"ts\":" << num(ts_us);
+    if (e.duration > sim::SimTime::zero()) {
+      out << ",\"ph\":\"X\",\"dur\":" << num(static_cast<double>(e.duration.ns()) / 1e3);
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out << ",\"args\":{\"value\":" << num(e.value);
+    if (e.detail != nullptr) out << ",\"detail\":\"" << json_escape(e.detail) << "\"";
+    out << "}}";
+  }
+  out << "]}\n";
+}
+
+void write_metrics_jsonl(std::ostream& out, const MetricRepository& repo) {
+  for (const auto& key : repo.keys()) {
+    const auto summary = repo.summary(key);
+    if (!summary.has_value()) continue;
+    out << "{\"host\":" << key.host << ",\"connection\":" << key.connection << ",\"name\":\""
+        << json_escape(key.name) << "\",\"class\":\""
+        << (classify_metric(key.name) == MetricClass::kBlackbox ? "blackbox" : "whitebox")
+        << "\",\"count\":" << summary->count << ",\"sum\":" << num(summary->sum)
+        << ",\"min\":" << num(summary->min) << ",\"max\":" << num(summary->max)
+        << ",\"last\":" << num(summary->last);
+    if (const Histogram* h = repo.histogram(key); h != nullptr && h->count() > 0) {
+      out << ",\"mean\":" << num(h->mean()) << ",\"p50\":" << num(h->p50())
+          << ",\"p90\":" << num(h->p90()) << ",\"p99\":" << num(h->p99())
+          << ",\"p999\":" << num(h->p999());
+    }
+    out << "}\n";
+  }
+}
+
+std::string histogram_to_json(const Histogram& h) {
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(h.count());
+  out += ",\"sum\":" + num(h.sum());
+  out += ",\"min\":" + num(h.min());
+  out += ",\"max\":" + num(h.max());
+  out += ",\"mean\":" + num(h.mean());
+  out += ",\"p50\":" + num(h.p50());
+  out += ",\"p90\":" + num(h.p90());
+  out += ",\"p99\":" + num(h.p99());
+  out += ",\"p999\":" + num(h.p999());
+  out += "}";
+  return out;
+}
+
+}  // namespace adaptive::unites

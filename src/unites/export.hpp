@@ -1,0 +1,34 @@
+// Machine-readable exporters — the "standard network management
+// protocols" edge of Figure 6, modernized: Chrome trace_event JSON
+// (loadable in chrome://tracing or https://ui.perfetto.dev) for event
+// timelines, and JSONL metric summaries (one JSON object per line, with
+// log-bucketed percentiles) for dashboards and regression tooling.
+#pragma once
+
+#include "unites/histogram.hpp"
+#include "unites/repository.hpp"
+#include "unites/trace.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace adaptive::unites {
+
+/// Chrome trace_event format: {"traceEvents":[...]}. Spans become "X"
+/// (complete) events, instants "i"; virtual nanoseconds map to the
+/// format's microsecond timestamps. pid = node id, tid = session id.
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder);
+
+/// One summary line per metric series: host, connection, name, class,
+/// count/sum/min/max/mean plus p50/p90/p99/p99.9 from the repository's
+/// per-series histogram.
+void write_metrics_jsonl(std::ostream& out, const MetricRepository& repo);
+
+/// One JSON object for a single named histogram (used by the bench
+/// harnesses' BENCH_<name>.json summaries).
+[[nodiscard]] std::string histogram_to_json(const Histogram& h);
+
+/// Minimal JSON string escaping for names that may contain quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace adaptive::unites

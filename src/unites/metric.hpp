@@ -36,20 +36,26 @@ using Series = std::vector<Sample>;
 
 /// Well-known metric names used across the system (free-form names are
 /// also accepted; these are the ones ADAPTIVE's own instrumentation
-/// emits).
+/// emits). Every metric recorded into the repository also feeds a
+/// log-bucketed histogram, so any of these can be read back as a
+/// distribution; the ones marked "histogram-backed" carry per-event
+/// values (durations, sizes) where the percentiles are the interesting
+/// part, as opposed to 0/1 counters where only the sum matters.
 namespace metrics {
 // Blackbox.
 inline constexpr const char* kThroughputBps = "throughput.bps";
-inline constexpr const char* kLatencyNs = "latency.ns";
+inline constexpr const char* kLatencyNs = "latency.ns";  ///< histogram-backed
 // Whitebox.
-inline constexpr const char* kConnectionSetupNs = "connection.setup_ns";
+inline constexpr const char* kConnectionSetupNs = "connection.setup_ns";  ///< histogram-backed
 inline constexpr const char* kRetransmissions = "reliability.retransmissions";
 inline constexpr const char* kTimeouts = "reliability.timeout";
-inline constexpr const char* kJitterNs = "jitter.ns";
+inline constexpr const char* kRtoNs = "reliability.rto_ns";  ///< histogram-backed
+inline constexpr const char* kJitterNs = "jitter.ns";        ///< histogram-backed
 inline constexpr const char* kPacketLoss = "loss.packets";
 inline constexpr const char* kPdusSent = "pdu.sent";
 inline constexpr const char* kPdusReceived = "pdu.received";
 inline constexpr const char* kChecksumErrors = "pdu.checksum_error";
+inline constexpr const char* kDeliveredBytes = "data.delivered_bytes";  ///< histogram-backed
 inline constexpr const char* kCopies = "buffer.copies";
 inline constexpr const char* kCpuInstructions = "cpu.instructions";
 inline constexpr const char* kSegues = "context.segue";

@@ -70,18 +70,36 @@ std::string format_si(double value, int precision) {
 
 std::string render_connection_report(const MetricRepository& repo, net::NodeId host,
                                      std::uint32_t connection) {
-  TextTable table({"metric", "class", "count", "mean", "min", "max", "stddev"});
+  TextTable table({"metric", "class", "count", "mean", "min", "max", "stddev", "p50", "p99"});
   for (const auto& key : repo.keys_for_connection(host, connection)) {
     const Series* s = repo.series(key);
     if (s == nullptr) continue;
     const auto st = analyze(*s);
+    // Percentiles come from the full-run histogram, not the (aged) series.
+    const Histogram* h = repo.histogram(key);
     table.add_row({key.name,
                    classify_metric(key.name) == MetricClass::kBlackbox ? "blackbox" : "whitebox",
                    std::to_string(st.count), format_si(st.mean), format_si(st.min),
-                   format_si(st.max), format_si(st.stddev)});
+                   format_si(st.max), format_si(st.stddev),
+                   h != nullptr ? format_si(h->p50()) : "-",
+                   h != nullptr ? format_si(h->p99()) : "-"});
   }
   return "connection " + std::to_string(connection) + " @ host " + std::to_string(host) + "\n" +
          table.render();
+}
+
+std::string render_distribution_report(const MetricRepository& repo, net::NodeId host,
+                                       std::uint32_t connection) {
+  TextTable table({"metric", "count", "mean", "p50", "p90", "p99", "p99.9", "max"});
+  for (const auto& key : repo.keys_for_connection(host, connection)) {
+    const Histogram* h = repo.histogram(key);
+    if (h == nullptr || h->count() == 0) continue;
+    const auto d = analyze_histogram(*h);
+    table.add_row({key.name, std::to_string(d.count), format_si(d.mean), format_si(d.p50),
+                   format_si(d.p90), format_si(d.p99), format_si(d.p999), format_si(d.max)});
+  }
+  return "distributions, connection " + std::to_string(connection) + " @ host " +
+         std::to_string(host) + "\n" + table.render();
 }
 
 std::string render_host_report(const MetricRepository& repo, net::NodeId host) {

@@ -32,6 +32,11 @@ private:
 [[nodiscard]] std::string render_connection_report(const MetricRepository& repo,
                                                    net::NodeId host, std::uint32_t connection);
 
+/// Per-connection percentile report: one row per histogram-backed metric
+/// with p50/p90/p99/p99.9 from the repository's distributions.
+[[nodiscard]] std::string render_distribution_report(const MetricRepository& repo,
+                                                     net::NodeId host, std::uint32_t connection);
+
 /// Per-host report: one row per (connection, metric) summary.
 [[nodiscard]] std::string render_host_report(const MetricRepository& repo, net::NodeId host);
 

@@ -22,6 +22,7 @@ void MetricRepository::record(const MetricKey& key, sim::SimTime when, double va
   ++s.count;
   s.sum += value;
   s.last = value;
+  histograms_[key].add(value);
   ++total_samples_;
 }
 
@@ -34,6 +35,19 @@ std::optional<SeriesSummary> MetricRepository::summary(const MetricKey& key) con
   auto it = summaries_.find(key);
   if (it == summaries_.end()) return std::nullopt;
   return it->second;
+}
+
+const Histogram* MetricRepository::histogram(const MetricKey& key) const {
+  auto it = histograms_.find(key);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+Histogram MetricRepository::systemwide_histogram(std::string_view name) const {
+  Histogram merged;
+  for (const auto& [k, h] : histograms_) {
+    if (k.name == name) merged.merge(h);
+  }
+  return merged;
 }
 
 std::vector<MetricKey> MetricRepository::keys() const {

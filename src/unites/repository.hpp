@@ -8,6 +8,7 @@
 // the paper lists: systemwide, per-host, and per-connection.
 #pragma once
 
+#include "unites/histogram.hpp"
 #include "unites/metric.hpp"
 
 #include <deque>
@@ -34,6 +35,15 @@ public:
   [[nodiscard]] const Series* series(const MetricKey& key) const;
   [[nodiscard]] std::optional<SeriesSummary> summary(const MetricKey& key) const;
 
+  /// Log-bucketed distribution of every value ever recorded for the key —
+  /// unlike the raw series, it never ages out, so percentiles stay exact
+  /// over the whole run. Nullptr if the key was never recorded.
+  [[nodiscard]] const Histogram* histogram(const MetricKey& key) const;
+
+  /// Merged distribution of `name` across all hosts and connections (the
+  /// systemwide presentation as percentiles).
+  [[nodiscard]] Histogram systemwide_histogram(std::string_view name) const;
+
   /// All keys, optionally filtered to one host and/or one connection.
   [[nodiscard]] std::vector<MetricKey> keys() const;
   [[nodiscard]] std::vector<MetricKey> keys_for_host(net::NodeId host) const;
@@ -49,6 +59,7 @@ public:
   void clear() {
     data_.clear();
     summaries_.clear();
+    histograms_.clear();
     total_samples_ = 0;
   }
 
@@ -59,6 +70,7 @@ private:
   std::size_t cap_;
   std::map<MetricKey, Stored> data_;
   std::map<MetricKey, SeriesSummary> summaries_;
+  std::map<MetricKey, Histogram> histograms_;
   std::uint64_t total_samples_ = 0;
 };
 

@@ -1,0 +1,96 @@
+// Structured event tracing: a bounded ring buffer of protocol events.
+//
+// Every subsystem (MANTTS negotiation, TKO synthesis and reliability, the
+// network links) emits TraceEvents through the process-global recorder, so
+// one packet's lifecycle — submit, synthesize, transmit, retransmit,
+// deliver — is reconstructable from a single timeline. The recorder is off
+// by default and each emit site costs exactly one predicted branch while
+// disabled, so uninstrumented runs pay nothing. Snapshots export to the
+// Chrome trace_event format (chrome://tracing, Perfetto) via
+// unites/export.hpp.
+//
+// The simulation is single-threaded; the recorder is deliberately not
+// thread-safe.
+#pragma once
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace adaptive::unites {
+
+enum class TraceCategory : std::uint8_t { kSim, kNet, kTko, kMantts, kApp };
+[[nodiscard]] const char* to_string(TraceCategory c);
+
+struct TraceEvent {
+  sim::SimTime when;
+  sim::SimTime duration = sim::SimTime::zero();  ///< > 0: span; else instant
+  const char* name = "";                         ///< static-lifetime string
+  const char* detail = nullptr;                  ///< optional static-lifetime annotation
+  TraceCategory category = TraceCategory::kSim;
+  net::NodeId node = 0;
+  std::uint32_t session = 0;  ///< connection/session id; 0 = none
+  double value = 0.0;         ///< optional numeric argument (seq, bytes, ...)
+};
+
+class TraceRecorder {
+public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// The process-global recorder every emit site uses.
+  [[nodiscard]] static TraceRecorder& global();
+
+  /// Start recording (clears any previous events). The ring holds the
+  /// most recent `capacity` events; older ones are overwritten.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Point event. No-op (a single branch) while disabled.
+  void instant(TraceCategory category, const char* name, sim::SimTime when,
+               net::NodeId node = 0, std::uint32_t session = 0, double value = 0.0,
+               const char* detail = nullptr) {
+    if (!enabled_) return;
+    push(TraceEvent{when, sim::SimTime::zero(), name, detail, category, node, session, value});
+  }
+
+  /// Duration event covering [start, start + duration).
+  void span(TraceCategory category, const char* name, sim::SimTime start,
+            sim::SimTime duration, net::NodeId node = 0, std::uint32_t session = 0,
+            double value = 0.0, const char* detail = nullptr) {
+    if (!enabled_) return;
+    push(TraceEvent{start, duration, name, detail, category, node, session, value});
+  }
+
+  [[nodiscard]] std::size_t size() const { return ring_.size() < capacity_ ? ring_.size() : capacity_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+  /// Events lost to ring wraparound since enable().
+  [[nodiscard]] std::uint64_t dropped() const { return emitted_ - size(); }
+
+  /// Retained events in emission order (oldest first).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// Debug echo: mirror every recorded event through sim::Logger at
+  /// kTrace level, so a captured log sink sees the trace stream too.
+  void set_echo(bool on) { echo_ = on; }
+  [[nodiscard]] bool echo() const { return echo_; }
+
+private:
+  void push(TraceEvent&& e);
+
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t head_ = 0;  ///< next write slot once the ring is full
+  std::uint64_t emitted_ = 0;
+  bool enabled_ = false;
+  bool echo_ = false;
+};
+
+/// Shorthand for the global recorder: unites::trace().instant(...).
+[[nodiscard]] inline TraceRecorder& trace() { return TraceRecorder::global(); }
+
+}  // namespace adaptive::unites

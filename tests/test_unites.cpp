@@ -2,14 +2,19 @@
 #include "adaptive/world.hpp"
 #include "net/topologies.hpp"
 #include "tko/sa/templates.hpp"
+#include "sim/logging.hpp"
 #include "unites/analysis.hpp"
 #include "unites/collector.hpp"
+#include "unites/export.hpp"
+#include "unites/histogram.hpp"
 #include "unites/presentation.hpp"
 #include "unites/repository.hpp"
+#include "unites/trace.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 namespace adaptive::unites {
 namespace {
@@ -203,6 +208,151 @@ TEST(Presentation, ReportsRenderWithoutCrashing) {
       repo, MetricKey{world.host(0).node_id(), session.id(), metrics::kThroughputBps});
   EXPECT_NE(csv.find("when_ns,value"), std::string::npos);
   EXPECT_GT(csv.size(), 20u);
+}
+
+TEST(Collectors, MatchesFilterPredicate) {
+  EXPECT_TRUE(SessionCollector::matches_filter("anything.at.all", {}));
+  EXPECT_TRUE(SessionCollector::matches_filter("connection.throughput", {"connection."}));
+  EXPECT_FALSE(SessionCollector::matches_filter("reliability.retx", {"connection."}));
+  EXPECT_TRUE(
+      SessionCollector::matches_filter("reliability.retx", {"connection.", "reliability."}));
+  EXPECT_FALSE(SessionCollector::matches_filter("conn", {"connection."}));  // shorter than prefix
+}
+
+TEST(Collectors, DetachIsIdempotent) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 5); });
+  auto& session =
+      world.transport(0).open({world.transport_address(1)}, tko::sa::reliable_bulk_config());
+  MetricRepository repo;
+  SessionCollector collector(repo, session, MeasurementSpec{});
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(2000, 1),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::milliseconds(200));
+  collector.detach();
+  const auto samples_after_detach = repo.total_samples();
+  collector.detach();  // second detach must be a no-op, not a crash
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(2000, 1),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::milliseconds(200));
+  EXPECT_EQ(repo.total_samples(), samples_after_detach);
+}
+
+TEST(Histogram, EmptyAndSingleSample) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  // With one sample every percentile collapses to that sample.
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(Histogram, PercentilesOrderedAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p999(), h.max());
+  // Log buckets bound relative error to ~1/kSubBucketsPerOctave.
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.15);
+}
+
+TEST(Histogram, MergeIsLossless) {
+  Histogram a, b;
+  for (int i = 0; i < 500; ++i) a.add(1.0 + i);
+  for (int i = 0; i < 500; ++i) b.add(2000.0 + i);
+  Histogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), 1000u);
+  EXPECT_DOUBLE_EQ(merged.min(), a.min());
+  EXPECT_DOUBLE_EQ(merged.max(), b.max());
+  EXPECT_GT(merged.p90(), a.max());  // upper decile lives in b's range
+}
+
+TEST(Trace, RingWraparoundKeepsNewestEvents) {
+  TraceRecorder rec;
+  rec.enable(/*capacity=*/8);
+  EXPECT_TRUE(rec.enabled());
+  for (int i = 0; i < 20; ++i) {
+    rec.instant(TraceCategory::kTko, "tko.test", sim::SimTime::nanoseconds(i), 1, 7,
+                static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.emitted(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first order, holding the 8 most recent values 12..19.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].value, static_cast<double>(12 + i));
+  }
+  rec.disable();
+  rec.instant(TraceCategory::kTko, "tko.ignored", sim::SimTime::zero());
+  EXPECT_EQ(rec.emitted(), 20u);  // disabled emits are free and unrecorded
+}
+
+TEST(Trace, ChromeTraceExportIsWellFormed) {
+  TraceRecorder rec;
+  rec.enable(16);
+  rec.instant(TraceCategory::kMantts, "mantts.open", sim::SimTime::microseconds(5), 2, 3, 1.0,
+              "explicit");
+  rec.span(TraceCategory::kNet, "net.tx", sim::SimTime::microseconds(10),
+           sim::SimTime::microseconds(2), 2, 0, 1024.0);
+  std::ostringstream out;
+  write_chrome_trace(out, rec);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("mantts.open"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // the span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // the instant
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Trace, MetricsJsonlCarriesPercentiles) {
+  MetricRepository repo;
+  const MetricKey key{3, 9, metrics::kLatencyNs};
+  for (int i = 1; i <= 200; ++i) {
+    repo.record(key, sim::SimTime::milliseconds(i), 1e6 + i * 1e3);
+  }
+  std::ostringstream out;
+  write_metrics_jsonl(out, repo);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"name\":\"latency.ns\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"p99\":"), std::string::npos);
+  const Histogram* h = repo.histogram(key);
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->p50(), 0.0);
+}
+
+TEST(Trace, EchoRoutesThroughLoggerSink) {
+  std::vector<std::string> captured;
+  sim::Logger::set_level(sim::LogLevel::kTrace);
+  sim::Logger::set_sink([&](const std::string& line) { captured.push_back(line); });
+
+  TraceRecorder rec;
+  rec.enable(8);
+  rec.set_echo(true);
+  rec.instant(TraceCategory::kApp, "app.deliver", sim::SimTime::milliseconds(3), 1, 4, 88.0);
+  rec.set_echo(false);
+  rec.instant(TraceCategory::kApp, "app.deliver", sim::SimTime::milliseconds(4), 1, 4, 99.0);
+
+  sim::Logger::set_sink(nullptr);
+  sim::Logger::set_level(sim::LogLevel::kOff);
+
+  ASSERT_EQ(captured.size(), 1u);  // only the echoed event reached the sink
+  EXPECT_NE(captured[0].find("unites.trace"), std::string::npos);
+  EXPECT_NE(captured[0].find("app.deliver"), std::string::npos);
+  EXPECT_NE(captured[0].find("TRACE"), std::string::npos);
+  EXPECT_EQ(rec.size(), 2u);  // both events still recorded regardless of echo
 }
 
 }  // namespace

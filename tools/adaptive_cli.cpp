@@ -13,8 +13,10 @@
 //
 // Run with --help for the full option list.
 #include "adaptive/scenario.hpp"
+#include "unites/export.hpp"
 #include "unites/presentation.hpp"
 #include "unites/spec_language.hpp"
+#include "unites/trace.hpp"
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +40,8 @@ struct CliOptions {
   double fail_link_at = -1.0;
   std::string spec_path;
   bool trace = false;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 void usage() {
@@ -55,7 +59,11 @@ void usage() {
       "  --members a,b,c  multicast member host indices (sender is host 0)\n"
       "  --fail-link-at <s>  fail the topology's first scenario link at t\n"
       "  --spec <file>    UNITES metric-spec program for the report\n"
-      "  --trace          print the last 40 PDU interpreter steps\n");
+      "  --trace          print the last 40 PDU interpreter steps\n"
+      "  --trace-out <f>  write a Chrome trace_event JSON file (open in\n"
+      "                   Perfetto / chrome://tracing) of all subsystem events\n"
+      "  --metrics-out <f>  write the UNITES repository as JSONL (one metric\n"
+      "                   per line, with histogram percentiles)\n");
 }
 
 std::optional<app::Table1App> parse_app(const std::string& s) {
@@ -134,6 +142,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--seed") opt.seed = std::strtoull(v, nullptr, 10);
     else if (arg == "--fail-link-at") opt.fail_link_at = std::atof(v);
     else if (arg == "--spec") opt.spec_path = v;
+    else if (arg == "--trace-out") opt.trace_out = v;
+    else if (arg == "--metrics-out") opt.metrics_out = v;
     else if (arg == "--members") {
       std::istringstream in(v);
       std::string tok;
@@ -181,6 +191,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Enable the structured trace before any simulation object exists so
+  // session synthesis and connection setup are on the timeline too.
+  if (!cli->trace_out.empty()) unites::trace().enable();
+
   World world(factory);
   if (cli->fail_link_at >= 0.0 && !world.topology().scenario_links.empty()) {
     world.scheduler().schedule_after(sim::SimTime::seconds(cli->fail_link_at), [&world] {
@@ -197,7 +211,7 @@ int main(int argc, char** argv) {
   opt.scale = cli->scale;
   opt.seed = cli->seed;
   opt.multicast_members = cli->members;
-  opt.collect_metrics = program.has_value();
+  opt.collect_metrics = program.has_value() || !cli->metrics_out.empty();
   if (cli->trace) opt.trace = 40;
 
   std::printf("running %s over %s (%s mode, %.1fs, seed %llu)\n", app::to_string(*application),
@@ -245,6 +259,28 @@ int main(int argc, char** argv) {
                   unites::run_reports(*program, world.repository(), world.host(0).node_id(), c)
                       .c_str());
     }
+  }
+
+  if (!cli->trace_out.empty()) {
+    std::ofstream tf(cli->trace_out);
+    if (!tf) {
+      std::fprintf(stderr, "cannot write trace file %s\n", cli->trace_out.c_str());
+      return 1;
+    }
+    unites::write_chrome_trace(tf, unites::trace());
+    std::printf("\ntrace     : %zu events -> %s (%llu dropped; open in Perfetto)\n",
+                unites::trace().size(), cli->trace_out.c_str(),
+                static_cast<unsigned long long>(unites::trace().dropped()));
+  }
+  if (!cli->metrics_out.empty()) {
+    std::ofstream mf(cli->metrics_out);
+    if (!mf) {
+      std::fprintf(stderr, "cannot write metrics file %s\n", cli->metrics_out.c_str());
+      return 1;
+    }
+    unites::write_metrics_jsonl(mf, world.repository());
+    std::printf("metrics   : %zu series -> %s\n", world.repository().series_count(),
+                cli->metrics_out.c_str());
   }
   return 0;
 }
