@@ -27,7 +27,7 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   wl.acd.quantitative.duration = opt.duration;
   wl.acd.collect_metrics = opt.collect_metrics;
   if (opt.mode == RunOptions::Mode::kMantttsAdaptive) {
-    wl.acd.adjustments = mantts::PolicyEngine::default_rules();
+    wl.acd.adjustments = opt.rules.empty() ? mantts::PolicyEngine::default_rules() : opt.rules;
   }
 
   // --- sinks on every receiving host ---------------------------------
@@ -109,6 +109,16 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   }
   if (opt.trace > 0) session->enable_trace(opt.trace);
 
+  // --- scripted impairments ---------------------------------------------
+  // Armed just before the workload starts, so plan times are relative to
+  // data transfer (the configuration phase already consumed sim time).
+  std::optional<net::FaultInjector> injector;
+  if (opt.faults.has_value() && !opt.faults->empty()) {
+    injector.emplace(world.network(), world.topology().scenario_links,
+                     world.topology().hosts);
+    injector->arm(*opt.faults);
+  }
+
   // --- drive the workload -----------------------------------------------
   app::SourceApp source(*session, std::move(wl.model), world.host(opt.src).timers(),
                         opt.duration);
@@ -171,6 +181,9 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   }
   for (tko::TransportSession* s : accepted_sessions) s->set_deliver(nullptr);
   session->set_deliver(nullptr);
+
+  out.mantts = src_entity.stats();
+  if (injector.has_value()) out.fault = injector->stats();
   return out;
 }
 

@@ -7,6 +7,8 @@
 #include "app/qos_evaluator.hpp"
 #include "app/workloads.hpp"
 #include "baseline/baselines.hpp"
+#include "net/fault_injector.hpp"
+#include "sim/fault_plan.hpp"
 
 #include <optional>
 
@@ -34,6 +36,11 @@ struct RunOptions {
   };
   Mode mode = Mode::kManntts;
   std::optional<tko::sa::SessionConfig> fixed;
+  /// kMantttsAdaptive: TSA rules to install instead of the defaults
+  /// (e.g. PolicyEngine::fault_recovery_rules() for fault scenarios).
+  std::vector<mantts::TsaRule> rules;
+  /// Scripted network impairments, replayed relative to workload start.
+  std::optional<sim::FaultPlan> faults;
   bool collect_metrics = false;
   /// Record the sender session's PDU interpreter trace (last `trace`
   /// entries) into RunOutcome::trace_text.
@@ -54,6 +61,11 @@ struct RunOutcome {
   std::uint64_t receiver_checksum_failures = 0;
   std::uint32_t reconfigurations = 0;
   std::uint64_t sender_cpu_instructions = 0;
+  /// Sender-side MANTTS entity counters at scenario end (cumulative over
+  /// the entity's lifetime — subtract a pre-run snapshot when reusing a
+  /// World across scenarios).
+  mantts::MantttsEntity::Stats mantts;
+  net::FaultInjector::Stats fault;  ///< zero when no plan was armed
   bool refused = false;
   std::string trace_text;  ///< rendered interpreter trace (when requested)
 };

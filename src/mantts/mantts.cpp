@@ -1,5 +1,6 @@
 #include "mantts/mantts.hpp"
 
+#include "unites/metric.hpp"
 #include "unites/trace.hpp"
 
 #include <algorithm>
@@ -21,6 +22,7 @@ MantttsEntity::MantttsEntity(os::Host& host, tko::AdaptiveTransport& transport,
 
 MantttsEntity::~MantttsEntity() {
   adaptations_.clear();
+  pending_reconfigs_.clear();
   collectors_.clear();
   host_.unbind_port(kSignalingPort);
 }
@@ -200,8 +202,20 @@ void MantttsEntity::on_signaling(net::Packet&& pkt) {
       send_signal(pkt.src.node, reply);
       return;
     }
-    case tko::PduType::kReconfigAck:
+    case tko::PduType::kReconfigAck: {
+      // The remote confirmed the new configuration: the renegotiation is
+      // complete and the retry machinery stands down. For multicast the
+      // first member's ack suffices — RECONFIG application is idempotent
+      // and slower members are still being resent to by the data path's
+      // duplicate tolerance.
+      auto it = pending_reconfigs_.find(sig->token);
+      if (it == pending_reconfigs_.end()) return;
+      pending_reconfigs_.erase(it);
+      ++stats_.renegotiations;
+      unites::trace().instant(unites::TraceCategory::kMantts, "mantts.reconfig_ack",
+                              host_.now(), host_.node_id(), sig->token);
       return;
+    }
     case tko::PduType::kProbe: {
       Signal reply;
       reply.type = tko::PduType::kProbeReply;
@@ -240,6 +254,8 @@ void MantttsEntity::close_session(tko::TransportSession& session, bool graceful)
   disable_adaptation(session);
   collectors_.erase(session.id());
   qos_callbacks_.erase(session.id());
+  pending_reconfigs_.erase(session.id());
+  downgrade_rung_.erase(session.id());
   session.close(graceful);
   ++stats_.sessions_closed;
   if (active_ > 0) --active_;  // load recalculation (termination phase)
@@ -259,6 +275,37 @@ void MantttsEntity::enable_adaptation(tko::TransportSession& session, std::vecto
     const net::NodeId remote = s.remotes().front().node;
     if (probe_based_rtt_ && !net::is_multicast(remote)) send_probe(remote);
     const auto descriptor = nmi_.sample(remote);
+
+    // Fault-episode bookkeeping: a degraded descriptor opens an episode;
+    // the episode closes at the first healthy sample with no RECONFIG
+    // still in flight (renegotiation completing is part of recovering).
+    Adaptation& ad = it->second;
+    if (descriptor.degraded && !ad.degraded) {
+      ad.degraded = true;
+      ad.degraded_since = host_.now();
+      ad.segues_at_fault = s.context().reconfigurations();
+      ++stats_.faults_detected;
+      unites::trace().instant(unites::TraceCategory::kMantts, "mantts.fault_detected",
+                              host_.now(), host_.node_id(), sid,
+                              descriptor.recent_loss_rate,
+                              descriptor.reachable ? "degraded" : "unreachable");
+    } else if (!descriptor.degraded && ad.degraded && !pending_reconfigs_.contains(sid)) {
+      ad.degraded = false;
+      ++stats_.recoveries;
+      const sim::SimTime took = host_.now() - ad.degraded_since;
+      const auto segues =
+          static_cast<double>(s.context().reconfigurations() - ad.segues_at_fault);
+      unites::trace().span(unites::TraceCategory::kMantts, "mantts.recovery",
+                           ad.degraded_since, took, host_.node_id(), sid, segues);
+      if (repo_ != nullptr) {
+        repo_->record({host_.node_id(), sid, unites::metrics::kRecoveryTimeNs}, host_.now(),
+                      static_cast<double>(took.ns()));
+        repo_->record({host_.node_id(), sid, unites::metrics::kRecoverySegues}, host_.now(),
+                      segues);
+      }
+      downgrade_rung_.erase(sid);  // a healthy path resets the QoS ladder
+    }
+
     const auto actions = it->second.engine.evaluate(descriptor, host_.now());
     if (actions.empty()) return;
     tko::sa::SessionConfig cfg = s.config();
@@ -311,17 +358,7 @@ Tsc MantttsEntity::retarget_session(tko::TransportSession& session,
   return tsc;
 }
 
-void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
-                                        const tko::sa::SessionConfig& cfg) {
-  session.reconfigure(cfg);
-  auto cb = qos_callbacks_.find(session.id());
-  if (cb != qos_callbacks_.end() && cb->second) cb->second(cfg);
-
-  // Keep the remote mechanism bindings in step.
-  ++stats_.reconfigs_sent;
-  unites::trace().instant(unites::TraceCategory::kMantts, "mantts.reconfig_send", host_.now(),
-                          host_.node_id(), session.id());
-  Signal s{tko::PduType::kReconfig, session.id(), cfg};
+void MantttsEntity::signal_session_remotes(tko::TransportSession& session, const Signal& s) {
   const auto& remotes = session.remotes();
   if (remotes.size() == 1 && net::is_multicast(remotes.front().node)) {
     for (const net::NodeId m : host_.network().group_members(remotes.front().node)) {
@@ -330,6 +367,79 @@ void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
   } else {
     for (const auto& r : remotes) send_signal(r.node, s);
   }
+}
+
+void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
+                                        const tko::sa::SessionConfig& cfg) {
+  session.reconfigure(cfg);
+  auto cb = qos_callbacks_.find(session.id());
+  if (cb != qos_callbacks_.end() && cb->second) cb->second(cfg);
+
+  // Keep the remote mechanism bindings in step, and track the RECONFIG
+  // until its ack: a signaling channel through a faulty network loses
+  // RECONFIGs exactly when reconfiguring matters most.
+  ++stats_.reconfigs_sent;
+  unites::trace().instant(unites::TraceCategory::kMantts, "mantts.reconfig_send", host_.now(),
+                          host_.node_id(), session.id());
+  Signal s{tko::PduType::kReconfig, session.id(), cfg};
+  signal_session_remotes(session, s);
+  track_reconfig(session, cfg);
+}
+
+void MantttsEntity::track_reconfig(tko::TransportSession& session,
+                                   const tko::sa::SessionConfig& cfg) {
+  const std::uint32_t sid = session.id();
+  PendingReconfig p;
+  p.session = &session;
+  p.cfg = cfg;
+  p.timer = std::make_unique<tko::Event>(host_.timers(), [this, sid] { resend_reconfig(sid); });
+  p.timer->schedule(p.backoff);
+  pending_reconfigs_.erase(sid);  // a newer RECONFIG supersedes any older one
+  pending_reconfigs_.emplace(sid, std::move(p));
+}
+
+void MantttsEntity::resend_reconfig(std::uint32_t sid) {
+  auto it = pending_reconfigs_.find(sid);
+  if (it == pending_reconfigs_.end()) return;
+  PendingReconfig& p = it->second;
+  if (--p.retries_left < 0) {
+    on_reconfig_exhausted(sid);
+    return;
+  }
+  ++stats_.reconfig_retries;
+  unites::trace().instant(unites::TraceCategory::kMantts, "mantts.reconfig_retry", host_.now(),
+                          host_.node_id(), sid, static_cast<double>(p.retries_left));
+  Signal s{tko::PduType::kReconfig, sid, p.cfg};
+  signal_session_remotes(*p.session, s);
+  p.backoff = p.backoff * 2;  // exponential backoff between resends
+  p.timer->schedule(p.backoff);
+}
+
+void MantttsEntity::on_reconfig_exhausted(std::uint32_t sid) {
+  auto it = pending_reconfigs_.find(sid);
+  if (it == pending_reconfigs_.end()) return;
+  tko::TransportSession* session = it->second.session;
+  pending_reconfigs_.erase(it);
+  ++stats_.renegotiation_failures;
+  unites::trace().instant(unites::TraceCategory::kMantts, "mantts.renegotiation_failed",
+                          host_.now(), host_.node_id(), sid);
+
+  // Graceful degradation: step the session down the QoS ladder one rung
+  // and try to renegotiate the humbler configuration. The ladder bounds
+  // the loop; when it runs out, the application is told the service is
+  // degraded and the session soldiers on with what it has.
+  int& rung = downgrade_rung_[sid];
+  const auto down = downgrade_qos(session->config(), rung);
+  if (down.has_value() && tko::sa::Synthesizer::validate(*down).empty()) {
+    ++rung;
+    ++stats_.qos_downgrades;
+    unites::trace().instant(unites::TraceCategory::kMantts, "mantts.qos_downgrade",
+                            host_.now(), host_.node_id(), sid, static_cast<double>(rung));
+    apply_and_propagate(*session, *down);
+    return;
+  }
+  auto cb = qos_callbacks_.find(sid);
+  if (cb != qos_callbacks_.end() && cb->second) cb->second(session->config());
 }
 
 }  // namespace adaptive::mantts

@@ -107,6 +107,13 @@ public:
     std::uint64_t probes_sent = 0;
     std::uint64_t probe_replies = 0;
     std::uint64_t adaptations_skipped_short_session = 0;
+    // Fault handling (data-transfer-phase recovery).
+    std::uint64_t faults_detected = 0;    ///< degraded-descriptor onsets
+    std::uint64_t recoveries = 0;         ///< degraded -> healthy completions
+    std::uint64_t renegotiations = 0;     ///< RECONFIG round trips completed
+    std::uint64_t reconfig_retries = 0;   ///< RECONFIG resends (lost/ignored)
+    std::uint64_t renegotiation_failures = 0;  ///< retry budget exhausted
+    std::uint64_t qos_downgrades = 0;     ///< graceful-degradation rungs taken
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t active_sessions() const { return active_; }
@@ -119,6 +126,12 @@ private:
   void send_signal(net::NodeId to, const Signal& s);
   void finish_open(std::uint32_t nonce, const tko::sa::SessionConfig& cfg, bool refused);
   void apply_and_propagate(tko::TransportSession& session, const tko::sa::SessionConfig& cfg);
+  /// Track an in-flight RECONFIG until its ack (bounded retry with
+  /// exponential backoff); exhaustion falls down the QoS ladder.
+  void track_reconfig(tko::TransportSession& session, const tko::sa::SessionConfig& cfg);
+  void resend_reconfig(std::uint32_t sid);
+  void on_reconfig_exhausted(std::uint32_t sid);
+  void signal_session_remotes(tko::TransportSession& session, const Signal& s);
 
   os::Host& host_;
   tko::AdaptiveTransport& transport_;
@@ -146,10 +159,28 @@ private:
     tko::TransportSession* session;
     PolicyEngine engine;
     std::unique_ptr<tko::Event> timer;
+    // Fault episode the NMI currently reports on this session's path.
+    bool degraded = false;
+    sim::SimTime degraded_since = sim::SimTime::zero();
+    std::uint32_t segues_at_fault = 0;  ///< session segue count at onset
   };
   std::map<std::uint32_t, Adaptation> adaptations_;  // by session id
   std::map<std::uint32_t, QosChangeFn> qos_callbacks_;
   std::map<std::uint32_t, std::unique_ptr<unites::SessionCollector>> collectors_;
+
+  /// One in-flight RECONFIG per session, resent with exponential backoff
+  /// until acked or the retry budget runs out.
+  struct PendingReconfig {
+    tko::TransportSession* session;
+    tko::sa::SessionConfig cfg;
+    int retries_left = kReconfigRetries;
+    sim::SimTime backoff = kReconfigBackoff;
+    std::unique_ptr<tko::Event> timer;
+  };
+  static constexpr int kReconfigRetries = 4;
+  static constexpr sim::SimTime kReconfigBackoff = sim::SimTime::milliseconds(100);
+  std::map<std::uint32_t, PendingReconfig> pending_reconfigs_;  // by session id
+  std::map<std::uint32_t, int> downgrade_rung_;                 // next ladder rung
 };
 
 }  // namespace adaptive::mantts

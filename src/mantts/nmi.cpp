@@ -11,7 +11,10 @@ NetworkStateDescriptor NetworkMonitorInterface::sample_unicast(net::NodeId remot
   NetworkStateDescriptor d;
   const auto path = net_.path(local_, remote);
   d.reachable = !path.empty();
-  if (!d.reachable) return d;
+  if (!d.reachable) {
+    d.degraded = true;
+    return d;
+  }
   // Prefer the measured (probe) RTT over the idle topology estimate: a
   // probe sees queueing the idle formula cannot.
   auto probe = probe_rtt_.find(remote);
@@ -27,6 +30,13 @@ NetworkStateDescriptor NetworkMonitorInterface::sample_unicast(net::NodeId remot
   d.congestion = net_.path_congestion(local_, remote);
   d.recent_loss_rate = net_.monitor().recent_loss_rate();
 
+  // Worst-case BER matters here, not the instantaneous one: corrupted
+  // packets die at the session checksum, not in the network, so a burst
+  // episode never shows up in recent_loss_rate — only in the link's
+  // Gilbert-Elliott parameters.
+  d.degraded = d.recent_loss_rate >= kDegradedLossRate ||
+               d.congestion >= kDegradedCongestion || d.bit_error_rate >= kDegradedBer;
+
   auto& last = last_path_[remote];
   if (last != path) {
     last = path;
@@ -41,9 +51,14 @@ NetworkStateDescriptor NetworkMonitorInterface::sample(net::NodeId remote) {
   // Multicast: aggregate over the members — the worst RTT, tightest MTU,
   // worst BER/congestion govern the configuration.
   NetworkStateDescriptor agg;
+  // A fault anywhere in the group degrades the aggregate: the worst
+  // member governs the configuration, and an unreachable member is the
+  // worst of all.
+  bool any_degraded = false;
   for (const net::NodeId m : net_.group_members(remote)) {
     if (m == local_) continue;
     const auto d = sample_unicast(m);
+    any_degraded = any_degraded || d.degraded;
     if (!d.reachable) continue;
     agg.reachable = true;
     agg.rtt = std::max(agg.rtt, d.rtt);
@@ -56,6 +71,7 @@ NetworkStateDescriptor NetworkMonitorInterface::sample(net::NodeId remote) {
     agg.recent_loss_rate = std::max(agg.recent_loss_rate, d.recent_loss_rate);
     agg.route_version += d.route_version;
   }
+  agg.degraded = any_degraded || !agg.reachable;
   return agg;
 }
 

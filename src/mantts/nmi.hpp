@@ -29,7 +29,17 @@ struct NetworkStateDescriptor {
   double recent_loss_rate = 0.0;
   std::uint64_t route_version = 0;  ///< bumps when the path node-list changes
   bool reachable = false;
+  /// The path is in a fault episode: unreachable, losing a large fraction
+  /// of packets, saturated, or crossing a worst-case-BER line. MANTTS
+  /// recovery machinery keys off transitions of this bit (fault detected /
+  /// recovered) rather than re-deriving thresholds per policy.
+  bool degraded = false;
 };
+
+/// Degraded-state thresholds (see NetworkStateDescriptor::degraded).
+inline constexpr double kDegradedLossRate = 0.15;
+inline constexpr double kDegradedCongestion = 0.95;
+inline constexpr double kDegradedBer = 1e-5;
 
 class NetworkMonitorInterface {
 public:

@@ -1,5 +1,7 @@
 #include "mantts/policy.hpp"
 
+#include <algorithm>
+
 namespace adaptive::mantts {
 
 const char* to_string(TsaCondition c) {
@@ -84,6 +86,53 @@ std::vector<TsaRule> PolicyEngine::default_rules() {
       {TsaCondition::kCongestionBelow, 0.05, TsaAction::kDecreaseInterPduGap,
        sim::SimTime::seconds(1)},
   };
+}
+
+std::vector<TsaRule> PolicyEngine::fault_recovery_rules() {
+  return {
+      // Link-flap drops push the recent loss rate far past 5%: fall back
+      // to go-back-n (smallest receiver footprint, single timer) for the
+      // fault's duration; a quiet network restores selective repeat.
+      {TsaCondition::kLossRateAbove, 0.05, TsaAction::kSwitchToGoBackN, sim::SimTime::seconds(1)},
+      {TsaCondition::kLossRateBelow, 0.01, TsaAction::kSwitchToSelectiveRepeat,
+       sim::SimTime::seconds(2)},
+      // Congestion pacing, as in the defaults.
+      {TsaCondition::kCongestionAbove, 0.75, TsaAction::kIncreaseInterPduGap,
+       sim::SimTime::seconds(1)},
+      {TsaCondition::kCongestionBelow, 0.05, TsaAction::kDecreaseInterPduGap,
+       sim::SimTime::seconds(1)},
+  };
+}
+
+std::optional<tko::sa::SessionConfig> downgrade_qos(const tko::sa::SessionConfig& cfg,
+                                                    int rung) {
+  using namespace tko::sa;
+  SessionConfig out = cfg;
+  switch (rung) {
+    case 0:
+      // Pace harder: rate control on top of the window, double the gap.
+      if (out.transmission == TransmissionScheme::kSlidingWindow ||
+          out.transmission == TransmissionScheme::kUnlimited) {
+        out.transmission = TransmissionScheme::kWindowAndRate;
+      }
+      out.inter_pdu_gap = out.inter_pdu_gap > sim::SimTime::zero()
+                              ? out.inter_pdu_gap * 2
+                              : sim::SimTime::milliseconds(1);
+      return out;
+    case 1:
+      // Shrink the in-flight exposure and take the cheapest recovering
+      // configuration: go-back-n with immediate acks.
+      out.window_pdus = std::max<std::uint16_t>(2, out.window_pdus / 2);
+      if (out.recovery != RecoveryScheme::kNone) out.recovery = RecoveryScheme::kGoBackN;
+      out.ack = AckScheme::kImmediate;
+      return out;
+    case 2:
+      // Smaller PDUs risk less per corruption on a lossy path.
+      out.segment_bytes = std::max<std::uint32_t>(128, out.segment_bytes / 2);
+      return out;
+    default:
+      return std::nullopt;  // ladder exhausted; notify the application
+  }
 }
 
 tko::sa::SessionConfig apply_action(TsaAction action, const tko::sa::SessionConfig& cfg) {

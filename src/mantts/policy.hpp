@@ -13,6 +13,7 @@
 #include "mantts/nmi.hpp"
 #include "tko/sa/config.hpp"
 
+#include <optional>
 #include <vector>
 
 namespace adaptive::mantts {
@@ -40,6 +41,13 @@ public:
   /// the rate-control gap.
   [[nodiscard]] static std::vector<TsaRule> default_rules();
 
+  /// Rule set for fault-injection scenarios: loss-rate crossings drive
+  /// selective-repeat <-> go-back-n segues (both loss-*recovering*
+  /// schemes, so the mid-fault segue cannot itself lose data the way an
+  /// FEC switch under sustained loss could), plus the congestion pacing
+  /// rules. Loss spikes from link flaps fire the switch; calm restores it.
+  [[nodiscard]] static std::vector<TsaRule> fault_recovery_rules();
+
 private:
   struct RuleState {
     bool was_true = false;
@@ -59,5 +67,19 @@ private:
 /// application callback instead).
 [[nodiscard]] tko::sa::SessionConfig apply_action(TsaAction action,
                                                   const tko::sa::SessionConfig& cfg);
+
+/// Graceful-degradation ladder: when renegotiation with the remote entity
+/// keeps failing, MANTTS steps the session down one service rung at a time
+/// instead of aborting — each rung trades QoS for robustness while keeping
+/// the service class. Rung 0 paces harder (window+rate, wider gap), rung 1
+/// halves the window and falls back to go-back-n with immediate acks (the
+/// cheapest loss-recovering configuration), rung 2 halves the segment size
+/// so each PDU risks less on a lossy path. Returns nullopt once the ladder
+/// is exhausted — the entity then notifies the application instead.
+[[nodiscard]] std::optional<tko::sa::SessionConfig> downgrade_qos(
+    const tko::sa::SessionConfig& cfg, int rung);
+
+/// Number of rungs downgrade_qos offers before exhaustion.
+inline constexpr int kQosDowngradeRungs = 3;
 
 }  // namespace adaptive::mantts

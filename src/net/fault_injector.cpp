@@ -1,0 +1,149 @@
+#include "net/fault_injector.hpp"
+
+#include "unites/trace.hpp"
+
+namespace adaptive::net {
+
+FaultInjector::FaultInjector(Network& net, std::vector<LinkId> scenario_links,
+                             std::vector<NodeId> hosts)
+    : net_(net), scenario_links_(std::move(scenario_links)), hosts_(std::move(hosts)) {}
+
+FaultInjector::~FaultInjector() {
+  for (auto& h : scheduled_) h.cancel();
+}
+
+void FaultInjector::arm(const sim::FaultPlan& plan) {
+  for (const auto& spec : plan.faults) schedule(spec);
+}
+
+void FaultInjector::schedule(const sim::FaultSpec& spec) {
+  auto& sched = net_.scheduler();
+  const std::uint32_t episodes = spec.kind == sim::FaultKind::kLinkFlap ? spec.count : 1;
+  for (std::uint32_t i = 0; i < episodes; ++i) {
+    const sim::SimTime start = spec.at + spec.period * static_cast<std::int64_t>(i);
+    scheduled_.push_back(sched.schedule_after(start, [this, spec] { begin_episode(spec); }));
+    scheduled_.push_back(
+        sched.schedule_after(start + spec.duration, [this, spec] { end_episode(spec); }));
+  }
+}
+
+std::vector<Link*> FaultInjector::target_links(const sim::FaultSpec& spec) {
+  if (spec.link >= scenario_links_.size()) {
+    ++stats_.unresolved_targets;
+    return {};
+  }
+  const LinkId fwd = scenario_links_[spec.link];
+  // connect() creates pairs adjacently: forward even, reverse = fwd ^ 1.
+  return {&net_.link(fwd), &net_.link(fwd ^ 1u)};
+}
+
+std::vector<LinkId> FaultInjector::node_link_pairs(const sim::FaultSpec& spec) {
+  if (spec.node >= hosts_.size()) {
+    ++stats_.unresolved_targets;
+    return {};
+  }
+  const NodeId node = hosts_[spec.node];
+  std::vector<LinkId> pairs;
+  for (LinkId id = 0; id + 1 < net_.link_count(); id += 2) {
+    const Link& l = net_.link(id);
+    if (l.from() == node || l.to() == node) pairs.push_back(id);
+  }
+  return pairs;
+}
+
+void FaultInjector::record(const sim::FaultSpec& spec, const char* phase) {
+  const std::string detail = std::string(phase) + " " + spec.describe();
+  net_.monitor().record(NetEventKind::kFault, net_.scheduler().now(), detail);
+  unites::trace().instant(unites::TraceCategory::kNet, "net.fault", net_.scheduler().now(), 0, 0,
+                          static_cast<double>(spec.link), detail.c_str());
+}
+
+void FaultInjector::begin_episode(const sim::FaultSpec& spec) {
+  switch (spec.kind) {
+    case sim::FaultKind::kLinkDown:
+    case sim::FaultKind::kLinkFlap: {
+      if (spec.link >= scenario_links_.size()) {
+        ++stats_.unresolved_targets;
+        return;
+      }
+      net_.set_link_pair_up(scenario_links_[spec.link], false);
+      break;
+    }
+    case sim::FaultKind::kPartition: {
+      const auto pairs = node_link_pairs(spec);
+      if (pairs.empty()) return;
+      for (const LinkId id : pairs) net_.set_link_pair_up(id, false);
+      break;
+    }
+    case sim::FaultKind::kBurstLoss: {
+      const auto links = target_links(spec);
+      if (links.empty()) return;
+      for (Link* l : links) {
+        saved_.emplace(l->id(), l->config());  // keep the pre-episode config
+        LinkConfig cfg = l->config();
+        cfg.p_good_to_bad = spec.p_good_to_bad;
+        cfg.p_bad_to_good = spec.p_bad_to_good;
+        cfg.burst_error_rate = spec.burst_error_rate;
+        l->set_config(cfg);
+      }
+      break;
+    }
+    case sim::FaultKind::kLatencySpike: {
+      const auto links = target_links(spec);
+      if (links.empty()) return;
+      for (Link* l : links) {
+        saved_.emplace(l->id(), l->config());
+        LinkConfig cfg = l->config();
+        cfg.propagation_delay = cfg.propagation_delay + spec.extra_delay;
+        l->set_config(cfg);
+      }
+      break;
+    }
+    case sim::FaultKind::kBandwidthDrop: {
+      const auto links = target_links(spec);
+      if (links.empty()) return;
+      for (Link* l : links) {
+        saved_.emplace(l->id(), l->config());
+        LinkConfig cfg = l->config();
+        cfg.bandwidth = sim::Rate::bps(cfg.bandwidth.bits_per_sec() * spec.bandwidth_factor);
+        l->set_config(cfg);
+      }
+      break;
+    }
+  }
+  ++stats_.episodes_started;
+  record(spec, "begin");
+}
+
+void FaultInjector::end_episode(const sim::FaultSpec& spec) {
+  switch (spec.kind) {
+    case sim::FaultKind::kLinkDown:
+    case sim::FaultKind::kLinkFlap: {
+      if (spec.link >= scenario_links_.size()) return;
+      net_.set_link_pair_up(scenario_links_[spec.link], true);
+      break;
+    }
+    case sim::FaultKind::kPartition: {
+      const auto pairs = node_link_pairs(spec);
+      if (pairs.empty()) return;
+      for (const LinkId id : pairs) net_.set_link_pair_up(id, true);
+      break;
+    }
+    case sim::FaultKind::kBurstLoss:
+    case sim::FaultKind::kLatencySpike:
+    case sim::FaultKind::kBandwidthDrop: {
+      const auto links = target_links(spec);
+      for (Link* l : links) {
+        auto it = saved_.find(l->id());
+        if (it == saved_.end()) continue;
+        l->set_config(it->second);
+        saved_.erase(it);
+      }
+      break;
+    }
+  }
+  ++stats_.episodes_ended;
+  record(spec, "end");
+}
+
+}  // namespace adaptive::net

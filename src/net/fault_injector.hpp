@@ -1,0 +1,67 @@
+// Fault injector: replays a sim::FaultPlan against a live Network.
+//
+// The injector resolves the plan's scenario-relative targets (scenario-link
+// index, host index) against a concrete topology, schedules the impairment
+// and restoration events, and records each application in the network
+// monitor as a kFault event — the same observation surface the MANTTS-NMI
+// samples, so recovery machinery sees faults the way a deployment would:
+// through their symptoms, with the kFault history available to experiment
+// harnesses for ground truth.
+//
+// Every impairment saves the affected links' configurations and restores
+// them when the episode ends; plans are therefore composable as long as
+// episodes on the same link do not overlap (overlapping episodes restore
+// the config saved at their own start — last writer wins, noted in stats).
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/fault_plan.hpp"
+
+#include <map>
+#include <vector>
+
+namespace adaptive::net {
+
+class FaultInjector {
+public:
+  /// `scenario_links` are forward ids of bidirectional pairs (the
+  /// topology's scenario_links); `hosts` maps host index -> NodeId.
+  FaultInjector(Network& net, std::vector<LinkId> scenario_links, std::vector<NodeId> hosts);
+
+  /// Cancels every not-yet-fired episode event (scheduled callbacks
+  /// capture this injector; it must not be outlived by them).
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every fault in `plan` (relative to the current sim time).
+  /// Specs whose targets do not resolve are counted, not fatal.
+  void arm(const sim::FaultPlan& plan);
+
+  struct Stats {
+    std::uint64_t episodes_started = 0;  ///< impairments applied
+    std::uint64_t episodes_ended = 0;    ///< restorations applied
+    std::uint64_t unresolved_targets = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+  void schedule(const sim::FaultSpec& spec);
+  void begin_episode(const sim::FaultSpec& spec);
+  void end_episode(const sim::FaultSpec& spec);
+  /// Both directions of the scenario link the spec targets (empty when
+  /// the index does not resolve).
+  [[nodiscard]] std::vector<Link*> target_links(const sim::FaultSpec& spec);
+  /// Forward ids of every link pair touching the spec's host.
+  [[nodiscard]] std::vector<LinkId> node_link_pairs(const sim::FaultSpec& spec);
+  void record(const sim::FaultSpec& spec, const char* phase);
+
+  Network& net_;
+  std::vector<LinkId> scenario_links_;
+  std::vector<NodeId> hosts_;
+  std::map<LinkId, LinkConfig> saved_;  ///< pre-episode configs by link id
+  std::vector<sim::EventHandle> scheduled_;
+  Stats stats_;
+};
+
+}  // namespace adaptive::net

@@ -13,6 +13,7 @@
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -64,6 +65,21 @@ public:
   [[nodiscard]] NodeId to() const { return to_; }
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+  /// Replace the link parameters in place (fault injection: latency
+  /// spikes, bandwidth drops, burst-loss episodes). In-flight packets
+  /// keep the serialization/propagation times computed at transmit time;
+  /// later packets see the new parameters.
+  void set_config(const LinkConfig& cfg) { cfg_ = cfg; }
+
+  /// Worst bit-error rate this link can exhibit: the burst-state BER when
+  /// a Gilbert-Elliott process is armed, the base BER otherwise. Path
+  /// health queries use this — a bursty link is unhealthy even while it
+  /// happens to sit in the good state.
+  [[nodiscard]] double worst_case_ber() const {
+    return cfg_.p_good_to_bad > 0.0 ? std::max(cfg_.bit_error_rate, cfg_.burst_error_rate)
+                                    : cfg_.bit_error_rate;
+  }
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 

@@ -7,6 +7,7 @@ void NetworkMonitor::record(NetEventKind kind, sim::SimTime when, std::string de
     case NetEventKind::kDrop: ++drops_; break;
     case NetEventKind::kDeliver: ++deliveries_; break;
     case NetEventKind::kRouteChange: ++route_changes_; break;
+    case NetEventKind::kFault: ++faults_; break;
     default: break;
   }
   events_.push_back(NetEvent{kind, when, std::move(detail)});

@@ -20,7 +20,7 @@
 
 namespace adaptive::net {
 
-enum class NetEventKind { kDrop, kDeliver, kRouteChange, kLinkDown, kLinkUp };
+enum class NetEventKind { kDrop, kDeliver, kRouteChange, kLinkDown, kLinkUp, kFault };
 
 struct NetEvent {
   NetEventKind kind;
@@ -41,6 +41,7 @@ public:
   [[nodiscard]] std::uint64_t total_drops() const { return drops_; }
   [[nodiscard]] std::uint64_t total_deliveries() const { return deliveries_; }
   [[nodiscard]] std::uint64_t route_changes() const { return route_changes_; }
+  [[nodiscard]] std::uint64_t faults() const { return faults_; }
 
   /// Drop fraction over the most recent `window` drop+deliver events.
   [[nodiscard]] double recent_loss_rate(std::size_t window = 256) const;
@@ -54,6 +55,7 @@ private:
   std::uint64_t drops_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t route_changes_ = 0;
+  std::uint64_t faults_ = 0;  ///< injected impairment applications
 };
 
 }  // namespace adaptive::net

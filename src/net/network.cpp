@@ -215,7 +215,7 @@ double Network::path_congestion(NodeId src, NodeId dst) const {
 double Network::path_bit_error_rate(NodeId src, NodeId dst) const {
   const auto links = path_links(src, dst);
   double b = 0.0;
-  for (const Link* l : links) b = std::max(b, l->config().bit_error_rate);
+  for (const Link* l : links) b = std::max(b, l->worst_case_ber());
   return b;
 }
 

@@ -1,0 +1,88 @@
+// Fault plans: scripted network-impairment schedules.
+//
+// A FaultPlan is a list of timed faults — link outages, link flaps,
+// Gilbert-Elliott burst-loss episodes, latency spikes, bandwidth drops,
+// and node partitions — that a net::FaultInjector replays against a live
+// topology. Plans are pure data (sim layer); they carry scenario-relative
+// targets (scenario-link index, host index) that the injector resolves
+// against a concrete topology.
+//
+// Plans have a compact text form so experiments and the CLI can script
+// impairments without recompiling:
+//
+//   spec      := kind '@' start [ '+' duration ] [ ':' key '=' value
+//                                                  { ',' key '=' value } ]
+//   plan      := spec { ';' spec }
+//
+//   down@2+0.8:link=0              link pair 0 down at t=2s for 0.8s
+//   flap@2+0.2:link=0,count=3,period=1
+//                                  3 outages of 0.2s, 1s apart
+//   burst@1.5+4:link=0,ber=1e-4,g2b=0.05,b2g=0.3
+//                                  burst-loss episode (Gilbert-Elliott)
+//   delay@3+2:link=0,add=0.25      +250 ms propagation delay
+//   bw@3+2:link=0,factor=0.1       bandwidth cut to 10%
+//   partition@5+1:node=2           every link at host 2 down for 1s
+//
+// Times are seconds (floating point); `link` indexes the topology's
+// scenario_links list; `node` indexes the topology's host list.
+#pragma once
+
+#include "sim/time.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptive::sim {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,       ///< one outage of `duration`
+  kLinkFlap,       ///< `count` outages of `duration`, starts `period` apart
+  kBurstLoss,      ///< Gilbert-Elliott burst-corruption episode
+  kLatencySpike,   ///< extra propagation delay for `duration`
+  kBandwidthDrop,  ///< bandwidth scaled by `bandwidth_factor`
+  kPartition,      ///< all links touching a host down for `duration`
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkDown;
+  SimTime at = SimTime::zero();           ///< episode start
+  SimTime duration = SimTime::seconds(1); ///< per-episode impairment length
+
+  /// Target: scenario-link index (kPartition uses `node` instead).
+  std::size_t link = 0;
+  std::size_t node = 0;
+
+  // kLinkFlap.
+  std::uint32_t count = 1;
+  SimTime period = SimTime::seconds(1);   ///< flap episode spacing
+
+  // kBurstLoss (Gilbert-Elliott overrides applied for the episode).
+  double p_good_to_bad = 0.05;
+  double p_bad_to_good = 0.3;
+  double burst_error_rate = 1e-4;
+
+  // kLatencySpike / kBandwidthDrop.
+  SimTime extra_delay = SimTime::milliseconds(100);
+  double bandwidth_factor = 0.1;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parse the text form described above. Unknown kinds/keys and malformed
+/// numbers are reported through `errors` (one message per bad spec); the
+/// well-formed specs still parse, so a partially bad plan degrades rather
+/// than vanishes.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text,
+                                         std::vector<std::string>* errors = nullptr);
+
+}  // namespace adaptive::sim

@@ -1,5 +1,7 @@
 #include "tko/sa/fec.hpp"
 
+#include "tko/sa/seqnum.hpp"
+
 #include <algorithm>
 
 namespace adaptive::tko::sa {
@@ -56,11 +58,12 @@ std::uint32_t FecReliability::on_ack(const Pdu&, net::NodeId) { return 0; }
 
 void FecReliability::accept(std::uint32_t seq, Message&& payload) {
   const bool in_order = receiver_mark(seq);
-  if (!in_order && st_.rcv_cum + 4u * group_size_ < seq) {
-    // Gap spans multiple closed groups: it is permanent.
+  if (!in_order && seq_lt(st_.rcv_cum + 4u * group_size_, seq)) {
+    // Gap spans multiple closed groups: it is permanent. erase_if rather
+    // than a range erase: raw set order breaks across a sequence wrap.
     st_.rcv_cum = seq;
-    st_.rcv_out_of_order.erase(st_.rcv_out_of_order.begin(),
-                               st_.rcv_out_of_order.upper_bound(seq));
+    std::erase_if(st_.rcv_out_of_order,
+                  [seq](std::uint32_t s) { return seq_leq(s, seq); });
     if (sequencing_ != nullptr) sequencing_->gap_skip(seq);
   }
   offer_up(seq, std::move(payload));
@@ -98,7 +101,7 @@ void FecReliability::try_recover(std::uint32_t base) {
   // exactly k PDUs, one missing member is recoverable.
   const std::uint32_t hi = base + group_size_ - 1;
   std::vector<std::uint32_t> missing;
-  for (std::uint32_t s = base; s <= hi; ++s) {
+  for (std::uint32_t s = base; seq_leq(s, hi); ++s) {
     if (!g.data.contains(s) && !receiver_seen(s)) missing.push_back(s);
   }
   if (missing.empty()) {
@@ -111,7 +114,7 @@ void FecReliability::try_recover(std::uint32_t base) {
   const std::size_t block_len = g.parity.size();
   std::vector<std::uint8_t> rec = g.parity;
   for (const auto& [seq, m] : g.data) {
-    if (seq < base || seq > hi) continue;
+    if (seq_lt(seq, base) || seq_gt(seq, hi)) continue;
     const auto block = to_block(m, block_len);
     for (std::size_t i = 0; i < block_len; ++i) rec[i] ^= block[i];
   }
@@ -129,13 +132,15 @@ void FecReliability::try_recover(std::uint32_t base) {
 void FecReliability::purge_old_groups(std::uint32_t current_base) {
   // Keep the current and previous group; older incomplete groups are
   // unrecoverable — count their holes and forget them.
-  const std::uint32_t keep_from =
-      current_base > group_size_ ? current_base - group_size_ : 0;
+  const std::uint32_t keep_from = current_base - group_size_;  // serial space
   for (auto it = rx_groups_.begin(); it != rx_groups_.end();) {
-    if (it->first >= keep_from) break;
+    if (seq_geq(it->first, keep_from)) {
+      ++it;
+      continue;
+    }
     if (!it->second.resolved) {
       const std::uint32_t hi = it->first + group_size_ - 1;
-      for (std::uint32_t s = it->first; s <= hi; ++s) {
+      for (std::uint32_t s = it->first; seq_leq(s, hi); ++s) {
         if (!receiver_seen(s)) ++stats_.unrecovered_losses;
       }
     }

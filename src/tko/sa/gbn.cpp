@@ -1,7 +1,11 @@
 #include "tko/sa/gbn.hpp"
 
+#include "tko/sa/seqnum.hpp"
 #include "unites/metric.hpp"
 #include "unites/trace.hpp"
+
+#include <algorithm>
+#include <vector>
 
 namespace adaptive::tko::sa {
 
@@ -69,15 +73,24 @@ void GoBackN::on_timeout() {
 }
 
 void GoBackN::go_back(std::uint32_t from_seq) {
-  // Retransmit every retained PDU at or beyond `from_seq`, in order.
-  for (auto it = st_.unacked.lower_bound(from_seq); it != st_.unacked.end(); ++it) {
-    emit_data(it->first, it->second.clone(), /*retransmission=*/true);
+  // Retransmit every retained PDU at or beyond `from_seq`, in serial
+  // order. The retention map is keyed by raw sequence value, so around a
+  // wrap it interleaves old (huge) and new (tiny) sequences; collect and
+  // sort by serial comparison instead of trusting map order.
+  std::vector<std::uint32_t> pending;
+  pending.reserve(st_.unacked.size());
+  for (const auto& [seq, _] : st_.unacked) {
+    if (seq_geq(seq, from_seq)) pending.push_back(seq);
+  }
+  std::sort(pending.begin(), pending.end(), SeqLess{});
+  for (const std::uint32_t seq : pending) {
+    emit_data(seq, st_.unacked.at(seq).clone(), /*retransmission=*/true);
   }
 }
 
 void GoBackN::on_data(Pdu&& p, net::NodeId) {
   if (p.type != PduType::kData) return;  // go-back-n ignores FEC parity
-  if (p.seq <= st_.rcv_cum) {
+  if (seq_leq(p.seq, st_.rcv_cum)) {
     ++stats_.duplicates_received;
     // Duplicate: re-ack so a lost ACK cannot stall the sender.
     if (ack_ != nullptr) ack_->on_data_received(/*in_order=*/false);

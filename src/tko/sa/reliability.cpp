@@ -3,6 +3,7 @@
 #include "tko/sa/fec.hpp"
 #include "tko/sa/gbn.hpp"
 #include "tko/sa/selective_repeat.hpp"
+#include "tko/sa/seqnum.hpp"
 
 #include <algorithm>
 
@@ -24,7 +25,7 @@ void ReliabilityBase::emit_ack() {
 }
 
 bool ReliabilityBase::receiver_seen(std::uint32_t seq) const {
-  return seq <= st_.rcv_cum || st_.rcv_out_of_order.contains(seq);
+  return seq_leq(seq, st_.rcv_cum) || st_.rcv_out_of_order.contains(seq);
 }
 
 bool ReliabilityBase::receiver_mark(std::uint32_t seq) {
@@ -58,17 +59,20 @@ std::uint32_t ReliabilityBase::effective_cum_ack() const {
     return it == st_.per_receiver_cum.end() ? st_.send_base - 1 : it->second;
   }
   if (st_.per_receiver_cum.size() < receivers) return st_.send_base - 1;
-  std::uint32_t m = UINT32_MAX;
-  for (const auto& [_, cum] : st_.per_receiver_cum) m = std::min(m, cum);
+  auto it = st_.per_receiver_cum.begin();
+  std::uint32_t m = it->second;
+  for (++it; it != st_.per_receiver_cum.end(); ++it) m = seq_min(m, it->second);
   return m;
 }
 
 std::uint32_t ReliabilityBase::apply_cum_ack(std::uint32_t cum, net::NodeId from) {
-  auto& rec = st_.per_receiver_cum[from];
-  rec = std::max(rec, cum);
+  // First ack from a receiver seeds its entry directly: a default 0 would
+  // compare serially *ahead* of sequences just below the wrap point.
+  auto [rec, fresh] = st_.per_receiver_cum.try_emplace(from, cum);
+  if (!fresh) rec->second = seq_max(rec->second, cum);
   const std::uint32_t eff = effective_cum_ack();
   std::uint32_t newly = 0;
-  while (st_.send_base <= eff) {
+  while (seq_leq(st_.send_base, eff)) {
     auto it = st_.unacked.find(st_.send_base);
     if (it != st_.unacked.end()) {
       st_.unacked.erase(it);
@@ -110,7 +114,7 @@ std::uint32_t NoneReliability::on_ack(const Pdu& p, net::NodeId from) {
     send_time_.erase(ts);
   }
   auto& rec = st_.per_receiver_cum[from];
-  rec = std::max(rec, p.ack);
+  rec = seq_max(rec, p.ack);
   return 0;
 }
 
@@ -129,10 +133,10 @@ void NoneReliability::on_data(Pdu&& p, net::NodeId) {
   }
   // With no recovery a gap will never fill; once it is clearly permanent,
   // jump the cumulative point forward so ordered delivery cannot deadlock.
-  if (!in_order && st_.rcv_cum + 64 < p.seq) {
+  if (!in_order && seq_lt(st_.rcv_cum + 64, p.seq)) {
     st_.rcv_cum = p.seq;
-    st_.rcv_out_of_order.erase(st_.rcv_out_of_order.begin(),
-                               st_.rcv_out_of_order.upper_bound(p.seq));
+    std::erase_if(st_.rcv_out_of_order,
+                  [seq = p.seq](std::uint32_t s) { return seq_leq(s, seq); });
     if (sequencing_ != nullptr) sequencing_->gap_skip(p.seq);
   }
   offer_up(p.seq, std::move(p.payload));

@@ -12,6 +12,11 @@ constexpr std::uint32_t kMaxBackoffShift = 6;         // 64x
 
 void RttEstimator::sample(sim::SimTime rtt) {
   ++samples_;
+  // Karn/Partridge: a valid (non-retransmitted) sample proves the path is
+  // delivering again, so the exponential backoff must not outlive the loss
+  // episode that caused it — otherwise one bad period inflates the RTO for
+  // the rest of the session.
+  backoff_shift_ = 0;
   if (!has_sample_) {
     srtt_ = rtt;
     rttvar_ = rtt / 2;

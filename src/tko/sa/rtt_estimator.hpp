@@ -18,7 +18,9 @@ public:
   explicit RttEstimator(sim::SimTime initial_rto = sim::SimTime::milliseconds(200))
       : rto_(initial_rto), initial_rto_(initial_rto) {}
 
-  /// Record a valid RTT sample (not from a retransmitted PDU).
+  /// Record a valid RTT sample (not from a retransmitted PDU). Also
+  /// clears any timeout backoff per Karn/Partridge: a fresh sample means
+  /// the loss episode is over.
   void sample(sim::SimTime rtt);
 
   /// Current retransmission timeout (with backoff applied).

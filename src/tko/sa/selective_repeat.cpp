@@ -1,5 +1,6 @@
 #include "tko/sa/selective_repeat.hpp"
 
+#include "tko/sa/seqnum.hpp"
 #include "unites/metric.hpp"
 #include "unites/trace.hpp"
 
@@ -55,7 +56,7 @@ bool SelectiveRepeat::fully_acked(std::uint32_t seq) const {
   const std::size_t receivers = std::max<std::size_t>(1, core_->receiver_count());
   std::size_t acked = 0;
   for (const auto& [node, cum] : st_.per_receiver_cum) {
-    if (seq <= cum) {
+    if (seq_leq(seq, cum)) {
       ++acked;
       continue;
     }
@@ -80,7 +81,7 @@ void SelectiveRepeat::reap_acked() {
     }
   }
   // Advance send_base over fully-acked prefix.
-  while (st_.send_base < st_.next_seq && !st_.unacked.contains(st_.send_base) &&
+  while (seq_lt(st_.send_base, st_.next_seq) && !st_.unacked.contains(st_.send_base) &&
          fully_acked(st_.send_base)) {
     ++st_.send_base;
   }
@@ -89,14 +90,15 @@ void SelectiveRepeat::reap_acked() {
 std::uint32_t SelectiveRepeat::on_ack(const Pdu& p, net::NodeId from) {
   const std::size_t before = st_.unacked.size();
   auto& cum = st_.per_receiver_cum[from];
-  cum = std::max(cum, p.ack);
+  cum = seq_max(cum, p.ack);
   // Decode the selective bitmap: bit i set => (ack + 1 + i) received.
   auto& sacks = sacked_[from];
   for (std::uint32_t i = 0; i < 32; ++i) {
     if ((p.aux >> i) & 1u) sacks.insert(p.ack + 1 + i);
   }
-  // Trim per-receiver sack state below the cumulative point.
-  sacks.erase(sacks.begin(), sacks.upper_bound(cum));
+  // Trim per-receiver sack state below the cumulative point. erase_if
+  // rather than a range erase: raw set order breaks across a wrap.
+  std::erase_if(sacks, [cum](std::uint32_t s) { return seq_leq(s, cum); });
 
   reap_acked();
   const std::size_t after = st_.unacked.size();
@@ -151,8 +153,10 @@ void SelectiveRepeat::on_data(Pdu&& p, net::NodeId) {
   }
   // NACK unseen gaps below this arrival; refresh a NACK after several
   // more arrivals if the hole persists (the original may have been lost).
-  if (p.seq > st_.rcv_cum + 1) {
-    for (std::uint32_t miss = st_.rcv_cum + 1; miss < p.seq; ++miss) {
+  // Bound the scan: a (corrupt or hostile) sequence far beyond any sane
+  // window must not trigger a 2^31-iteration NACK storm.
+  if (seq_gt(p.seq, st_.rcv_cum + 1) && p.seq - st_.rcv_cum <= kMaxNackGap) {
+    for (std::uint32_t miss = st_.rcv_cum + 1; seq_lt(miss, p.seq); ++miss) {
       if (receiver_seen(miss)) continue;
       auto [it, fresh] = nacked_.try_emplace(miss, kNackRefreshArrivals);
       if (!fresh) {
@@ -168,7 +172,7 @@ void SelectiveRepeat::on_data(Pdu&& p, net::NodeId) {
     }
   }
   const bool in_order = receiver_mark(p.seq);
-  nacked_.erase(nacked_.begin(), nacked_.upper_bound(st_.rcv_cum));
+  std::erase_if(nacked_, [cum = st_.rcv_cum](const auto& kv) { return seq_leq(kv.first, cum); });
   offer_up(p.seq, std::move(p.payload));
   if (ack_ != nullptr) ack_->on_data_received(in_order);
 }
@@ -179,9 +183,9 @@ void SelectiveRepeat::emit_ack() {
   ack.ack = st_.rcv_cum;
   std::uint32_t bitmap = 0;
   for (const std::uint32_t seq : st_.rcv_out_of_order) {
-    if (seq > st_.rcv_cum && seq <= st_.rcv_cum + 32) {
-      bitmap |= 1u << (seq - st_.rcv_cum - 1);
-    }
+    // Offset arithmetic is modulo 2^32, so this window test is wrap-safe.
+    const std::uint32_t offset = seq - st_.rcv_cum;
+    if (offset >= 1 && offset <= 32) bitmap |= 1u << (offset - 1);
   }
   ack.aux = bitmap;
   core_->emit(std::move(ack));

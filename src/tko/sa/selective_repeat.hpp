@@ -62,6 +62,9 @@ private:
   /// sender's RTO under heavy loss).
   std::map<std::uint32_t, std::uint8_t> nacked_;
   static constexpr std::uint8_t kNackRefreshArrivals = 8;
+  /// Widest receive gap worth NACKing; anything larger is a corrupt or
+  /// hostile sequence number, not a recoverable hole.
+  static constexpr std::uint32_t kMaxNackGap = 4096;
 };
 
 }  // namespace adaptive::tko::sa

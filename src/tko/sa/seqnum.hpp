@@ -1,0 +1,47 @@
+// Serial-number arithmetic (RFC 1982 style) over the 32-bit sequence space.
+//
+// Long-lived sessions wrap `next_seq` past UINT32_MAX; plain `<` / `<=`
+// comparisons then misorder sequences on either side of the wrap point
+// (0 compares below 4294967295 even though it is its successor). These
+// helpers compare by signed distance instead, so any two sequences less
+// than 2^31 apart — far beyond any window this transport admits — order
+// correctly across the wrap. Shared by every retransmission-based
+// reliability mechanism (go-back-n, selective repeat) and the ack
+// bookkeeping in their common base.
+#pragma once
+
+#include <cstdint>
+
+namespace adaptive::tko::sa {
+
+/// a precedes b in serial order (undefined only at distance exactly 2^31,
+/// which a windowed sender can never produce).
+[[nodiscard]] constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+[[nodiscard]] constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+[[nodiscard]] constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+
+[[nodiscard]] constexpr bool seq_geq(std::uint32_t a, std::uint32_t b) { return seq_leq(b, a); }
+
+[[nodiscard]] constexpr std::uint32_t seq_max(std::uint32_t a, std::uint32_t b) {
+  return seq_lt(a, b) ? b : a;
+}
+
+[[nodiscard]] constexpr std::uint32_t seq_min(std::uint32_t a, std::uint32_t b) {
+  return seq_lt(a, b) ? a : b;
+}
+
+/// Ordering functor for containers/sorts that must iterate sequences in
+/// serial (not raw numeric) order.
+struct SeqLess {
+  [[nodiscard]] constexpr bool operator()(std::uint32_t a, std::uint32_t b) const {
+    return seq_lt(a, b);
+  }
+};
+
+}  // namespace adaptive::tko::sa

@@ -1,9 +1,14 @@
 #include "tko/sa/sequencing.hpp"
 
+#include "tko/sa/seqnum.hpp"
+
+#include <algorithm>
+#include <vector>
+
 namespace adaptive::tko::sa {
 
 void PassThrough::offer(std::uint32_t seq, Message&& payload) {
-  high_water_ = std::max(high_water_, seq);
+  high_water_ = seq_max(high_water_, seq);
   core_->deliver(std::move(payload));
 }
 
@@ -18,13 +23,13 @@ void PassThrough::restore(SequencingState&& s) {
   // Anything the previous mechanism was holding is released unordered —
   // a segue to unordered delivery must not lose data.
   for (auto& [seq, m] : s.held) {
-    high_water_ = std::max(high_water_, seq);
+    high_water_ = seq_max(high_water_, seq);
     core_->deliver(std::move(m));
   }
 }
 
 void Resequencer::offer(std::uint32_t seq, Message&& payload) {
-  if (seq < state_.next_deliver) return;  // stale duplicate after segue
+  if (seq_lt(seq, state_.next_deliver)) return;  // stale duplicate after segue
   state_.held.emplace(seq, std::move(payload));
   drain();
 }
@@ -40,12 +45,19 @@ void Resequencer::drain() {
 }
 
 void Resequencer::gap_skip(std::uint32_t next_expected) {
-  if (next_expected <= state_.next_deliver) return;
-  // Release everything below the new horizon in sequence order.
-  auto it = state_.held.begin();
-  while (it != state_.held.end() && it->first < next_expected) {
+  if (seq_leq(next_expected, state_.next_deliver)) return;
+  // Release everything below the new horizon in *serial* order — the map
+  // iterates in raw numeric order, which misorders entries that straddle
+  // the sequence-space wrap point.
+  std::vector<std::uint32_t> release;
+  for (const auto& [seq, m] : state_.held) {
+    if (seq_lt(seq, next_expected)) release.push_back(seq);
+  }
+  std::sort(release.begin(), release.end(), SeqLess{});
+  for (const std::uint32_t seq : release) {
+    auto it = state_.held.find(seq);
     core_->deliver(std::move(it->second));
-    it = state_.held.erase(it);
+    state_.held.erase(it);
   }
   state_.next_deliver = next_expected;
   drain();

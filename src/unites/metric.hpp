@@ -59,6 +59,11 @@ inline constexpr const char* kDeliveredBytes = "data.delivered_bytes";  ///< his
 inline constexpr const char* kCopies = "buffer.copies";
 inline constexpr const char* kCpuInstructions = "cpu.instructions";
 inline constexpr const char* kSegues = "context.segue";
+/// Fault recovery (MANTTS): time from the NMI first reporting a degraded
+/// path descriptor to the first healthy sample with no renegotiation
+/// pending, and the segues spent getting there.
+inline constexpr const char* kRecoveryTimeNs = "recovery.time_ns";  ///< histogram-backed
+inline constexpr const char* kRecoverySegues = "recovery.segues";
 }  // namespace metrics
 
 [[nodiscard]] MetricClass classify_metric(std::string_view name);

@@ -38,6 +38,7 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::vector<std::size_t> members;
   double fail_link_at = -1.0;
+  std::string fault_plan;
   std::string spec_path;
   bool trace = false;
   std::string trace_out;
@@ -58,6 +59,11 @@ void usage() {
       "  --seed <n>       RNG seed (default 1)\n"
       "  --members a,b,c  multicast member host indices (sender is host 0)\n"
       "  --fail-link-at <s>  fail the topology's first scenario link at t\n"
+      "  --fault-plan <p> scripted impairments, e.g.\n"
+      "                   'flap@2+0.3:link=0,count=3,period=1;burst@1+4:link=0,ber=1e-4'\n"
+      "                   (kinds: down flap burst delay bw partition; times are\n"
+      "                   seconds relative to workload start; adaptive mode\n"
+      "                   also installs the fault-recovery policy rules)\n"
       "  --spec <file>    UNITES metric-spec program for the report\n"
       "  --trace          print the last 40 PDU interpreter steps\n"
       "  --trace-out <f>  write a Chrome trace_event JSON file (open in\n"
@@ -141,6 +147,7 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--scale") opt.scale = std::atof(v);
     else if (arg == "--seed") opt.seed = std::strtoull(v, nullptr, 10);
     else if (arg == "--fail-link-at") opt.fail_link_at = std::atof(v);
+    else if (arg == "--fault-plan") opt.fault_plan = v;
     else if (arg == "--spec") opt.spec_path = v;
     else if (arg == "--trace-out") opt.trace_out = v;
     else if (arg == "--metrics-out") opt.metrics_out = v;
@@ -213,6 +220,21 @@ int main(int argc, char** argv) {
   opt.multicast_members = cli->members;
   opt.collect_metrics = program.has_value() || !cli->metrics_out.empty();
   if (cli->trace) opt.trace = 40;
+  if (!cli->fault_plan.empty()) {
+    std::vector<std::string> errors;
+    const auto plan = sim::parse_fault_plan(cli->fault_plan, &errors);
+    for (const auto& e : errors) std::fprintf(stderr, "fault-plan: %s\n", e.c_str());
+    if (plan.empty()) {
+      std::fprintf(stderr, "fault-plan: no valid specs\n");
+      return 1;
+    }
+    opt.faults = plan;
+    // Fault scenarios want the loss-rate-driven recovery rules.
+    if (*mode == RunOptions::Mode::kMantttsAdaptive) {
+      opt.rules = mantts::PolicyEngine::fault_recovery_rules();
+    }
+    std::printf("fault plan: %s\n", plan.describe().c_str());
+  }
 
   std::printf("running %s over %s (%s mode, %.1fs, seed %llu)\n", app::to_string(*application),
               cli->topology.c_str(), cli->mode.c_str(), cli->duration,
@@ -236,6 +258,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(out.reliability.timeouts),
               static_cast<unsigned long long>(out.receiver_reliability.fec_recoveries));
   std::printf("segues    : %u\n", out.reconfigurations);
+  if (opt.faults.has_value()) {
+    std::printf("faults    : %llu episodes  detected %llu  recovered %llu\n",
+                static_cast<unsigned long long>(out.fault.episodes_started),
+                static_cast<unsigned long long>(out.mantts.faults_detected),
+                static_cast<unsigned long long>(out.mantts.recoveries));
+    std::printf("renegotiation: acked %llu  retries %llu  failed %llu  qos-downgrades %llu\n",
+                static_cast<unsigned long long>(out.mantts.renegotiations),
+                static_cast<unsigned long long>(out.mantts.reconfig_retries),
+                static_cast<unsigned long long>(out.mantts.renegotiation_failures),
+                static_cast<unsigned long long>(out.mantts.qos_downgrades));
+  }
   if (cli->trace) {
     std::printf("\nlast interpreter steps (sender session):\n%s", out.trace_text.c_str());
   }
