@@ -1,0 +1,138 @@
+// Scale experiment: the sharded scenario engine's throughput curve.
+//
+// Sweeps shard counts {1, 2, 4, 8} over the same seeded scenario set (64
+// seeds; 8 with --smoke) and reports wall-clock scenario throughput per
+// shard count plus the 8-vs-1 speedup. Before any timing claim is made,
+// the run *proves* the determinism contract: every shard count must
+// produce the same merged trace digest, the same repository fingerprint,
+// and the same per-seed QoS outcomes as the serial baseline — a parallel
+// engine that changes answers is not faster, it is wrong.
+//
+// Speedup is hardware-bound: on an N-thread machine the ideal 8-shard
+// speedup is min(8, N). The report records hardware_threads so a 1-core CI
+// container's ~1.0x is read as "no cores", not "no scaling"; the ≥3x
+// check is enforced only where ≥4 hardware threads exist.
+#include "adaptive/sweep.hpp"
+#include "common.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+using namespace adaptive;
+
+namespace {
+
+struct Measured {
+  std::size_t jobs = 0;
+  double wall_sec = 0.0;
+  std::uint64_t trace_digest = 0;
+  std::string metrics_fingerprint;  ///< canonical JSONL of the merged repo
+  std::size_t qos_pass = 0;
+  std::uint64_t total_samples = 0;
+};
+
+Measured run_at(std::size_t jobs, std::size_t n_seeds) {
+  SweepConfig sc;
+  sc.topology = [](std::uint64_t seed) {
+    return [seed](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 4, seed); };
+  };
+  sc.base.application = app::Table1App::kFileTransfer;
+  sc.base.mode = RunOptions::Mode::kManntts;
+  sc.base.duration = sim::SimTime::seconds(1);
+  sc.base.drain = sim::SimTime::seconds(1);
+  sc.base.scale = 0.3;
+  sc.base.collect_metrics = true;
+  sc.seeds.clear();
+  for (std::uint64_t s = 1; s <= n_seeds; ++s) sc.seeds.push_back(s);
+  sc.jobs = jobs;
+  sc.capture_trace = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SweepResult res = run_sweep(sc);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Measured m;
+  m.jobs = jobs;
+  m.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  m.trace_digest = res.trace_digest;
+  m.total_samples = res.merged.total_samples();
+  std::ostringstream jsonl;
+  unites::write_metrics_jsonl(jsonl, res.merged);
+  m.metrics_fingerprint = jsonl.str();
+  for (const auto& r : res.runs) m.qos_pass += r.qos_pass ? 1 : 0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t n_seeds = smoke ? 8 : 64;
+  const std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  bench::banner("SCALE", "sharded scenario engine: seeds/sec vs shard count");
+  std::printf("workload: file-transfer x%zu seeds over 4-host ethernet, "
+              "%u hardware threads\n\n", n_seeds, hw);
+  std::printf("%-8s %-12s %-14s %-10s %s\n", "shards", "wall (s)", "seeds/sec", "qos pass",
+              "trace digest");
+
+  bench::Report report("scale");
+  report.scalar("seeds", static_cast<double>(n_seeds));
+  report.scalar("hardware_threads", static_cast<double>(hw));
+
+  std::vector<Measured> runs;
+  for (const std::size_t jobs : shard_counts) {
+    runs.push_back(run_at(jobs, n_seeds));
+    const Measured& m = runs.back();
+    std::printf("%-8zu %-12.3f %-14.1f %zu/%-8zu %016llx\n", m.jobs, m.wall_sec,
+                static_cast<double>(n_seeds) / m.wall_sec, m.qos_pass, n_seeds,
+                static_cast<unsigned long long>(m.trace_digest));
+    report.scalar("wall_seconds_shards_" + std::to_string(jobs), m.wall_sec);
+    report.scalar("seeds_per_sec_shards_" + std::to_string(jobs),
+                  static_cast<double>(n_seeds) / m.wall_sec);
+  }
+
+  // Determinism gate: every shard count, byte-identical merged results.
+  bool deterministic = true;
+  for (const Measured& m : runs) {
+    if (m.trace_digest != runs.front().trace_digest ||
+        m.metrics_fingerprint != runs.front().metrics_fingerprint ||
+        m.total_samples != runs.front().total_samples ||
+        m.qos_pass != runs.front().qos_pass) {
+      deterministic = false;
+      std::printf("DETERMINISM VIOLATION at shards=%zu\n", m.jobs);
+    }
+  }
+  report.scalar("deterministic", deterministic ? 1.0 : 0.0);
+
+  const double speedup = runs.front().wall_sec / runs.back().wall_sec;
+  report.trajectory("speedup_8v1", speedup);
+  std::printf("\ndeterminism: %s (all shard counts merge byte-identically)\n",
+              deterministic ? "OK" : "VIOLATED");
+  std::printf("speedup    : %.2fx at %zu shards vs 1 (ideal %.0fx on this host)\n", speedup,
+              shard_counts.back(), static_cast<double>(std::min<std::size_t>(
+                                       shard_counts.back(), hw == 0 ? 1 : hw)));
+
+  // The ≥3x throughput bar only means something where the hardware can
+  // express it; a 1-core container caps every speedup at ~1x.
+  const bool speedup_gated = !smoke && hw >= 4;
+  const bool speedup_ok = !speedup_gated || speedup >= 3.0;
+  if (speedup_gated) {
+    std::printf("speedup gate: %s (>= 3.0x required with %u hardware threads)\n",
+                speedup_ok ? "OK" : "FAILED", hw);
+  } else {
+    std::printf("speedup gate: skipped (%s)\n",
+                smoke ? "smoke run" : "fewer than 4 hardware threads");
+  }
+
+  report.write();
+  std::printf("\n%s\n", deterministic && speedup_ok ? "PASS" : "FAIL");
+  return deterministic && speedup_ok ? 0 : 1;
+}

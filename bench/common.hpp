@@ -51,6 +51,16 @@ public:
     scalars_.emplace_back(metric, value);
   }
 
+  /// Headline scalar a bench wants tracked across runs. Recorded like
+  /// scalar(), duplicated under "trajectory" in the JSON, and printed in
+  /// the standardized grep-able one-line form every bench shares:
+  ///   [trajectory] <bench>.<metric> = <value>
+  void trajectory(const std::string& metric, double value) {
+    scalars_.emplace_back(metric, value);
+    trajectory_.emplace_back(metric, value);
+    std::printf("[trajectory] %s.%s = %.6g\n", name_.c_str(), metric.c_str(), value);
+  }
+
   /// Named distribution to fill with samples; exported as count/mean/
   /// p50/p90/p99/p99.9/min/max.
   [[nodiscard]] unites::Histogram& dist(const std::string& metric) { return dists_[metric]; }
@@ -79,6 +89,15 @@ public:
       std::snprintf(buf, sizeof buf, "%.9g", v);
       out << "\"" << unites::json_escape(k) << "\":" << buf;
     }
+    out << "},\"trajectory\":{";
+    first = true;
+    for (const auto& [k, v] : trajectory_) {
+      if (!first) out << ",";
+      first = false;
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      out << "\"" << unites::json_escape(k) << "\":" << buf;
+    }
     out << "},\"distributions\":{";
     first = true;
     for (const auto& [k, h] : dists_) {
@@ -93,6 +112,7 @@ public:
 private:
   std::string name_;
   std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, double>> trajectory_;
   std::map<std::string, unites::Histogram> dists_;
 };
 

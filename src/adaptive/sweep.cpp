@@ -1,0 +1,161 @@
+#include "adaptive/sweep.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace adaptive {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, sizeof v); }
+
+void fnv_str(std::uint64_t& h, const char* s) {
+  // Hash contents, not pointers: the same event emitted from two builds
+  // (or two shards) must digest identically.
+  if (s == nullptr) {
+    fnv_u64(h, 0);
+    return;
+  }
+  const std::size_t n = std::strlen(s);
+  fnv_u64(h, n + 1);
+  fnv_bytes(h, s, n);
+}
+
+struct ShardUnit {
+  unites::MetricRepository repo;
+  std::vector<unites::TraceEvent> trace;
+  std::uint64_t trace_emitted = 0;
+  SweepRunSummary summary;
+};
+
+}  // namespace
+
+std::uint64_t trace_digest(const std::vector<unites::TraceEvent>& events) {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, events.size());
+  for (const auto& e : events) {
+    fnv_u64(h, static_cast<std::uint64_t>(e.when.ns()));
+    fnv_u64(h, static_cast<std::uint64_t>(e.duration.ns()));
+    fnv_str(h, e.name);
+    fnv_str(h, e.detail);
+    fnv_u64(h, static_cast<std::uint64_t>(e.category));
+    fnv_u64(h, e.node);
+    fnv_u64(h, e.session);
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof e.value);
+    std::memcpy(&bits, &e.value, sizeof bits);
+    fnv_u64(h, bits);
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> parse_seed_set(const std::string& text, std::string* error) {
+  std::vector<std::uint64_t> out;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::vector<std::uint64_t>{};
+  };
+  if (text.empty()) return fail("empty seed set");
+  const auto range = text.find("..");
+  if (range != std::string::npos) {
+    char* end = nullptr;
+    const std::uint64_t lo = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + range) return fail("bad range start in '" + text + "'");
+    const char* hi_begin = text.c_str() + range + 2;
+    const std::uint64_t hi = std::strtoull(hi_begin, &end, 10);
+    if (end == hi_begin || *end != '\0') return fail("bad range end in '" + text + "'");
+    if (hi < lo) return fail("range end below start in '" + text + "'");
+    if (hi - lo >= 1'000'000) return fail("seed range too large (max 1e6 seeds)");
+    for (std::uint64_t s = lo; s <= hi; ++s) out.push_back(s);
+    return out;
+  }
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string tok = text.substr(pos, comma - pos);
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(tok.c_str(), &end, 10);
+    if (tok.empty() || end != tok.c_str() + tok.size()) {
+      return fail("bad seed '" + tok + "' in '" + text + "'");
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+SweepResult run_sweep(const SweepConfig& cfg) {
+  if (!cfg.topology) throw std::invalid_argument("run_sweep: cfg.topology is required");
+
+  std::vector<std::uint64_t> seeds = cfg.seeds;
+  if (seeds.empty() && cfg.count > 0) {
+    // Shard-id-keyed streams: seed i is a pure function of (base_seed, i).
+    const sim::Rng base(cfg.base_seed);
+    seeds.reserve(cfg.count);
+    for (std::size_t i = 0; i < cfg.count; ++i) seeds.push_back(base.fork(i).next_u64());
+  }
+
+  SweepResult out;
+  if (seeds.empty()) {
+    out.trace_digest = trace_digest(out.trace);
+    return out;
+  }
+
+  std::vector<ShardUnit> units(seeds.size());
+  const sim::ShardRunner runner(cfg.jobs);
+  runner.run(seeds.size(), [&](std::size_t i) {
+    const std::uint64_t seed = seeds[i];
+    ShardUnit& unit = units[i];
+
+    // Shard-local trace ring: installed for this shard's whole lifetime so
+    // world construction (connection setup, synthesis) is on the timeline,
+    // and nothing this shard emits can land in another shard's ring.
+    unites::TraceRecorder recorder;
+    if (cfg.capture_trace) recorder.enable(cfg.trace_capacity);
+    unites::ScopedTraceRecorder scoped(recorder);
+
+    World world(cfg.topology(seed));
+    RunOptions opt = cfg.base;
+    opt.seed = seed;
+    const RunOutcome outcome = run_scenario(world, opt);
+
+    unit.repo = std::move(world.repository());
+    if (cfg.capture_trace) {
+      unit.trace = recorder.snapshot();
+      unit.trace_emitted = recorder.emitted();
+    }
+    unit.summary.seed = seed;
+    unit.summary.qos_pass = outcome.qos.all_ok() && !outcome.refused;
+    unit.summary.refused = outcome.refused;
+    unit.summary.throughput_bps = outcome.qos.achieved_throughput_bps;
+    unit.summary.mean_latency_sec = outcome.qos.mean_latency_sec;
+    unit.summary.loss_fraction = outcome.qos.loss_fraction;
+    unit.summary.units_received = outcome.sink.units_received;
+    unit.summary.reconfigurations = outcome.reconfigurations;
+  });
+
+  // Canonical fold: ascending seed index, regardless of completion order.
+  out.runs.reserve(units.size());
+  for (auto& unit : units) {
+    out.merged.merge(unit.repo);
+    out.trace.insert(out.trace.end(), unit.trace.begin(), unit.trace.end());
+    out.trace_events_emitted += unit.trace_emitted;
+    out.runs.push_back(unit.summary);
+  }
+  out.trace_digest = trace_digest(out.trace);
+  return out;
+}
+
+}  // namespace adaptive

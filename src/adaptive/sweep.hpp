@@ -1,0 +1,85 @@
+// Sharded scenario sweeps: run one scenario configuration over many seeds,
+// in parallel, with results that are byte-identical to a serial run.
+//
+// Each seed gets its own shard: a private World (its own scheduler,
+// topology, hosts, metric repository) plus a shard-local UNITES trace ring
+// installed for the duration of the run, so shards share *nothing*
+// mutable. The merge step then folds per-shard repositories, trace
+// buffers, and outcome summaries in ascending seed-index order — a fixed
+// canonical order — so the merged report does not depend on which thread
+// finished first or how many threads ran (DESIGN.md §9).
+#pragma once
+
+#include "adaptive/scenario.hpp"
+#include "sim/shard_runner.hpp"
+#include "unites/repository.hpp"
+#include "unites/trace.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptive {
+
+struct SweepConfig {
+  /// Builds the per-seed topology factory (topologies are seeded, so each
+  /// shard's network noise is an independent stream).
+  std::function<World::TopologyFactory(std::uint64_t seed)> topology;
+
+  /// Per-run options; `seed` is overwritten for every run.
+  RunOptions base;
+
+  /// Explicit seed list. If empty, `count` seeds are derived from
+  /// `base_seed` via sim::Rng::fork(index) — shard-id-keyed streams.
+  std::vector<std::uint64_t> seeds;
+  std::size_t count = 0;
+  std::uint64_t base_seed = 1;
+
+  /// Worker threads (1 = serial).
+  std::size_t jobs = 1;
+
+  /// Record each shard's UNITES trace ring and merge the streams.
+  bool capture_trace = false;
+  std::size_t trace_capacity = unites::TraceRecorder::kDefaultCapacity;
+};
+
+/// Cheap per-run record kept for every seed (full RunOutcomes would pin
+/// every latency vector in memory across a large sweep).
+struct SweepRunSummary {
+  std::uint64_t seed = 0;
+  bool qos_pass = false;
+  bool refused = false;
+  double throughput_bps = 0.0;
+  double mean_latency_sec = 0.0;
+  double loss_fraction = 0.0;
+  std::uint64_t units_received = 0;
+  std::uint32_t reconfigurations = 0;
+};
+
+struct SweepResult {
+  /// All shard repositories folded in seed order.
+  unites::MetricRepository merged;
+  /// All shard trace streams concatenated in seed order (each stream is in
+  /// its shard's emission order). Empty unless capture_trace.
+  std::vector<unites::TraceEvent> trace;
+  std::uint64_t trace_events_emitted = 0;
+  /// FNV-1a digest over the canonical trace stream; byte-identical runs
+  /// have equal digests.
+  std::uint64_t trace_digest = 0;
+  std::vector<SweepRunSummary> runs;  ///< seed order
+};
+
+/// Stable digest of a trace stream: FNV-1a 64 over every event's fields in
+/// stream order. Two streams digest equal iff they are field-identical.
+[[nodiscard]] std::uint64_t trace_digest(const std::vector<unites::TraceEvent>& events);
+
+/// Parse a CLI seed set: either an inclusive range "A..B" or a comma list
+/// "a,b,c". Returns empty and reports through `error` on malformed input.
+[[nodiscard]] std::vector<std::uint64_t> parse_seed_set(const std::string& text,
+                                                        std::string* error = nullptr);
+
+/// Run the sweep. Shards execute on a sim::ShardRunner pool with
+/// cfg.jobs workers; the result is independent of cfg.jobs.
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& cfg);
+
+}  // namespace adaptive

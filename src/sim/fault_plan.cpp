@@ -48,6 +48,16 @@ bool parse_double(std::string_view s, double& out) {
   return ec == std::errc{} && ptr == s.data() + s.size();
 }
 
+/// Largest time (seconds) a plan may name. Anything bigger would overflow
+/// SimTime's int64 nanoseconds when converted — the pre-fix parser let
+/// `down@1e308` through and the cast produced a *negative* fault time
+/// (see tests/corpus/fault_plans/huge_numbers.txt).
+constexpr double kMaxPlanSeconds = 1e9;
+
+bool parse_time_sec(std::string_view s, double& out) {
+  return parse_double(s, out) && out <= kMaxPlanSeconds;
+}
+
 bool parse_size(std::string_view s, std::size_t& out) {
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
   return ec == std::errc{} && ptr == s.data() + s.size();
@@ -96,14 +106,14 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
   if (const auto plus = times.find('+'); plus != std::string_view::npos) {
     start = times.substr(0, plus);
     double dur = 0.0;
-    if (!parse_double(trim(times.substr(plus + 1)), dur) || dur < 0.0) {
+    if (!parse_time_sec(trim(times.substr(plus + 1)), dur) || dur < 0.0) {
       error = "bad duration '" + std::string(times.substr(plus + 1)) + "'";
       return false;
     }
     spec.duration = SimTime::seconds(dur);
   }
   double at = 0.0;
-  if (!parse_double(trim(start), at) || at < 0.0) {
+  if (!parse_time_sec(trim(start), at) || at < 0.0) {
     error = "bad start time '" + std::string(start) + "'";
     return false;
   }
@@ -135,7 +145,7 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
       ok = parse_size(val, c) && c > 0;
       spec.count = static_cast<std::uint32_t>(c);
     } else if (key == "period") {
-      ok = parse_double(val, num) && num > 0.0;
+      ok = parse_time_sec(val, num) && num > 0.0;
       spec.period = SimTime::seconds(num);
     } else if (key == "ber") {
       ok = parse_double(val, num) && num >= 0.0 && num <= 1.0;
@@ -147,7 +157,7 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
       ok = parse_double(val, num) && num > 0.0 && num <= 1.0;
       spec.p_bad_to_good = num;
     } else if (key == "add") {
-      ok = parse_double(val, num) && num >= 0.0;
+      ok = parse_time_sec(val, num) && num >= 0.0;
       spec.extra_delay = SimTime::seconds(num);
     } else if (key == "factor") {
       ok = parse_double(val, num) && num > 0.0;

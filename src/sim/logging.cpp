@@ -1,13 +1,21 @@
 #include "sim/logging.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace adaptive::sim {
 
-LogLevel Logger::level_ = LogLevel::kOff;
-std::function<void(const std::string&)> Logger::sink_;
+std::atomic<LogLevel> Logger::level_{LogLevel::kOff};
 
 namespace {
+
+// Process-wide sink, shared by every thread that has no thread sink.
+std::mutex process_sink_mutex;
+Logger::Sink process_sink;  // guarded by process_sink_mutex
+
+// Per-thread override; read/written only by its own thread.
+thread_local Logger::Sink thread_sink;
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kTrace: return "TRACE";
@@ -19,22 +27,40 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
 }  // namespace
 
-void Logger::set_level(LogLevel level) { level_ = level; }
-LogLevel Logger::level() { return level_; }
+void Logger::set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+LogLevel Logger::level() { return level_.load(std::memory_order_relaxed); }
 
-void Logger::set_sink(std::function<void(const std::string&)> sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(process_sink_mutex);
+  process_sink = std::move(sink);
+}
+
+void Logger::set_thread_sink(Sink sink) { thread_sink = std::move(sink); }
 
 void Logger::log(LogLevel level, SimTime now, const std::string& component,
                  const std::string& msg) {
-  if (level < level_ || level_ == LogLevel::kOff) return;
+  const LogLevel min = level_.load(std::memory_order_relaxed);
+  if (level < min || min == LogLevel::kOff) return;
   std::string line = "[" + now.to_string() + "] " + level_name(level) + " " + component + ": " + msg;
-  if (sink_) {
-    sink_(line);
+  if (thread_sink) {
+    thread_sink(line);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(process_sink_mutex);
+  if (process_sink) {
+    process_sink(line);
   } else {
     std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
+
+ScopedLogSink::ScopedLogSink(Logger::Sink sink) : prev_(std::move(thread_sink)) {
+  thread_sink = std::move(sink);
+}
+
+ScopedLogSink::~ScopedLogSink() { thread_sink = std::move(prev_); }
 
 }  // namespace adaptive::sim

@@ -2,10 +2,17 @@
 //
 // Off by default (experiments produce their own tables); enable per
 // component when debugging protocol traces.
+//
+// Thread model: the level is an atomic, the process sink is guarded by a
+// mutex, and a shard worker can install a *thread* sink that captures only
+// its own shard's output (see ScopedLogSink) — so concurrent shards never
+// interleave lines into each other's captures and never race on the
+// logger's internals.
 #pragma once
 
 #include "sim/time.hpp"
 
+#include <atomic>
 #include <functional>
 #include <string>
 
@@ -15,20 +22,42 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 class Logger {
 public:
+  using Sink = std::function<void(const std::string&)>;
+
   /// Global minimum level; messages below it are dropped.
   static void set_level(LogLevel level);
   [[nodiscard]] static LogLevel level();
 
-  /// Redirect output (default: stderr). Used by tests to capture traces.
-  static void set_sink(std::function<void(const std::string&)> sink);
+  /// Redirect output process-wide (default: stderr). Used by tests to
+  /// capture traces. Calls are serialized by an internal mutex.
+  static void set_sink(Sink sink);
+
+  /// Redirect output for the *calling thread only*; overrides the process
+  /// sink while installed. Pass nullptr to fall back to the process sink.
+  /// A thread sink is invoked without locking — it is owned by one thread.
+  static void set_thread_sink(Sink sink);
 
   /// Log `msg` from `component` at virtual time `now`.
   static void log(LogLevel level, SimTime now, const std::string& component,
                   const std::string& msg);
 
 private:
-  static LogLevel level_;
-  static std::function<void(const std::string&)> sink_;
+  static std::atomic<LogLevel> level_;
+};
+
+/// RAII thread-scoped sink: installs `sink` for the current thread,
+/// restores the previous thread sink on destruction. The shard runner
+/// wraps each shard in one of these so per-shard debug output stays
+/// per-shard.
+class ScopedLogSink {
+public:
+  explicit ScopedLogSink(Logger::Sink sink);
+  ~ScopedLogSink();
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+private:
+  Logger::Sink prev_;
 };
 
 }  // namespace adaptive::sim

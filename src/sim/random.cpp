@@ -109,4 +109,16 @@ double Rng::pareto(double alpha, double xm) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::fork(std::uint64_t stream) const {
+  // Collapse the current state and the stream id through SplitMix64 so
+  // nearby stream ids (0, 1, 2, ...) land in unrelated child states.
+  std::uint64_t x = stream;
+  std::uint64_t seed = splitmix64(x);
+  for (const std::uint64_t w : s_) {
+    x = w ^ seed;
+    seed = splitmix64(x);
+  }
+  return Rng(seed);
+}
+
 }  // namespace adaptive::sim

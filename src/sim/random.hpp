@@ -45,7 +45,16 @@ public:
 
   /// Fork a statistically independent child stream (for per-link/per-flow
   /// streams that stay decoupled when components are added or removed).
+  /// Advances this stream by one draw.
   [[nodiscard]] Rng fork();
+
+  /// Fork the child stream for a named substream (shard id, link index,
+  /// flow id, ...) WITHOUT advancing this stream. The derivation is a pure
+  /// function of (current state, stream), so `fork(i)` is the same stream
+  /// no matter how many siblings were forked before it and no matter which
+  /// thread asks — the property the sharded scenario engine's determinism
+  /// guarantee rests on.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
 
 private:
   std::array<std::uint64_t, 4> s_{};

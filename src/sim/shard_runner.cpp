@@ -1,0 +1,52 @@
+#include "sim/shard_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adaptive::sim {
+
+void ShardRunner::run(std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  if (jobs_ == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;  // guarded by error_mutex
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t n_threads = jobs_ < count ? jobs_ : count;
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ShardRunner::run(std::size_t count, std::uint64_t base_seed,
+                      const std::function<void(std::size_t, Rng&)>& fn) const {
+  const Rng base(base_seed);
+  run(count, [&](std::size_t i) {
+    Rng rng = base.fork(i);
+    fn(i, rng);
+  });
+}
+
+}  // namespace adaptive::sim

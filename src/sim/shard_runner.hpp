@@ -1,0 +1,52 @@
+// ShardRunner: a deterministic fork/join pool for embarrassingly parallel
+// simulation work.
+//
+// `run(count, fn)` executes fn(0) .. fn(count-1) across `jobs` worker
+// threads. Work items are claimed dynamically (an atomic cursor, so a slow
+// shard does not serialize the rest), but everything that could make the
+// *result* depend on scheduling is pushed out of the runner's contract:
+//
+//   * items are independent — fn sees only its own index and must write
+//     only into its own slot of a pre-sized results vector;
+//   * per-item RNG streams come from Rng::fork(item_index) keyed by the
+//     item, never by the worker thread that happened to claim it;
+//   * any cross-item aggregation happens after join(), in item order.
+//
+// Under that contract a run with jobs=8 is byte-identical to jobs=1 — the
+// invariant tests/test_parallel.cpp enforces end to end.
+//
+// jobs==1 (or count<=1) runs inline on the calling thread: the serial
+// baseline really is serial, with no pool in the loop.
+#pragma once
+
+#include "sim/random.hpp"
+
+#include <cstdint>
+#include <functional>
+
+namespace adaptive::sim {
+
+class ShardRunner {
+public:
+  /// `jobs` == 0 is clamped to 1.
+  explicit ShardRunner(std::size_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Run fn(item) for item in [0, count). Blocks until every item has
+  /// finished. If any fn throws, the first exception (in claim order) is
+  /// rethrown here after all workers have drained.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+  /// Same, but hands each item a deterministically derived RNG stream:
+  /// fn(item, rng) with rng == Rng(base_seed).fork(item). The stream
+  /// depends only on (base_seed, item) — not on thread, claim order, or
+  /// job count.
+  void run(std::size_t count, std::uint64_t base_seed,
+           const std::function<void(std::size_t, Rng&)>& fn) const;
+
+private:
+  std::size_t jobs_;
+};
+
+}  // namespace adaptive::sim

@@ -37,7 +37,10 @@ std::string num(double v) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
-  const auto events = recorder.snapshot();
+  write_chrome_trace(out, recorder.snapshot());
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   // Name each node's track so Perfetto shows "node N" instead of "pid N".

@@ -19,6 +19,10 @@ namespace adaptive::unites {
 /// format's microsecond timestamps. pid = node id, tid = session id.
 void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder);
 
+/// Same format from an already-materialized event list (e.g. the merged
+/// seed-major stream a sharded sweep produces).
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+
 /// One summary line per metric series: host, connection, name, class,
 /// count/sum/min/max/mean plus p50/p90/p99/p99.9 from the repository's
 /// per-series histogram.

@@ -26,6 +26,33 @@ void MetricRepository::record(const MetricKey& key, sim::SimTime when, double va
   ++total_samples_;
 }
 
+void MetricRepository::merge(const MetricRepository& other) {
+  for (const auto& [key, stored] : other.data_) {
+    auto& mine = data_[key].samples;
+    mine.insert(mine.end(), stored.samples.begin(), stored.samples.end());
+    // Same aging rule as record(): drop the oldest half past the cap.
+    const std::size_t drop = cap_ / 2 == 0 ? 1 : cap_ / 2;
+    while (mine.size() > cap_) {
+      mine.erase(mine.begin(), mine.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+  }
+  for (const auto& [key, theirs] : other.summaries_) {
+    if (theirs.count == 0) continue;
+    auto& s = summaries_[key];
+    if (s.count == 0) {
+      s = theirs;
+      continue;
+    }
+    s.min = std::min(s.min, theirs.min);
+    s.max = std::max(s.max, theirs.max);
+    s.count += theirs.count;
+    s.sum += theirs.sum;
+    s.last = theirs.last;
+  }
+  for (const auto& [key, h] : other.histograms_) histograms_[key].merge(h);
+  total_samples_ += other.total_samples_;
+}
+
 const Series* MetricRepository::series(const MetricKey& key) const {
   auto it = data_.find(key);
   return it == data_.end() ? nullptr : &it->second.samples;

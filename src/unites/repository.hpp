@@ -32,6 +32,14 @@ public:
 
   void record(const MetricKey& key, sim::SimTime when, double value);
 
+  /// Fold another repository into this one: per-key series are appended
+  /// (then aged to this repository's cap), summaries combine (count/sum/
+  /// min/max; `last` takes `other`'s), histograms merge bucket-by-bucket.
+  /// Merging shard repositories in a fixed canonical order yields
+  /// byte-identical contents regardless of how many threads produced them
+  /// — the sharded scenario engine's determinism contract.
+  void merge(const MetricRepository& other);
+
   [[nodiscard]] const Series* series(const MetricKey& key) const;
   [[nodiscard]] std::optional<SeriesSummary> summary(const MetricKey& key) const;
 

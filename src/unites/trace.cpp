@@ -17,9 +17,22 @@ const char* to_string(TraceCategory c) {
   return "?";
 }
 
-TraceRecorder& TraceRecorder::global() {
-  static TraceRecorder instance;
-  return instance;
+namespace {
+// Thread-scoped override installed by ScopedTraceRecorder; nullptr means
+// "use the thread's default instance".
+thread_local TraceRecorder* tls_recorder = nullptr;
+}  // namespace
+
+TraceRecorder& TraceRecorder::current() {
+  if (tls_recorder != nullptr) return *tls_recorder;
+  thread_local TraceRecorder thread_default;
+  return thread_default;
+}
+
+TraceRecorder* TraceRecorder::install(TraceRecorder* r) {
+  TraceRecorder* prev = tls_recorder;
+  tls_recorder = r;
+  return prev;
 }
 
 void TraceRecorder::enable(std::size_t capacity) {

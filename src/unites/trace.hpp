@@ -1,16 +1,20 @@
 // Structured event tracing: a bounded ring buffer of protocol events.
 //
 // Every subsystem (MANTTS negotiation, TKO synthesis and reliability, the
-// network links) emits TraceEvents through the process-global recorder, so
-// one packet's lifecycle — submit, synthesize, transmit, retransmit,
-// deliver — is reconstructable from a single timeline. The recorder is off
-// by default and each emit site costs exactly one predicted branch while
+// network links) emits TraceEvents through the *current* recorder, so one
+// packet's lifecycle — submit, synthesize, transmit, retransmit, deliver —
+// is reconstructable from a single timeline. The recorder is off by
+// default and each emit site costs exactly one predicted branch while
 // disabled, so uninstrumented runs pay nothing. Snapshots export to the
 // Chrome trace_event format (chrome://tracing, Perfetto) via
 // unites/export.hpp.
 //
-// The simulation is single-threaded; the recorder is deliberately not
-// thread-safe.
+// Thread model (DESIGN.md §9): there is no process-global recorder. Each
+// thread has its own default recorder, and a shard worker can install a
+// shard-local recorder with ScopedTraceRecorder, so N worlds running on N
+// threads record into N disjoint rings with no locking and no
+// cross-contamination. A single recorder instance is still deliberately
+// not thread-safe — one recorder, one thread.
 #pragma once
 
 #include "net/packet.hpp"
@@ -39,8 +43,15 @@ class TraceRecorder {
 public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
-  /// The process-global recorder every emit site uses.
-  [[nodiscard]] static TraceRecorder& global();
+  /// The calling thread's current recorder: the innermost recorder
+  /// installed with ScopedTraceRecorder, else the thread's own default
+  /// instance. Every emit site records here.
+  [[nodiscard]] static TraceRecorder& current();
+
+  /// Install `r` (may be nullptr = revert to the thread default) as the
+  /// calling thread's current recorder; returns the previous override.
+  /// Prefer ScopedTraceRecorder.
+  static TraceRecorder* install(TraceRecorder* r);
 
   /// Start recording (clears any previous events). The ring holds the
   /// most recent `capacity` events; older ones are overwritten.
@@ -90,7 +101,21 @@ private:
   bool echo_ = false;
 };
 
-/// Shorthand for the global recorder: unites::trace().instant(...).
-[[nodiscard]] inline TraceRecorder& trace() { return TraceRecorder::global(); }
+/// RAII install of a recorder as the calling thread's current one. The
+/// shard runner wraps each shard in one of these so every world's events
+/// land in that shard's private ring.
+class ScopedTraceRecorder {
+public:
+  explicit ScopedTraceRecorder(TraceRecorder& r) : prev_(TraceRecorder::install(&r)) {}
+  ~ScopedTraceRecorder() { TraceRecorder::install(prev_); }
+  ScopedTraceRecorder(const ScopedTraceRecorder&) = delete;
+  ScopedTraceRecorder& operator=(const ScopedTraceRecorder&) = delete;
+
+private:
+  TraceRecorder* prev_;
+};
+
+/// Shorthand for the current thread's recorder: unites::trace().instant(...).
+[[nodiscard]] inline TraceRecorder& trace() { return TraceRecorder::current(); }
 
 }  // namespace adaptive::unites

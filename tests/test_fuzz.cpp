@@ -7,12 +7,20 @@
 //  * MANTTS signaling decoder vs mutated CONFIG PDUs.
 //  * Transport demux vs garbage packets on the transport and signaling
 //    ports of a live world.
+//  * Fault-plan parser vs the checked-in regression corpus in
+//    tests/corpus/fault_plans/ — inputs that previously crashed or
+//    mis-parsed stay pinned to their expected accept/reject counts.
 #include "adaptive/world.hpp"
 #include "mantts/negotiation.hpp"
+#include "sim/fault_plan.hpp"
 #include "tko/pdu.hpp"
 #include "tko/sa/config.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 namespace adaptive {
 namespace {
@@ -155,6 +163,93 @@ TEST(FuzzLive, TruncatedAndOversizedFramesRejected) {
   wire[18] = 0xFF;  // payload_len high byte
   EXPECT_EQ(tko::decode_pdu(tko::Message::from_bytes(wire)).status,
             tko::DecodeStatus::kMalformed);
+}
+
+// --- Fault-plan regression corpus -----------------------------------------
+//
+// Each tests/corpus/fault_plans/*.txt file holds one hostile or tricky
+// plan: `#` lines are commentary, one `# expect: faults=N errors=M` line
+// pins the parser's verdict, and the remaining lines are joined with ';'
+// into a single plan string. Past parser bugs (the 1e308 time overflow,
+// NaN slipping through range checks) live here so they stay fixed.
+
+struct CorpusCase {
+  std::string name;
+  std::string plan;
+  std::size_t expect_faults = 0;
+  std::size_t expect_errors = 0;
+};
+
+std::vector<CorpusCase> load_fault_plan_corpus() {
+  const std::filesystem::path dir =
+      std::filesystem::path(ADAPTIVE_TEST_CORPUS_DIR) / "fault_plans";
+  std::vector<CorpusCase> cases;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".txt") continue;
+    CorpusCase c;
+    c.name = entry.path().stem().string();
+    std::ifstream in(entry.path());
+    bool saw_expect = false;
+    std::string line;
+    std::string joined;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.front() == '#') {
+        const auto pos = line.find("expect:");
+        if (pos != std::string::npos) {
+          std::size_t faults = 0;
+          std::size_t errors = 0;
+          if (std::sscanf(line.c_str() + pos, "expect: faults=%zu errors=%zu",
+                          &faults, &errors) == 2) {
+            c.expect_faults = faults;
+            c.expect_errors = errors;
+            saw_expect = true;
+          }
+        }
+        continue;
+      }
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (!joined.empty()) joined += ';';
+      joined += line;
+    }
+    EXPECT_TRUE(saw_expect) << c.name << ": missing '# expect: faults=N errors=M'";
+    c.plan = std::move(joined);
+    cases.push_back(std::move(c));
+  }
+  EXPECT_FALSE(cases.empty()) << "no corpus files under " << dir;
+  return cases;
+}
+
+TEST(FaultPlanCorpus, EveryCheckedInPlanParsesToItsPinnedVerdict) {
+  for (const auto& c : load_fault_plan_corpus()) {
+    SCOPED_TRACE(c.name);
+    std::vector<std::string> errors;
+    const auto plan = sim::parse_fault_plan(c.plan, &errors);
+    EXPECT_EQ(plan.faults.size(), c.expect_faults)
+        << "plan: " << c.plan
+        << (errors.empty() ? "" : "\nfirst error: " + errors.front());
+    EXPECT_EQ(errors.size(), c.expect_errors) << "plan: " << c.plan;
+    // Whatever was accepted must carry sane, finite, non-negative times —
+    // the 1e308 overflow bug produced a "valid" fault at t = INT64_MIN.
+    for (const auto& f : plan.faults) {
+      EXPECT_GE(f.at, sim::SimTime::zero()) << f.describe();
+      EXPECT_GE(f.duration, sim::SimTime::zero()) << f.describe();
+      EXPECT_GE(f.period, sim::SimTime::zero()) << f.describe();
+    }
+    // describe() on the parsed plan must itself be total.
+    (void)plan.describe();
+  }
+}
+
+TEST(FaultPlanCorpus, ParserIsDeterministicAcrossRepeatedRuns) {
+  for (const auto& c : load_fault_plan_corpus()) {
+    SCOPED_TRACE(c.name);
+    std::vector<std::string> e1;
+    std::vector<std::string> e2;
+    const auto p1 = sim::parse_fault_plan(c.plan, &e1);
+    const auto p2 = sim::parse_fault_plan(c.plan, &e2);
+    EXPECT_EQ(p1.describe(), p2.describe());
+    EXPECT_EQ(e1, e2);
+  }
 }
 
 }  // namespace

@@ -13,11 +13,13 @@
 //
 // Run with --help for the full option list.
 #include "adaptive/scenario.hpp"
+#include "adaptive/sweep.hpp"
 #include "unites/export.hpp"
 #include "unites/presentation.hpp"
 #include "unites/spec_language.hpp"
 #include "unites/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +38,8 @@ struct CliOptions {
   double drain = 4.0;
   double scale = 1.0;
   std::uint64_t seed = 1;
+  std::string seeds;      ///< non-empty: sweep over "A..B" or "a,b,c"
+  std::size_t jobs = 1;   ///< sweep worker threads
   std::vector<std::size_t> members;
   double fail_link_at = -1.0;
   std::string fault_plan;
@@ -57,6 +61,11 @@ void usage() {
       "  --drain <s>      drain time after the source stops (default 4)\n"
       "  --scale <x>      workload rate/volume multiplier (default 1.0)\n"
       "  --seed <n>       RNG seed (default 1)\n"
+      "  --seeds <set>    sweep seed set: inclusive range 'A..B' or list\n"
+      "                   'a,b,c'. Runs one independent world per seed and\n"
+      "                   merges the UNITES metrics/traces (seed order, so\n"
+      "                   the report is identical for any --jobs value)\n"
+      "  --jobs <n>       sweep worker threads (default 1 = serial)\n"
       "  --members a,b,c  multicast member host indices (sender is host 0)\n"
       "  --fail-link-at <s>  fail the topology's first scenario link at t\n"
       "  --fault-plan <p> scripted impairments, e.g.\n"
@@ -146,6 +155,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--drain") opt.drain = std::atof(v);
     else if (arg == "--scale") opt.scale = std::atof(v);
     else if (arg == "--seed") opt.seed = std::strtoull(v, nullptr, 10);
+    else if (arg == "--seeds") opt.seeds = v;
+    else if (arg == "--jobs") opt.jobs = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
     else if (arg == "--fail-link-at") opt.fail_link_at = std::atof(v);
     else if (arg == "--fault-plan") opt.fault_plan = v;
     else if (arg == "--spec") opt.spec_path = v;
@@ -198,18 +209,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Enable the structured trace before any simulation object exists so
-  // session synthesis and connection setup are on the timeline too.
-  if (!cli->trace_out.empty()) unites::trace().enable();
-
-  World world(factory);
-  if (cli->fail_link_at >= 0.0 && !world.topology().scenario_links.empty()) {
-    world.scheduler().schedule_after(sim::SimTime::seconds(cli->fail_link_at), [&world] {
-      std::printf("[event] failing scenario link 0\n");
-      world.network().set_link_pair_up(world.topology().scenario_links[0], false);
-    });
-  }
-
   RunOptions opt;
   opt.application = *application;
   opt.mode = *mode;
@@ -234,6 +233,93 @@ int main(int argc, char** argv) {
       opt.rules = mantts::PolicyEngine::fault_recovery_rules();
     }
     std::printf("fault plan: %s\n", plan.describe().c_str());
+  }
+
+  // --- sweep mode: one independent world per seed, merged UNITES view ---
+  if (!cli->seeds.empty() || cli->jobs > 1) {
+    SweepConfig sc;
+    if (!cli->seeds.empty()) {
+      std::string err;
+      sc.seeds = parse_seed_set(cli->seeds, &err);
+      if (sc.seeds.empty()) {
+        std::fprintf(stderr, "--seeds: %s\n", err.c_str());
+        return 1;
+      }
+    } else {
+      sc.seeds = {cli->seed};
+    }
+    if (cli->fail_link_at >= 0.0) {
+      std::fprintf(stderr, "--fail-link-at applies to single runs only; "
+                           "use --fault-plan for sweeps\n");
+      return 1;
+    }
+    const std::string topo_name = cli->topology;
+    sc.topology = [topo_name](std::uint64_t seed) {
+      bool ok = false;
+      return topology_factory(topo_name, seed, &ok);
+    };
+    sc.base = opt;
+    sc.base.collect_metrics = true;  // the merged report is the product
+    sc.jobs = cli->jobs;
+    sc.capture_trace = !cli->trace_out.empty();
+
+    std::printf("sweeping %s over %s (%s mode, %.1fs, %zu seeds, %zu jobs)\n",
+                app::to_string(*application), cli->topology.c_str(), cli->mode.c_str(),
+                cli->duration, sc.seeds.size(), sc.jobs);
+    const SweepResult res = run_sweep(sc);
+
+    std::size_t pass = 0;
+    double throughput_sum = 0.0;
+    for (const auto& r : res.runs) {
+      pass += r.qos_pass ? 1 : 0;
+      throughput_sum += r.throughput_bps;
+    }
+    std::printf("\nqos pass  : %zu/%zu seeds\n", pass, res.runs.size());
+    std::printf("throughput: %sbps mean per seed\n",
+                unites::format_si(throughput_sum / static_cast<double>(res.runs.size())).c_str());
+    const auto lat = res.merged.systemwide_histogram(unites::metrics::kLatencyNs);
+    if (lat.count() > 0) {
+      std::printf("latency   : p50 %.2fms  p99 %.2fms  p99.9 %.2fms (%llu samples)\n",
+                  lat.p50() / 1e6, lat.p99() / 1e6, lat.p999() / 1e6,
+                  static_cast<unsigned long long>(lat.count()));
+    }
+    std::printf("repository: %zu series, %llu samples\n", res.merged.series_count(),
+                static_cast<unsigned long long>(res.merged.total_samples()));
+    if (sc.capture_trace) {
+      std::printf("trace     : %zu events retained (%llu emitted), digest %016llx\n",
+                  res.trace.size(), static_cast<unsigned long long>(res.trace_events_emitted),
+                  static_cast<unsigned long long>(res.trace_digest));
+      std::ofstream tf(cli->trace_out);
+      if (!tf) {
+        std::fprintf(stderr, "cannot write trace file %s\n", cli->trace_out.c_str());
+        return 1;
+      }
+      unites::write_chrome_trace(tf, res.trace);
+      std::printf("            -> %s (open in Perfetto)\n", cli->trace_out.c_str());
+    }
+    if (!cli->metrics_out.empty()) {
+      std::ofstream mf(cli->metrics_out);
+      if (!mf) {
+        std::fprintf(stderr, "cannot write metrics file %s\n", cli->metrics_out.c_str());
+        return 1;
+      }
+      unites::write_metrics_jsonl(mf, res.merged);
+      std::printf("metrics   : %zu series -> %s\n", res.merged.series_count(),
+                  cli->metrics_out.c_str());
+    }
+    return 0;
+  }
+
+  // Enable the structured trace before any simulation object exists so
+  // session synthesis and connection setup are on the timeline too.
+  if (!cli->trace_out.empty()) unites::trace().enable();
+
+  World world(factory);
+  if (cli->fail_link_at >= 0.0 && !world.topology().scenario_links.empty()) {
+    world.scheduler().schedule_after(sim::SimTime::seconds(cli->fail_link_at), [&world] {
+      std::printf("[event] failing scenario link 0\n");
+      world.network().set_link_pair_up(world.topology().scenario_links[0], false);
+    });
   }
 
   std::printf("running %s over %s (%s mode, %.1fs, seed %llu)\n", app::to_string(*application),
