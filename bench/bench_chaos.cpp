@@ -1,0 +1,132 @@
+// E-X8 — chaos engine: adversarial fault generation vs the delivery
+// invariants.
+//
+// Every seed gets a randomized adversarial fault plan (outages, flaps,
+// burst corruption, delay/bandwidth shifts, wire mutations) generated as a
+// pure function of the seed, thrown at a reliable file transfer across the
+// congested WAN under the adaptive fault-recovery policy. The delivery-
+// invariant oracle then judges each outcome: no silent loss, no duplicate
+// delivery, in-order delivery, and every liveness-watchdog stall recovered.
+//
+// The run is judged on three properties of the robustness claim:
+//  * zero invariant-oracle violations across the whole seed sweep,
+//  * determinism: the serial (--jobs 1) and parallel sweeps produce
+//    byte-identical merged trace digests, so any violating seed can be
+//    replayed exactly with `adaptive_cli --chaos N --seeds <seed>`, and
+//  * watchdog behaviour is measurable — stall and recovery counts plus
+//    the recovery-time percentiles land in BENCH_chaos.json.
+//
+// `--smoke` shrinks the sweep for CI gate duty.
+#include "common.hpp"
+
+#include "adaptive/sweep.hpp"
+
+#include <cstring>
+
+using namespace adaptive;
+
+namespace {
+
+constexpr std::size_t kChaosFaults = 6;
+
+SweepConfig make_config(std::size_t seed_count, std::size_t jobs) {
+  SweepConfig sc;
+  sc.topology = [](std::uint64_t seed) -> World::TopologyFactory {
+    return [seed](sim::EventScheduler& s) { return net::make_congested_wan(s, 2, seed); };
+  };
+  sc.base.application = app::Table1App::kFileTransfer;
+  sc.base.mode = RunOptions::Mode::kMantttsAdaptive;
+  sc.base.rules = mantts::PolicyEngine::fault_recovery_rules();
+  // Sized so the transfer fits the impaired backbone, and drained long
+  // enough that recovery — not horizon pressure — decides the verdict.
+  sc.base.scale = 0.35;
+  sc.base.duration = sim::SimTime::seconds(8);
+  sc.base.drain = sim::SimTime::seconds(12);
+  sc.base.collect_metrics = true;
+  sc.chaos = kChaosFaults;
+  sc.jobs = jobs;
+  sc.capture_trace = true;
+  sc.seeds.reserve(seed_count);
+  for (std::uint64_t s = 1; s <= seed_count; ++s) sc.seeds.push_back(s);
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t seed_count = smoke ? 8 : 48;
+  const std::size_t jobs = smoke ? 2 : 8;
+
+  bench::banner("E-X8", "chaos sweep: adversarial faults vs delivery invariants");
+  std::printf("\n%zu seeds, up to %zu faults per plan, congested WAN, adaptive mode%s\n\n",
+              seed_count, kChaosFaults, smoke ? " (smoke)" : "");
+
+  bench::Report report("chaos");
+
+  // Serial reference sweep, then the parallel one: identical digests prove
+  // the chaos plans and everything downstream are shard-order independent.
+  const SweepResult serial = run_sweep(make_config(seed_count, 1));
+  const SweepResult parallel = run_sweep(make_config(seed_count, jobs));
+  const bool digest_match = serial.trace_digest == parallel.trace_digest;
+
+  std::uint64_t violations = 0;
+  std::size_t qos_pass = 0;
+  for (const auto& r : parallel.runs) {
+    violations += r.violations;
+    qos_pass += r.qos_pass ? 1 : 0;
+    if (r.violations > 0) {
+      std::printf("VIOLATION seed %llu: %s\n", static_cast<unsigned long long>(r.seed),
+                  r.violation_detail.c_str());
+      std::printf("  plan : %s\n", r.chaos_plan.c_str());
+      std::printf("  repro: adaptive_cli --topology congested-wan --app file-transfer "
+                  "--mode adaptive --duration 8 --drain 12 --scale 0.35 --chaos %zu "
+                  "--seeds %llu\n",
+                  kChaosFaults, static_cast<unsigned long long>(r.seed));
+    }
+  }
+
+  const auto stalls = parallel.merged.systemwide_histogram(unites::metrics::kWatchdogStall);
+  const auto recovery =
+      parallel.merged.systemwide_histogram(unites::metrics::kWatchdogRecoveryNs);
+  for (const auto& key : parallel.merged.keys()) {
+    if (key.name != unites::metrics::kWatchdogRecoveryNs) continue;
+    if (const auto* series = parallel.merged.series(key)) {
+      for (const auto& s : *series) report.dist(unites::metrics::kWatchdogRecoveryNs).add(s.value);
+    }
+  }
+
+  std::printf("\ninvariants : %llu violation(s) across %zu seeds\n",
+              static_cast<unsigned long long>(violations), parallel.runs.size());
+  std::printf("determinism: jobs=1 digest %016llx, jobs=%zu digest %016llx -> %s\n",
+              static_cast<unsigned long long>(serial.trace_digest), jobs,
+              static_cast<unsigned long long>(parallel.trace_digest),
+              digest_match ? "identical" : "MISMATCH");
+  std::printf("watchdog   : %llu stalls, %llu recoveries",
+              static_cast<unsigned long long>(stalls.count()),
+              static_cast<unsigned long long>(recovery.count()));
+  if (recovery.count() > 0) {
+    std::printf(", recovery p50 %s p99 %s", bench::fmt_ms(recovery.p50() / 1e9).c_str(),
+                bench::fmt_ms(recovery.p99() / 1e9).c_str());
+  }
+  std::printf("\nqos pass   : %zu/%zu seeds (informational; chaos plans may "
+              "legitimately cost QoS)\n",
+              qos_pass, parallel.runs.size());
+
+  const bool pass = violations == 0 && digest_match;
+  std::printf("\nacceptance: zero violations %s, digest match %s -> %s\n",
+              violations == 0 ? "yes" : "NO", digest_match ? "yes" : "NO",
+              pass ? "PASS" : "FAIL");
+
+  report.scalar("seeds", static_cast<double>(seed_count));
+  report.scalar("chaos_faults_max", static_cast<double>(kChaosFaults));
+  report.trajectory("violations", static_cast<double>(violations));
+  report.scalar("digest_match", digest_match ? 1.0 : 0.0);
+  report.scalar("watchdog_stalls", static_cast<double>(stalls.count()));
+  report.scalar("watchdog_recoveries", static_cast<double>(recovery.count()));
+  report.trajectory("watchdog_recovery_p99_ns",
+                    recovery.count() > 0 ? recovery.p99() : 0.0);
+  report.scalar("qos_pass_seeds", static_cast<double>(qos_pass));
+  report.write();
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+#include "adaptive/oracle.hpp"
+
+#include "adaptive/scenario.hpp"
+
+namespace adaptive {
+
+std::string InvariantReport::describe() const {
+  if (violations.empty()) return "ok";
+  std::string out;
+  for (const auto& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v.rule;
+    out += ": ";
+    out += v.detail;
+  }
+  return out;
+}
+
+InvariantReport InvariantOracle::check(const RunOptions& /*opt*/, const RunOutcome& out) {
+  InvariantReport rep;
+  if (out.refused) return rep;  // no session, no contract
+  // A QoS downgrade is MANTTS deliberately trading the contract for
+  // liveness (e.g. reliable -> best-effort on an unrecoverable path);
+  // delivery rules no longer bind. The bounded-stall rule still does.
+  const bool contract_intact = out.mantts.qos_downgrades == 0;
+
+  const bool reliable = out.config.recovery == tko::sa::RecoveryScheme::kGoBackN ||
+                        out.config.recovery == tko::sa::RecoveryScheme::kSelectiveRepeat;
+  const std::uint64_t fanout = std::max<std::uint64_t>(1, out.receivers);
+
+  if (contract_intact && reliable) {
+    rep.checked_loss = true;
+    const std::uint64_t expected = out.source.bytes_sent * fanout;
+    if (out.sink.bytes_received != expected) {
+      rep.violations.push_back(
+          {"no-silent-loss", "delivered " + std::to_string(out.sink.bytes_received) + " of " +
+                                 std::to_string(expected) + " bytes (" +
+                                 std::to_string(out.source.units_sent) + " units x " +
+                                 std::to_string(fanout) + " receivers)"});
+    }
+  }
+
+  if (contract_intact && (reliable || out.config.filter_duplicates)) {
+    rep.checked_duplicates = true;
+    if (out.sink.duplicates != 0) {
+      rep.violations.push_back(
+          {"no-duplicates", std::to_string(out.sink.duplicates) + " duplicate units delivered"});
+    }
+  }
+
+  if (contract_intact && out.config.ordered_delivery) {
+    rep.checked_ordering = true;
+    if (out.sink.misordered != 0) {
+      rep.violations.push_back(
+          {"in-order", std::to_string(out.sink.misordered) + " units delivered out of order"});
+    }
+  }
+
+  // Bounded stall: every watchdog stall must have recovered by the end of
+  // the drain period; a standing stall is a wedged session.
+  rep.checked_stall = true;
+  if (out.session.watchdog_stalls != out.session.watchdog_recoveries) {
+    rep.violations.push_back(
+        {"bounded-stall", std::to_string(out.session.watchdog_stalls) + " stalls vs " +
+                              std::to_string(out.session.watchdog_recoveries) + " recoveries"});
+  }
+
+  return rep;
+}
+
+}  // namespace adaptive

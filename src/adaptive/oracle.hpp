@@ -1,0 +1,54 @@
+// Delivery-invariant oracle: end-to-end correctness rules a scenario run
+// must satisfy *regardless of what the network did to it*. The chaos
+// engine throws randomized faults and wire mutations at a run; the oracle
+// then checks the service-class contract on the outcome:
+//
+//   no-silent-loss   reliable classes (go-back-n / selective-repeat)
+//                    deliver every byte the source submitted, to every
+//                    receiver, by the end of the drain period;
+//   no-duplicates    classes that filter duplicates (or are reliable)
+//                    never deliver an application unit twice;
+//   in-order         classes configured with ordered delivery never
+//                    deliver an application unit out of order;
+//   bounded-stall    every liveness-watchdog stall recovers — a session
+//                    with outstanding work never wedges permanently.
+//
+// Rules are gated on the session's *final* configuration and are skipped
+// when MANTTS deliberately relaxed the contract mid-run (QoS downgrade
+// ladder) or the session was refused outright: the oracle checks promises
+// the system still claims to keep, not promises it explicitly gave up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adaptive {
+
+struct RunOptions;
+struct RunOutcome;
+
+/// One violated invariant: a stable rule identifier plus the evidence.
+struct InvariantViolation {
+  std::string rule;    ///< "no-silent-loss", "no-duplicates", "in-order", "bounded-stall"
+  std::string detail;  ///< human-readable counts involved
+};
+
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  // Which rules actually applied to this run (false = gated off, not passed).
+  bool checked_loss = false;
+  bool checked_duplicates = false;
+  bool checked_ordering = false;
+  bool checked_stall = false;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// "ok" or "rule: detail; rule: detail" — one line, report-friendly.
+  [[nodiscard]] std::string describe() const;
+};
+
+class InvariantOracle {
+public:
+  [[nodiscard]] static InvariantReport check(const RunOptions& opt, const RunOutcome& out);
+};
+
+}  // namespace adaptive

@@ -184,6 +184,7 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
 
   out.mantts = src_entity.stats();
   if (injector.has_value()) out.fault = injector->stats();
+  out.oracle = InvariantOracle::check(opt, out);
   return out;
 }
 

@@ -2,6 +2,7 @@
 // configuration policy. Shared by the examples and every benchmark.
 #pragma once
 
+#include "adaptive/oracle.hpp"
 #include "adaptive/world.hpp"
 #include "app/application.hpp"
 #include "app/qos_evaluator.hpp"
@@ -66,6 +67,9 @@ struct RunOutcome {
   /// World across scenarios).
   mantts::MantttsEntity::Stats mantts;
   net::FaultInjector::Stats fault;  ///< zero when no plan was armed
+  /// Delivery-invariant verdict for this run (see oracle.hpp). Always
+  /// computed; rules that don't apply to the final config are gated off.
+  InvariantReport oracle;
   bool refused = false;
   std::string trace_text;  ///< rendered interpreter trace (when requested)
 };

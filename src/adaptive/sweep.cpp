@@ -96,6 +96,16 @@ std::vector<std::uint64_t> parse_seed_set(const std::string& text, std::string* 
   return out;
 }
 
+sim::ChaosProfile size_chaos_profile(sim::ChaosProfile base, const World& world,
+                                     const RunOptions& opt, std::size_t max_faults) {
+  base.link_count = std::max<std::size_t>(1, world.topology().scenario_links.size());
+  base.host_count = std::max<std::size_t>(2, world.topology().hosts.size());
+  base.horizon_sec = opt.duration.sec();
+  base.max_faults = max_faults;
+  base.min_faults = std::min<std::size_t>(base.min_faults, max_faults);
+  return base;
+}
+
 SweepResult run_sweep(const SweepConfig& cfg) {
   if (!cfg.topology) throw std::invalid_argument("run_sweep: cfg.topology is required");
 
@@ -129,6 +139,12 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     World world(cfg.topology(seed));
     RunOptions opt = cfg.base;
     opt.seed = seed;
+    if (cfg.chaos > 0) {
+      const sim::ChaosProfile prof =
+          size_chaos_profile(cfg.chaos_profile, world, opt, cfg.chaos);
+      opt.faults = sim::ChaosPlanGenerator(prof).generate(seed);
+      unit.summary.chaos_plan = opt.faults->describe();
+    }
     const RunOutcome outcome = run_scenario(world, opt);
 
     unit.repo = std::move(world.repository());
@@ -144,6 +160,8 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     unit.summary.loss_fraction = outcome.qos.loss_fraction;
     unit.summary.units_received = outcome.sink.units_received;
     unit.summary.reconfigurations = outcome.reconfigurations;
+    unit.summary.violations = outcome.oracle.violations.size();
+    if (!outcome.oracle.ok()) unit.summary.violation_detail = outcome.oracle.describe();
   });
 
   // Canonical fold: ascending seed index, regardless of completion order.

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "adaptive/scenario.hpp"
+#include "sim/chaos.hpp"
 #include "sim/shard_runner.hpp"
 #include "unites/repository.hpp"
 #include "unites/trace.hpp"
@@ -41,6 +42,15 @@ struct SweepConfig {
   /// Record each shard's UNITES trace ring and merge the streams.
   bool capture_trace = false;
   std::size_t trace_capacity = unites::TraceRecorder::kDefaultCapacity;
+
+  /// Chaos mode: > 0 means each shard derives a randomized adversarial
+  /// FaultPlan for its seed (ChaosPlanGenerator, up to `chaos` faults) and
+  /// arms it in place of base.faults. Plans are pure functions of the
+  /// seed, so sweep results stay independent of `jobs`.
+  std::size_t chaos = 0;
+  /// Shaping knobs for generated plans; link/host counts and the horizon
+  /// are sized from each shard's world and run options.
+  sim::ChaosProfile chaos_profile;
 };
 
 /// Cheap per-run record kept for every seed (full RunOutcomes would pin
@@ -54,7 +64,20 @@ struct SweepRunSummary {
   double loss_fraction = 0.0;
   std::uint64_t units_received = 0;
   std::uint32_t reconfigurations = 0;
+  /// Invariant-oracle verdict (see oracle.hpp).
+  std::uint64_t violations = 0;
+  std::string violation_detail;  ///< oracle describe(); empty when clean
+  std::string chaos_plan;        ///< generated plan text (chaos mode only)
 };
+
+/// Size a chaos profile to a concrete world + run: targets only links the
+/// injector can resolve, only hosts that exist, windows inside the
+/// workload horizon, at most `max_faults` specs. run_sweep applies this to
+/// every shard; tests replaying a corpus seed use it so a replay derives
+/// the exact plan the sweep ran.
+[[nodiscard]] sim::ChaosProfile size_chaos_profile(sim::ChaosProfile base, const World& world,
+                                                   const RunOptions& opt,
+                                                   std::size_t max_faults);
 
 struct SweepResult {
   /// All shard repositories folded in seed order.

@@ -329,9 +329,31 @@ void MantttsEntity::enable_adaptation(tko::TransportSession& session, std::vecto
   a.timer->schedule_periodic(period);
   adaptations_.erase(sid);
   adaptations_.emplace(sid, std::move(a));
+
+  // Watchdog escalation: a session the transport-level prod could not
+  // unstick gets a forced renegotiation round — re-propagating the current
+  // SCS through the RECONFIG path resynchronizes both ends' contexts (and
+  // on retry exhaustion falls down the QoS ladder). One escalation at a
+  // time: a RECONFIG already in flight absorbs further stall reports.
+  session.set_stall_observer([this, sid] {
+    auto it = adaptations_.find(sid);
+    if (it == adaptations_.end()) return;
+    tko::TransportSession& s = *it->second.session;
+    if (s.state() != tko::SessionState::kEstablished) return;
+    if (pending_reconfigs_.contains(sid)) return;
+    ++stats_.watchdog_escalations;
+    unites::trace().instant(unites::TraceCategory::kMantts, "mantts.watchdog_escalation",
+                            host_.now(), host_.node_id(), sid);
+    if (repo_ != nullptr) {
+      repo_->record({host_.node_id(), sid, unites::metrics::kWatchdogEscalations}, host_.now(),
+                    1.0);
+    }
+    apply_and_propagate(s, s.config());
+  });
 }
 
 void MantttsEntity::disable_adaptation(tko::TransportSession& session) {
+  session.set_stall_observer(nullptr);
   adaptations_.erase(session.id());
 }
 

@@ -114,6 +114,7 @@ public:
     std::uint64_t reconfig_retries = 0;   ///< RECONFIG resends (lost/ignored)
     std::uint64_t renegotiation_failures = 0;  ///< retry budget exhausted
     std::uint64_t qos_downgrades = 0;     ///< graceful-degradation rungs taken
+    std::uint64_t watchdog_escalations = 0;  ///< session stalls escalated to renegotiation
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t active_sessions() const { return active_; }

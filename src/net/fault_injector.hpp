@@ -8,10 +8,16 @@
 // through their symptoms, with the kFault history available to experiment
 // harnesses for ground truth.
 //
-// Every impairment saves the affected links' configurations and restores
-// them when the episode ends; plans are therefore composable as long as
-// episodes on the same link do not overlap (overlapping episodes restore
-// the config saved at their own start — last writer wins, noted in stats).
+// Overlapping episodes compose. The first impairment on a link captures
+// that link's pre-fault baseline config; every begin/end recomputes the
+// effective config as baseline + all still-active episodes folded in
+// begin order (latency spikes add, bandwidth drops multiply, burst/mutate
+// parameters overwrite/max). When the last episode ends the baseline is
+// restored exactly. Outages (down/flap/partition) are reference-counted
+// per link pair, so a link only comes back up when no outage window still
+// covers it. (The pre-chaos injector saved configs per episode and let
+// the first restore win — overlapping windows could leave links degraded
+// or resurrect them early; see the overlap regression tests.)
 #pragma once
 
 #include "net/network.hpp"
@@ -46,9 +52,22 @@ public:
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
 private:
+  /// One active config-mutating episode on one link.
+  struct ActiveEpisode {
+    std::uint64_t id = 0;
+    sim::FaultSpec spec;
+  };
+
   void schedule(const sim::FaultSpec& spec);
-  void begin_episode(const sim::FaultSpec& spec);
-  void end_episode(const sim::FaultSpec& spec);
+  void begin_episode(const sim::FaultSpec& spec, std::uint64_t episode);
+  void end_episode(const sim::FaultSpec& spec, std::uint64_t episode);
+  /// Recompute a link's config: baseline + active episodes in begin order.
+  void reapply(Link& l);
+  /// Fold one episode's impairment into `cfg`.
+  static void apply_spec(LinkConfig& cfg, const sim::FaultSpec& spec);
+  /// Refcounted pair outage (keyed by forward link id).
+  void take_pair_down(LinkId fwd);
+  void release_pair(LinkId fwd);
   /// Both directions of the scenario link the spec targets (empty when
   /// the index does not resolve).
   [[nodiscard]] std::vector<Link*> target_links(const sim::FaultSpec& spec);
@@ -59,8 +78,11 @@ private:
   Network& net_;
   std::vector<LinkId> scenario_links_;
   std::vector<NodeId> hosts_;
-  std::map<LinkId, LinkConfig> saved_;  ///< pre-episode configs by link id
+  std::map<LinkId, LinkConfig> baseline_;  ///< pre-fault configs by link id
+  std::map<LinkId, std::vector<ActiveEpisode>> active_;
+  std::map<LinkId, std::uint32_t> down_count_;  ///< outage refcounts by fwd id
   std::vector<sim::EventHandle> scheduled_;
+  std::uint64_t next_episode_ = 0;
   Stats stats_;
 };
 

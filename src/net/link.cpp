@@ -76,7 +76,7 @@ void Link::start_transmission() {
         return;
       }
       apply_bit_errors(p);
-      if (deliver_) deliver_(std::move(p));
+      deliver_mutated(std::move(p));
     });
     start_transmission();
   });
@@ -106,6 +106,58 @@ void Link::apply_bit_errors(Packet& p) {
     const auto bit = rng_.uniform_int(0, bits > 1 ? static_cast<std::uint64_t>(bits) - 1 : 0);
     p.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
   }
+}
+
+void Link::deliver_mutated(Packet&& p) {
+  if (!deliver_) return;
+  const bool armed = cfg_.corrupt_probability > 0.0 || cfg_.duplicate_probability > 0.0 ||
+                     cfg_.reorder_probability > 0.0 || cfg_.truncate_probability > 0.0;
+  if (!armed) {
+    deliver_(std::move(p));
+    return;
+  }
+  // Draws happen in a fixed order per packet so a seeded run replays the
+  // exact same mutation schedule.
+  if (cfg_.truncate_probability > 0.0 && !p.payload.empty() &&
+      rng_.bernoulli(cfg_.truncate_probability)) {
+    p.payload.resize(rng_.uniform_int(0, p.payload.size() - 1));
+    ++stats_.truncated;
+    unites::trace().instant(unites::TraceCategory::kNet, "net.mutate", sched_.now(), from_, 0,
+                            static_cast<double>(p.payload.size()), "truncate");
+  }
+  if (cfg_.corrupt_probability > 0.0 && !p.payload.empty() &&
+      rng_.bernoulli(cfg_.corrupt_probability)) {
+    // Contiguous burst of 1..8 bit flips — the adversary real checksums
+    // must catch (see the burst-detection tests over tko/checksum.hpp).
+    const std::uint64_t bits = static_cast<std::uint64_t>(p.payload.size()) * 8;
+    const std::uint64_t len = rng_.uniform_int(1, 8);
+    const std::uint64_t first = rng_.uniform_int(0, bits - 1);
+    for (std::uint64_t b = first; b < first + len && b < bits; ++b) {
+      p.payload[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+    }
+    p.bit_error = true;
+    ++stats_.corrupted;
+    unites::trace().instant(unites::TraceCategory::kNet, "net.mutate", sched_.now(), from_, 0,
+                            static_cast<double>(len), "corrupt");
+  }
+  if (cfg_.duplicate_probability > 0.0 && rng_.bernoulli(cfg_.duplicate_probability)) {
+    ++stats_.duplicated;
+    unites::trace().instant(unites::TraceCategory::kNet, "net.mutate", sched_.now(), from_, 0,
+                            static_cast<double>(p.size_bytes()), "duplicate");
+    deliver_(Packet(p));
+  }
+  if (cfg_.reorder_probability > 0.0 && rng_.bernoulli(cfg_.reorder_probability)) {
+    ++stats_.reordered;
+    const auto hold = sim::SimTime::microseconds(
+        static_cast<std::int64_t>(rng_.uniform_int(200, 3000)));
+    unites::trace().instant(unites::TraceCategory::kNet, "net.mutate", sched_.now(), from_, 0,
+                            static_cast<double>(hold.ns()), "reorder");
+    sched_.schedule_after(hold, [this, p = std::move(p)]() mutable {
+      if (deliver_) deliver_(std::move(p));
+    });
+    return;
+  }
+  deliver_(std::move(p));
 }
 
 void Link::set_up(bool up) {

@@ -39,6 +39,14 @@ struct LinkConfig {
   double p_good_to_bad = 0.0;   ///< 0 disables the burst process
   double p_bad_to_good = 0.3;
   double burst_error_rate = 0.0;
+
+  /// Adversarial wire mutations (chaos engine): per-packet probabilities,
+  /// applied at delivery time after the bit-error process. All default to
+  /// 0 (off); the FaultInjector arms them for kWireMutate episodes.
+  double corrupt_probability = 0.0;   ///< contiguous burst bit-flips
+  double duplicate_probability = 0.0; ///< deliver an extra copy
+  double reorder_probability = 0.0;   ///< hold the packet for extra delay
+  double truncate_probability = 0.0;  ///< drop trailing payload bytes
 };
 
 struct LinkStats {
@@ -49,6 +57,10 @@ struct LinkStats {
   std::uint64_t bit_errors = 0;
   std::uint64_t down_drops = 0;
   std::uint64_t bad_state_packets = 0;  ///< packets sent during error bursts
+  std::uint64_t corrupted = 0;   ///< adversarial burst bit-flips applied
+  std::uint64_t duplicated = 0;  ///< adversarial duplicate deliveries
+  std::uint64_t reordered = 0;   ///< adversarial reorder holds
+  std::uint64_t truncated = 0;   ///< adversarial payload truncations
 };
 
 class Link {
@@ -113,6 +125,9 @@ public:
 private:
   void start_transmission();
   void apply_bit_errors(Packet& p);
+  /// Final delivery step: applies any armed wire mutations (truncate,
+  /// corrupt, duplicate, reorder) and hands the packet(s) to deliver_.
+  void deliver_mutated(Packet&& p);
   void drop(const Packet& p, const char* reason);
 
   LinkId id_;

@@ -1,0 +1,58 @@
+// Chaos plan generation: seeded, pure derivation of adversarial FaultPlans.
+//
+// ChaosPlanGenerator turns a seed into a randomized schedule of link
+// outages, flaps, burst-loss episodes, latency spikes, bandwidth drops,
+// wire mutations, and (optionally) host partitions — the Jepsen-style
+// "nemesis" for this simulator. Two properties make chaos sweeps usable:
+//
+//  * Reproducibility: the plan is a pure function of (profile, seed). The
+//    generator draws from `Rng(seed).fork(kChaosStream)`, never from any
+//    shared stream, so `adaptive_cli --chaos N --seeds S` regenerates the
+//    exact plan that failed, byte for byte.
+//  * Shard-order independence: because the derivation uses the const
+//    `Rng::fork(stream)` overload, the plan for seed S is identical no
+//    matter which worker thread generates it or how many siblings were
+//    generated first — the same property PR 3's sweep engine rests on.
+//
+// Parameters are drawn from bounded, recoverable ranges: every window
+// closes before `horizon_sec`, outages are capped at `max_outage_sec`,
+// and mutation probabilities stay low enough that a reliable session can
+// make progress between casualties. The point is to stress recovery, not
+// to sever the world and declare victory when nothing arrives.
+#pragma once
+
+#include "sim/fault_plan.hpp"
+#include "sim/random.hpp"
+
+#include <cstdint>
+
+namespace adaptive::sim {
+
+/// Named substream for chaos derivation (see Rng::fork(stream)).
+inline constexpr std::uint64_t kChaosStream = 0xC4A05C4A05ULL;
+
+/// Bounds for generated plans, sized to the scenario they will run in.
+struct ChaosProfile {
+  std::size_t link_count = 1;   ///< scenario links available as targets
+  std::size_t host_count = 2;   ///< hosts available as partition targets
+  double horizon_sec = 8.0;     ///< every window ends by this time
+  std::size_t min_faults = 2;   ///< at least this many specs per plan
+  std::size_t max_faults = 6;   ///< at most this many specs per plan
+  double max_outage_sec = 0.8;  ///< cap on down/flap/partition windows
+  bool allow_partition = false; ///< include host partitions in the mix
+};
+
+class ChaosPlanGenerator {
+public:
+  explicit ChaosPlanGenerator(ChaosProfile profile) : profile_(profile) {}
+
+  /// The plan for `seed`: pure, no state touched.
+  [[nodiscard]] FaultPlan generate(std::uint64_t seed) const;
+
+  [[nodiscard]] const ChaosProfile& profile() const { return profile_; }
+
+private:
+  ChaosProfile profile_;
+};
+
+}  // namespace adaptive::sim

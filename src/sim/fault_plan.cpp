@@ -13,6 +13,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::kLatencySpike: return "delay";
     case FaultKind::kBandwidthDrop: return "bw";
     case FaultKind::kPartition: return "partition";
+    case FaultKind::kWireMutate: return "mutate";
   }
   return "?";
 }
@@ -29,6 +30,10 @@ std::string FaultSpec::describe() const {
   if (kind == FaultKind::kBurstLoss) os << ",ber=" << burst_error_rate;
   if (kind == FaultKind::kLatencySpike) os << ",add=" << extra_delay.sec();
   if (kind == FaultKind::kBandwidthDrop) os << ",factor=" << bandwidth_factor;
+  if (kind == FaultKind::kWireMutate) {
+    os << ",corrupt=" << corrupt_p << ",dup=" << duplicate_p << ",reorder=" << reorder_p
+       << ",trunc=" << truncate_p;
+  }
   return os.str();
 }
 
@@ -89,6 +94,8 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
     spec.kind = FaultKind::kBandwidthDrop;
   } else if (kind == "partition") {
     spec.kind = FaultKind::kPartition;
+  } else if (kind == "mutate") {
+    spec.kind = FaultKind::kWireMutate;
   } else {
     error = "unknown fault kind '" + std::string(kind) + "'";
     return false;
@@ -108,6 +115,10 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
     double dur = 0.0;
     if (!parse_time_sec(trim(times.substr(plus + 1)), dur) || dur < 0.0) {
       error = "bad duration '" + std::string(times.substr(plus + 1)) + "'";
+      return false;
+    }
+    if (dur <= 0.0) {
+      error = "zero-length window (duration must be > 0)";
       return false;
     }
     spec.duration = SimTime::seconds(dur);
@@ -162,6 +173,18 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
     } else if (key == "factor") {
       ok = parse_double(val, num) && num > 0.0;
       spec.bandwidth_factor = num;
+    } else if (key == "corrupt") {
+      ok = parse_double(val, num) && num >= 0.0 && num <= 1.0;
+      spec.corrupt_p = num;
+    } else if (key == "dup") {
+      ok = parse_double(val, num) && num >= 0.0 && num <= 1.0;
+      spec.duplicate_p = num;
+    } else if (key == "reorder") {
+      ok = parse_double(val, num) && num >= 0.0 && num <= 1.0;
+      spec.reorder_p = num;
+    } else if (key == "trunc") {
+      ok = parse_double(val, num) && num >= 0.0 && num <= 1.0;
+      spec.truncate_p = num;
     } else {
       error = "unknown option '" + std::string(key) + "'";
       return false;
@@ -192,7 +215,23 @@ FaultPlan parse_fault_plan(const std::string& text, std::vector<std::string>* er
     FaultSpec spec;
     std::string error;
     if (parse_spec(item, spec, error)) {
-      plan.faults.push_back(spec);
+      // Normalize exact duplicates: a repeated identical spec adds no new
+      // impairment, only double begin/end bookkeeping — drop it loudly.
+      const std::string desc = spec.describe();
+      bool duplicate = false;
+      for (const auto& f : plan.faults) {
+        if (f.describe() == desc) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) {
+        if (errors != nullptr) {
+          errors->push_back("'" + std::string(item) + "': duplicate spec dropped");
+        }
+      } else {
+        plan.faults.push_back(spec);
+      }
     } else if (errors != nullptr) {
       errors->push_back("'" + std::string(item) + "': " + error);
     }

@@ -22,9 +22,19 @@
 //   delay@3+2:link=0,add=0.25      +250 ms propagation delay
 //   bw@3+2:link=0,factor=0.1       bandwidth cut to 10%
 //   partition@5+1:node=2           every link at host 2 down for 1s
+//   mutate@2+3:link=0,corrupt=0.02,dup=0.05,reorder=0.1,trunc=0.01
+//                                  adversarial wire mutations: per-packet
+//                                  probabilities of burst bit-flips,
+//                                  duplication, reorder delay, truncation
 //
 // Times are seconds (floating point); `link` indexes the topology's
 // scenario_links list; `node` indexes the topology's host list.
+//
+// Window rules: an explicit zero-or-negative duration (`+0`) is rejected
+// — a window must cover some time to mean anything. Two textually
+// identical specs are normalized to one (the duplicate is dropped with a
+// message). Distinct overlapping windows on the same link are legal; the
+// injector composes them against the link's pre-fault baseline.
 #pragma once
 
 #include "sim/time.hpp"
@@ -42,6 +52,7 @@ enum class FaultKind : std::uint8_t {
   kLatencySpike,   ///< extra propagation delay for `duration`
   kBandwidthDrop,  ///< bandwidth scaled by `bandwidth_factor`
   kPartition,      ///< all links touching a host down for `duration`
+  kWireMutate,     ///< adversarial per-packet wire mutations
 };
 
 [[nodiscard]] const char* to_string(FaultKind k);
@@ -68,6 +79,12 @@ struct FaultSpec {
   SimTime extra_delay = SimTime::milliseconds(100);
   double bandwidth_factor = 0.1;
 
+  // kWireMutate (per-packet probabilities, each in [0,1]).
+  double corrupt_p = 0.0;   ///< burst bit-flip corruption
+  double duplicate_p = 0.0; ///< deliver an extra copy
+  double reorder_p = 0.0;   ///< extra random delivery delay
+  double truncate_p = 0.0;  ///< drop trailing payload bytes
+
   [[nodiscard]] std::string describe() const;
 };
 
@@ -78,10 +95,10 @@ struct FaultPlan {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Parse the text form described above. Unknown kinds/keys and malformed
-/// numbers are reported through `errors` (one message per bad spec); the
-/// well-formed specs still parse, so a partially bad plan degrades rather
-/// than vanishes.
+/// Parse the text form described above. Unknown kinds/keys, malformed
+/// numbers, zero-length windows, and exact-duplicate specs are reported
+/// through `errors` (one message per bad spec); the well-formed specs
+/// still parse, so a partially bad plan degrades rather than vanishes.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& text,
                                          std::vector<std::string>* errors = nullptr);
 

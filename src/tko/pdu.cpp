@@ -85,9 +85,12 @@ Message encode_pdu(Pdu&& p, ChecksumKind kind, ChecksumPlacement placement) {
   // aux rides in the header in place of padding: extend header encoding.
   std::uint16_t flags = p.flags;
   flags &= static_cast<std::uint16_t>(
-      ~(pdu_flags::kChecksumTrailer | pdu_flags::kCrc32 | pdu_flags::kNoChecksum));
+      ~(pdu_flags::kChecksumTrailer | pdu_flags::kCrc32 | pdu_flags::kNoChecksum |
+        pdu_flags::kNoChecksumEcho));
   switch (kind) {
-    case ChecksumKind::kNone: flags |= pdu_flags::kNoChecksum; break;
+    case ChecksumKind::kNone:
+      flags |= pdu_flags::kNoChecksum | pdu_flags::kNoChecksumEcho;
+      break;
     case ChecksumKind::kCrc32: flags |= pdu_flags::kCrc32; break;
     case ChecksumKind::kInternet16: break;
   }
@@ -138,6 +141,21 @@ DecodeResult decode_pdu(Message&& wire) {
   p.type = static_cast<PduType>(head[1]);
   if (head[1] > static_cast<std::uint8_t>(PduType::kHandshakeAck)) return r;
   p.flags = get_u16(&head[2]);
+  // Mutated-wire defense: a flags word with bits this version never sets
+  // is garbage, not a forward-compatible extension — reject it instead of
+  // guessing at checksum coverage. Same for kNoChecksum combined with
+  // kCrc32: the encoder clears one before setting the other, so the pair
+  // can only come from corruption (and would skip verification entirely).
+  constexpr std::uint16_t kKnownFlags =
+      pdu_flags::kChecksumTrailer | pdu_flags::kPiggybackConfig | pdu_flags::kEndOfMessage |
+      pdu_flags::kCrc32 | pdu_flags::kNoChecksum | pdu_flags::kGraceful |
+      pdu_flags::kNoChecksumEcho;
+  if ((p.flags & ~kKnownFlags) != 0) return r;
+  if (p.has_flag(pdu_flags::kNoChecksum) && p.has_flag(pdu_flags::kCrc32)) return r;
+  // Downgrade defense: kNoChecksum only counts when both copies agree.
+  // A lone copy is a burst that tried to switch verification off (or on);
+  // either way the header is damaged goods.
+  if (p.has_flag(pdu_flags::kNoChecksum) != p.has_flag(pdu_flags::kNoChecksumEcho)) return r;
   p.session_id = get_u32(&head[4]);
   p.seq = get_u32(&head[8]);
   p.ack = get_u32(&head[12]);

@@ -44,6 +44,14 @@ inline constexpr std::uint16_t kEndOfMessage = 0x0004;
 inline constexpr std::uint16_t kCrc32 = 0x0008;            ///< else Internet checksum
 inline constexpr std::uint16_t kNoChecksum = 0x0010;
 inline constexpr std::uint16_t kGraceful = 0x0020;         ///< FIN drains buffered data
+/// Redundant copy of kNoChecksum, deliberately placed in the other flags
+/// byte. kNoChecksum is the one header bit the checksum cannot protect: a
+/// single flip turns a checksummed PDU into a "nothing to verify" PDU
+/// (with header placement, without even a length change). Storing the bit
+/// twice, >6 wire bits apart, means no contiguous burst of up to 8 bits
+/// can flip both copies without also setting a flag this version never
+/// emits — which the decoder rejects outright.
+inline constexpr std::uint16_t kNoChecksumEcho = 0x4000;
 }  // namespace pdu_flags
 
 struct Pdu {

@@ -72,6 +72,13 @@ void FecReliability::accept(std::uint32_t seq, Message&& payload) {
 
 void FecReliability::on_data(Pdu&& p, net::NodeId) {
   if (p.type == PduType::kFecParity) {
+    if (!plausible_data_seq(p.aux)) {
+      // A wild group base would purge every live group and fake a
+      // permanent gap; drop it (possible under no-checksum configs).
+      ++stats_.wild_seqs_rejected;
+      core_->count("reliability.wild_seq");
+      return;
+    }
     auto& g = rx_groups_[p.aux];
     if (g.parity.empty()) g.parity = p.payload.linearize();
     try_recover(p.aux);
@@ -79,6 +86,11 @@ void FecReliability::on_data(Pdu&& p, net::NodeId) {
     return;
   }
   if (p.type != PduType::kData) return;
+  if (!plausible_data_seq(p.seq) || !plausible_data_seq(p.aux)) {
+    ++stats_.wild_seqs_rejected;
+    core_->count("reliability.wild_seq");
+    return;
+  }
   if (filter_duplicates_ && receiver_seen(p.seq)) {
     ++stats_.duplicates_received;
     return;

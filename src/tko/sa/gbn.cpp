@@ -72,6 +72,18 @@ void GoBackN::on_timeout() {
   retx_timer_->schedule(rtt_.rto());
 }
 
+void GoBackN::prod() {
+  // Watchdog kick: a stalled session means the RTO backed off past the
+  // stall deadline (or the timer state was lost). Reset the backoff and
+  // retransmit the whole window now instead of waiting out the backoff.
+  if (st_.unacked.empty() || retx_timer_ == nullptr) return;
+  rtt_.clear_backoff();
+  core_->count("reliability.prod");
+  go_back(st_.send_base);
+  retx_timer_->cancel();
+  retx_timer_->schedule(rtt_.rto());
+}
+
 void GoBackN::go_back(std::uint32_t from_seq) {
   // Retransmit every retained PDU at or beyond `from_seq`, in serial
   // order. The retention map is keyed by raw sequence value, so around a

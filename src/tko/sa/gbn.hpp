@@ -23,6 +23,7 @@ public:
   std::uint32_t on_ack(const Pdu& p, net::NodeId from) override;
   void on_nack(const Pdu& p, net::NodeId from) override;
   void on_data(Pdu&& p, net::NodeId from) override;
+  void prod() override;
 
   void restore(ReliabilityState&& s) override;
 

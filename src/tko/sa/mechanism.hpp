@@ -202,6 +202,10 @@ struct ReliabilityStats {
   std::uint64_t parity_sent = 0;
   std::uint64_t fec_recoveries = 0;
   std::uint64_t unrecovered_losses = 0;
+  /// Implausible wire inputs rejected (chaos hardening): acks serially
+  /// ahead of anything sent, data sequences far beyond the receive window.
+  std::uint64_t wild_acks_rejected = 0;
+  std::uint64_t wild_seqs_rejected = 0;
 };
 
 class ReliabilityMgmt : public Mechanism {
@@ -225,6 +229,13 @@ public:
   /// The session is draining toward a graceful close; emit anything held
   /// back (e.g. a partial FEC group's parity).
   virtual void on_close_drain() {}
+
+  /// Liveness-watchdog kick: the session saw no progress for a full
+  /// deadline despite outstanding data. Retransmission schemes clear any
+  /// accumulated RTO backoff and force a retransmission so a backed-off
+  /// timer cannot wedge the session; schemes without retransmission
+  /// ignore it.
+  virtual void prod() {}
 
   /// True when every sent PDU has been acknowledged (graceful-close gate).
   [[nodiscard]] virtual bool all_acked() const = 0;

@@ -66,6 +66,11 @@ std::uint32_t ReliabilityBase::effective_cum_ack() const {
 }
 
 std::uint32_t ReliabilityBase::apply_cum_ack(std::uint32_t cum, net::NodeId from) {
+  if (!plausible_ack(cum)) {
+    ++stats_.wild_acks_rejected;
+    core_->count("reliability.wild_ack");
+    return 0;
+  }
   // First ack from a receiver seeds its entry directly: a default 0 would
   // compare serially *ahead* of sequences just below the wrap point.
   auto [rec, fresh] = st_.per_receiver_cum.try_emplace(from, cum);
@@ -120,6 +125,11 @@ std::uint32_t NoneReliability::on_ack(const Pdu& p, net::NodeId from) {
 
 void NoneReliability::on_data(Pdu&& p, net::NodeId) {
   if (p.type != PduType::kData) return;
+  if (!plausible_data_seq(p.seq)) {
+    ++stats_.wild_seqs_rejected;
+    core_->count("reliability.wild_seq");
+    return;
+  }
   if (filter_duplicates_ && receiver_seen(p.seq)) {
     ++stats_.duplicates_received;
     return;

@@ -14,6 +14,7 @@
 #include "tko/event.hpp"
 #include "tko/sa/mechanism.hpp"
 #include "tko/sa/rtt_estimator.hpp"
+#include "tko/sa/seqnum.hpp"
 
 #include <memory>
 
@@ -57,6 +58,23 @@ protected:
   /// Record `cum` from receiver `from`; erase newly-acked PDUs from the
   /// store and return how many sequences were newly acknowledged.
   std::uint32_t apply_cum_ack(std::uint32_t cum, net::NodeId from);
+
+  /// A cumulative ack can never exceed the highest sequence assigned; a
+  /// "future" ack is wire corruption (possible under no-checksum configs)
+  /// and acting on it would reap unacked data the receiver never got —
+  /// silent loss. Callers must drop implausible acks.
+  [[nodiscard]] bool plausible_ack(std::uint32_t cum) const {
+    return !seq_gt(cum, st_.next_seq - 1);
+  }
+
+  /// Widest receive-side lead we admit before declaring a data sequence
+  /// garbage: far beyond any window this transport configures, but small
+  /// enough that hostile sequences cannot bloat rcv_out_of_order or fake
+  /// permanent gaps.
+  static constexpr std::uint32_t kMaxSeqAhead = 1 << 16;
+  [[nodiscard]] bool plausible_data_seq(std::uint32_t seq) const {
+    return !seq_gt(seq, st_.rcv_cum + kMaxSeqAhead);
+  }
 
   AckStrategy* ack_ = nullptr;
   Sequencing* sequencing_ = nullptr;

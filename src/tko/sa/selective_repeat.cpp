@@ -88,6 +88,13 @@ void SelectiveRepeat::reap_acked() {
 }
 
 std::uint32_t SelectiveRepeat::on_ack(const Pdu& p, net::NodeId from) {
+  if (!plausible_ack(p.ack)) {
+    // A corrupted ack serially ahead of anything sent would reap unacked
+    // PDUs the receiver never got — silent loss. Drop it.
+    ++stats_.wild_acks_rejected;
+    core_->count("reliability.wild_ack");
+    return 0;
+  }
   const std::size_t before = st_.unacked.size();
   auto& cum = st_.per_receiver_cum[from];
   cum = seq_max(cum, p.ack);
@@ -144,8 +151,30 @@ void SelectiveRepeat::on_timeout() {
   arm_timer();
 }
 
+void SelectiveRepeat::prod() {
+  // Watchdog kick: clear accumulated backoff and resend everything still
+  // outstanding (in serial order); retransmit() refreshes each deadline.
+  if (st_.unacked.empty() || retx_timer_ == nullptr) return;
+  rtt_.clear_backoff();
+  core_->count("reliability.prod");
+  std::vector<std::uint32_t> pending;
+  pending.reserve(st_.unacked.size());
+  for (const auto& [seq, _] : st_.unacked) pending.push_back(seq);
+  std::sort(pending.begin(), pending.end(), SeqLess{});
+  for (const std::uint32_t seq : pending) retransmit(seq);
+  arm_timer();
+}
+
 void SelectiveRepeat::on_data(Pdu&& p, net::NodeId) {
   if (p.type != PduType::kData) return;
+  if (!plausible_data_seq(p.seq)) {
+    // The NACK scan below is already gap-bounded, but receiver_mark would
+    // still buffer a wild far-ahead sequence in rcv_out_of_order forever
+    // (nothing ever fills the fake gap). Reject it outright.
+    ++stats_.wild_seqs_rejected;
+    core_->count("reliability.wild_seq");
+    return;
+  }
   if (receiver_seen(p.seq)) {
     ++stats_.duplicates_received;
     if (ack_ != nullptr) ack_->on_data_received(/*in_order=*/false);

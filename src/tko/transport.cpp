@@ -1,5 +1,6 @@
 #include "tko/transport.hpp"
 
+#include "unites/metric.hpp"
 #include "unites/trace.hpp"
 
 #include <algorithm>
@@ -22,6 +23,11 @@ constexpr double kCksum16InstrPerByte = 0.75;
 constexpr double kCrc32InstrPerByte = 1.25;
 constexpr double kFecXorInstrPerByte = 1.0;
 constexpr std::uint64_t kOrderedInstr = 60;
+
+// Largest credible TSDU length prefix during message reassembly. A
+// corrupted prefix that slipped past error detection would otherwise wedge
+// reassembly forever, waiting for gigabytes that never arrive.
+constexpr std::uint32_t kMaxTsduBytes = 1u << 24;
 
 std::uint64_t detection_instr(sa::DetectionScheme det, std::size_t bytes) {
   switch (det) {
@@ -73,6 +79,7 @@ TransportSession::TransportSession(AdaptiveTransport& proto, std::uint32_t id,
 
 TransportSession::~TransportSession() {
   pump_timer_.cancel();
+  wd_timer_.cancel();
 }
 
 os::Host& TransportSession::host() { return proto_.host(); }
@@ -146,6 +153,7 @@ bool TransportSession::send(Message&& m) {
   }
   tx_queue_.push_back(std::move(m));
   pump();
+  arm_watchdog();
   return true;
 }
 
@@ -354,6 +362,7 @@ void TransportSession::process_pdu(Pdu&& p, net::NodeId from) {
       const std::uint32_t newly = ctx_->reliability().on_ack(p, from);
       ctx_->transmission().on_peer_window(p.window);
       ctx_->transmission().on_ack(newly);
+      if (newly > 0) note_progress();
       check_close_drain();
       return;
     }
@@ -390,6 +399,7 @@ void TransportSession::process_pdu(Pdu&& p, net::NodeId from) {
 void TransportSession::deliver(Message&& m) {
   // Transport -> application boundary: one user/kernel crossing.
   proto_.host().cpu().run_context_switch(nullptr);
+  note_progress();
   stats_.bytes_delivered += m.size();
   count("data.delivered_bytes", static_cast<double>(m.size()));
   unites::trace().instant(unites::TraceCategory::kTko, "tko.deliver", now(), node_id(), id_,
@@ -407,6 +417,16 @@ void TransportSession::deliver(Message&& m) {
     const std::uint32_t len = (static_cast<std::uint32_t>(head[0]) << 24) |
                               (static_cast<std::uint32_t>(head[1]) << 16) |
                               (static_cast<std::uint32_t>(head[2]) << 8) | head[3];
+    if (len > kMaxTsduBytes) {
+      // Desynced stream (a corrupted prefix slipped past detection, or a
+      // no-checksum config took a wire hit): waiting for `len` bytes would
+      // wedge the session forever. Drop the partial assembly and resync at
+      // the next delivered record boundary.
+      ++stats_.reassembly_desyncs;
+      count("tko.reassembly_desync");
+      rx_assembly_ = Message(&buffers());
+      break;
+    }
     if (rx_assembly_.size() < 4 + static_cast<std::size_t>(len)) break;
     (void)rx_assembly_.pop(4);
     Message whole = rx_assembly_;
@@ -442,7 +462,76 @@ void TransportSession::connection_established() {
 void TransportSession::connection_closed(bool aborted) {
   state_ = aborted ? SessionState::kAborted : SessionState::kClosed;
   pump_timer_.cancel();
+  wd_timer_.cancel();
+  wd_armed_ = false;
+  if (wd_stalled_) {
+    wd_stalled_ = false;
+    if (!aborted && ctx_->reliability().all_acked()) {
+      // The stalled work drained before the close completed: a recovery.
+      ++stats_.watchdog_recoveries;
+      count(unites::metrics::kWatchdogRecoveryNs,
+            static_cast<double>((now() - wd_stall_since_).ns()));
+    }
+  }
   notify_state(state_);
+}
+
+// ---- liveness watchdog ------------------------------------------------------
+
+bool TransportSession::watchdog_outstanding() const {
+  if (state_ == SessionState::kClosed || state_ == SessionState::kAborted) return false;
+  return !tx_queue_.empty() || !ctx_->reliability().all_acked();
+}
+
+void TransportSession::arm_watchdog() {
+  if (wd_deadline_ <= sim::SimTime::zero() || wd_armed_) return;
+  if (!watchdog_outstanding()) return;
+  wd_last_progress_ = now();
+  wd_armed_ = true;
+  wd_timer_ =
+      timers().scheduler().schedule_after(wd_deadline_ / 2, [this] { watchdog_check(); });
+}
+
+void TransportSession::note_progress() {
+  wd_last_progress_ = now();
+  if (!wd_stalled_) return;
+  wd_stalled_ = false;
+  ++stats_.watchdog_recoveries;
+  const sim::SimTime stalled_for = now() - wd_stall_since_;
+  count(unites::metrics::kWatchdogRecoveryNs, static_cast<double>(stalled_for.ns()));
+  unites::trace().span(unites::TraceCategory::kTko, "tko.watchdog_recovery", wd_stall_since_,
+                       stalled_for, node_id(), id_);
+}
+
+void TransportSession::watchdog_check() {
+  wd_armed_ = false;
+  if (wd_deadline_ <= sim::SimTime::zero()) return;
+  if (!watchdog_outstanding()) {
+    // The stalled work drained away (a segue re-emitted it, or the close
+    // path reaped it) without passing through an ack: that is progress.
+    if (wd_stalled_) note_progress();
+    return;  // disarm; the next send() re-arms
+  }
+  if (now() - wd_last_progress_ >= wd_deadline_) {
+    if (!wd_stalled_) {
+      wd_stalled_ = true;
+      wd_stall_since_ = now();
+      ++stats_.watchdog_stalls;
+      count(unites::metrics::kWatchdogStall);
+      unites::trace().instant(unites::TraceCategory::kTko, "tko.watchdog_stall", now(),
+                              node_id(), id_,
+                              static_cast<double>((now() - wd_last_progress_).ns()));
+    }
+    // Local kick first: reset reliability backoff and force retransmission,
+    // then re-pump; the observer lets MANTTS escalate to renegotiation.
+    count(unites::metrics::kWatchdogProd);
+    ctx_->reliability().prod();
+    pump();
+    if (on_stall_) on_stall_();
+  }
+  wd_armed_ = true;
+  wd_timer_ =
+      timers().scheduler().schedule_after(wd_deadline_ / 2, [this] { watchdog_check(); });
 }
 
 void TransportSession::loss_signal() {

@@ -43,6 +43,9 @@ struct TransportSessionStats {
   std::uint64_t bytes_delivered = 0;  ///< app payload bytes delivered upward
   std::uint64_t checksum_failures = 0;
   std::uint64_t messages_delivered = 0;
+  std::uint64_t reassembly_desyncs = 0;   ///< wild TSDU length prefixes dropped
+  std::uint64_t watchdog_stalls = 0;      ///< deadlines elapsed with no progress
+  std::uint64_t watchdog_recoveries = 0;  ///< stalls that later made progress
   sim::SimTime connect_started = sim::SimTime::zero();
   sim::SimTime established_at = sim::SimTime::zero();
 };
@@ -101,6 +104,17 @@ public:
   using LossFn = std::function<void()>;
   void set_loss_observer(LossFn fn) { on_loss_ = std::move(fn); }
 
+  /// Liveness watchdog. While the session has outstanding work (queued or
+  /// unacknowledged data) but makes no progress — no newly-acked PDU, no
+  /// upward delivery — for a full deadline, the watchdog counts a stall,
+  /// prods the reliability mechanism (backoff reset + forced
+  /// retransmission), re-pumps the transmit queue, and notifies the stall
+  /// observer so MANTTS can escalate to renegotiation. Zero disables.
+  void set_watchdog_deadline(sim::SimTime deadline) { wd_deadline_ = deadline; }
+  using StallFn = std::function<void()>;
+  void set_stall_observer(StallFn fn) { on_stall_ = std::move(fn); }
+  [[nodiscard]] bool watchdog_stalled() const { return wd_stalled_; }
+
   // ---- interpreter trace -----------------------------------------------
   /// The session object "guides the actions of an interpreter that
   /// performs protocol processing activities on PDUs" (Section 4.1.1);
@@ -127,6 +141,10 @@ private:
   void process_pdu(Pdu&& p, net::NodeId from);
   void pump();
   void check_close_drain();
+  void note_progress();
+  void arm_watchdog();
+  void watchdog_check();
+  [[nodiscard]] bool watchdog_outstanding() const;
   [[nodiscard]] std::uint64_t tx_instr(std::size_t payload_bytes, PduType type) const;
   [[nodiscard]] std::uint64_t rx_instr(std::size_t wire_bytes) const;
   void send_wire(Message&& wire);
@@ -148,6 +166,15 @@ private:
   TransportSessionStats stats_;
   MetricFn metric_;
   LossFn on_loss_;
+  /// Watchdog state: armed while outstanding work exists; the check fires
+  /// at deadline/2 granularity so a stall is flagged within 1.5 deadlines.
+  sim::SimTime wd_deadline_ = sim::SimTime::seconds(1.0);
+  sim::EventHandle wd_timer_;
+  bool wd_armed_ = false;
+  bool wd_stalled_ = false;
+  sim::SimTime wd_last_progress_ = sim::SimTime::zero();
+  sim::SimTime wd_stall_since_ = sim::SimTime::zero();
+  StallFn on_stall_;
   std::size_t trace_capacity_ = 0;
   std::deque<TraceEntry> trace_;
 

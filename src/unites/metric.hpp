@@ -64,6 +64,13 @@ inline constexpr const char* kSegues = "context.segue";
 /// pending, and the segues spent getting there.
 inline constexpr const char* kRecoveryTimeNs = "recovery.time_ns";  ///< histogram-backed
 inline constexpr const char* kRecoverySegues = "recovery.segues";
+/// Session liveness watchdog (chaos hardening): a stall is a full deadline
+/// with outstanding work and no progress; each prod forces retransmission;
+/// a recovery is progress after a stall, with the stall duration recorded.
+inline constexpr const char* kWatchdogStall = "watchdog.stall";
+inline constexpr const char* kWatchdogProd = "watchdog.prod";
+inline constexpr const char* kWatchdogRecoveryNs = "watchdog.recovery_ns";  ///< histogram-backed
+inline constexpr const char* kWatchdogEscalations = "watchdog.escalation";
 }  // namespace metrics
 
 [[nodiscard]] MetricClass classify_metric(std::string_view name);

@@ -40,6 +40,7 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::string seeds;      ///< non-empty: sweep over "A..B" or "a,b,c"
   std::size_t jobs = 1;   ///< sweep worker threads
+  std::size_t chaos = 0;  ///< > 0: generate adversarial fault plans (max faults per run)
   std::vector<std::size_t> members;
   double fail_link_at = -1.0;
   std::string fault_plan;
@@ -66,6 +67,13 @@ void usage() {
       "                   merges the UNITES metrics/traces (seed order, so\n"
       "                   the report is identical for any --jobs value)\n"
       "  --jobs <n>       sweep worker threads (default 1 = serial)\n"
+      "  --chaos <n>      chaos mode: derive a randomized adversarial fault\n"
+      "                   plan (up to n faults: outages, flaps, bursts, delay,\n"
+      "                   bandwidth cuts, wire mutations) per seed, run the\n"
+      "                   delivery-invariant oracle on every outcome, and exit\n"
+      "                   nonzero on any violation. Plans are pure functions\n"
+      "                   of the seed: 'adaptive_cli --chaos n --seeds <s>'\n"
+      "                   reproduces a reported seed exactly\n"
       "  --members a,b,c  multicast member host indices (sender is host 0)\n"
       "  --fail-link-at <s>  fail the topology's first scenario link at t\n"
       "  --fault-plan <p> scripted impairments, e.g.\n"
@@ -157,6 +165,7 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--seed") opt.seed = std::strtoull(v, nullptr, 10);
     else if (arg == "--seeds") opt.seeds = v;
     else if (arg == "--jobs") opt.jobs = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
+    else if (arg == "--chaos") opt.chaos = std::strtoull(v, nullptr, 10);
     else if (arg == "--fail-link-at") opt.fail_link_at = std::atof(v);
     else if (arg == "--fault-plan") opt.fault_plan = v;
     else if (arg == "--spec") opt.spec_path = v;
@@ -236,7 +245,7 @@ int main(int argc, char** argv) {
   }
 
   // --- sweep mode: one independent world per seed, merged UNITES view ---
-  if (!cli->seeds.empty() || cli->jobs > 1) {
+  if (!cli->seeds.empty() || cli->jobs > 1 || cli->chaos > 0) {
     SweepConfig sc;
     if (!cli->seeds.empty()) {
       std::string err;
@@ -262,10 +271,15 @@ int main(int argc, char** argv) {
     sc.base.collect_metrics = true;  // the merged report is the product
     sc.jobs = cli->jobs;
     sc.capture_trace = !cli->trace_out.empty();
+    sc.chaos = cli->chaos;
+    if (cli->chaos > 0 && *mode == RunOptions::Mode::kMantttsAdaptive && opt.rules.empty()) {
+      sc.base.rules = mantts::PolicyEngine::fault_recovery_rules();
+    }
 
-    std::printf("sweeping %s over %s (%s mode, %.1fs, %zu seeds, %zu jobs)\n",
+    std::printf("sweeping %s over %s (%s mode, %.1fs, %zu seeds, %zu jobs%s)\n",
                 app::to_string(*application), cli->topology.c_str(), cli->mode.c_str(),
-                cli->duration, sc.seeds.size(), sc.jobs);
+                cli->duration, sc.seeds.size(), sc.jobs,
+                cli->chaos > 0 ? ", chaos" : "");
     const SweepResult res = run_sweep(sc);
 
     std::size_t pass = 0;
@@ -275,6 +289,24 @@ int main(int argc, char** argv) {
       throughput_sum += r.throughput_bps;
     }
     std::printf("\nqos pass  : %zu/%zu seeds\n", pass, res.runs.size());
+    std::uint64_t violations = 0;
+    for (const auto& r : res.runs) violations += r.violations;
+    if (cli->chaos > 0 || opt.faults.has_value()) {
+      std::printf("invariants: %llu violation(s) across %zu seeds\n",
+                  static_cast<unsigned long long>(violations), res.runs.size());
+      for (const auto& r : res.runs) {
+        if (r.violations == 0) continue;
+        std::printf("  seed %llu: %s\n", static_cast<unsigned long long>(r.seed),
+                    r.violation_detail.c_str());
+        if (!r.chaos_plan.empty()) {
+          std::printf("    plan : %s\n", r.chaos_plan.c_str());
+          std::printf("    repro: adaptive_cli --topology %s --app %s --mode %s "
+                      "--duration %.1f --drain %.1f --chaos %zu --seeds %llu\n",
+                      cli->topology.c_str(), cli->app.c_str(), cli->mode.c_str(), cli->duration,
+                      cli->drain, cli->chaos, static_cast<unsigned long long>(r.seed));
+        }
+      }
+    }
     std::printf("throughput: %sbps mean per seed\n",
                 unites::format_si(throughput_sum / static_cast<double>(res.runs.size())).c_str());
     const auto lat = res.merged.systemwide_histogram(unites::metrics::kLatencyNs);
@@ -307,7 +339,7 @@ int main(int argc, char** argv) {
       std::printf("metrics   : %zu series -> %s\n", res.merged.series_count(),
                   cli->metrics_out.c_str());
     }
-    return 0;
+    return violations > 0 ? 2 : 0;
   }
 
   // Enable the structured trace before any simulation object exists so
@@ -344,6 +376,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(out.reliability.timeouts),
               static_cast<unsigned long long>(out.receiver_reliability.fec_recoveries));
   std::printf("segues    : %u\n", out.reconfigurations);
+  std::printf("invariants: %s\n", out.oracle.describe().c_str());
   if (opt.faults.has_value()) {
     std::printf("faults    : %llu episodes  detected %llu  recovered %llu\n",
                 static_cast<unsigned long long>(out.fault.episodes_started),
