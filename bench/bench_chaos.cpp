@@ -29,7 +29,8 @@ namespace {
 
 constexpr std::size_t kChaosFaults = 6;
 
-SweepConfig make_config(std::size_t seed_count, std::size_t jobs) {
+SweepConfig make_config(std::size_t seed_count, std::size_t jobs,
+                        const std::string& flight_dir = {}) {
   SweepConfig sc;
   sc.topology = [](std::uint64_t seed) -> World::TopologyFactory {
     return [seed](sim::EventScheduler& s) { return net::make_congested_wan(s, 2, seed); };
@@ -46,6 +47,9 @@ SweepConfig make_config(std::size_t seed_count, std::size_t jobs) {
   sc.chaos = kChaosFaults;
   sc.jobs = jobs;
   sc.capture_trace = true;
+  // Any violating or stalled seed ships a post-mortem bundle: full trace
+  // ring, open spans, zone tree, counters, and the chaos plan that did it.
+  sc.flight_recorder_dir = flight_dir;
   sc.seeds.reserve(seed_count);
   for (std::uint64_t s = 1; s <= seed_count; ++s) sc.seeds.push_back(s);
   return sc;
@@ -54,7 +58,15 @@ SweepConfig make_config(std::size_t seed_count, std::size_t jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string flight_dir = "chaos-flight";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
+      flight_dir = argv[++i];
+    }
+  }
   const std::size_t seed_count = smoke ? 8 : 48;
   const std::size_t jobs = smoke ? 2 : 8;
 
@@ -67,7 +79,7 @@ int main(int argc, char** argv) {
   // Serial reference sweep, then the parallel one: identical digests prove
   // the chaos plans and everything downstream are shard-order independent.
   const SweepResult serial = run_sweep(make_config(seed_count, 1));
-  const SweepResult parallel = run_sweep(make_config(seed_count, jobs));
+  const SweepResult parallel = run_sweep(make_config(seed_count, jobs, flight_dir));
   const bool digest_match = serial.trace_digest == parallel.trace_digest;
 
   std::uint64_t violations = 0;
@@ -83,6 +95,8 @@ int main(int argc, char** argv) {
                   "--mode adaptive --duration 8 --drain 12 --scale 0.35 --chaos %zu "
                   "--seeds %llu\n",
                   kChaosFaults, static_cast<unsigned long long>(r.seed));
+      std::printf("  post-mortem: %s/flight-seed%llu.json\n", flight_dir.c_str(),
+                  static_cast<unsigned long long>(r.seed));
     }
   }
 
@@ -112,6 +126,8 @@ int main(int argc, char** argv) {
   std::printf("\nqos pass   : %zu/%zu seeds (informational; chaos plans may "
               "legitimately cost QoS)\n",
               qos_pass, parallel.runs.size());
+  std::printf("flight rec : %zu post-mortem bundle(s) in %s\n", parallel.flight_bundles,
+              flight_dir.c_str());
 
   const bool pass = violations == 0 && digest_match;
   std::printf("\nacceptance: zero violations %s, digest match %s -> %s\n",
@@ -127,6 +143,7 @@ int main(int argc, char** argv) {
   report.trajectory("watchdog_recovery_p99_ns",
                     recovery.count() > 0 ? recovery.p99() : 0.0);
   report.scalar("qos_pass_seeds", static_cast<double>(qos_pass));
+  report.scalar("flight_bundles", static_cast<double>(parallel.flight_bundles));
   report.write();
   return pass ? 0 : 1;
 }

@@ -156,6 +156,7 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   out.qos = app::evaluate_qos(wl.acd, graded_src, out.sink);
 
   out.config = session->config();
+  out.context_text = session->context().describe();
   out.session = session->stats();
   out.reliability = session->context().reliability().stats();
   if (!accepted_sessions.empty()) {

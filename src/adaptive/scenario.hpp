@@ -54,6 +54,7 @@ struct RunOutcome {
   app::SinkStats sink;           ///< merged over all receivers
   std::size_t receivers = 0;
   tko::sa::SessionConfig config; ///< configuration at session end
+  std::string context_text;      ///< mechanism lineup at session end (Context::describe())
   mantts::Tsc tsc = mantts::Tsc::kNonRealTimeNonIsochronous;
   sim::SimTime configuration_time = sim::SimTime::zero();
   tko::TransportSessionStats session;

@@ -1,6 +1,10 @@
 #include "adaptive/sweep.hpp"
 
+#include "unites/export.hpp"
+#include "unites/flight_recorder.hpp"
+
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 namespace adaptive {
@@ -37,7 +41,27 @@ struct ShardUnit {
   std::vector<unites::TraceEvent> trace;
   std::uint64_t trace_emitted = 0;
   SweepRunSummary summary;
+  unites::ProfileTree profile;
+  std::vector<unites::MessageSpan> spans;
+  bool flight_dumped = false;
 };
+
+/// The mechanism zone accountable for a violated invariant: loss and
+/// stall rules belong to the reliability scheme that was in force;
+/// duplicate and ordering rules to the sequencing slot.
+std::string owning_zone(const std::string& rule, const tko::sa::SessionConfig& cfg) {
+  if (rule == "no-duplicates" || rule == "in-order") return "sequencing.offer";
+  const char* scheme = "none";
+  switch (cfg.recovery) {
+    case tko::sa::RecoveryScheme::kNone: scheme = "none"; break;
+    case tko::sa::RecoveryScheme::kGoBackN: scheme = "gbn"; break;
+    case tko::sa::RecoveryScheme::kSelectiveRepeat: scheme = "sr"; break;
+    case tko::sa::RecoveryScheme::kForwardErrorCorrection: scheme = "fec"; break;
+  }
+  std::string zone = "reliability.";
+  zone += scheme;
+  return zone;
+}
 
 }  // namespace
 
@@ -123,6 +147,12 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     return out;
   }
 
+  // A flight recorder needs the evidence even when the caller didn't ask
+  // for it in the sweep result: force per-shard trace + profile capture.
+  const bool flight_armed = !cfg.flight_recorder_dir.empty();
+  const bool want_trace = cfg.capture_trace || cfg.capture_spans || flight_armed;
+  const bool want_profile = cfg.capture_profile || flight_armed;
+
   std::vector<ShardUnit> units(seeds.size());
   const sim::ShardRunner runner(cfg.jobs);
   runner.run(seeds.size(), [&](std::size_t i) {
@@ -133,8 +163,14 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     // world construction (connection setup, synthesis) is on the timeline,
     // and nothing this shard emits can land in another shard's ring.
     unites::TraceRecorder recorder;
-    if (cfg.capture_trace) recorder.enable(cfg.trace_capacity);
+    if (want_trace) recorder.enable(cfg.trace_capacity);
     unites::ScopedTraceRecorder scoped(recorder);
+
+    // Shard-local profiler, same isolation rule. The World binds its
+    // scheduler as the virtual clock on construction.
+    unites::Profiler profiler;
+    if (want_profile) profiler.enable();
+    unites::ScopedProfiler scoped_prof(profiler);
 
     World world(cfg.topology(seed));
     RunOptions opt = cfg.base;
@@ -147,11 +183,24 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     }
     const RunOutcome outcome = run_scenario(world, opt);
 
+    std::vector<unites::MessageSpan> spans;
+    if (cfg.capture_spans || flight_armed) {
+      spans = unites::assemble_spans(recorder.snapshot());
+      for (auto& s : spans) s.seed = seed;
+    }
+    if (cfg.capture_spans) {
+      // Latency breakdown histograms land in the shard repository before
+      // the fold, so merged metrics carry them like any other series.
+      unites::record_span_breakdown(spans, world.repository());
+    }
+
     unit.repo = std::move(world.repository());
     if (cfg.capture_trace) {
       unit.trace = recorder.snapshot();
       unit.trace_emitted = recorder.emitted();
     }
+    if (want_profile) unit.profile = profiler.snapshot();
+    if (cfg.capture_spans) unit.spans = spans;
     unit.summary.seed = seed;
     unit.summary.qos_pass = outcome.qos.all_ok() && !outcome.refused;
     unit.summary.refused = outcome.refused;
@@ -162,6 +211,38 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     unit.summary.reconfigurations = outcome.reconfigurations;
     unit.summary.violations = outcome.oracle.violations.size();
     if (!outcome.oracle.ok()) unit.summary.violation_detail = outcome.oracle.describe();
+
+    // Post-mortem: the shard that observed the failure ships the bundle
+    // (seed-named file — parallel shards never contend on a path).
+    const bool stall_unrecovered =
+        outcome.session.watchdog_stalls > outcome.session.watchdog_recoveries;
+    if (flight_armed &&
+        (!outcome.oracle.ok() || stall_unrecovered || cfg.flight_record_always)) {
+      unites::FlightBundle bundle;
+      bundle.seed = seed;
+      bundle.reason = !outcome.oracle.ok()  ? "invariant-violation"
+                      : stall_unrecovered   ? "watchdog-stall"
+                                            : "replay";
+      for (const auto& v : outcome.oracle.violations) {
+        bundle.violations.push_back(
+            unites::FlightViolation{v.rule, v.detail, owning_zone(v.rule, outcome.config)});
+      }
+      bundle.session_config = outcome.config.describe();
+      bundle.context = outcome.context_text;
+      if (opt.faults.has_value()) bundle.fault_plan = opt.faults->describe();
+      bundle.chaos_plan = unit.summary.chaos_plan;
+      std::ostringstream metrics;
+      unites::write_metrics_jsonl(metrics, unit.repo);
+      bundle.metrics_jsonl = metrics.str();
+      bundle.trace = recorder.snapshot();
+      for (const auto& s : spans) {
+        if (s.open()) bundle.open_spans.push_back(s);
+      }
+      bundle.spans_total = spans.size();
+      bundle.profile = profiler.snapshot();
+      unites::FlightRecorder(cfg.flight_recorder_dir).dump(bundle);
+      unit.flight_dumped = true;
+    }
   });
 
   // Canonical fold: ascending seed index, regardless of completion order.
@@ -171,6 +252,9 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     out.trace.insert(out.trace.end(), unit.trace.begin(), unit.trace.end());
     out.trace_events_emitted += unit.trace_emitted;
     out.runs.push_back(unit.summary);
+    if (cfg.capture_profile) out.profile.merge(unit.profile);
+    out.spans.insert(out.spans.end(), unit.spans.begin(), unit.spans.end());
+    if (unit.flight_dumped) ++out.flight_bundles;
   }
   out.trace_digest = trace_digest(out.trace);
   return out;

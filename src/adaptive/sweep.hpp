@@ -13,7 +13,9 @@
 #include "adaptive/scenario.hpp"
 #include "sim/chaos.hpp"
 #include "sim/shard_runner.hpp"
+#include "unites/profiler.hpp"
 #include "unites/repository.hpp"
+#include "unites/spans.hpp"
 #include "unites/trace.hpp"
 
 #include <cstdint>
@@ -42,6 +44,23 @@ struct SweepConfig {
   /// Record each shard's UNITES trace ring and merge the streams.
   bool capture_trace = false;
   std::size_t trace_capacity = unites::TraceRecorder::kDefaultCapacity;
+
+  /// Whitebox profiler: install a shard-local Profiler per seed and merge
+  /// the zone trees in seed order. Canonical (calls + sim_ns) values are
+  /// independent of `jobs`; wall time is excluded from merged exports.
+  bool capture_profile = false;
+
+  /// Assemble causal message-lifecycle spans from each shard's trace ring
+  /// (implies trace recording for the shard even when capture_trace is
+  /// off) and record per-message latency-breakdown metrics.
+  bool capture_spans = false;
+
+  /// Non-empty: arm a post-mortem flight recorder. Any seed whose run
+  /// violates a delivery invariant — or stalls without recovering — dumps
+  /// a JSON bundle to this directory (one file per seed).
+  std::string flight_recorder_dir;
+  /// Dump a bundle for every seed, verdict or not (corpus replay).
+  bool flight_record_always = false;
 
   /// Chaos mode: > 0 means each shard derives a randomized adversarial
   /// FaultPlan for its seed (ChaosPlanGenerator, up to `chaos` faults) and
@@ -90,6 +109,14 @@ struct SweepResult {
   /// have equal digests.
   std::uint64_t trace_digest = 0;
   std::vector<SweepRunSummary> runs;  ///< seed order
+  /// All shard zone trees merged in seed order. Empty unless
+  /// capture_profile (or a flight recorder forced per-shard profiling).
+  unites::ProfileTree profile;
+  /// All shard message spans concatenated in seed order, each stamped with
+  /// its seed. Empty unless capture_spans.
+  std::vector<unites::MessageSpan> spans;
+  /// Flight-recorder bundles written during this sweep.
+  std::size_t flight_bundles = 0;
 };
 
 /// Stable digest of a trace stream: FNV-1a 64 over every event's fields in

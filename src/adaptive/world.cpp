@@ -1,5 +1,7 @@
 #include "adaptive/world.hpp"
 
+#include "unites/profiler.hpp"
+
 namespace adaptive {
 
 namespace {
@@ -19,6 +21,9 @@ public:
 World::World(const TopologyFactory& make_topology, const os::CpuConfig& cpu,
              const mantts::ResourceLimits& limits, const os::NicConfig& nic)
     : topo_(make_topology(sched_)) {
+  // Give the installed profiler (if any) a virtual-time source; zones
+  // opened while this world runs account sim-time against its scheduler.
+  unites::Profiler::current().bind_clock(&sched_);
   for (const net::NodeId h : topo_.hosts) {
     hosts_.push_back(std::make_unique<os::Host>(*topo_.network, h, cpu, nic));
     // Per-host protocol graph: adaptive-transport layered over host-if.
@@ -42,6 +47,8 @@ void World::enable_host_collectors(sim::SimTime period) {
 }
 
 World::~World() {
+  auto& prof = unites::Profiler::current();
+  if (prof.clock() == &sched_) prof.bind_clock(nullptr);
   // Entities and transports unbind host ports on destruction; destroy them
   // before the hosts they reference.
   host_collectors_.clear();

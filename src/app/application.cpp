@@ -1,5 +1,6 @@
 #include "app/application.hpp"
 
+#include "unites/profiler.hpp"
 #include "unites/trace.hpp"
 
 #include <algorithm>
@@ -67,12 +68,17 @@ void SourceApp::emit_next() {
     return;
   }
   auto send_unit = [this](std::size_t bytes) {
+    UNITES_PROF("app.source.emit");
     UnitHeader h;
     h.id = next_id_++;
     h.sent_at_ns = timers_.now().ns();
     auto payload = h.encode(bytes);
     const std::size_t payload_bytes = payload.size();
-    if (session_.send(tko::Message::from_bytes(payload))) {
+    tko::Message msg = tko::Message::from_bytes(payload);
+    // Lifecycle id = unit id + 1 (0 means untracked): the hook whitebox
+    // span assembly correlates sender-side milestones with.
+    msg.set_lifecycle(static_cast<std::uint64_t>(h.id) + 1);
+    if (session_.send(std::move(msg))) {
       ++stats_.units_sent;
       stats_.bytes_sent += payload_bytes;
       unites::trace().instant(unites::TraceCategory::kApp, "app.submit", timers_.now(), 0, h.id,
@@ -124,6 +130,7 @@ void SinkApp::attach(tko::Session& session) {
 }
 
 void SinkApp::on_message(tko::Message&& m) {
+  UNITES_PROF("app.sink.deliver");
   const auto now = timers_.now();
   if (stats_.units_received == 0 && stats_.continuation_bytes == 0) {
     stats_.first_arrival = now;

@@ -1,5 +1,8 @@
 #include "app/playout.hpp"
 
+#include "unites/profiler.hpp"
+#include "unites/trace.hpp"
+
 #include <cmath>
 
 namespace adaptive::app {
@@ -22,6 +25,7 @@ void PlayoutSink::attach(tko::Session& session) {
 }
 
 void PlayoutSink::on_message(tko::Message&& m) {
+  UNITES_PROF("app.playout.buffer");
   const auto bytes = m.peek(std::min<std::size_t>(m.size(), UnitHeader::kBytes));
   UnitHeader h;
   if (!UnitHeader::decode(bytes, h)) return;  // continuation fragment: media framing only
@@ -43,6 +47,7 @@ void PlayoutSink::on_message(tko::Message&& m) {
   Pending p;
   p.payload = std::move(m);
   p.ideal = deadline;
+  p.arrived = now;
   const std::uint32_t id = h.id;
   p.timer = std::make_unique<tko::Event>(timers_, [this, id] { play(id); });
   p.timer->schedule(deadline - now);
@@ -53,8 +58,14 @@ void PlayoutSink::on_message(tko::Message&& m) {
 void PlayoutSink::play(std::uint32_t id) {
   auto it = buffer_.find(id);
   if (it == buffer_.end()) return;
+  UNITES_PROF("app.playout.play");
   ++stats_.played;
-  stats_.play_error_sec.push_back(std::abs((timers_.now() - it->second.ideal).sec()));
+  const sim::SimTime now = timers_.now();
+  stats_.play_error_sec.push_back(std::abs((now - it->second.ideal).sec()));
+  // Whitebox span terminus: session field carries the unit id (matching
+  // app.deliver); value is the hold time the buffer absorbed.
+  unites::trace().instant(unites::TraceCategory::kApp, "app.playout", now, 0, id,
+                          static_cast<double>((now - it->second.arrived).ns()));
   if (on_play_) on_play_(id, std::move(it->second.payload));
   buffer_.erase(it);
 }

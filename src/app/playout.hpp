@@ -59,6 +59,7 @@ private:
   struct Pending {
     tko::Message payload;
     sim::SimTime ideal;
+    sim::SimTime arrived;  ///< delivery instant: playout hold = play - arrived
     std::unique_ptr<tko::Event> timer;
   };
   std::map<std::uint32_t, Pending> buffer_;

@@ -1,6 +1,7 @@
 #include "mantts/transform.hpp"
 
 #include "tko/pdu.hpp"
+#include "unites/profiler.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -48,6 +49,7 @@ sim::SimTime pick_gap(const QuantitativeQos& q, std::uint32_t segment_bytes) {
 }  // namespace
 
 SessionConfig derive_scs(Tsc tsc, const Acd& acd, const NetworkStateDescriptor& net) {
+  UNITES_PROF("mantts.derive_scs");
   SessionConfig cfg = tsc_default_config(tsc);
   const auto& q = acd.quantitative;
   const auto& ql = acd.qualitative;

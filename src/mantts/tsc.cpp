@@ -1,5 +1,7 @@
 #include "mantts/tsc.hpp"
 
+#include "unites/profiler.hpp"
+
 namespace adaptive::mantts {
 
 const char* to_string(Tsc t) {
@@ -74,6 +76,7 @@ const std::array<Table1Row, 9>& table1() {
 }
 
 Tsc classify(const Acd& acd) {
+  UNITES_PROF("mantts.classify");
   const auto& q = acd.quantitative;
   if (acd.qualitative.isochronous) {
     // Conversational media is interactive; one-way distribution — or

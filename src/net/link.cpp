@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include "unites/profiler.hpp"
 #include "unites/trace.hpp"
 
 #include <cmath>
@@ -17,6 +18,7 @@ void Link::drop(const Packet& p, const char* reason) {
 }
 
 void Link::transmit(Packet&& p) {
+  UNITES_PROF("net.link.transmit");
   if (!up_) {
     ++stats_.down_drops;
     drop(p, "link-down");
@@ -53,6 +55,7 @@ void Link::start_transmission() {
     busy_ = false;
     return;
   }
+  UNITES_PROF("net.link.start_transmission");
   busy_ = true;
   auto it = queues_.begin();
   while (it->second.empty()) ++it;  // highest non-empty priority class

@@ -1,8 +1,11 @@
 #include "net/monitor.hpp"
 
+#include "unites/profiler.hpp"
+
 namespace adaptive::net {
 
 void NetworkMonitor::record(NetEventKind kind, sim::SimTime when, std::string detail) {
+  UNITES_PROF("net.monitor.record");
   switch (kind) {
     case NetEventKind::kDrop: ++drops_; break;
     case NetEventKind::kDeliver: ++deliveries_; break;

@@ -74,6 +74,7 @@ void Message::concat(Message&& tail) {
 Message Message::split(std::size_t at) {
   if (at > size_) throw std::out_of_range("Message::split: offset beyond end");
   Message tail(pool_);
+  tail.lifecycle_ = lifecycle_;  // every segment of a tracked TSDU stays tracked
   std::size_t kept = 0;
   auto it = segments_.begin();
   while (it != segments_.end() && kept + it->len <= at) {

@@ -67,6 +67,14 @@ public:
   /// Number of underlying segments (diagnostic).
   [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
 
+  /// Message lifecycle id (whitebox spans, DESIGN §11): set by the source
+  /// application (unit id + 1; 0 = untracked), preserved across push/
+  /// split/clone so every segment and retransmission of one application
+  /// message stays attributable to it. A local annotation only — it never
+  /// crosses the wire.
+  [[nodiscard]] std::uint64_t lifecycle() const { return lifecycle_; }
+  void set_lifecycle(std::uint64_t id) { lifecycle_ = id; }
+
   /// Visit each contiguous byte range in order (checksum streaming).
   template <typename Fn>
   void for_each_segment(Fn&& fn) const {
@@ -92,6 +100,7 @@ private:
   os::BufferPool* pool_ = nullptr;
   std::deque<Segment> segments_;
   std::size_t size_ = 0;
+  std::uint64_t lifecycle_ = 0;
 };
 
 }  // namespace adaptive::tko

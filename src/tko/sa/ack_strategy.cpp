@@ -1,5 +1,7 @@
 #include "tko/sa/ack_strategy.hpp"
 
+#include "unites/profiler.hpp"
+
 namespace adaptive::tko::sa {
 
 void DelayedAck::on_attach() {
@@ -25,6 +27,7 @@ void DelayedAck::on_data_received(bool in_order) {
 }
 
 void DelayedAck::flush() {
+  UNITES_PROF_S("ack.flush", core_->session_id());
   if (armed_) {
     timer_->cancel();
     armed_ = false;
@@ -41,6 +44,7 @@ void EveryNAck::on_data_received(bool in_order) {
 }
 
 void EveryNAck::flush() {
+  UNITES_PROF_S("ack.flush", core_->session_id());
   since_ack_ = 0;
   fire();
 }

@@ -1,5 +1,7 @@
 #include "tko/sa/connection_mgmt.hpp"
 
+#include "unites/profiler.hpp"
+
 namespace adaptive::tko::sa {
 
 void ConnectionBase::on_attach() {
@@ -66,6 +68,7 @@ void ConnectionBase::abort() {
 }
 
 void ConnectionBase::on_pdu(const Pdu& p) {
+  UNITES_PROF_S("connection.on_pdu", core_->session_id());
   switch (p.type) {
     case PduType::kFin: {
       // Peer closed: acknowledge and close our side.

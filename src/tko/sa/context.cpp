@@ -1,5 +1,6 @@
 #include "tko/sa/context.hpp"
 
+#include "unites/profiler.hpp"
 #include "unites/trace.hpp"
 
 #include <stdexcept>
@@ -33,6 +34,7 @@ void Context::rewire() {
 Mechanism& Context::segue(std::unique_ptr<Mechanism> next) {
   if (next == nullptr) throw std::invalid_argument("Context::segue: null mechanism");
   if (core_ == nullptr) throw std::logic_error("Context::segue: context not attached");
+  UNITES_PROF_S("context.segue", core_->session_id());
   const auto idx = static_cast<std::size_t>(next->slot());
   Mechanism* old = slots_[idx].get();
   if (old == nullptr) throw std::logic_error("Context::segue: slot was never installed");

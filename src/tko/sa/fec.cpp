@@ -1,6 +1,7 @@
 #include "tko/sa/fec.hpp"
 
 #include "tko/sa/seqnum.hpp"
+#include "unites/profiler.hpp"
 
 #include <algorithm>
 
@@ -16,7 +17,9 @@ std::vector<std::uint8_t> FecReliability::to_block(const Message& m, std::size_t
 }
 
 void FecReliability::send_data(Message&& payload) {
+  UNITES_PROF_S("reliability.fec.send_data", core_->session_id());
   const std::uint32_t seq = st_.next_seq++;
+  trace_enqueue(payload, seq);
   ++stats_.data_sent;
   group_payloads_.push_back(payload.clone());
 
@@ -71,6 +74,7 @@ void FecReliability::accept(std::uint32_t seq, Message&& payload) {
 }
 
 void FecReliability::on_data(Pdu&& p, net::NodeId) {
+  UNITES_PROF_S("reliability.fec.on_data", core_->session_id());
   if (p.type == PduType::kFecParity) {
     if (!plausible_data_seq(p.aux)) {
       // A wild group base would purge every live group and fake a

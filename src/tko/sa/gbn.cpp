@@ -2,6 +2,7 @@
 
 #include "tko/sa/seqnum.hpp"
 #include "unites/metric.hpp"
+#include "unites/profiler.hpp"
 #include "unites/trace.hpp"
 
 #include <algorithm>
@@ -39,13 +40,16 @@ void GoBackN::emit_data(std::uint32_t seq, Message payload, bool retransmission)
 }
 
 void GoBackN::send_data(Message&& payload) {
+  UNITES_PROF_S("reliability.gbn.send_data", core_->session_id());
   const std::uint32_t seq = st_.next_seq++;
+  trace_enqueue(payload, seq);
   st_.unacked.emplace(seq, payload.clone());  // lazy copy: shares buffers
   emit_data(seq, std::move(payload), /*retransmission=*/false);
   arm_timer();
 }
 
 std::uint32_t GoBackN::on_ack(const Pdu& p, net::NodeId from) {
+  UNITES_PROF_S("reliability.gbn.on_ack", core_->session_id());
   const std::uint32_t newly = apply_cum_ack(p.ack, from);
   if (newly > 0) {
     retx_timer_->cancel();
@@ -61,6 +65,7 @@ void GoBackN::on_nack(const Pdu& p, net::NodeId) {
 
 void GoBackN::on_timeout() {
   if (st_.unacked.empty()) return;
+  UNITES_PROF_S("reliability.gbn.on_timeout", core_->session_id());
   ++stats_.timeouts;
   rtt_.backoff();
   core_->loss_signal();
@@ -102,6 +107,7 @@ void GoBackN::go_back(std::uint32_t from_seq) {
 
 void GoBackN::on_data(Pdu&& p, net::NodeId) {
   if (p.type != PduType::kData) return;  // go-back-n ignores FEC parity
+  UNITES_PROF_S("reliability.gbn.on_data", core_->session_id());
   if (seq_leq(p.seq, st_.rcv_cum)) {
     ++stats_.duplicates_received;
     // Duplicate: re-ack so a lost ACK cannot stall the sender.

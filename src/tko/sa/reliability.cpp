@@ -4,6 +4,9 @@
 #include "tko/sa/gbn.hpp"
 #include "tko/sa/selective_repeat.hpp"
 #include "tko/sa/seqnum.hpp"
+#include "unites/profiler.hpp"
+#include "unites/spans.hpp"
+#include "unites/trace.hpp"
 
 #include <algorithm>
 
@@ -42,6 +45,14 @@ bool ReliabilityBase::receiver_mark(std::uint32_t seq) {
   }
   st_.rcv_out_of_order.insert(seq);
   return false;
+}
+
+void ReliabilityBase::trace_enqueue(const Message& payload, std::uint32_t seq) const {
+  const std::uint64_t lc = payload.lifecycle();
+  if (lc == 0) return;
+  unites::trace().instant(
+      unites::TraceCategory::kTko, unites::lifecycle::kEnqueue, core_->now(), core_->node_id(),
+      core_->session_id(), unites::pack_unit_seq(static_cast<std::uint32_t>(lc - 1), seq));
 }
 
 void ReliabilityBase::offer_up(std::uint32_t seq, Message&& payload) {
@@ -100,9 +111,11 @@ std::uint32_t ReliabilityBase::apply_cum_ack(std::uint32_t cum, net::NodeId from
 // ---------------------------------------------------------------------------
 
 void NoneReliability::send_data(Message&& payload) {
+  UNITES_PROF_S("reliability.none.send_data", core_->session_id());
   Pdu p;
   p.type = PduType::kData;
   p.seq = st_.next_seq++;
+  trace_enqueue(payload, p.seq);
   p.payload = std::move(payload);
   send_time_[p.seq] = core_->now();
   // Bound the sample map: unacknowledged probes age out.
@@ -125,6 +138,7 @@ std::uint32_t NoneReliability::on_ack(const Pdu& p, net::NodeId from) {
 
 void NoneReliability::on_data(Pdu&& p, net::NodeId) {
   if (p.type != PduType::kData) return;
+  UNITES_PROF_S("reliability.none.on_data", core_->session_id());
   if (!plausible_data_seq(p.seq)) {
     ++stats_.wild_seqs_rejected;
     core_->count("reliability.wild_seq");

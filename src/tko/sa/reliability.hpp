@@ -51,6 +51,10 @@ protected:
   /// Hand an accepted payload to sequencing (or straight up if unwired).
   void offer_up(std::uint32_t seq, Message&& payload);
 
+  /// Whitebox span milestone: a tracked payload entered the reliability
+  /// send path with sequence `seq` (msg.enqueue). No-op when untracked.
+  void trace_enqueue(const Message& payload, std::uint32_t seq) const;
+
   /// Effective cumulative ack across all receivers (multicast: the
   /// minimum; a receiver that has never acked pins it at send_base - 1).
   [[nodiscard]] std::uint32_t effective_cum_ack() const;

@@ -2,6 +2,7 @@
 
 #include "tko/sa/seqnum.hpp"
 #include "unites/metric.hpp"
+#include "unites/profiler.hpp"
 #include "unites/trace.hpp"
 
 #include <algorithm>
@@ -22,7 +23,9 @@ void SelectiveRepeat::arm_timer() {
 }
 
 void SelectiveRepeat::send_data(Message&& payload) {
+  UNITES_PROF_S("reliability.sr.send_data", core_->session_id());
   const std::uint32_t seq = st_.next_seq++;
+  trace_enqueue(payload, seq);
   st_.unacked.emplace(seq, payload.clone());
   deadline_[seq] = core_->now() + rtt_.rto();
   send_time_[seq] = core_->now();
@@ -88,6 +91,7 @@ void SelectiveRepeat::reap_acked() {
 }
 
 std::uint32_t SelectiveRepeat::on_ack(const Pdu& p, net::NodeId from) {
+  UNITES_PROF_S("reliability.sr.on_ack", core_->session_id());
   if (!plausible_ack(p.ack)) {
     // A corrupted ack serially ahead of anything sent would reap unacked
     // PDUs the receiver never got — silent loss. Drop it.
@@ -124,6 +128,7 @@ void SelectiveRepeat::on_nack(const Pdu& p, net::NodeId) {
 }
 
 void SelectiveRepeat::on_timeout() {
+  UNITES_PROF_S("reliability.sr.on_timeout", core_->session_id());
   const sim::SimTime now = core_->now();
   bool any = false;
   for (auto& [seq, t] : deadline_) {
@@ -167,6 +172,7 @@ void SelectiveRepeat::prod() {
 
 void SelectiveRepeat::on_data(Pdu&& p, net::NodeId) {
   if (p.type != PduType::kData) return;
+  UNITES_PROF_S("reliability.sr.on_data", core_->session_id());
   if (!plausible_data_seq(p.seq)) {
     // The NACK scan below is already gap-bounded, but receiver_mark would
     // still buffer a wild far-ahead sequence in rcv_out_of_order forever

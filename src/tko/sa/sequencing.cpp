@@ -1,6 +1,7 @@
 #include "tko/sa/sequencing.hpp"
 
 #include "tko/sa/seqnum.hpp"
+#include "unites/profiler.hpp"
 
 #include <algorithm>
 #include <vector>
@@ -8,6 +9,7 @@
 namespace adaptive::tko::sa {
 
 void PassThrough::offer(std::uint32_t seq, Message&& payload) {
+  UNITES_PROF_S("sequencing.offer", core_->session_id());
   high_water_ = seq_max(high_water_, seq);
   core_->deliver(std::move(payload));
 }
@@ -29,6 +31,7 @@ void PassThrough::restore(SequencingState&& s) {
 }
 
 void Resequencer::offer(std::uint32_t seq, Message&& payload) {
+  UNITES_PROF_S("sequencing.offer", core_->session_id());
   if (seq_lt(seq, state_.next_deliver)) return;  // stale duplicate after segue
   state_.held.emplace(seq, std::move(payload));
   drain();

@@ -7,6 +7,7 @@
 #include "tko/sa/sequencing.hpp"
 #include "tko/sa/transmission_ctrl.hpp"
 
+#include "unites/profiler.hpp"
 #include "unites/trace.hpp"
 
 #include <stdexcept>
@@ -69,6 +70,7 @@ std::unique_ptr<Mechanism> Synthesizer::make_mechanism(MechanismSlot slot,
 }
 
 std::unique_ptr<Context> Synthesizer::synthesize(const SessionConfig& cfg) {
+  UNITES_PROF("mantts.synthesize");
   const TemplateEntry* tpl = cache_ != nullptr ? cache_->lookup(cfg) : nullptr;
   if (tpl != nullptr) {
     // Pre-assembled: planning/validation was done when the template was

@@ -1,6 +1,8 @@
 #include "tko/transport.hpp"
 
 #include "unites/metric.hpp"
+#include "unites/profiler.hpp"
+#include "unites/spans.hpp"
 #include "unites/trace.hpp"
 
 #include <algorithm>
@@ -120,8 +122,13 @@ bool TransportSession::send(Message&& m) {
   }
   if (state_ == SessionState::kIdle) connect();
 
+  UNITES_PROF_S("transport.send", id_);
   unites::trace().instant(unites::TraceCategory::kTko, "tko.submit", now(), node_id(), id_,
                           static_cast<double>(m.size()));
+  if (m.lifecycle() != 0) {
+    unites::trace().instant(unites::TraceCategory::kTko, unites::lifecycle::kSubmit, now(),
+                            node_id(), id_, static_cast<double>(m.lifecycle() - 1));
+  }
 
   // Application -> transport boundary: one user/kernel crossing.
   proto_.host().cpu().run_context_switch(nullptr);
@@ -197,6 +204,7 @@ std::optional<std::string> TransportSession::control(std::string_view op) const 
 
 void TransportSession::pump() {
   if (!ctx_->connection().can_carry_data()) return;
+  UNITES_PROF_S("transport.pump", id_);
   auto& tx = ctx_->transmission();
   auto& rel = ctx_->reliability();
   while (!tx_queue_.empty()) {
@@ -250,8 +258,12 @@ std::uint64_t TransportSession::rx_instr(std::size_t wire_bytes) const {
 }
 
 void TransportSession::emit(Pdu&& p) {
+  UNITES_PROF_S("transport.emit", id_);
   p.session_id = id_;
   p.window = ctx_->transmission().advertised_window();
+  // Read the lifecycle before any config piggyback replaces the payload
+  // message (the prefix Message would otherwise reset it to untracked).
+  const std::uint64_t lifecycle = p.payload.lifecycle();
 
   // Implicit negotiation: piggyback the SCS onto early data PDUs until the
   // peer is known to have seen one (Section 4.1.1). Multicast sessions
@@ -268,6 +280,11 @@ void TransportSession::emit(Pdu&& p) {
   }
 
   record_trace(/*outbound=*/true, p);
+  if (p.type == PduType::kData && lifecycle != 0) {
+    unites::trace().instant(
+        unites::TraceCategory::kTko, unites::lifecycle::kTx, now(), node_id(), id_,
+        unites::pack_unit_seq(static_cast<std::uint32_t>(lifecycle - 1), p.seq));
+  }
   const std::size_t payload_bytes = p.payload.size();
   const PduType type = p.type;
   auto& det = ctx_->detection();
@@ -313,6 +330,7 @@ void TransportSession::handle_packet(net::Packet&& p) {
   const net::NodeId from = p.src.node;
   Message wire = Message::from_bytes(p.payload, &buffers());
   proto_.host().cpu().run(rx_instr(wire_bytes), [this, wire = std::move(wire), from]() mutable {
+    UNITES_PROF_S("transport.rx", id_);
     auto result = decode_pdu(std::move(wire));
     if (result.status == DecodeStatus::kChecksumMismatch) {
       ++stats_.checksum_failures;
@@ -397,6 +415,7 @@ void TransportSession::process_pdu(Pdu&& p, net::NodeId from) {
 // ---- SessionCore callbacks --------------------------------------------------
 
 void TransportSession::deliver(Message&& m) {
+  UNITES_PROF_S("transport.deliver", id_);
   // Transport -> application boundary: one user/kernel crossing.
   proto_.host().cpu().run_context_switch(nullptr);
   note_progress();
@@ -504,6 +523,7 @@ void TransportSession::note_progress() {
 }
 
 void TransportSession::watchdog_check() {
+  UNITES_PROF_S("transport.watchdog", id_);
   wd_armed_ = false;
   if (wd_deadline_ <= sim::SimTime::zero()) return;
   if (!watchdog_outstanding()) {
@@ -561,6 +581,7 @@ std::string TransportSession::render_trace() const {
 // ---- reconfiguration --------------------------------------------------------
 
 void TransportSession::reconfigure(const sa::SessionConfig& next) {
+  UNITES_PROF_S("transport.reconfigure", id_);
   const sa::SessionConfig prev = cfg_;
   cfg_ = next;
   using Slot = sa::MechanismSlot;

@@ -74,9 +74,11 @@ void write_metrics_jsonl(std::ostream& out, const MetricRepository& repo) {
   for (const auto& key : repo.keys()) {
     const auto summary = repo.summary(key);
     if (!summary.has_value()) continue;
+    // The *stored* class, not a fresh classify_metric(name): a metric
+    // recorded with an explicit class keeps it through merge and export.
     out << "{\"host\":" << key.host << ",\"connection\":" << key.connection << ",\"name\":\""
         << json_escape(key.name) << "\",\"class\":\""
-        << (classify_metric(key.name) == MetricClass::kBlackbox ? "blackbox" : "whitebox")
+        << (repo.metric_class(key) == MetricClass::kBlackbox ? "blackbox" : "whitebox")
         << "\",\"count\":" << summary->count << ",\"sum\":" << num(summary->sum)
         << ",\"min\":" << num(summary->min) << ",\"max\":" << num(summary->max)
         << ",\"last\":" << num(summary->last);
@@ -87,6 +89,55 @@ void write_metrics_jsonl(std::ostream& out, const MetricRepository& repo) {
     }
     out << "}\n";
   }
+}
+
+namespace {
+
+void collapsed_lines(std::ostream& out, const std::string& stack, const ProfileNode& n) {
+  const std::string frame = stack.empty() ? n.name : stack + ";" + n.name;
+  out << frame << " " << n.calls << "\n";
+  for (const auto& c : n.children) collapsed_lines(out, frame, c);
+}
+
+void profile_node_json(std::string& out, const ProfileNode& n, bool include_wall) {
+  out += "{\"name\":\"" + json_escape(n.name) + "\"";
+  out += ",\"calls\":" + std::to_string(n.calls);
+  out += ",\"sim_ns\":" + std::to_string(n.sim_ns);
+  if (include_wall) out += ",\"wall_ns\":" + std::to_string(n.wall_ns);
+  out += ",\"children\":[";
+  bool first = true;
+  for (const auto& c : n.children) {
+    if (!first) out += ",";
+    first = false;
+    profile_node_json(out, c, include_wall);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+void write_profile_collapsed(std::ostream& out, const ProfileTree& tree) {
+  for (const auto& root : tree.roots) {
+    // Session roots carry no samples of their own; skip empty sessions so
+    // a detached run collapses to an empty file.
+    for (const auto& c : root.children) collapsed_lines(out, root.name, c);
+  }
+}
+
+std::string profile_to_json(const ProfileTree& tree, bool include_wall) {
+  std::string out = "{\"profile\":[";
+  bool first = true;
+  for (const auto& root : tree.roots) {
+    if (!first) out += ",";
+    first = false;
+    profile_node_json(out, root, include_wall);
+  }
+  out += "]}";
+  return out;
+}
+
+void write_profile_json(std::ostream& out, const ProfileTree& tree, bool include_wall) {
+  out << profile_to_json(tree, include_wall) << "\n";
 }
 
 std::string histogram_to_json(const Histogram& h) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "unites/histogram.hpp"
+#include "unites/profiler.hpp"
 #include "unites/repository.hpp"
 #include "unites/trace.hpp"
 
@@ -31,6 +32,18 @@ void write_metrics_jsonl(std::ostream& out, const MetricRepository& repo);
 /// One JSON object for a single named histogram (used by the bench
 /// harnesses' BENCH_<name>.json summaries).
 [[nodiscard]] std::string histogram_to_json(const Histogram& h);
+
+/// Flamegraph-collapsed profile: one "root;zone;child count" line per
+/// zone, semicolon-separated stack, call count as the sample value
+/// (virtual time inside handlers is zero by design, so calls are the
+/// meaningful flame width). Lines follow the tree's sorted order, so the
+/// output is byte-deterministic.
+void write_profile_collapsed(std::ostream& out, const ProfileTree& tree);
+
+/// Nested-JSON profile. `include_wall` adds the nondeterministic wall_ns
+/// field — leave it off for anything covered by the determinism gate.
+void write_profile_json(std::ostream& out, const ProfileTree& tree, bool include_wall = false);
+[[nodiscard]] std::string profile_to_json(const ProfileTree& tree, bool include_wall = false);
 
 /// Minimal JSON string escaping for names that may contain quotes.
 [[nodiscard]] std::string json_escape(std::string_view s);

@@ -1,0 +1,107 @@
+#include "unites/flight_recorder.hpp"
+
+#include "sim/logging.hpp"
+#include "unites/export.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace adaptive::unites {
+
+namespace {
+
+// Re-render metrics JSONL ("{...}\n{...}\n") as a JSON array body.
+std::string jsonl_to_array(const std::string& jsonl) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = jsonl.size();
+    if (nl > pos) {
+      if (!out.empty()) out += ",";
+      out += jsonl.substr(pos, nl - pos);
+    }
+    pos = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void FlightRecorder::write_bundle(std::ostream& out, const FlightBundle& b) {
+  out << "{\"seed\":" << b.seed << ",\"reason\":\"" << json_escape(b.reason) << "\"";
+
+  out << ",\"violations\":[";
+  bool first = true;
+  for (const auto& v : b.violations) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"rule\":\"" << json_escape(v.rule) << "\",\"zone\":\"" << json_escape(v.zone)
+        << "\",\"detail\":\"" << json_escape(v.detail) << "\"}";
+  }
+  out << "]";
+
+  out << ",\"session_config\":\"" << json_escape(b.session_config) << "\"";
+  out << ",\"context\":\"" << json_escape(b.context) << "\"";
+  out << ",\"fault_plan\":\"" << json_escape(b.fault_plan) << "\"";
+  out << ",\"chaos_plan\":\"" << json_escape(b.chaos_plan) << "\"";
+
+  out << ",\"counters\":[" << jsonl_to_array(b.metrics_jsonl) << "]";
+
+  out << ",\"open_spans\":[";
+  first = true;
+  for (const auto& s : b.open_spans) {
+    if (!first) out << ",";
+    first = false;
+    out << span_to_json(s);
+  }
+  out << "],\"spans_total\":" << b.spans_total;
+
+  // Canonical bundles never include wall time: a bundle must be
+  // byte-identical between serial and parallel sweeps of the same seed.
+  out << ",\"profile\":" << profile_to_json(b.profile, /*include_wall=*/false);
+
+  out << ",\"trace\":[";
+  first = true;
+  for (const auto& e : b.trace) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"t\":" << e.when.ns() << ",\"cat\":\"" << to_string(e.category) << "\",\"name\":\""
+        << json_escape(e.name) << "\",\"node\":" << e.node << ",\"session\":" << e.session
+        << ",\"value\":";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", e.value);
+    out << buf;
+    if (e.detail != nullptr) out << ",\"detail\":\"" << json_escape(e.detail) << "\"";
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+std::string FlightRecorder::dump(const FlightBundle& b) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("FlightRecorder: cannot create '" + dir_ + "': " + ec.message());
+  }
+  const std::string path =
+      (std::filesystem::path(dir_) / ("flight-seed" + std::to_string(b.seed) + ".json")).string();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("FlightRecorder: cannot write '" + path + "'");
+  write_bundle(out, b);
+  out.close();
+
+  std::string rules;
+  for (const auto& v : b.violations) {
+    if (!rules.empty()) rules += ",";
+    rules += v.rule;
+  }
+  sim::Logger::log(sim::LogLevel::kWarn, sim::SimTime::zero(), "unites.flight",
+                   "wrote " + path + " (" + b.reason + (rules.empty() ? "" : ": " + rules) + ")");
+  return path;
+}
+
+}  // namespace adaptive::unites

@@ -71,6 +71,13 @@ inline constexpr const char* kWatchdogStall = "watchdog.stall";
 inline constexpr const char* kWatchdogProd = "watchdog.prod";
 inline constexpr const char* kWatchdogRecoveryNs = "watchdog.recovery_ns";  ///< histogram-backed
 inline constexpr const char* kWatchdogEscalations = "watchdog.escalation";
+/// Per-message lifecycle breakdown (whitebox profiler, DESIGN §11): where
+/// one application message's end-to-end latency went. All histogram-backed
+/// and derived from assembled message spans, keyed by source host/session.
+inline constexpr const char* kMsgQueueNs = "msg.queue_ns";    ///< submit -> first wire tx
+inline constexpr const char* kMsgTxNs = "msg.tx_ns";          ///< last tx -> sink delivery
+inline constexpr const char* kMsgRetxNs = "msg.retx_ns";      ///< first tx -> last (re)tx
+inline constexpr const char* kMsgPlayoutHoldNs = "msg.playout_hold_ns";  ///< deliver -> play
 }  // namespace metrics
 
 [[nodiscard]] MetricClass classify_metric(std::string_view name);

@@ -5,6 +5,12 @@
 namespace adaptive::unites {
 
 void MetricRepository::record(const MetricKey& key, sim::SimTime when, double value) {
+  record(key, when, value, classify_metric(key.name));
+}
+
+void MetricRepository::record(const MetricKey& key, sim::SimTime when, double value,
+                              MetricClass cls) {
+  classes_.try_emplace(key, cls);  // first explicit choice wins
   auto& stored = data_[key];
   stored.samples.push_back(Sample{when, value});
   if (stored.samples.size() > cap_) {
@@ -50,7 +56,15 @@ void MetricRepository::merge(const MetricRepository& other) {
     s.last = theirs.last;
   }
   for (const auto& [key, h] : other.histograms_) histograms_[key].merge(h);
+  // Carry the metric class: without this a merged repository forgets any
+  // explicit classification and exporters fall back to name heuristics.
+  for (const auto& [key, cls] : other.classes_) classes_.try_emplace(key, cls);
   total_samples_ += other.total_samples_;
+}
+
+MetricClass MetricRepository::metric_class(const MetricKey& key) const {
+  auto it = classes_.find(key);
+  return it == classes_.end() ? classify_metric(key.name) : it->second;
 }
 
 const Series* MetricRepository::series(const MetricKey& key) const {

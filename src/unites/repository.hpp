@@ -30,7 +30,16 @@ public:
   explicit MetricRepository(std::size_t max_samples_per_series = 65'536)
       : cap_(max_samples_per_series) {}
 
+  /// Record one sample. The key's metric class defaults to
+  /// classify_metric(key.name); pass `cls` to pin it explicitly (free-form
+  /// metric names the classifier has never heard of). The class sticks to
+  /// the key: later records and merges keep the first explicit choice.
   void record(const MetricKey& key, sim::SimTime when, double value);
+  void record(const MetricKey& key, sim::SimTime when, double value, MetricClass cls);
+
+  /// The stored class for `key` (survives merge); falls back to
+  /// classify_metric for keys recorded before class storage existed.
+  [[nodiscard]] MetricClass metric_class(const MetricKey& key) const;
 
   /// Fold another repository into this one: per-key series are appended
   /// (then aged to this repository's cap), summaries combine (count/sum/
@@ -68,6 +77,7 @@ public:
     data_.clear();
     summaries_.clear();
     histograms_.clear();
+    classes_.clear();
     total_samples_ = 0;
   }
 
@@ -79,6 +89,7 @@ private:
   std::map<MetricKey, Stored> data_;
   std::map<MetricKey, SeriesSummary> summaries_;
   std::map<MetricKey, Histogram> histograms_;
+  std::map<MetricKey, MetricClass> classes_;
   std::uint64_t total_samples_ = 0;
 };
 

@@ -1,0 +1,158 @@
+#include "unites/spans.hpp"
+
+#include "unites/export.hpp"
+#include "unites/metric.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+namespace adaptive::unites {
+
+std::vector<MessageSpan> assemble_spans(const std::vector<TraceEvent>& events) {
+  std::map<std::uint32_t, MessageSpan> by_unit;
+  // Per-unit set of sequence numbers already seen on the wire: a repeated
+  // (unit, seq) emission is a retransmission.
+  std::map<std::uint32_t, std::set<std::uint32_t>> txed;
+
+  auto span_of = [&](std::uint32_t unit) -> MessageSpan& {
+    auto [it, fresh] = by_unit.try_emplace(unit);
+    if (fresh) it->second.unit = unit;
+    return it->second;
+  };
+
+  for (const auto& e : events) {
+    if (std::strcmp(e.name, lifecycle::kSubmit) == 0) {
+      MessageSpan& s = span_of(static_cast<std::uint32_t>(e.value));
+      s.submit_ns = e.when.ns();
+      s.session = e.session;
+      s.src = e.node;
+    } else if (std::strcmp(e.name, lifecycle::kEnqueue) == 0) {
+      std::uint32_t unit = 0, seq = 0;
+      unpack_unit_seq(e.value, unit, seq);
+      MessageSpan& s = span_of(unit);
+      if (s.enqueue_ns < 0) s.enqueue_ns = e.when.ns();
+    } else if (std::strcmp(e.name, lifecycle::kTx) == 0) {
+      std::uint32_t unit = 0, seq = 0;
+      unpack_unit_seq(e.value, unit, seq);
+      MessageSpan& s = span_of(unit);
+      const std::int64_t t = e.when.ns();
+      if (s.first_tx_ns < 0) s.first_tx_ns = t;
+      if (t > s.last_tx_ns) s.last_tx_ns = t;
+      if (txed[unit].insert(seq).second) {
+        ++s.segments;
+      } else {
+        ++s.retx;
+      }
+    } else if (std::strcmp(e.name, "app.deliver") == 0) {
+      // Existing sink event: session field carries the unit id (the
+      // lifecycle id does not cross the wire; the UnitHeader does).
+      MessageSpan& s = span_of(e.session);
+      s.deliver_ns = e.when.ns();
+    } else if (std::strcmp(e.name, "app.playout") == 0) {
+      MessageSpan& s = span_of(e.session);
+      s.playout_ns = e.when.ns();
+    }
+  }
+
+  std::vector<MessageSpan> out;
+  out.reserve(by_unit.size());
+  for (auto& [unit, s] : by_unit) {
+    // A span with only receiver-side milestones (trace ring wrapped past
+    // the submit) still reports what it saw.
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void record_span_breakdown(const std::vector<MessageSpan>& spans, MetricRepository& repo) {
+  for (const auto& s : spans) {
+    if (s.open() || s.submit_ns < 0 || s.first_tx_ns < 0) continue;
+    const MetricKey queue{s.src, s.session, metrics::kMsgQueueNs};
+    const MetricKey tx{s.src, s.session, metrics::kMsgTxNs};
+    const MetricKey retx{s.src, s.session, metrics::kMsgRetxNs};
+    const sim::SimTime when(s.deliver_ns);
+    repo.record(queue, when, static_cast<double>(s.queue_ns()), MetricClass::kWhitebox);
+    repo.record(tx, when, static_cast<double>(s.tx_ns()), MetricClass::kWhitebox);
+    repo.record(retx, when, static_cast<double>(s.retx_ns()), MetricClass::kWhitebox);
+    if (s.playout_ns >= 0) {
+      const MetricKey hold{s.src, s.session, metrics::kMsgPlayoutHoldNs};
+      repo.record(hold, sim::SimTime(s.playout_ns), static_cast<double>(s.playout_hold_ns()),
+                  MetricClass::kWhitebox);
+    }
+  }
+}
+
+namespace {
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string async_id(const MessageSpan& s) {
+  std::string out = "s";
+  out += std::to_string(s.seed);
+  out += ".u";
+  out += std::to_string(s.unit);
+  return out;
+}
+
+void async_event(std::ostream& out, bool& first, const char* ph, const MessageSpan& s,
+                 std::int64_t t_ns, const char* name) {
+  if (t_ns < 0) return;
+  if (!first) out << ",";
+  first = false;
+  out << "{\"ph\":\"" << ph << "\",\"cat\":\"msg\",\"id\":\"" << async_id(s) << "\",\"name\":\""
+      << name << "\",\"pid\":" << s.src << ",\"tid\":" << s.session
+      << ",\"ts\":" << num(static_cast<double>(t_ns) / 1e3);
+  if (ph[0] == 'n') out << ",\"args\":{\"unit\":" << s.unit << ",\"retx\":" << s.retx << "}";
+  out << "}";
+}
+}  // namespace
+
+void write_spans_chrome(std::ostream& out, const std::vector<MessageSpan>& spans) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    const std::int64_t start = s.submit_ns >= 0 ? s.submit_ns : s.deliver_ns;
+    async_event(out, first, "b", s, start, "msg");
+    async_event(out, first, "n", s, s.enqueue_ns, "enqueue");
+    async_event(out, first, "n", s, s.first_tx_ns, "tx");
+    if (s.retx > 0) async_event(out, first, "n", s, s.last_tx_ns, "retx");
+    async_event(out, first, "n", s, s.deliver_ns, "deliver");
+    async_event(out, first, "n", s, s.playout_ns, "playout");
+    // Open spans (undelivered messages) end at their last known milestone
+    // so the track renders; the flight recorder lists them explicitly.
+    std::int64_t end = s.playout_ns;
+    if (end < 0) end = s.deliver_ns;
+    if (end < 0) end = s.last_tx_ns;
+    if (end < 0) end = s.enqueue_ns;
+    if (end < 0) end = s.submit_ns;
+    async_event(out, first, "e", s, end, "msg");
+  }
+  out << "]}\n";
+}
+
+std::string span_to_json(const MessageSpan& s) {
+  std::string out = "{";
+  out += "\"seed\":" + std::to_string(s.seed);
+  out += ",\"unit\":" + std::to_string(s.unit);
+  out += ",\"session\":" + std::to_string(s.session);
+  out += ",\"src\":" + std::to_string(s.src);
+  out += ",\"submit_ns\":" + std::to_string(s.submit_ns);
+  out += ",\"enqueue_ns\":" + std::to_string(s.enqueue_ns);
+  out += ",\"first_tx_ns\":" + std::to_string(s.first_tx_ns);
+  out += ",\"last_tx_ns\":" + std::to_string(s.last_tx_ns);
+  out += ",\"segments\":" + std::to_string(s.segments);
+  out += ",\"retx\":" + std::to_string(s.retx);
+  out += ",\"deliver_ns\":" + std::to_string(s.deliver_ns);
+  out += ",\"playout_ns\":" + std::to_string(s.playout_ns);
+  out += std::string(",\"open\":") + (s.open() ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+}  // namespace adaptive::unites

@@ -1,0 +1,88 @@
+// Causal message-lifecycle spans: stitch the flat UNITES trace stream back
+// into one record per application message.
+//
+// Every message a SourceApp submits carries a lifecycle id (the unit id,
+// threaded through tko::Message so segmentation and retransmission keep
+// the association). The transport and reliability layers emit lifecycle
+// milestones — msg.submit, msg.enqueue, msg.tx — on the sender, and the
+// existing app.deliver / new app.playout events mark the receiver end.
+// SpanAssembler folds a shard's trace into MessageSpans: submit →
+// enqueue → first tx → (retx*) → deliver → playout, with a per-message
+// latency breakdown (queueing vs transmission vs retransmission vs
+// playout hold) that feeds whitebox MetricKeys.
+//
+// Determinism: spans derive only from virtual-time trace events, so a
+// sweep's span list — and its Chrome async-event export — is byte-
+// identical for any --jobs, like the trace stream itself.
+#pragma once
+
+#include "unites/repository.hpp"
+#include "unites/trace.hpp"
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace adaptive::unites {
+
+// Lifecycle milestone event names (sender side). app.deliver/app.playout
+// close spans on the receiver side.
+namespace lifecycle {
+inline constexpr const char* kSubmit = "msg.submit";    ///< value = unit id
+inline constexpr const char* kEnqueue = "msg.enqueue";  ///< value = pack_unit_seq
+inline constexpr const char* kTx = "msg.tx";            ///< value = pack_unit_seq
+}  // namespace lifecycle
+
+/// Pack (unit id, sequence number) into one trace-event double. Both are
+/// 32-bit, so the product stays under 2^53 and the encoding is exact.
+[[nodiscard]] constexpr double pack_unit_seq(std::uint32_t unit, std::uint32_t seq) {
+  return static_cast<double>(unit) * 4294967296.0 + static_cast<double>(seq);
+}
+inline void unpack_unit_seq(double v, std::uint32_t& unit, std::uint32_t& seq) {
+  const auto bits = static_cast<std::uint64_t>(v);
+  unit = static_cast<std::uint32_t>(bits >> 32);
+  seq = static_cast<std::uint32_t>(bits);
+}
+
+/// One application message's assembled lifecycle. Times are virtual
+/// nanoseconds; -1 marks a milestone never observed.
+struct MessageSpan {
+  std::uint64_t seed = 0;  ///< filled by the sweep engine
+  std::uint32_t unit = 0;  ///< SourceApp unit id (lifecycle id - 1)
+  std::uint32_t session = 0;
+  net::NodeId src = 0;
+  std::int64_t submit_ns = -1;
+  std::int64_t enqueue_ns = -1;   ///< first segment handed to reliability
+  std::int64_t first_tx_ns = -1;  ///< first wire emission of any segment
+  std::int64_t last_tx_ns = -1;   ///< last wire (re)emission
+  std::uint32_t segments = 0;     ///< distinct sequence numbers observed
+  std::uint32_t retx = 0;         ///< re-emissions beyond each segment's first
+  std::int64_t deliver_ns = -1;   ///< app.deliver at the sink
+  std::int64_t playout_ns = -1;   ///< app.playout (isochronous sinks only)
+
+  [[nodiscard]] bool open() const { return deliver_ns < 0; }
+  [[nodiscard]] std::int64_t queue_ns() const { return first_tx_ns - submit_ns; }
+  [[nodiscard]] std::int64_t retx_ns() const { return last_tx_ns - first_tx_ns; }
+  [[nodiscard]] std::int64_t tx_ns() const { return deliver_ns - last_tx_ns; }
+  [[nodiscard]] std::int64_t playout_hold_ns() const { return playout_ns - deliver_ns; }
+};
+
+/// Fold one shard's trace stream (one seed) into spans, ordered by unit
+/// id. Events from other subsystems are ignored.
+[[nodiscard]] std::vector<MessageSpan> assemble_spans(const std::vector<TraceEvent>& events);
+
+/// Record the per-message latency breakdown of every *delivered* span into
+/// `repo` as whitebox metrics (msg.queue_ns / msg.tx_ns / msg.retx_ns /
+/// msg.playout_hold_ns), keyed by the span's source host and session.
+void record_span_breakdown(const std::vector<MessageSpan>& spans, MetricRepository& repo);
+
+/// Chrome trace_event async spans ("b"/"n"/"e" phases): one async track
+/// per message, id scoped by seed, with instant milestones for tx/deliver/
+/// playout. Loadable in chrome://tracing / Perfetto alongside the flat
+/// trace. Byte-deterministic for a deterministic span list.
+void write_spans_chrome(std::ostream& out, const std::vector<MessageSpan>& spans);
+
+/// One JSON object per span (diagnostics + flight-recorder bundles).
+[[nodiscard]] std::string span_to_json(const MessageSpan& s);
+
+}  // namespace adaptive::unites

@@ -16,6 +16,8 @@
 #include "adaptive/sweep.hpp"
 #include "unites/export.hpp"
 #include "unites/presentation.hpp"
+#include "unites/profiler.hpp"
+#include "unites/spans.hpp"
 #include "unites/spec_language.hpp"
 #include "unites/trace.hpp"
 
@@ -48,6 +50,9 @@ struct CliOptions {
   bool trace = false;
   std::string trace_out;
   std::string metrics_out;
+  std::string profile_out;
+  std::string span_out;
+  std::string flight_dir;
 };
 
 void usage() {
@@ -86,7 +91,19 @@ void usage() {
       "  --trace-out <f>  write a Chrome trace_event JSON file (open in\n"
       "                   Perfetto / chrome://tracing) of all subsystem events\n"
       "  --metrics-out <f>  write the UNITES repository as JSONL (one metric\n"
-      "                   per line, with histogram percentiles)\n");
+      "                   per line, with histogram percentiles)\n"
+      "  --profile-out <f>  enable the whitebox profiler and write the zone\n"
+      "                   tree as flamegraph-collapsed text to <f> plus JSON\n"
+      "                   to <f>.json (sweeps merge per-seed trees in seed\n"
+      "                   order; the merged output is --jobs independent)\n"
+      "  --span-out <f>   assemble causal message-lifecycle spans\n"
+      "                   (submit->enqueue->tx->deliver->playout) and write\n"
+      "                   them as Chrome async trace events to <f>; also\n"
+      "                   records msg.queue/tx/retx latency breakdowns\n"
+      "  --flight-recorder-dir <d>  arm the post-mortem flight recorder:\n"
+      "                   any seed that violates a delivery invariant (or\n"
+      "                   stalls unrecovered) dumps a JSON evidence bundle\n"
+      "                   to <d>/flight-seed<seed>.json\n");
 }
 
 std::optional<app::Table1App> parse_app(const std::string& s) {
@@ -171,6 +188,9 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--spec") opt.spec_path = v;
     else if (arg == "--trace-out") opt.trace_out = v;
     else if (arg == "--metrics-out") opt.metrics_out = v;
+    else if (arg == "--profile-out") opt.profile_out = v;
+    else if (arg == "--span-out") opt.span_out = v;
+    else if (arg == "--flight-recorder-dir") opt.flight_dir = v;
     else if (arg == "--members") {
       std::istringstream in(v);
       std::string tok;
@@ -245,7 +265,9 @@ int main(int argc, char** argv) {
   }
 
   // --- sweep mode: one independent world per seed, merged UNITES view ---
-  if (!cli->seeds.empty() || cli->jobs > 1 || cli->chaos > 0) {
+  // A flight recorder implies sweep machinery even for one seed: the
+  // bundle writer lives on the shard path.
+  if (!cli->seeds.empty() || cli->jobs > 1 || cli->chaos > 0 || !cli->flight_dir.empty()) {
     SweepConfig sc;
     if (!cli->seeds.empty()) {
       std::string err;
@@ -271,6 +293,9 @@ int main(int argc, char** argv) {
     sc.base.collect_metrics = true;  // the merged report is the product
     sc.jobs = cli->jobs;
     sc.capture_trace = !cli->trace_out.empty();
+    sc.capture_profile = !cli->profile_out.empty();
+    sc.capture_spans = !cli->span_out.empty();
+    sc.flight_recorder_dir = cli->flight_dir;
     sc.chaos = cli->chaos;
     if (cli->chaos > 0 && *mode == RunOptions::Mode::kMantttsAdaptive && opt.rules.empty()) {
       sc.base.rules = mantts::PolicyEngine::fault_recovery_rules();
@@ -339,12 +364,47 @@ int main(int argc, char** argv) {
       std::printf("metrics   : %zu series -> %s\n", res.merged.series_count(),
                   cli->metrics_out.c_str());
     }
+    if (sc.capture_profile) {
+      std::ofstream pf(cli->profile_out);
+      if (!pf) {
+        std::fprintf(stderr, "cannot write profile file %s\n", cli->profile_out.c_str());
+        return 1;
+      }
+      // Canonical exports: virtual time only, so the file is --jobs
+      // independent.
+      unites::write_profile_collapsed(pf, res.profile);
+      std::ofstream pj(cli->profile_out + ".json");
+      if (!pj) {
+        std::fprintf(stderr, "cannot write profile file %s.json\n", cli->profile_out.c_str());
+        return 1;
+      }
+      unites::write_profile_json(pj, res.profile, /*include_wall=*/false);
+      std::printf("profile   : %zu zones -> %s (+ .json)\n", res.profile.zone_count(),
+                  cli->profile_out.c_str());
+    }
+    if (sc.capture_spans) {
+      std::ofstream sf(cli->span_out);
+      if (!sf) {
+        std::fprintf(stderr, "cannot write span file %s\n", cli->span_out.c_str());
+        return 1;
+      }
+      unites::write_spans_chrome(sf, res.spans);
+      std::printf("spans     : %zu message lifecycles -> %s (open in Perfetto)\n",
+                  res.spans.size(), cli->span_out.c_str());
+    }
+    if (!sc.flight_recorder_dir.empty()) {
+      std::printf("flight rec: %zu bundle(s) in %s\n", res.flight_bundles,
+                  sc.flight_recorder_dir.c_str());
+    }
     return violations > 0 ? 2 : 0;
   }
 
   // Enable the structured trace before any simulation object exists so
   // session synthesis and connection setup are on the timeline too.
-  if (!cli->trace_out.empty()) unites::trace().enable();
+  if (!cli->trace_out.empty() || !cli->span_out.empty()) unites::trace().enable();
+  // Same for the whitebox profiler: the World binds its scheduler as the
+  // virtual clock at construction.
+  if (!cli->profile_out.empty()) unites::Profiler::current().enable();
 
   World world(factory);
   if (cli->fail_link_at >= 0.0 && !world.topology().scenario_links.empty()) {
@@ -433,6 +493,36 @@ int main(int argc, char** argv) {
     unites::write_metrics_jsonl(mf, world.repository());
     std::printf("metrics   : %zu series -> %s\n", world.repository().series_count(),
                 cli->metrics_out.c_str());
+  }
+  if (!cli->profile_out.empty()) {
+    const unites::ProfileTree tree = unites::Profiler::current().snapshot();
+    std::ofstream pf(cli->profile_out);
+    if (!pf) {
+      std::fprintf(stderr, "cannot write profile file %s\n", cli->profile_out.c_str());
+      return 1;
+    }
+    unites::write_profile_collapsed(pf, tree);
+    std::ofstream pj(cli->profile_out + ".json");
+    if (!pj) {
+      std::fprintf(stderr, "cannot write profile file %s.json\n", cli->profile_out.c_str());
+      return 1;
+    }
+    // Single run: wall time is the perf signal, include it.
+    unites::write_profile_json(pj, tree, /*include_wall=*/true);
+    std::printf("profile   : %zu zones -> %s (+ .json, with wall time)\n", tree.zone_count(),
+                cli->profile_out.c_str());
+  }
+  if (!cli->span_out.empty()) {
+    auto spans = unites::assemble_spans(unites::trace().snapshot());
+    for (auto& s : spans) s.seed = cli->seed;
+    std::ofstream sf(cli->span_out);
+    if (!sf) {
+      std::fprintf(stderr, "cannot write span file %s\n", cli->span_out.c_str());
+      return 1;
+    }
+    unites::write_spans_chrome(sf, spans);
+    std::printf("spans     : %zu message lifecycles -> %s (open in Perfetto)\n", spans.size(),
+                cli->span_out.c_str());
   }
   return 0;
 }
