@@ -144,6 +144,22 @@ int main(int argc, char** argv) {
                     recovery.count() > 0 ? recovery.p99() : 0.0);
   report.scalar("qos_pass_seeds", static_cast<double>(qos_pass));
   report.scalar("flight_bundles", static_cast<double>(parallel.flight_bundles));
+
+  // Resource trajectories (DESIGN §12): memory pinned per session and copy
+  // cost per message under adversarial faults, summed over the sweep.
+  std::uint64_t shw = 0, sessions = 0, copies = 0, units_sent = 0;
+  for (const auto& r : parallel.runs) {
+    shw += r.session_high_water_bytes;
+    sessions += r.sessions;
+    copies += r.copies;
+    units_sent += r.units_sent;
+  }
+  report.trajectory("mem.bytes_per_session",
+                    static_cast<double>(shw) /
+                        static_cast<double>(std::max<std::uint64_t>(1, sessions)));
+  report.trajectory("os.copies_per_msg",
+                    static_cast<double>(copies) /
+                        static_cast<double>(std::max<std::uint64_t>(1, units_sent)));
   report.write();
   return pass ? 0 : 1;
 }

@@ -90,6 +90,20 @@ int main() {
                 static_cast<double>(session->context().reliability().stats().retransmissions));
   report.scalar("policy.firings", static_cast<double>(world.mantts(0).stats().policy_firings));
   report.scalar("segues", static_cast<double>(session->context().reconfigurations()));
+
+  // Resource plane (DESIGN §12): memory and copy cost per unit of work,
+  // snapshotted while the session is still live. These are the scalars
+  // the zero-copy roadmap item gates on.
+  const unites::ResourceSnapshot resource = world.resource_snapshot();
+  const double live_sessions = static_cast<double>(std::max<std::size_t>(1, resource.sessions.size()));
+  const double units = static_cast<double>(std::max<std::uint64_t>(1, source.stats().units_sent));
+  std::printf("[resource]         pool high-water=%llu B, session high-water=%llu B, copies=%llu\n",
+              static_cast<unsigned long long>(resource.pool_high_water_bytes()),
+              static_cast<unsigned long long>(resource.session_high_water_bytes()),
+              static_cast<unsigned long long>(resource.total_copies()));
+  report.trajectory("mem.bytes_per_session",
+                    static_cast<double>(resource.session_high_water_bytes()) / live_sessions);
+  report.trajectory("os.copies_per_msg", static_cast<double>(resource.total_copies()) / units);
   report.write();
 
   world.mantts(0).close_session(*session);

@@ -16,8 +16,10 @@
 #include "unites/analysis.hpp"
 #include "unites/collector.hpp"
 #include "unites/profiler.hpp"
+#include "unites/sampler.hpp"
 
 #include <chrono>
+#include <optional>
 
 using namespace adaptive;
 
@@ -115,6 +117,62 @@ ProfiledRun best_profiled(bool enabled) {
   return best;
 }
 
+struct SampledRun {
+  double wall_us_per_pdu = 0;
+  sim::SimTime virtual_completion = sim::SimTime::zero();
+  std::uint64_t samples = 0;    ///< periodic snapshots taken
+  std::size_t points = 0;       ///< timeline points flattened from them
+};
+
+/// Resource plane cost: the same transfer with the time-series Sampler
+/// detached (accounting counters still run — they are always on) and with
+/// a 10 ms resource timeline attached.
+SampledRun run_sampled(bool enabled) {
+  World world([](sim::EventScheduler& s) { return net::make_fddi_ring(s, 4, 95); });
+  auto& session =
+      world.transport(0).open({world.transport_address(1)}, tko::sa::reliable_bulk_config());
+  world.transport(1).set_acceptor([](tko::TransportSession& s) {
+    s.set_deliver([](tko::Message&&) {});
+  });
+
+  std::optional<unites::Sampler> sampler;
+  if (enabled) {
+    unites::Sampler::Config cfg;
+    cfg.period = sim::SimTime::milliseconds(10);
+    sampler.emplace(world.host(0).timers(), cfg,
+                    [&world] { return world.resource_snapshot(); });
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  session.send(tko::Message::from_bytes(std::vector<std::uint8_t>(2'000'000, 3),
+                                        &world.host(0).buffers()));
+  world.run_for(sim::SimTime::seconds(10));
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  SampledRun r;
+  const std::uint64_t pdus = session.stats().pdus_sent + session.stats().pdus_received;
+  r.wall_us_per_pdu =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0).count()) /
+      1e3 / static_cast<double>(pdus == 0 ? 1 : pdus);
+  r.virtual_completion = world.now();
+  if (sampler.has_value()) {
+    r.samples = sampler->samples_taken();
+    r.points = sampler->timeline().size();
+    sampler->cancel();
+  }
+  return r;
+}
+
+SampledRun best_sampled(bool enabled) {
+  SampledRun best = run_sampled(enabled);
+  for (int i = 0; i < 2; ++i) {
+    const SampledRun r = run_sampled(enabled);
+    if (r.wall_us_per_pdu < best.wall_us_per_pdu) best = r;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main() {
@@ -159,6 +217,27 @@ int main() {
               overhead_pct, prof_virtual_ok ? "yes" : "NO", detached_silent ? "yes" : "NO");
   const bool prof_pass = prof_virtual_ok && detached_silent && overhead_pct < 5.0;
 
+  std::printf("\n-- resource sampler overhead: same transfer, 10 ms timeline --\n\n");
+  const SampledRun unsampled = best_sampled(false);
+  const SampledRun sampled = best_sampled(true);
+  const bool samp_virtual_ok = unsampled.virtual_completion == sampled.virtual_completion;
+  const double samp_overhead_pct =
+      unsampled.wall_us_per_pdu > 0
+          ? (sampled.wall_us_per_pdu - unsampled.wall_us_per_pdu) / unsampled.wall_us_per_pdu *
+                100
+          : 0;
+  unites::TextTable st({"sampler", "wall us/PDU (min of 3)", "snapshots", "timeline points"});
+  st.add_row({"detached", bench::fmt(unsampled.wall_us_per_pdu, 3),
+              std::to_string(unsampled.samples), std::to_string(unsampled.points)});
+  st.add_row({"10 ms period", bench::fmt(sampled.wall_us_per_pdu, 3),
+              std::to_string(sampled.samples), std::to_string(sampled.points)});
+  std::printf("%s", st.render().c_str());
+  std::printf("\noverhead enabled: %+.2f%% (budget < 5%%)  virtual identical: %s  "
+              "snapshots taken: %llu\n",
+              samp_overhead_pct, samp_virtual_ok ? "yes" : "NO",
+              static_cast<unsigned long long>(sampled.samples));
+  const bool samp_pass = samp_virtual_ok && sampled.samples > 0 && samp_overhead_pct < 5.0;
+
   std::printf("\n-- repository service rates --\n\n");
   unites::MetricRepository repo;
   const unites::MetricKey key{1, 1, "x"};
@@ -194,6 +273,12 @@ int main() {
   report.scalar("profiler.overhead_pct", overhead_pct);
   report.scalar("profiler.scopes_entered", static_cast<double>(profiled.scopes_entered));
   report.scalar("profiler.pass", prof_pass ? 1.0 : 0.0);
+  report.scalar("sampler.detached_us_per_pdu", unsampled.wall_us_per_pdu);
+  report.scalar("sampler.enabled_us_per_pdu", sampled.wall_us_per_pdu);
+  report.scalar("sampler.overhead_pct", samp_overhead_pct);
+  report.scalar("sampler.snapshots", static_cast<double>(sampled.samples));
+  report.scalar("sampler.timeline_points", static_cast<double>(sampled.points));
+  report.scalar("sampler.pass", samp_pass ? 1.0 : 0.0);
   // Distribution of repository record cost, sampled per batch of 1k.
   auto& d = report.dist("record.batch_us");
   unites::MetricRepository repo2;
@@ -212,5 +297,9 @@ int main() {
               "overhead<5%% %s -> %s\n",
               prof_virtual_ok ? "yes" : "NO", detached_silent ? "yes" : "NO",
               overhead_pct < 5.0 ? "yes" : "NO", prof_pass ? "PASS" : "FAIL");
-  return prof_pass ? 0 : 1;
+  std::printf("acceptance: sampler virtual-identity %s, snapshots>0 %s, "
+              "overhead<5%% %s -> %s\n",
+              samp_virtual_ok ? "yes" : "NO", sampled.samples > 0 ? "yes" : "NO",
+              samp_overhead_pct < 5.0 ? "yes" : "NO", samp_pass ? "PASS" : "FAIL");
+  return prof_pass && samp_pass ? 0 : 1;
 }

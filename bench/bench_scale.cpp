@@ -28,9 +28,15 @@ struct Measured {
   std::size_t jobs = 0;
   double wall_sec = 0.0;
   std::uint64_t trace_digest = 0;
-  std::string metrics_fingerprint;  ///< canonical JSONL of the merged repo
+  std::string metrics_fingerprint;   ///< canonical JSONL of the merged repo
+  std::string timeline_fingerprint;  ///< canonical JSONL of the merged timeline
   std::size_t qos_pass = 0;
   std::uint64_t total_samples = 0;
+  /// Resource plane, summed over all seeds (trajectory numerators).
+  std::uint64_t session_high_water_bytes = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t units_sent = 0;
 };
 
 Measured run_at(std::size_t jobs, std::size_t n_seeds) {
@@ -48,6 +54,7 @@ Measured run_at(std::size_t jobs, std::size_t n_seeds) {
   for (std::uint64_t s = 1; s <= n_seeds; ++s) sc.seeds.push_back(s);
   sc.jobs = jobs;
   sc.capture_trace = true;
+  sc.capture_timeline = true;
 
   const auto t0 = std::chrono::steady_clock::now();
   const SweepResult res = run_sweep(sc);
@@ -61,7 +68,16 @@ Measured run_at(std::size_t jobs, std::size_t n_seeds) {
   std::ostringstream jsonl;
   unites::write_metrics_jsonl(jsonl, res.merged);
   m.metrics_fingerprint = jsonl.str();
-  for (const auto& r : res.runs) m.qos_pass += r.qos_pass ? 1 : 0;
+  std::ostringstream tl;
+  unites::write_timeline_jsonl(tl, res.timeline);
+  m.timeline_fingerprint = tl.str();
+  for (const auto& r : res.runs) {
+    m.qos_pass += r.qos_pass ? 1 : 0;
+    m.session_high_water_bytes += r.session_high_water_bytes;
+    m.sessions += r.sessions;
+    m.copies += r.copies;
+    m.units_sent += r.units_sent;
+  }
   return m;
 }
 
@@ -104,6 +120,7 @@ int main(int argc, char** argv) {
   for (const Measured& m : runs) {
     if (m.trace_digest != runs.front().trace_digest ||
         m.metrics_fingerprint != runs.front().metrics_fingerprint ||
+        m.timeline_fingerprint != runs.front().timeline_fingerprint ||
         m.total_samples != runs.front().total_samples ||
         m.qos_pass != runs.front().qos_pass) {
       deterministic = false;
@@ -111,6 +128,16 @@ int main(int argc, char** argv) {
     }
   }
   report.scalar("deterministic", deterministic ? 1.0 : 0.0);
+
+  // Resource trajectories (DESIGN §12), from the serial reference run:
+  // virtual-time deterministic, so the baseline holds under any sanitizer.
+  const Measured& serial = runs.front();
+  report.trajectory("mem.bytes_per_session",
+                    static_cast<double>(serial.session_high_water_bytes) /
+                        static_cast<double>(std::max<std::uint64_t>(1, serial.sessions)));
+  report.trajectory("os.copies_per_msg",
+                    static_cast<double>(serial.copies) /
+                        static_cast<double>(std::max<std::uint64_t>(1, serial.units_sent)));
 
   const double speedup = runs.front().wall_sec / runs.back().wall_sec;
   report.trajectory("speedup_8v1", speedup);

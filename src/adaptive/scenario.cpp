@@ -119,6 +119,17 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
     injector->arm(*opt.faults);
   }
 
+  // --- resource timeline sampling ---------------------------------------
+  // Driven by host 0's virtual clock, so the timeline is a pure function
+  // of (scenario, seed) — identical for any sweep job count.
+  std::optional<unites::Sampler> sampler;
+  if (opt.timeline_period > sim::SimTime::zero()) {
+    unites::Sampler::Config scfg;
+    scfg.period = opt.timeline_period;
+    sampler.emplace(world.host(0).timers(), scfg,
+                    [&world] { return world.resource_snapshot(); });
+  }
+
   // --- drive the workload -----------------------------------------------
   app::SourceApp source(*session, std::move(wl.model), world.host(opt.src).timers(),
                         opt.duration);
@@ -166,6 +177,17 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   out.reconfigurations = session->context().reconfigurations();
   if (opt.trace > 0) out.trace_text = session->render_trace();
   out.sender_cpu_instructions = world.host(opt.src).cpu().stats().instructions;
+
+  // Resource plane: final snapshot while sessions are still alive, plus
+  // the periodic timeline (closed with one harvest-time sample so even a
+  // run shorter than the period carries a point).
+  out.resource = world.resource_snapshot();
+  if (opt.collect_metrics) out.resource.record_into(world.repository());
+  if (sampler.has_value()) {
+    sampler->sample_now();
+    sampler->cancel();
+    out.timeline = sampler->take_timeline();
+  }
 
   // Termination phase.
   if (opt.mode == RunOptions::Mode::kManntts || opt.mode == RunOptions::Mode::kMantttsAdaptive) {

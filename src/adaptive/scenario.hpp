@@ -10,6 +10,7 @@
 #include "baseline/baselines.hpp"
 #include "net/fault_injector.hpp"
 #include "sim/fault_plan.hpp"
+#include "unites/sampler.hpp"
 
 #include <optional>
 
@@ -46,6 +47,9 @@ struct RunOptions {
   /// Record the sender session's PDU interpreter trace (last `trace`
   /// entries) into RunOutcome::trace_text.
   std::size_t trace = 0;
+  /// > zero: attach a unites::Sampler snapshotting the resource plane at
+  /// this virtual-time period into RunOutcome::timeline (DESIGN §12).
+  sim::SimTime timeline_period = sim::SimTime::zero();
 };
 
 struct RunOutcome {
@@ -73,6 +77,11 @@ struct RunOutcome {
   InvariantReport oracle;
   bool refused = false;
   std::string trace_text;  ///< rendered interpreter trace (when requested)
+  /// Resource-plane snapshot taken at harvest time, before the session
+  /// closes (so per-session gauges are still live). Always captured.
+  unites::ResourceSnapshot resource;
+  /// Periodic resource timeline (empty unless opt.timeline_period > 0).
+  unites::Timeline timeline;
 };
 
 [[nodiscard]] RunOutcome run_scenario(World& world, const RunOptions& opt);

@@ -43,6 +43,7 @@ struct ShardUnit {
   SweepRunSummary summary;
   unites::ProfileTree profile;
   std::vector<unites::MessageSpan> spans;
+  unites::Timeline timeline;
   bool flight_dumped = false;
 };
 
@@ -175,13 +176,14 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     World world(cfg.topology(seed));
     RunOptions opt = cfg.base;
     opt.seed = seed;
+    if (cfg.capture_timeline) opt.timeline_period = cfg.timeline_period;
     if (cfg.chaos > 0) {
       const sim::ChaosProfile prof =
           size_chaos_profile(cfg.chaos_profile, world, opt, cfg.chaos);
       opt.faults = sim::ChaosPlanGenerator(prof).generate(seed);
       unit.summary.chaos_plan = opt.faults->describe();
     }
-    const RunOutcome outcome = run_scenario(world, opt);
+    RunOutcome outcome = run_scenario(world, opt);
 
     std::vector<unites::MessageSpan> spans;
     if (cfg.capture_spans || flight_armed) {
@@ -211,6 +213,17 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     unit.summary.reconfigurations = outcome.reconfigurations;
     unit.summary.violations = outcome.oracle.violations.size();
     if (!outcome.oracle.ok()) unit.summary.violation_detail = outcome.oracle.describe();
+    unit.summary.copies = outcome.resource.total_copies();
+    unit.summary.copied_bytes = outcome.resource.total_copied_bytes();
+    unit.summary.allocations = outcome.resource.total_allocations();
+    unit.summary.pool_high_water_bytes = outcome.resource.pool_high_water_bytes();
+    unit.summary.session_high_water_bytes = outcome.resource.session_high_water_bytes();
+    unit.summary.sessions = outcome.resource.sessions.size();
+    unit.summary.units_sent = outcome.source.units_sent;
+    if (cfg.capture_timeline) {
+      unit.timeline = std::move(outcome.timeline);
+      for (auto& p : unit.timeline) p.seed = seed;
+    }
 
     // Post-mortem: the shard that observed the failure ships the bundle
     // (seed-named file — parallel shards never contend on a path).
@@ -234,6 +247,7 @@ SweepResult run_sweep(const SweepConfig& cfg) {
       std::ostringstream metrics;
       unites::write_metrics_jsonl(metrics, unit.repo);
       bundle.metrics_jsonl = metrics.str();
+      bundle.resource_json = outcome.resource.to_json();
       bundle.trace = recorder.snapshot();
       for (const auto& s : spans) {
         if (s.open()) bundle.open_spans.push_back(s);
@@ -254,6 +268,8 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     out.runs.push_back(unit.summary);
     if (cfg.capture_profile) out.profile.merge(unit.profile);
     out.spans.insert(out.spans.end(), unit.spans.begin(), unit.spans.end());
+    out.timeline.insert(out.timeline.end(), std::make_move_iterator(unit.timeline.begin()),
+                        std::make_move_iterator(unit.timeline.end()));
     if (unit.flight_dumped) ++out.flight_bundles;
   }
   out.trace_digest = trace_digest(out.trace);

@@ -55,6 +55,13 @@ struct SweepConfig {
   /// off) and record per-message latency-breakdown metrics.
   bool capture_spans = false;
 
+  /// Attach a unites::Sampler to every shard (period `timeline_period`)
+  /// and merge the per-seed resource timelines in canonical seed order,
+  /// each point stamped with its seed — jobs=1 and jobs=8 are
+  /// byte-identical (DESIGN §12).
+  bool capture_timeline = false;
+  sim::SimTime timeline_period = sim::SimTime::milliseconds(100);
+
   /// Non-empty: arm a post-mortem flight recorder. Any seed whose run
   /// violates a delivery invariant — or stalls without recovering — dumps
   /// a JSON bundle to this directory (one file per seed).
@@ -87,6 +94,14 @@ struct SweepRunSummary {
   std::uint64_t violations = 0;
   std::string violation_detail;  ///< oracle describe(); empty when clean
   std::string chaos_plan;        ///< generated plan text (chaos mode only)
+  /// Resource plane (harvest-time snapshot; see unites/resource.hpp).
+  std::uint64_t copies = 0;
+  std::uint64_t copied_bytes = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t pool_high_water_bytes = 0;
+  std::uint64_t session_high_water_bytes = 0;
+  std::uint64_t sessions = 0;   ///< live sessions at harvest
+  std::uint64_t units_sent = 0; ///< source units (denominator for copies/msg)
 };
 
 /// Size a chaos profile to a concrete world + run: targets only links the
@@ -115,6 +130,9 @@ struct SweepResult {
   /// All shard message spans concatenated in seed order, each stamped with
   /// its seed. Empty unless capture_spans.
   std::vector<unites::MessageSpan> spans;
+  /// All shard resource timelines concatenated in seed order, each point
+  /// stamped with its seed. Empty unless capture_timeline.
+  unites::Timeline timeline;
   /// Flight-recorder bundles written during this sweep.
   std::size_t flight_bundles = 0;
 };

@@ -39,6 +39,15 @@ World::World(const TopologyFactory& make_topology, const os::CpuConfig& cpu,
   }
 }
 
+unites::ResourceSnapshot World::resource_snapshot() const {
+  unites::ResourceSnapshot snap;
+  snap.when = sched_.now();
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    snap.capture_host(*hosts_[i], i < transports_.size() ? transports_[i] : nullptr);
+  }
+  return snap;
+}
+
 void World::enable_host_collectors(sim::SimTime period) {
   if (!host_collectors_.empty()) return;
   for (auto& h : hosts_) {

@@ -12,6 +12,7 @@
 #include "tko/transport.hpp"
 #include "unites/collector.hpp"
 #include "unites/repository.hpp"
+#include "unites/resource.hpp"
 
 #include <functional>
 #include <memory>
@@ -49,6 +50,11 @@ public:
   /// Attach a UNITES HostCollector to every host: per-host CPU and
   /// buffer-copy series land in the shared repository (systemwide view).
   void enable_host_collectors(sim::SimTime period = sim::SimTime::milliseconds(100));
+
+  /// Resource-plane snapshot (DESIGN §12): every host's buffer-pool
+  /// counters plus every live session's pinned-byte gauge, stamped with
+  /// the current virtual time.
+  [[nodiscard]] unites::ResourceSnapshot resource_snapshot() const;
 
   /// Advance virtual time.
   void run_for(sim::SimTime dt) { sched_.run_until(sched_.now() + dt); }

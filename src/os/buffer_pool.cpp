@@ -1,5 +1,7 @@
 #include "os/buffer_pool.hpp"
 
+#include <algorithm>
+
 namespace adaptive::os {
 
 BufferRef BufferPool::allocate(std::size_t size) {
@@ -11,8 +13,18 @@ BufferRef BufferPool::allocate(std::size_t size) {
   }
   ++stats_.allocations;
   stats_.allocated_bytes += actual;
-  auto buf = std::make_shared<Buffer>(actual);
-  return buf;
+  stats_.high_water_bytes = std::max(stats_.high_water_bytes, live_bytes());
+
+  // The deleter routes the free into the shared ledger. Worlds are
+  // shard-local (one thread), so the counter update needs no
+  // synchronization; the shared_ptr keeps the ledger valid even if a
+  // buffer outlives its pool.
+  const std::shared_ptr<Ledger> ledger = ledger_;
+  return BufferRef(new Buffer(actual), [ledger, actual](Buffer* b) {
+    ++ledger->frees;
+    ledger->freed_bytes += actual;
+    delete b;
+  });
 }
 
 }  // namespace adaptive::os

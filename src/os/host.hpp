@@ -36,6 +36,7 @@ public:
 
   [[nodiscard]] CpuModel& cpu() { return cpu_; }
   [[nodiscard]] BufferPool& buffers() { return buffers_; }
+  [[nodiscard]] const BufferPool& buffers() const { return buffers_; }
   [[nodiscard]] TimerFacility& timers() { return timers_; }
   [[nodiscard]] Nic& nic() { return nic_; }
   [[nodiscard]] net::Network& network() { return net_; }

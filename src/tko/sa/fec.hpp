@@ -31,6 +31,15 @@ public:
 
   [[nodiscard]] bool all_acked() const override { return true; }  // nothing retained
   [[nodiscard]] std::uint32_t in_flight() const override { return 0; }
+  [[nodiscard]] std::size_t buffered_bytes() const override {
+    std::size_t n = 0;  // open sender group + unresolved receiver groups
+    for (const auto& m : group_payloads_) n += m.size();
+    for (const auto& [base, g] : rx_groups_) {
+      for (const auto& [seq, m] : g.data) n += m.size();
+      n += g.parity.size();
+    }
+    return n;
+  }
   void on_close_drain() override { emit_parity(); }
 
   void restore(ReliabilityState&& s) override;

@@ -241,6 +241,10 @@ public:
   [[nodiscard]] virtual bool all_acked() const = 0;
   /// PDUs in flight (sent, unacknowledged) — transmission control input.
   [[nodiscard]] virtual std::uint32_t in_flight() const = 0;
+  /// Payload bytes this scheme currently pins (retransmission store,
+  /// partial FEC groups) — per-session memory-accounting gauge (DESIGN
+  /// §12).
+  [[nodiscard]] virtual std::size_t buffered_bytes() const { return 0; }
 
   [[nodiscard]] const ReliabilityStats& stats() const { return stats_; }
 
@@ -314,6 +318,9 @@ public:
 
   /// Data units currently buffered awaiting order.
   [[nodiscard]] virtual std::size_t held() const = 0;
+
+  /// Payload bytes buffered awaiting order (memory-accounting gauge).
+  [[nodiscard]] virtual std::size_t held_bytes() const { return 0; }
 
   [[nodiscard]] virtual SequencingState snapshot() = 0;
   virtual void restore(SequencingState&& s) = 0;

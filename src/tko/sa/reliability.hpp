@@ -31,6 +31,11 @@ public:
   [[nodiscard]] std::uint32_t in_flight() const override {
     return static_cast<std::uint32_t>(st_.unacked.size());
   }
+  [[nodiscard]] std::size_t buffered_bytes() const override {
+    std::size_t n = 0;
+    for (const auto& [seq, m] : st_.unacked) n += m.size();
+    return n;
+  }
 
   [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
 

@@ -33,6 +33,11 @@ public:
   void offer(std::uint32_t seq, Message&& payload) override;
   void gap_skip(std::uint32_t next_expected) override;
   [[nodiscard]] std::size_t held() const override { return state_.held.size(); }
+  [[nodiscard]] std::size_t held_bytes() const override {
+    std::size_t n = 0;
+    for (const auto& [seq, m] : state_.held) n += m.size();
+    return n;
+  }
 
   [[nodiscard]] SequencingState snapshot() override;
   void restore(SequencingState&& s) override;

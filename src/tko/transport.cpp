@@ -161,6 +161,7 @@ bool TransportSession::send(Message&& m) {
   tx_queue_.push_back(std::move(m));
   pump();
   arm_watchdog();
+  note_memory();
   return true;
 }
 
@@ -230,6 +231,24 @@ void TransportSession::pump() {
     stats_.bytes_sent += bytes;
   }
   check_close_drain();
+  note_memory();
+}
+
+std::size_t TransportSession::live_bytes() const {
+  // Everything this session pins on behalf of the application: unsent
+  // TSDUs, the partial reassembly, retransmission/FEC retention, and
+  // resequencer holds. Wire copies in flight belong to the network, not
+  // the session.
+  std::size_t n = rx_assembly_.size();
+  for (const auto& m : tx_queue_) n += m.size();
+  n += ctx_->reliability().buffered_bytes();
+  n += ctx_->sequencing().held_bytes();
+  return n;
+}
+
+void TransportSession::note_memory() {
+  stats_.live_bytes_high_water =
+      std::max<std::uint64_t>(stats_.live_bytes_high_water, live_bytes());
 }
 
 void TransportSession::tx_ready() { pump(); }
@@ -342,6 +361,7 @@ void TransportSession::handle_packet(net::Packet&& p) {
       return;
     }
     process_pdu(std::move(result.pdu), from);
+    note_memory();
   });
 }
 

@@ -46,6 +46,11 @@ struct TransportSessionStats {
   std::uint64_t reassembly_desyncs = 0;   ///< wild TSDU length prefixes dropped
   std::uint64_t watchdog_stalls = 0;      ///< deadlines elapsed with no progress
   std::uint64_t watchdog_recoveries = 0;  ///< stalls that later made progress
+  /// Peak of live_bytes() over the session's life — the per-session memory
+  /// footprint the resource telemetry plane tracks (DESIGN §12). Sampled
+  /// at the send/receive choke points, so transient intra-event spikes
+  /// between them are not observed.
+  std::uint64_t live_bytes_high_water = 0;
   sim::SimTime connect_started = sim::SimTime::zero();
   sim::SimTime established_at = sim::SimTime::zero();
 };
@@ -85,6 +90,12 @@ public:
   [[nodiscard]] sa::Context& context() { return *ctx_; }
   [[nodiscard]] const TransportSessionStats& stats() const { return stats_; }
   [[nodiscard]] os::Host& host();
+
+  /// Payload bytes this session currently pins: queued TSDUs, partial
+  /// TSDU reassembly, the reliability scheme's retransmission/FEC
+  /// buffers, and resequencer holds. The per-session live-memory gauge
+  /// the UNITES Sampler and resource snapshots read (DESIGN §12).
+  [[nodiscard]] std::size_t live_bytes() const;
 
   /// Packet handed over by the protocol demultiplexer. Charges receive-
   /// side CPU before protocol processing.
@@ -140,6 +151,7 @@ public:
 private:
   void process_pdu(Pdu&& p, net::NodeId from);
   void pump();
+  void note_memory();
   void check_close_drain();
   void note_progress();
   void arm_watchdog();
@@ -209,6 +221,12 @@ public:
 
   [[nodiscard]] TransportSession* find_session(std::uint32_t id);
   void destroy_session(std::uint32_t id);
+
+  /// Visit every live session (resource snapshots, sweep harvests).
+  template <typename Fn>
+  void for_each_session(Fn&& fn) const {
+    for (const auto& [id, s] : sessions_) fn(*s);
+  }
 
   [[nodiscard]] os::Host& host() { return host_; }
   [[nodiscard]] net::PortId port() const { return port_; }

@@ -78,7 +78,7 @@ void write_metrics_jsonl(std::ostream& out, const MetricRepository& repo) {
     // recorded with an explicit class keeps it through merge and export.
     out << "{\"host\":" << key.host << ",\"connection\":" << key.connection << ",\"name\":\""
         << json_escape(key.name) << "\",\"class\":\""
-        << (repo.metric_class(key) == MetricClass::kBlackbox ? "blackbox" : "whitebox")
+        << metric_class_name(repo.metric_class(key))
         << "\",\"count\":" << summary->count << ",\"sum\":" << num(summary->sum)
         << ",\"min\":" << num(summary->min) << ",\"max\":" << num(summary->max)
         << ",\"last\":" << num(summary->last);

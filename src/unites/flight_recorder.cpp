@@ -51,6 +51,8 @@ void FlightRecorder::write_bundle(std::ostream& out, const FlightBundle& b) {
 
   out << ",\"counters\":[" << jsonl_to_array(b.metrics_jsonl) << "]";
 
+  out << ",\"resource\":" << (b.resource_json.empty() ? "null" : b.resource_json);
+
   out << ",\"open_spans\":[";
   first = true;
   for (const auto& s : b.open_spans) {

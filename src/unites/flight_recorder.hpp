@@ -49,6 +49,9 @@ struct FlightBundle {
   std::string chaos_plan;      ///< generated chaos plan text (chaos mode)
   /// Mechanism counters: pre-rendered metrics JSONL (one object per line).
   std::string metrics_jsonl;
+  /// Resource-plane snapshot at harvest time: pre-rendered JSON object
+  /// (ResourceSnapshot::to_json()), empty when not captured.
+  std::string resource_json;
   std::vector<TraceEvent> trace;  ///< last-N ring at shard end
   std::vector<MessageSpan> open_spans;
   std::uint64_t spans_total = 0;  ///< all assembled spans, open + closed

@@ -2,11 +2,49 @@
 
 namespace adaptive::unites {
 
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
 MetricClass classify_metric(std::string_view name) {
   if (name == metrics::kThroughputBps || name == metrics::kLatencyNs) {
     return MetricClass::kBlackbox;
   }
+  if (name.substr(0, 4) == "mem.") return MetricClass::kResource;
   return MetricClass::kWhitebox;
+}
+
+std::string_view metric_unit(std::string_view name) {
+  if (name == metrics::kLatencyNs || name == metrics::kJitterNs) return "ns";
+  if (ends_with(name, "_ns")) return "ns";
+  if (ends_with(name, "_bytes")) return "bytes";
+  if (name == metrics::kThroughputBps) return "bps";
+  return {};
+}
+
+bool unit_suffix_ok(std::string_view name) {
+  // The two dotted legacy names predate the suffix discipline and are the
+  // only sanctioned exceptions; everything else must either carry a
+  // recognised suffix or contain no unit-like token at all.
+  if (name == metrics::kLatencyNs || name == metrics::kJitterNs ||
+      name == metrics::kThroughputBps) {
+    return true;
+  }
+  if (ends_with(name, "_ns") || ends_with(name, "_bytes") || ends_with(name, "_bps")) {
+    return true;
+  }
+  // Reject names that talk about bytes/time without the canonical suffix
+  // ("bytes_sent", "mem.live", "foo.nsec", "duration_ms", ...).
+  if (name.find("byte") != std::string_view::npos) return false;
+  if (ends_with(name, "_ms") || ends_with(name, "_us") || ends_with(name, "_sec") ||
+      ends_with(name, ".ns") || ends_with(name, "_nsec")) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace adaptive::unites

@@ -17,7 +17,13 @@
 
 namespace adaptive::unites {
 
-enum class MetricClass : std::uint8_t { kBlackbox, kWhitebox };
+enum class MetricClass : std::uint8_t {
+  kBlackbox,
+  kWhitebox,
+  /// Resource-plane metrics (DESIGN §12): memory, allocation, and copy
+  /// accounting sampled from the OS layer rather than protocol events.
+  kResource,
+};
 
 struct MetricKey {
   net::NodeId host = 0;
@@ -78,8 +84,36 @@ inline constexpr const char* kMsgQueueNs = "msg.queue_ns";    ///< submit -> fir
 inline constexpr const char* kMsgTxNs = "msg.tx_ns";          ///< last tx -> sink delivery
 inline constexpr const char* kMsgRetxNs = "msg.retx_ns";      ///< first tx -> last (re)tx
 inline constexpr const char* kMsgPlayoutHoldNs = "msg.playout_hold_ns";  ///< deliver -> play
+/// Resource plane (DESIGN §12): copy/alloc/memory accounting. The mem.*
+/// gauges snapshot pool and session state; the others are cumulative.
+inline constexpr const char* kPoolAllocations = "mem.pool_allocations";
+inline constexpr const char* kPoolAllocatedBytes = "mem.pool_allocated_bytes";
+inline constexpr const char* kPoolFrees = "mem.pool_frees";
+inline constexpr const char* kPoolLiveBytes = "mem.pool_live_bytes";
+inline constexpr const char* kPoolHighWaterBytes = "mem.pool_high_water_bytes";
+inline constexpr const char* kPoolCopiedBytes = "mem.pool_copied_bytes";
+inline constexpr const char* kPoolWastedBytes = "mem.pool_wasted_bytes";
+inline constexpr const char* kSessionLiveBytes = "mem.session_live_bytes";
+inline constexpr const char* kSessionHighWaterBytes = "mem.session_high_water_bytes";
 }  // namespace metrics
 
 [[nodiscard]] MetricClass classify_metric(std::string_view name);
+
+[[nodiscard]] constexpr const char* metric_class_name(MetricClass c) {
+  switch (c) {
+    case MetricClass::kBlackbox: return "blackbox";
+    case MetricClass::kResource: return "resource";
+    case MetricClass::kWhitebox: break;
+  }
+  return "whitebox";
+}
+
+/// Unit-suffix discipline for exported metric names: anything measuring
+/// bytes ends in "_bytes", anything measuring time ends in "_ns" (one
+/// blackbox legacy exception, "latency.ns"). Returns empty for unitless
+/// counters. unit_suffix_ok() is the exporter-consistency check the
+/// telemetry regression test runs over every exported name.
+[[nodiscard]] std::string_view metric_unit(std::string_view name);
+[[nodiscard]] bool unit_suffix_ok(std::string_view name);
 
 }  // namespace adaptive::unites

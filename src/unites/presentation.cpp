@@ -78,7 +78,7 @@ std::string render_connection_report(const MetricRepository& repo, net::NodeId h
     // Percentiles come from the full-run histogram, not the (aged) series.
     const Histogram* h = repo.histogram(key);
     table.add_row({key.name,
-                   classify_metric(key.name) == MetricClass::kBlackbox ? "blackbox" : "whitebox",
+                   metric_class_name(classify_metric(key.name)),
                    std::to_string(st.count), format_si(st.mean), format_si(st.min),
                    format_si(st.max), format_si(st.stddev),
                    h != nullptr ? format_si(h->p50()) : "-",

@@ -1,0 +1,296 @@
+#include "unites/regression.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace adaptive::unites {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader over the exporters' own output.
+class JsonReader {
+public:
+  JsonReader(std::string_view text, BenchReportData& out) : s_(text), out_(out) {}
+
+  void run() {
+    skip_ws();
+    value("");
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+  }
+
+private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("bench report parse error at byte " + std::to_string(pos_) + ": " +
+                             what);
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail("unexpected character");
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        c = next();
+        switch (c) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Preserve the escape verbatim; report keys never use it.
+            out += "\\u";
+            for (int i = 0; i < 4; ++i) out += next();
+            break;
+          default: out += c; break;
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  void value(const std::string& path) {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      object(path);
+    } else if (c == '[') {
+      array();
+    } else if (c == '"') {
+      const std::string s = string_lit();
+      if (path == "bench") out_.bench = s;
+    } else if (c == 't') {
+      literal("true");
+    } else if (c == 'f') {
+      literal("false");
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      number(path);
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (next() != *p) fail("bad literal");
+    }
+  }
+
+  void number(const std::string& path) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                                s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    const std::string text(s_.substr(start, pos_ - start));
+    try {
+      const double v = std::stod(text);
+      if (!path.empty()) out_.values[path] = v;
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  void object(const std::string& path) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = string_lit();
+      skip_ws();
+      expect(':');
+      value(path.empty() ? key : path + "." + key);
+      skip_ws();
+      const char c = next();
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  void array() {
+    // Arrays (distribution buckets, trace samples) carry no regression
+    // scalars; walk them for syntax but record nothing.
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      value("");
+      skip_ws();
+      const char c = next();
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  BenchReportData& out_;
+};
+
+bool matches(std::string_view pattern, std::string_view key) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    const auto prefix = pattern.substr(0, pattern.size() - 1);
+    return key.substr(0, prefix.size()) == prefix;
+  }
+  return pattern == key;
+}
+
+}  // namespace
+
+std::map<std::string, double> BenchReportData::section(std::string_view name) const {
+  std::map<std::string, double> out;
+  const std::string prefix = std::string(name) + ".";
+  for (const auto& [k, v] : values) {
+    if (k.size() > prefix.size() && k.compare(0, prefix.size(), prefix) == 0) {
+      out.emplace(k.substr(prefix.size()), v);
+    }
+  }
+  return out;
+}
+
+BenchReportData parse_bench_report(std::string_view json) {
+  BenchReportData out;
+  JsonReader(json, out).run();
+  return out;
+}
+
+double ToleranceSpec::tol_for(std::string_view key) const {
+  double best = default_rel_tol;
+  std::size_t best_len = 0;
+  bool found = false;
+  for (const auto& [pattern, tol] : rules) {
+    if (matches(pattern, key) && (!found || pattern.size() >= best_len)) {
+      best = tol;
+      best_len = pattern.size();
+      found = true;
+    }
+  }
+  return best;
+}
+
+ToleranceSpec ToleranceSpec::parse(std::string_view text, double default_rel_tol) {
+  ToleranceSpec spec;
+  spec.default_rel_tol = default_rel_tol;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    // Trim and split "<pattern> <tol>".
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+    const auto space = line.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      throw std::runtime_error("tolerance rule needs '<key> <tol>': " + std::string(line));
+    }
+    const std::string pattern(line.substr(0, space));
+    const std::string tol_text(line.substr(line.find_first_not_of(" \t", space)));
+    try {
+      spec.rules.emplace_back(pattern, std::stod(tol_text));
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad tolerance value: " + tol_text);
+    }
+  }
+  return spec;
+}
+
+DiffResult diff_reports(const BenchReportData& baseline, const BenchReportData& candidate,
+                        const ToleranceSpec& tol, std::string_view prefix) {
+  DiffResult out;
+  for (const auto& [key, base] : baseline.values) {
+    if (!prefix.empty() && key.compare(0, prefix.size(), prefix) != 0) continue;
+    const double t = tol.tol_for(key);
+    if (t < 0) continue;  // explicitly ignored
+    DiffEntry e;
+    e.key = key;
+    e.baseline = base;
+    e.tol = t;
+    const auto it = candidate.values.find(key);
+    if (it == candidate.values.end()) {
+      e.missing = true;
+      e.ok = false;
+    } else {
+      e.candidate = it->second;
+      const double delta = std::fabs(e.candidate - base);
+      if (delta == 0.0) {
+        e.rel_delta = 0.0;
+      } else if (base == 0.0) {
+        e.rel_delta = std::numeric_limits<double>::infinity();
+      } else {
+        e.rel_delta = delta / std::fabs(base);
+      }
+      e.ok = e.rel_delta <= t;
+    }
+    if (!e.ok) out.ok = false;
+    out.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, v] : candidate.values) {
+    if (!prefix.empty() && key.compare(0, prefix.size(), prefix) != 0) continue;
+    if (baseline.values.find(key) == baseline.values.end()) out.added.push_back(key);
+  }
+  return out;
+}
+
+std::string render_diff(const DiffResult& d) {
+  std::string out;
+  char buf[256];
+  for (const auto& e : d.entries) {
+    if (e.missing) {
+      std::snprintf(buf, sizeof buf, "FAIL %-48s baseline=%.6g MISSING in candidate\n",
+                    e.key.c_str(), e.baseline);
+    } else {
+      std::snprintf(buf, sizeof buf, "%s %-48s baseline=%.6g candidate=%.6g delta=%.2f%% tol=%.2f%%\n",
+                    e.ok ? "ok  " : "FAIL", e.key.c_str(), e.baseline, e.candidate,
+                    e.rel_delta * 100.0, e.tol * 100.0);
+    }
+    out += buf;
+  }
+  for (const auto& k : d.added) {
+    out += "new  " + k + " (absent from baseline)\n";
+  }
+  return out;
+}
+
+}  // namespace adaptive::unites

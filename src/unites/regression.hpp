@@ -1,0 +1,76 @@
+// Perf-regression tracking (DESIGN §12): compare two bench reports.
+//
+// Every bench harness writes a BENCH_<name>.json with "scalars" (may
+// include wall-clock figures) and "trajectory" (virtual-time-derived,
+// deterministic — the north-star metrics ROADMAP tracks). bench_diff
+// parses a committed baseline and a fresh candidate, compares each
+// numeric key against a per-scalar relative-tolerance band, and fails
+// when anything drifts out of band or disappears. CI runs it against
+// baselines under bench/baselines/, so a regression in bytes/session or
+// copies/message turns red before it merges.
+//
+// The parser is a deliberately minimal recursive-descent JSON reader —
+// just enough for the reports our own exporters emit (objects, arrays,
+// strings, numbers, bools, null); it flattens numeric leaves into
+// dotted keys ("trajectory.mem.bytes_per_session").
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptive::unites {
+
+/// Flattened numeric view of one BENCH_<name>.json report.
+struct BenchReportData {
+  std::string bench;                        ///< the report's "bench" field
+  std::map<std::string, double> values;     ///< dotted-key numeric leaves
+  /// Keys under `section` ("scalars", "trajectory", ...), names relative
+  /// to the section.
+  [[nodiscard]] std::map<std::string, double> section(std::string_view name) const;
+};
+
+/// Parse a report; throws std::runtime_error on malformed JSON.
+[[nodiscard]] BenchReportData parse_bench_report(std::string_view json);
+
+/// Per-scalar tolerance bands. Text format, one rule per line:
+///   <key-or-prefix*> <relative-tolerance>
+/// '#' starts a comment. The most specific matching rule wins (longest
+/// pattern); keys with no rule use default_rel_tol. A tolerance of -1
+/// means "ignore this key entirely".
+struct ToleranceSpec {
+  double default_rel_tol = 0.05;
+  std::vector<std::pair<std::string, double>> rules;
+
+  [[nodiscard]] double tol_for(std::string_view key) const;
+  [[nodiscard]] static ToleranceSpec parse(std::string_view text, double default_rel_tol);
+};
+
+struct DiffEntry {
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_delta = 0.0;  ///< |c-b| / |b| (infinity when b == 0 != c)
+  double tol = 0.0;
+  bool missing = false;  ///< key present in baseline, absent in candidate
+  bool ok = true;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  ///< baseline-key order
+  std::vector<std::string> added;  ///< candidate keys absent from baseline (informational)
+  bool ok = true;
+};
+
+/// Compare every baseline key in `prefix` (e.g. "trajectory."; empty =
+/// all numeric keys) against the candidate.
+[[nodiscard]] DiffResult diff_reports(const BenchReportData& baseline,
+                                      const BenchReportData& candidate,
+                                      const ToleranceSpec& tol, std::string_view prefix);
+
+/// Human-readable table of the diff, one line per entry, out-of-band
+/// lines marked "FAIL".
+[[nodiscard]] std::string render_diff(const DiffResult& d);
+
+}  // namespace adaptive::unites

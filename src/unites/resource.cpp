@@ -1,0 +1,119 @@
+#include "unites/resource.hpp"
+
+#include "os/host.hpp"
+#include "tko/transport.hpp"
+
+namespace adaptive::unites {
+
+void ResourceSnapshot::capture_host(const os::Host& host,
+                                    const tko::AdaptiveTransport* transport) {
+  HostPoolResource hp;
+  hp.host = host.node_id();
+  hp.pool = host.buffers().stats();
+  hosts.push_back(hp);
+  if (transport == nullptr) return;
+  transport->for_each_session([this, &host](const tko::TransportSession& s) {
+    SessionResource sr;
+    sr.host = host.node_id();
+    sr.session = s.id();
+    sr.live_bytes = s.live_bytes();
+    sr.high_water_bytes = s.stats().live_bytes_high_water;
+    sessions.push_back(sr);
+  });
+}
+
+std::uint64_t ResourceSnapshot::total_copies() const {
+  std::uint64_t n = 0;
+  for (const auto& h : hosts) n += h.pool.copies;
+  return n;
+}
+
+std::uint64_t ResourceSnapshot::total_copied_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& h : hosts) n += h.pool.copied_bytes;
+  return n;
+}
+
+std::uint64_t ResourceSnapshot::total_allocations() const {
+  std::uint64_t n = 0;
+  for (const auto& h : hosts) n += h.pool.allocations;
+  return n;
+}
+
+std::uint64_t ResourceSnapshot::total_allocated_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& h : hosts) n += h.pool.allocated_bytes;
+  return n;
+}
+
+std::uint64_t ResourceSnapshot::pool_high_water_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& h : hosts) n += h.pool.high_water_bytes;
+  return n;
+}
+
+std::uint64_t ResourceSnapshot::session_live_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions) n += s.live_bytes;
+  return n;
+}
+
+std::uint64_t ResourceSnapshot::session_high_water_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sessions) n += s.high_water_bytes;
+  return n;
+}
+
+void ResourceSnapshot::record_into(MetricRepository& repo) const {
+  const auto rec = [&](net::NodeId host, std::uint32_t conn, const char* name,
+                       std::uint64_t v) {
+    repo.record(MetricKey{host, conn, name}, when, static_cast<double>(v),
+                MetricClass::kResource);
+  };
+  for (const auto& h : hosts) {
+    rec(h.host, 0, metrics::kPoolAllocations, h.pool.allocations);
+    rec(h.host, 0, metrics::kPoolAllocatedBytes, h.pool.allocated_bytes);
+    rec(h.host, 0, metrics::kPoolFrees, h.pool.frees);
+    rec(h.host, 0, metrics::kPoolLiveBytes, h.pool.live_bytes);
+    rec(h.host, 0, metrics::kPoolHighWaterBytes, h.pool.high_water_bytes);
+    rec(h.host, 0, metrics::kPoolCopiedBytes, h.pool.copied_bytes);
+    rec(h.host, 0, metrics::kPoolWastedBytes, h.pool.wasted_bytes);
+    rec(h.host, 0, metrics::kCopies, h.pool.copies);
+  }
+  for (const auto& s : sessions) {
+    rec(s.host, s.session, metrics::kSessionLiveBytes, s.live_bytes);
+    rec(s.host, s.session, metrics::kSessionHighWaterBytes, s.high_water_bytes);
+  }
+}
+
+std::string ResourceSnapshot::to_json() const {
+  std::string out = "{\"when_ns\":" + std::to_string(when.ns()) + ",\"hosts\":[";
+  bool first = true;
+  for (const auto& h : hosts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"host\":" + std::to_string(h.host) +
+           ",\"allocations\":" + std::to_string(h.pool.allocations) +
+           ",\"allocated_bytes\":" + std::to_string(h.pool.allocated_bytes) +
+           ",\"frees\":" + std::to_string(h.pool.frees) +
+           ",\"freed_bytes\":" + std::to_string(h.pool.freed_bytes) +
+           ",\"live_bytes\":" + std::to_string(h.pool.live_bytes) +
+           ",\"high_water_bytes\":" + std::to_string(h.pool.high_water_bytes) +
+           ",\"copies\":" + std::to_string(h.pool.copies) +
+           ",\"copied_bytes\":" + std::to_string(h.pool.copied_bytes) +
+           ",\"wasted_bytes\":" + std::to_string(h.pool.wasted_bytes) + "}";
+  }
+  out += "],\"sessions\":[";
+  first = true;
+  for (const auto& s : sessions) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"host\":" + std::to_string(s.host) + ",\"session\":" + std::to_string(s.session) +
+           ",\"live_bytes\":" + std::to_string(s.live_bytes) +
+           ",\"high_water_bytes\":" + std::to_string(s.high_water_bytes) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace adaptive::unites

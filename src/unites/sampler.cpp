@@ -1,0 +1,82 @@
+#include "unites/sampler.hpp"
+
+#include "unites/export.hpp"
+
+#include <cstdio>
+
+namespace adaptive::unites {
+
+namespace {
+
+// Shortest round-trippable rendering, matching the other exporters.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Sampler::Sampler(os::TimerFacility& timers, Config cfg, CaptureFn capture)
+    : cfg_(cfg), capture_(std::move(capture)) {
+  timer_ = std::make_unique<tko::Event>(timers, [this] { sample(); });
+  if (cfg_.period > sim::SimTime::zero()) timer_->schedule_periodic(cfg_.period);
+}
+
+Sampler::~Sampler() { cancel(); }
+
+void Sampler::cancel() { timer_->cancel(); }
+
+void Sampler::sample_now() { sample(); }
+
+void Sampler::sample() {
+  if (!capture_) return;
+  const ResourceSnapshot snap = capture_();
+  ++samples_;
+  const auto point = [&](net::NodeId host, std::uint32_t conn, const char* name,
+                         std::uint64_t v) {
+    TimelinePoint p;
+    p.when = snap.when;
+    p.host = host;
+    p.connection = conn;
+    p.name = name;
+    p.value = static_cast<double>(v);
+    timeline_.push_back(std::move(p));
+  };
+  for (const auto& h : snap.hosts) {
+    point(h.host, 0, metrics::kPoolLiveBytes, h.pool.live_bytes);
+    point(h.host, 0, metrics::kPoolHighWaterBytes, h.pool.high_water_bytes);
+    point(h.host, 0, metrics::kPoolAllocatedBytes, h.pool.allocated_bytes);
+    point(h.host, 0, metrics::kPoolCopiedBytes, h.pool.copied_bytes);
+    point(h.host, 0, metrics::kCopies, h.pool.copies);
+  }
+  if (cfg_.per_session) {
+    for (const auto& s : snap.sessions) {
+      point(s.host, s.session, metrics::kSessionLiveBytes, s.live_bytes);
+    }
+  }
+}
+
+void write_timeline_jsonl(std::ostream& out, const Timeline& tl) {
+  for (const auto& p : tl) {
+    out << "{\"t\":" << p.when.ns() << ",\"seed\":" << p.seed << ",\"host\":" << p.host
+        << ",\"connection\":" << p.connection << ",\"name\":\"" << json_escape(p.name)
+        << "\",\"value\":" << num(p.value) << "}\n";
+  }
+}
+
+void write_timeline_chrome(std::ostream& out, const Timeline& tl) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& p : tl) {
+    if (!first) out << ",";
+    first = false;
+    const double ts_us = static_cast<double>(p.when.ns()) / 1e3;
+    out << "{\"name\":\"" << json_escape(p.name) << "\",\"cat\":\"resource\",\"ph\":\"C\""
+        << ",\"pid\":" << p.host << ",\"tid\":" << p.connection << ",\"ts\":" << num(ts_us)
+        << ",\"args\":{\"value\":" << num(p.value) << "}}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace adaptive::unites

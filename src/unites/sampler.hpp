@@ -1,0 +1,89 @@
+// UNITES time-series sampler (DESIGN §12): periodic resource timelines.
+//
+// The metric repository keeps per-key series, but the resource plane's
+// interesting signals are *gauges* — pool live bytes, per-session pinned
+// bytes — whose shape over time is the whole story (a leak is a gauge
+// that never comes back down; a burst is a spike the end-of-run summary
+// averages away). The Sampler snapshots a ResourceSnapshot at a fixed
+// virtual-time period and flattens it into a Timeline of (when, host,
+// connection, name, value) points.
+//
+// Determinism contract: sampling is driven by the shard's own virtual
+// clock, so a shard's timeline is a pure function of (scenario, seed).
+// Sweeps stamp each point with the shard's seed and merge timelines in
+// canonical seed order — jobs=1 and jobs=8 produce byte-identical
+// exports. Exporters: JSONL (one point per line) and Chrome trace
+// counter tracks ("ph":"C"), loadable next to the event trace.
+#pragma once
+
+#include "sim/time.hpp"
+#include "tko/event.hpp"
+#include "unites/resource.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adaptive::unites {
+
+struct TimelinePoint {
+  sim::SimTime when;
+  std::uint64_t seed = 0;  ///< stamped by the sweep at merge time
+  net::NodeId host = 0;
+  std::uint32_t connection = 0;  ///< 0 = host-wide
+  std::string name;
+  double value = 0.0;
+};
+
+using Timeline = std::vector<TimelinePoint>;
+
+class Sampler {
+public:
+  struct Config {
+    sim::SimTime period = sim::SimTime::milliseconds(100);
+    bool per_session = true;  ///< include mem.session_live_bytes points
+  };
+
+  /// `capture` produces the instantaneous resource view; called once per
+  /// period on the virtual clock that owns `timers`.
+  using CaptureFn = std::function<ResourceSnapshot()>;
+
+  Sampler(os::TimerFacility& timers, Config cfg, CaptureFn capture);
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Stop sampling. Idempotent; the collected timeline stays readable.
+  void cancel();
+
+  /// Take one sample now (outside the periodic schedule) — used by the
+  /// harvest path so even a zero-period-elapsed run has a final point.
+  void sample_now();
+
+  [[nodiscard]] const Timeline& timeline() const { return timeline_; }
+  [[nodiscard]] Timeline take_timeline() { return std::move(timeline_); }
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+private:
+  void sample();
+
+  Config cfg_;
+  CaptureFn capture_;
+  std::unique_ptr<tko::Event> timer_;
+  Timeline timeline_;
+  std::uint64_t samples_ = 0;
+};
+
+/// One JSON object per point:
+/// {"t":<ns>,"seed":S,"host":H,"connection":C,"name":"...","value":V}
+void write_timeline_jsonl(std::ostream& out, const Timeline& tl);
+
+/// Chrome trace counter tracks ("ph":"C"), one counter per metric name,
+/// pid = host, tid = connection. Loads in chrome://tracing / Perfetto
+/// alongside the event trace.
+void write_timeline_chrome(std::ostream& out, const Timeline& tl);
+
+}  // namespace adaptive::unites

@@ -1,0 +1,381 @@
+// Resource telemetry suite (DESIGN §12): buffer-pool copy/alloc/memory
+// accounting, the MetricClass::kResource taxonomy and unit-suffix
+// discipline, ResourceSnapshot capture + repository recording, the
+// time-series Sampler determinism contract (jobs=1 and jobs=8 timelines
+// byte-identical over a 64-seed sweep), and the bench_diff regression
+// library (report parsing, tolerance bands, out-of-band detection).
+#include "adaptive/sweep.hpp"
+#include "os/buffer_pool.hpp"
+#include "unites/metric.hpp"
+#include "unites/regression.hpp"
+#include "unites/resource.hpp"
+#include "unites/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adaptive {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Buffer-pool accounting
+// ---------------------------------------------------------------------------
+
+TEST(PoolAccounting, AllocateFreeLiveAndHighWater) {
+  os::BufferPool pool(os::BufferScheme::kVariableSize);
+  os::BufferRef a = pool.allocate(1000);
+  os::BufferRef b = pool.allocate(2000);
+  {
+    const auto& s = pool.stats();
+    EXPECT_EQ(s.allocations, 2u);
+    EXPECT_EQ(s.allocated_bytes, 3000u);
+    EXPECT_EQ(s.frees, 0u);
+    EXPECT_EQ(s.live_bytes, 3000u);
+    EXPECT_EQ(s.high_water_bytes, 3000u);
+  }
+
+  a.reset();
+  {
+    const auto& s = pool.stats();
+    EXPECT_EQ(s.frees, 1u);
+    EXPECT_EQ(s.freed_bytes, 1000u);
+    EXPECT_EQ(s.live_bytes, 2000u);
+    EXPECT_EQ(s.high_water_bytes, 3000u);  // the peak does not come back down
+  }
+
+  // Allocating below the peak moves the gauge, not the high-water mark.
+  os::BufferRef c = pool.allocate(500);
+  EXPECT_EQ(pool.live_bytes(), 2500u);
+  EXPECT_EQ(pool.stats().high_water_bytes, 3000u);
+  b.reset();
+  c.reset();
+  EXPECT_EQ(pool.live_bytes(), 0u);
+  EXPECT_EQ(pool.stats().frees, 3u);
+}
+
+TEST(PoolAccounting, FixedSchemeRoundsUpAndCountsWaste) {
+  os::BufferPool pool(os::BufferScheme::kFixedSize, 1024);
+  os::BufferRef a = pool.allocate(100);
+  const auto& s = pool.stats();
+  EXPECT_EQ(s.allocated_bytes, 1024u);
+  EXPECT_EQ(s.wasted_bytes, 924u);
+  a.reset();
+  EXPECT_EQ(pool.stats().freed_bytes, 1024u);  // frees return the rounded size
+  EXPECT_EQ(pool.live_bytes(), 0u);
+}
+
+TEST(PoolAccounting, CopyCountersAccumulate) {
+  os::BufferPool pool;
+  pool.record_copy(128);
+  pool.record_copy(64);
+  EXPECT_EQ(pool.stats().copies, 2u);
+  EXPECT_EQ(pool.stats().copied_bytes, 192u);
+}
+
+TEST(PoolAccounting, BufferOutlivingItsPoolFreesSafely) {
+  // The free-side ledger is shared-ptr-owned by every outstanding
+  // BufferRef, so dropping the ref after the pool is gone must not touch
+  // freed memory (ASan validates the claim).
+  os::BufferRef survivor;
+  {
+    os::BufferPool pool;
+    survivor = pool.allocate(256);
+  }
+  survivor.reset();
+}
+
+TEST(PoolAccounting, ResetStatsKeepsLiveBytesAndRestartsTheHighWater) {
+  os::BufferPool pool;
+  os::BufferRef keep = pool.allocate(1000);
+  pool.allocate(2000).reset();  // transient peak of 3000
+  EXPECT_EQ(pool.stats().high_water_bytes, 3000u);
+
+  pool.reset_stats();
+  {
+    const auto& s = pool.stats();
+    EXPECT_EQ(s.allocations, 0u);
+    EXPECT_EQ(s.frees, 0u);
+    EXPECT_EQ(s.live_bytes, 1000u);        // the live set survives the reset
+    EXPECT_EQ(s.high_water_bytes, 1000u);  // peak restarts from it
+  }
+
+  os::BufferRef more = pool.allocate(500);
+  EXPECT_EQ(pool.live_bytes(), 1500u);
+  EXPECT_EQ(pool.stats().high_water_bytes, 1500u);
+  keep.reset();
+  EXPECT_EQ(pool.live_bytes(), 500u);
+  more.reset();
+  EXPECT_EQ(pool.live_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metric taxonomy and unit-suffix discipline
+// ---------------------------------------------------------------------------
+
+TEST(MetricTaxonomy, MemPrefixIsTheResourceClass) {
+  EXPECT_EQ(unites::classify_metric("mem.pool_live_bytes"), unites::MetricClass::kResource);
+  EXPECT_EQ(unites::classify_metric("mem.session_live_bytes"), unites::MetricClass::kResource);
+  EXPECT_EQ(unites::classify_metric("latency.ns"), unites::MetricClass::kBlackbox);
+  EXPECT_EQ(unites::classify_metric("reliability.retransmissions"),
+            unites::MetricClass::kWhitebox);
+  EXPECT_STREQ(unites::metric_class_name(unites::MetricClass::kResource), "resource");
+  EXPECT_STREQ(unites::metric_class_name(unites::MetricClass::kBlackbox), "blackbox");
+  EXPECT_STREQ(unites::metric_class_name(unites::MetricClass::kWhitebox), "whitebox");
+}
+
+TEST(MetricTaxonomy, UnitSuffixDiscipline) {
+  EXPECT_EQ(unites::metric_unit("mem.pool_live_bytes"), "bytes");
+  EXPECT_EQ(unites::metric_unit("msg.queue_ns"), "ns");
+  EXPECT_EQ(unites::metric_unit("latency.ns"), "ns");  // sanctioned legacy name
+  EXPECT_EQ(unites::metric_unit("throughput.bps"), "bps");
+  EXPECT_EQ(unites::metric_unit("buffer.copies"), "");
+
+  EXPECT_TRUE(unites::unit_suffix_ok("mem.pool_high_water_bytes"));
+  EXPECT_TRUE(unites::unit_suffix_ok("watchdog.recovery_ns"));
+  EXPECT_TRUE(unites::unit_suffix_ok("buffer.copies"));
+  EXPECT_TRUE(unites::unit_suffix_ok("latency.ns"));
+  // Unit-like tokens without the canonical suffix are rejected.
+  EXPECT_FALSE(unites::unit_suffix_ok("mem.bytes_live"));
+  EXPECT_FALSE(unites::unit_suffix_ok("pdu.byte_count"));
+  EXPECT_FALSE(unites::unit_suffix_ok("setup.duration_ms"));
+  EXPECT_FALSE(unites::unit_suffix_ok("queue.wait_us"));
+  EXPECT_FALSE(unites::unit_suffix_ok("transfer.time_sec"));
+  EXPECT_FALSE(unites::unit_suffix_ok("custom.delay.ns"));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-backed checks: snapshots, recorded classes, exported names
+// ---------------------------------------------------------------------------
+
+/// The test_parallel scenario family: 4-host seeded Ethernet LAN, 1s file
+/// transfer — cheap enough for a 64-seed determinism sweep.
+SweepConfig sweep_config(std::vector<std::uint64_t> seeds, std::size_t jobs) {
+  SweepConfig sc;
+  sc.topology = [](std::uint64_t seed) {
+    return [seed](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 4, seed); };
+  };
+  sc.base.application = app::Table1App::kFileTransfer;
+  sc.base.mode = RunOptions::Mode::kManntts;
+  sc.base.duration = sim::SimTime::seconds(1);
+  sc.base.drain = sim::SimTime::seconds(1);
+  sc.base.scale = 0.3;
+  sc.base.collect_metrics = true;
+  sc.seeds = std::move(seeds);
+  sc.jobs = jobs;
+  return sc;
+}
+
+std::vector<std::uint64_t> seed_range(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = lo; s <= hi; ++s) out.push_back(s);
+  return out;
+}
+
+TEST(ResourcePlane, ScenarioSnapshotCapturesPoolsAndSessions) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 4, 7); });
+  RunOptions opt;
+  opt.application = app::Table1App::kFileTransfer;
+  opt.mode = RunOptions::Mode::kManntts;
+  opt.duration = sim::SimTime::seconds(1);
+  opt.drain = sim::SimTime::seconds(1);
+  opt.scale = 0.3;
+  opt.seed = 7;
+  opt.collect_metrics = true;
+  const RunOutcome out = run_scenario(world, opt);
+
+  // The harvest snapshot was taken while sessions were still open.
+  EXPECT_EQ(out.resource.hosts.size(), world.host_count());
+  EXPECT_GE(out.resource.sessions.size(), 2u);  // sender + receiver side
+  EXPECT_GT(out.resource.total_allocations(), 0u);
+  EXPECT_GT(out.resource.total_copies(), 0u);
+  EXPECT_GT(out.resource.pool_high_water_bytes(), 0u);
+  EXPECT_GT(out.resource.session_high_water_bytes(), 0u);
+
+  // record_into landed the figures under the resource class.
+  const unites::MetricKey pool_key{out.resource.hosts.front().host, 0,
+                                  unites::metrics::kPoolAllocatedBytes};
+  ASSERT_NE(world.repository().series(pool_key), nullptr);
+  EXPECT_EQ(world.repository().metric_class(pool_key), unites::MetricClass::kResource);
+  EXPECT_GT(world.repository().systemwide_sum(unites::metrics::kSessionHighWaterBytes), 0.0);
+}
+
+TEST(ResourcePlane, SnapshotJsonIsWellFormedEnoughForBundles) {
+  unites::ResourceSnapshot snap;
+  snap.when = sim::SimTime::seconds(3);
+  unites::HostPoolResource h;
+  h.host = 4;
+  h.pool.allocations = 10;
+  h.pool.allocated_bytes = 5120;
+  snap.hosts.push_back(h);
+  snap.sessions.push_back(unites::SessionResource{4, 2, 100, 900});
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"hosts\""), std::string::npos);
+  EXPECT_NE(json.find("\"sessions\""), std::string::npos);
+  EXPECT_NE(json.find("\"allocated_bytes\":5120"), std::string::npos);
+  EXPECT_NE(json.find("\"high_water_bytes\":900"), std::string::npos);
+}
+
+TEST(ResourcePlane, EveryExportedMetricNameCarriesItsUnitSuffix) {
+  // The exporter-consistency satellite: whatever names instrumentation
+  // actually emits over a full adaptive run must pass the suffix check, so
+  // a new metric with "duration_ms" or a bare "bytes" never ships.
+  SweepConfig sc = sweep_config(seed_range(1, 4), 2);
+  sc.capture_spans = true;  // include the msg.* breakdown names
+  const SweepResult res = run_sweep(sc);
+  ASSERT_GT(res.merged.series_count(), 0u);
+  for (const auto& key : res.merged.keys()) {
+    EXPECT_TRUE(unites::unit_suffix_ok(key.name)) << "metric name: " << key.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampler determinism
+// ---------------------------------------------------------------------------
+
+TEST(SamplerDeterminism, TimelinesAreByteIdenticalAcrossJobCounts) {
+  const auto run = [](std::size_t jobs) {
+    SweepConfig sc = sweep_config(seed_range(1, 64), jobs);
+    sc.capture_timeline = true;
+    sc.timeline_period = sim::SimTime::milliseconds(100);
+    const SweepResult res = run_sweep(sc);
+    std::ostringstream jsonl, chrome;
+    unites::write_timeline_jsonl(jsonl, res.timeline);
+    unites::write_timeline_chrome(chrome, res.timeline);
+    return std::make_pair(jsonl.str(), chrome.str());
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  EXPECT_FALSE(serial.first.empty());
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+TEST(SamplerDeterminism, PeriodLongerThanScenarioStillYieldsTheHarvestSample) {
+  SweepConfig sc = sweep_config({1}, 1);
+  sc.capture_timeline = true;
+  sc.timeline_period = sim::SimTime::seconds(60);  // longer than duration+drain
+  const SweepResult res = run_sweep(sc);
+  ASSERT_FALSE(res.timeline.empty());
+  // Exactly one snapshot: every point carries the same (harvest) timestamp.
+  for (const auto& p : res.timeline) {
+    EXPECT_EQ(p.when, res.timeline.front().when);
+    EXPECT_EQ(p.seed, 1u);
+  }
+}
+
+TEST(SamplerDeterminism, NoCaptureMeansNoTimeline) {
+  SweepConfig sc = sweep_config({1, 2}, 2);
+  const SweepResult res = run_sweep(sc);
+  EXPECT_TRUE(res.timeline.empty());
+}
+
+TEST(SamplerDeterminism, SampleNowOutsideTheScheduleCountsSnapshots) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 4, 3); });
+  unites::Sampler::Config cfg;
+  cfg.period = sim::SimTime::zero();  // no periodic schedule at all
+  unites::Sampler sampler(world.host(0).timers(), cfg,
+                          [&world] { return world.resource_snapshot(); });
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+  sampler.sample_now();
+  sampler.sample_now();
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  EXPECT_FALSE(sampler.timeline().empty());
+  sampler.cancel();
+}
+
+// ---------------------------------------------------------------------------
+// bench_diff regression library
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBaselineJson = R"({
+  "bench": "fig1_endtoend",
+  "scalars": {"units.sent": 123, "wall_seconds": 4.5},
+  "trajectory": {"mem.bytes_per_session": 260752, "os.copies_per_msg": 10.878},
+  "distributions": {"latency.ns": {"count": 123, "p99": 3.0e9}}
+})";
+
+TEST(BenchDiff, ParserFlattensNumericLeavesToDottedKeys) {
+  const auto rep = unites::parse_bench_report(kBaselineJson);
+  EXPECT_EQ(rep.bench, "fig1_endtoend");
+  EXPECT_DOUBLE_EQ(rep.values.at("scalars.units.sent"), 123.0);
+  EXPECT_DOUBLE_EQ(rep.values.at("trajectory.os.copies_per_msg"), 10.878);
+  EXPECT_DOUBLE_EQ(rep.values.at("distributions.latency.ns.p99"), 3.0e9);
+  const auto traj = rep.section("trajectory");
+  EXPECT_EQ(traj.size(), 2u);
+  EXPECT_DOUBLE_EQ(traj.at("mem.bytes_per_session"), 260752.0);
+}
+
+TEST(BenchDiff, ParserRejectsMalformedJson) {
+  EXPECT_THROW((void)unites::parse_bench_report("{\"bench\":"), std::runtime_error);
+  EXPECT_THROW((void)unites::parse_bench_report("not json at all"), std::runtime_error);
+}
+
+TEST(BenchDiff, ToleranceRulesLongestMatchWinsAndMinusOneIgnores) {
+  const auto tol = unites::ToleranceSpec::parse(
+      "# comment line\n"
+      "trajectory.* 0.2\n"
+      "trajectory.mem.bytes_per_session 0.01\n"
+      "scalars.wall* -1\n",
+      0.05);
+  EXPECT_DOUBLE_EQ(tol.tol_for("trajectory.os.copies_per_msg"), 0.2);
+  EXPECT_DOUBLE_EQ(tol.tol_for("trajectory.mem.bytes_per_session"), 0.01);
+  EXPECT_DOUBLE_EQ(tol.tol_for("scalars.wall_seconds"), -1.0);
+  EXPECT_DOUBLE_EQ(tol.tol_for("scalars.units.sent"), 0.05);
+}
+
+TEST(BenchDiff, WithinToleranceIsOkOutOfBandAndMissingFail) {
+  const auto baseline = unites::parse_bench_report(kBaselineJson);
+  unites::ToleranceSpec tol;
+  tol.default_rel_tol = 0.05;
+
+  // 2% drift on one key, identical on the other: passes.
+  const auto good = unites::parse_bench_report(R"({
+    "bench": "fig1_endtoend",
+    "trajectory": {"mem.bytes_per_session": 265967, "os.copies_per_msg": 10.878}
+  })");
+  EXPECT_TRUE(unites::diff_reports(baseline, good, tol, "trajectory.").ok);
+
+  // 10x on one key: out of band.
+  const auto blown = unites::parse_bench_report(R"({
+    "bench": "fig1_endtoend",
+    "trajectory": {"mem.bytes_per_session": 2607520, "os.copies_per_msg": 10.878}
+  })");
+  const auto d1 = unites::diff_reports(baseline, blown, tol, "trajectory.");
+  EXPECT_FALSE(d1.ok);
+  EXPECT_NE(unites::render_diff(d1).find("FAIL"), std::string::npos);
+
+  // Key disappeared from the candidate: also a failure.
+  const auto partial = unites::parse_bench_report(R"({
+    "bench": "fig1_endtoend",
+    "trajectory": {"mem.bytes_per_session": 260752}
+  })");
+  const auto d2 = unites::diff_reports(baseline, partial, tol, "trajectory.");
+  EXPECT_FALSE(d2.ok);
+
+  // A new candidate-only key is informational, not a failure.
+  const auto extra = unites::parse_bench_report(R"({
+    "bench": "fig1_endtoend",
+    "trajectory": {"mem.bytes_per_session": 260752, "os.copies_per_msg": 10.878,
+                   "mem.new_gauge_bytes": 1}
+  })");
+  const auto d3 = unites::diff_reports(baseline, extra, tol, "trajectory.");
+  EXPECT_TRUE(d3.ok);
+  ASSERT_EQ(d3.added.size(), 1u);
+  EXPECT_EQ(d3.added.front(), "trajectory.mem.new_gauge_bytes");
+}
+
+TEST(BenchDiff, ZeroBaselineTreatsAnyDriftAsOutOfBand) {
+  const auto baseline = unites::parse_bench_report(
+      R"({"bench": "x", "trajectory": {"violations": 0}})");
+  const auto clean = unites::parse_bench_report(
+      R"({"bench": "x", "trajectory": {"violations": 0}})");
+  const auto dirty = unites::parse_bench_report(
+      R"({"bench": "x", "trajectory": {"violations": 2}})");
+  unites::ToleranceSpec tol;
+  EXPECT_TRUE(unites::diff_reports(baseline, clean, tol, "trajectory.").ok);
+  EXPECT_FALSE(unites::diff_reports(baseline, dirty, tol, "trajectory.").ok);
+}
+
+}  // namespace
+}  // namespace adaptive

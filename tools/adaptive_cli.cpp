@@ -52,6 +52,8 @@ struct CliOptions {
   std::string metrics_out;
   std::string profile_out;
   std::string span_out;
+  std::string timeline_out;
+  double timeline_period = 0.1;  ///< seconds of virtual time between samples
   std::string flight_dir;
 };
 
@@ -100,6 +102,14 @@ void usage() {
       "                   (submit->enqueue->tx->deliver->playout) and write\n"
       "                   them as Chrome async trace events to <f>; also\n"
       "                   records msg.queue/tx/retx latency breakdowns\n"
+      "  --timeline-out <f>  sample the resource plane (pool live/copied\n"
+      "                   bytes, per-session pinned bytes) on a virtual-time\n"
+      "                   period and write the timeline as JSONL to <f> plus\n"
+      "                   Chrome counter tracks to <f>.chrome.json (sweeps\n"
+      "                   merge per-seed timelines in seed order; output is\n"
+      "                   --jobs independent)\n"
+      "  --timeline-period <s>  virtual seconds between timeline samples\n"
+      "                   (default 0.1)\n"
       "  --flight-recorder-dir <d>  arm the post-mortem flight recorder:\n"
       "                   any seed that violates a delivery invariant (or\n"
       "                   stalls unrecovered) dumps a JSON evidence bundle\n"
@@ -190,6 +200,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--metrics-out") opt.metrics_out = v;
     else if (arg == "--profile-out") opt.profile_out = v;
     else if (arg == "--span-out") opt.span_out = v;
+    else if (arg == "--timeline-out") opt.timeline_out = v;
+    else if (arg == "--timeline-period") opt.timeline_period = std::atof(v);
     else if (arg == "--flight-recorder-dir") opt.flight_dir = v;
     else if (arg == "--members") {
       std::istringstream in(v);
@@ -247,6 +259,9 @@ int main(int argc, char** argv) {
   opt.seed = cli->seed;
   opt.multicast_members = cli->members;
   opt.collect_metrics = program.has_value() || !cli->metrics_out.empty();
+  if (!cli->timeline_out.empty()) {
+    opt.timeline_period = sim::SimTime::seconds(cli->timeline_period);
+  }
   if (cli->trace) opt.trace = 40;
   if (!cli->fault_plan.empty()) {
     std::vector<std::string> errors;
@@ -295,6 +310,8 @@ int main(int argc, char** argv) {
     sc.capture_trace = !cli->trace_out.empty();
     sc.capture_profile = !cli->profile_out.empty();
     sc.capture_spans = !cli->span_out.empty();
+    sc.capture_timeline = !cli->timeline_out.empty();
+    sc.timeline_period = sim::SimTime::seconds(cli->timeline_period);
     sc.flight_recorder_dir = cli->flight_dir;
     sc.chaos = cli->chaos;
     if (cli->chaos > 0 && *mode == RunOptions::Mode::kMantttsAdaptive && opt.rules.empty()) {
@@ -392,6 +409,23 @@ int main(int argc, char** argv) {
       std::printf("spans     : %zu message lifecycles -> %s (open in Perfetto)\n",
                   res.spans.size(), cli->span_out.c_str());
     }
+    if (sc.capture_timeline) {
+      std::ofstream tlf(cli->timeline_out);
+      if (!tlf) {
+        std::fprintf(stderr, "cannot write timeline file %s\n", cli->timeline_out.c_str());
+        return 1;
+      }
+      unites::write_timeline_jsonl(tlf, res.timeline);
+      std::ofstream tlc(cli->timeline_out + ".chrome.json");
+      if (!tlc) {
+        std::fprintf(stderr, "cannot write timeline file %s.chrome.json\n",
+                     cli->timeline_out.c_str());
+        return 1;
+      }
+      unites::write_timeline_chrome(tlc, res.timeline);
+      std::printf("timeline  : %zu points -> %s (+ .chrome.json counter tracks)\n",
+                  res.timeline.size(), cli->timeline_out.c_str());
+    }
     if (!sc.flight_recorder_dir.empty()) {
       std::printf("flight rec: %zu bundle(s) in %s\n", res.flight_bundles,
                   sc.flight_recorder_dir.c_str());
@@ -450,6 +484,29 @@ int main(int argc, char** argv) {
   }
   if (cli->trace) {
     std::printf("\nlast interpreter steps (sender session):\n%s", out.trace_text.c_str());
+  }
+  std::printf("memory    : pool high-water %llu B  session high-water %llu B  copies %llu\n",
+              static_cast<unsigned long long>(out.resource.pool_high_water_bytes()),
+              static_cast<unsigned long long>(out.resource.session_high_water_bytes()),
+              static_cast<unsigned long long>(out.resource.total_copies()));
+  if (!cli->timeline_out.empty()) {
+    unites::Timeline timeline = out.timeline;
+    for (auto& p : timeline) p.seed = cli->seed;
+    std::ofstream tlf(cli->timeline_out);
+    if (!tlf) {
+      std::fprintf(stderr, "cannot write timeline file %s\n", cli->timeline_out.c_str());
+      return 1;
+    }
+    unites::write_timeline_jsonl(tlf, timeline);
+    std::ofstream tlc(cli->timeline_out + ".chrome.json");
+    if (!tlc) {
+      std::fprintf(stderr, "cannot write timeline file %s.chrome.json\n",
+                   cli->timeline_out.c_str());
+      return 1;
+    }
+    unites::write_timeline_chrome(tlc, timeline);
+    std::printf("timeline  : %zu points -> %s (+ .chrome.json counter tracks)\n", timeline.size(),
+                cli->timeline_out.c_str());
   }
 
   if (program.has_value()) {

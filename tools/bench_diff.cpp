@@ -1,0 +1,110 @@
+// bench_diff: perf-regression gate over BENCH_<name>.json reports.
+//
+// Usage:
+//   bench_diff <baseline.json> <candidate.json>
+//       [--tolerances <file>] [--default-tol <rel>] [--section <name>]
+//       [--all-sections]
+//
+// Compares every numeric key of the baseline's chosen section (default:
+// "trajectory", the virtual-time-derived deterministic scalars) against
+// the candidate, each key against its tolerance band. Exit codes:
+//   0  every key within tolerance
+//   1  at least one key out of band or missing from the candidate
+//   2  usage or parse error
+//
+// CI runs this against baselines committed under bench/baselines/; see
+// DESIGN §12.
+#include "unites/regression.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <candidate.json>\n"
+               "       [--tolerances <file>] [--default-tol <rel>]\n"
+               "       [--section <name>] [--all-sections]\n");
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  std::string tolerances_path;
+  std::string section = "trajectory";
+  double default_tol = 0.05;
+  bool all_sections = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_diff: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerances") {
+      tolerances_path = need_value();
+    } else if (arg == "--default-tol") {
+      default_tol = std::stod(need_value());
+    } else if (arg == "--section") {
+      section = need_value();
+    } else if (arg == "--all-sections") {
+      all_sections = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return usage();
+
+  try {
+    const auto baseline = adaptive::unites::parse_bench_report(slurp(baseline_path));
+    const auto candidate = adaptive::unites::parse_bench_report(slurp(candidate_path));
+
+    adaptive::unites::ToleranceSpec tol;
+    tol.default_rel_tol = default_tol;
+    if (!tolerances_path.empty()) {
+      tol = adaptive::unites::ToleranceSpec::parse(slurp(tolerances_path), default_tol);
+    }
+
+    const std::string prefix = all_sections ? "" : section + ".";
+    const auto diff = adaptive::unites::diff_reports(baseline, candidate, tol, prefix);
+
+    std::cout << "bench_diff: " << baseline.bench << " baseline=" << baseline_path
+              << " candidate=" << candidate_path << "\n"
+              << adaptive::unites::render_diff(diff);
+    if (diff.entries.empty()) {
+      std::fprintf(stderr, "bench_diff: no keys matched section '%s' in %s\n", section.c_str(),
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::cout << (diff.ok ? "bench_diff: OK\n" : "bench_diff: REGRESSION\n");
+    return diff.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}
