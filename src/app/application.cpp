@@ -25,7 +25,7 @@ std::vector<std::uint8_t> UnitHeader::encode(std::size_t total_bytes) const {
   return out;
 }
 
-bool UnitHeader::decode(const std::vector<std::uint8_t>& bytes, UnitHeader& out) {
+bool UnitHeader::decode(std::span<const std::uint8_t> bytes, UnitHeader& out) {
   if (bytes.size() < kBytes) return false;
   if ((static_cast<std::uint16_t>(bytes[0]) << 8 | bytes[1]) != kMagic) return false;
   out.id = (static_cast<std::uint32_t>(bytes[4]) << 24) |
@@ -74,7 +74,7 @@ void SourceApp::emit_next() {
     h.sent_at_ns = timers_.now().ns();
     auto payload = h.encode(bytes);
     const std::size_t payload_bytes = payload.size();
-    tko::Message msg = tko::Message::from_bytes(payload);
+    tko::Message msg = tko::Message::from_bytes(payload, session_.buffer_pool());
     // Lifecycle id = unit id + 1 (0 means untracked): the hook whitebox
     // span assembly correlates sender-side milestones with.
     msg.set_lifecycle(static_cast<std::uint64_t>(h.id) + 1);
@@ -136,7 +136,17 @@ void SinkApp::on_message(tko::Message&& m) {
     stats_.first_arrival = now;
   }
   stats_.last_arrival = now;
-  const auto bytes = m.linearize();
+  // The common case borrows the reassembled record in place (one segment
+  // after consume-based header strips); a fragmented record costs a single
+  // recorded gather. The legacy path always linearizes.
+  std::vector<std::uint8_t> legacy;
+  std::span<const std::uint8_t> bytes;
+  if (tko::legacy_copy_path()) {
+    legacy = m.linearize();
+    bytes = legacy;
+  } else {
+    bytes = m.flat();
+  }
   stats_.bytes_received += bytes.size();
 
   UnitHeader h;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace adaptive::app {
@@ -28,7 +29,7 @@ struct UnitHeader {
   std::int64_t sent_at_ns = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode(std::size_t total_bytes) const;
-  [[nodiscard]] static bool decode(const std::vector<std::uint8_t>& bytes, UnitHeader& out);
+  [[nodiscard]] static bool decode(std::span<const std::uint8_t> bytes, UnitHeader& out);
 };
 
 struct SourceStats {

@@ -11,7 +11,7 @@ constexpr std::size_t kRequestBytes = UnitHeader::kBytes + 2;
 void ResponderApp::attach(tko::Session& session) {
   session_ = &session;
   session.set_deliver([this](tko::Message&& m) {
-    const auto bytes = m.linearize();
+    const auto bytes = m.flat();
     UnitHeader h;
     if (!UnitHeader::decode(bytes, h) || bytes.size() < kRequestBytes) return;
     const std::size_t response_size =
@@ -24,7 +24,7 @@ void ResponderApp::attach(tko::Session& session) {
     reply.sent_at_ns = h.sent_at_ns;
     auto payload = reply.encode(std::max(response_size, UnitHeader::kBytes));
     ++served_;
-    session_->send(tko::Message::from_bytes(payload));
+    session_->send(tko::Message::from_bytes(payload, session_->buffer_pool()));
   });
 }
 
@@ -80,7 +80,7 @@ void RequesterApp::issue_next() {
   const auto want = rng_.uniform_int(min_bytes_, max_bytes_);
   payload[UnitHeader::kBytes] = static_cast<std::uint8_t>(want >> 8);
   payload[UnitHeader::kBytes + 1] = static_cast<std::uint8_t>(want);
-  if (session_.send(tko::Message::from_bytes(payload))) {
+  if (session_.send(tko::Message::from_bytes(payload, session_.buffer_pool()))) {
     ++stats_.requests_sent;
     pending_[h.id] = timers_.now();
     stats_.outstanding_peak = std::max(stats_.outstanding_peak, pending_.size());

@@ -4,20 +4,19 @@
 
 namespace adaptive::mantts {
 
-std::vector<std::uint8_t> encode_signal(const Signal& s) {
+tko::Message encode_signal(const Signal& s) {
   tko::Pdu p;
   p.type = s.type;
   p.aux = s.token;
   if (s.config.has_value()) {
     p.payload = tko::Message::from_bytes(s.config->serialize());
   }
-  auto wire = tko::encode_pdu(std::move(p), tko::ChecksumKind::kInternet16,
-                              tko::ChecksumPlacement::kTrailer);
-  return wire.linearize();
+  return tko::encode_pdu(std::move(p), tko::ChecksumKind::kInternet16,
+                         tko::ChecksumPlacement::kTrailer);
 }
 
-std::optional<Signal> decode_signal(const std::vector<std::uint8_t>& payload) {
-  auto r = tko::decode_pdu(tko::Message::from_bytes(payload));
+std::optional<Signal> decode_signal(const tko::Message& payload) {
+  auto r = tko::decode_pdu(payload.clone());
   if (r.status != tko::DecodeStatus::kOk) return std::nullopt;
   const auto t = r.pdu.type;
   if (t != tko::PduType::kConfig && t != tko::PduType::kConfigAck &&

@@ -26,12 +26,13 @@ struct Signal {
 };
 
 /// Build the wire payload for a signaling PDU (always integrity-checked:
-/// a corrupted SCS must never be installed).
-[[nodiscard]] std::vector<std::uint8_t> encode_signal(const Signal& s);
+/// a corrupted SCS must never be installed). Returns the segment chain
+/// directly — signaling rides the same zero-copy path as data.
+[[nodiscard]] tko::Message encode_signal(const Signal& s);
 
 /// Parse a signaling packet payload; nullopt on corruption or if the PDU
 /// is not a signaling type.
-[[nodiscard]] std::optional<Signal> decode_signal(const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<Signal> decode_signal(const tko::Message& payload);
 
 /// Local resource limits a responder enforces during negotiation
 /// (Section 4.1.1: buffer space, window advertisements, segment sizes).

@@ -39,7 +39,7 @@ void BackgroundTraffic::send_one() {
   Packet p;
   p.src = cfg_.src;
   p.dst = cfg_.dst;
-  p.payload.assign(cfg_.packet_bytes, 0xBB);
+  p.payload = tko::Message::filled(cfg_.packet_bytes, 0xBB);
   net_.inject(std::move(p));
   ++sent_;
   const auto gap = cfg_.burst_rate.transmission_time(cfg_.packet_bytes + Packet::kNetworkHeaderBytes);

@@ -71,8 +71,8 @@ void Link::start_transmission() {
 
   // After serialization completes, the next queued packet may start, and
   // this one propagates to the far end.
-  sched_.schedule_after(tx_time, [this, p = std::move(p)]() mutable {
-    sched_.schedule_after(cfg_.propagation_delay, [this, p = std::move(p)]() mutable {
+  sched_.post_after(tx_time, [this, p = std::move(p)]() mutable {
+    sched_.post_after(cfg_.propagation_delay, [this, p = std::move(p)]() mutable {
       if (!up_) {
         ++stats_.down_drops;
         drop(p, "link-down");
@@ -104,10 +104,13 @@ void Link::apply_bit_errors(Packet& p) {
   ++stats_.bit_errors;
   p.bit_error = true;
   // Flip a uniformly chosen payload bit; flip more for very high BER links.
+  // The copy-on-write view unshares the wire image only when a clone (the
+  // sender's retransmission store, a duplicate) still aliases it.
+  auto bytes = p.payload.mutable_bytes();
   const int flips = ber >= 1e-5 ? 3 : 1;
   for (int i = 0; i < flips; ++i) {
     const auto bit = rng_.uniform_int(0, bits > 1 ? static_cast<std::uint64_t>(bits) - 1 : 0);
-    p.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
   }
 }
 
@@ -123,7 +126,7 @@ void Link::deliver_mutated(Packet&& p) {
   // exact same mutation schedule.
   if (cfg_.truncate_probability > 0.0 && !p.payload.empty() &&
       rng_.bernoulli(cfg_.truncate_probability)) {
-    p.payload.resize(rng_.uniform_int(0, p.payload.size() - 1));
+    p.payload.truncate(rng_.uniform_int(0, p.payload.size() - 1));
     ++stats_.truncated;
     unites::trace().instant(unites::TraceCategory::kNet, "net.mutate", sched_.now(), from_, 0,
                             static_cast<double>(p.payload.size()), "truncate");
@@ -135,8 +138,9 @@ void Link::deliver_mutated(Packet&& p) {
     const std::uint64_t bits = static_cast<std::uint64_t>(p.payload.size()) * 8;
     const std::uint64_t len = rng_.uniform_int(1, 8);
     const std::uint64_t first = rng_.uniform_int(0, bits - 1);
+    auto bytes = p.payload.mutable_bytes();
     for (std::uint64_t b = first; b < first + len && b < bits; ++b) {
-      p.payload[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+      bytes[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
     }
     p.bit_error = true;
     ++stats_.corrupted;

@@ -5,8 +5,8 @@ namespace adaptive::net {
 void SwitchNode::receive(Packet&& p) {
   ++p.hop_count;
   if (cfg_.processing_delay > sim::SimTime::zero()) {
-    sched_.schedule_after(cfg_.processing_delay,
-                          [this, p = std::move(p)]() mutable { forward(std::move(p)); });
+    sched_.post_after(cfg_.processing_delay,
+                      [this, p = std::move(p)]() mutable { forward(std::move(p)); });
   } else {
     forward(std::move(p));
   }

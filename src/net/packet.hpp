@@ -1,15 +1,21 @@
 // Network-layer packet: what travels across simulated links.
 //
-// A packet carries serialized transport-PDU bytes between transport
-// endpoints (node + port). Bit errors on links flip payload bits — header
-// integrity is assumed to be protected by the MAC-layer CRC, so corrupted
-// packets arrive with intact addressing but damaged payloads, exactly the
-// case transport-layer error detection exists for.
+// A packet carries a serialized transport-PDU image between transport
+// endpoints (node + port). The image is a tko::Message — a scatter/gather
+// chain of reference-counted segments — so handing a PDU to the network
+// and fanning it out to several links or receivers shares buffers instead
+// of duplicating bytes (DESIGN §13). Bit errors on links flip payload bits
+// through a copy-on-write view — header integrity is assumed to be
+// protected by the MAC-layer CRC, so corrupted packets arrive with intact
+// addressing but damaged payloads, exactly the case transport-layer error
+// detection exists for — and the retransmission store's shared copy stays
+// pristine.
 #pragma once
+
+#include "tko/message.hpp"
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace adaptive::net {
 
@@ -36,7 +42,9 @@ struct Packet {
   std::uint64_t id = 0;          ///< unique per injection, for tracing
   Address src;
   Address dst;
-  std::vector<std::uint8_t> payload;
+  /// Wire image as a segment chain; copying a Packet shares the segments
+  /// (lazy copy), so switch fan-out and link duplication are byte-free.
+  tko::Message payload;
   /// Delivery priority (Table 1's "Priority Delivery"): higher values are
   /// dequeued first at switch output ports; FIFO within a level.
   std::uint8_t priority = 0;

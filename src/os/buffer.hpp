@@ -9,23 +9,27 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <vector>
 
 namespace adaptive::os {
 
 class Buffer {
 public:
-  explicit Buffer(std::size_t size) : data_(size) {}
-  explicit Buffer(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+  /// Contents start uninitialized: every producer path writes before any
+  /// reader sees the bytes (`append`/`push` copy in; the `*_uninit` spans
+  /// are handed out for writing), so zero-filling here would be a hidden
+  /// memset of every buffer on the datapath.
+  explicit Buffer(std::size_t size)
+      : data_(std::make_unique_for_overwrite<std::uint8_t[]>(size)), size_(size) {}
 
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
-  [[nodiscard]] std::uint8_t* data() { return data_.data(); }
-  [[nodiscard]] const std::uint8_t* data() const { return data_.data(); }
-  [[nodiscard]] std::span<std::uint8_t> bytes() { return data_; }
-  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint8_t* data() { return data_.get(); }
+  [[nodiscard]] const std::uint8_t* data() const { return data_.get(); }
+  [[nodiscard]] std::span<std::uint8_t> bytes() { return {data_.get(), size_}; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return {data_.get(), size_}; }
 
 private:
-  std::vector<std::uint8_t> data_;
+  std::unique_ptr<std::uint8_t[]> data_;
+  std::size_t size_;
 };
 
 using BufferRef = std::shared_ptr<Buffer>;

@@ -18,8 +18,20 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 namespace adaptive::os {
+
+/// Process-wide switch mirroring tko's set_legacy_copy_path for the os
+/// layer: when on, every allocation hits the allocator and every free
+/// returns to it (the pre-PR pool behavior). When off (the default), the
+/// pool recycles freed buffers by exact capacity — the datapath allocates
+/// a handful of hot sizes (PDU payload, header, trailer), so reuse hits
+/// nearly always. The stats ledger sees identical alloc/free traffic in
+/// both modes; only the allocator traffic differs.
+[[nodiscard]] bool legacy_alloc_path();
+void set_legacy_alloc_path(bool on);
 
 enum class BufferScheme { kFixedSize, kVariableSize };
 
@@ -78,11 +90,21 @@ public:
 
 private:
   /// Free-side counters. BufferRef deleters hold a shared_ptr to this, so
-  /// a buffer freed after its pool dies still lands somewhere valid.
+  /// a buffer freed after its pool dies still lands somewhere valid. The
+  /// recycle cache lives here for the same lifetime reason: the deleter
+  /// that returns a buffer may run after the pool is gone.
   struct Ledger {
     std::uint64_t frees = 0;
     std::uint64_t freed_bytes = 0;
+    /// Freed buffers retained for reuse, keyed by exact capacity and
+    /// bounded per class (see kMaxCachedPerSize).
+    std::unordered_map<std::size_t, std::vector<std::unique_ptr<Buffer>>> cache;
   };
+
+  /// Recycle-cache depth per size class: deep enough to absorb a send
+  /// window of PDU buffers, small enough that idle sessions don't pin
+  /// memory.
+  static constexpr std::size_t kMaxCachedPerSize = 64;
 
   BufferScheme scheme_;
   std::size_t block_size_;

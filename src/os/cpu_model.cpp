@@ -12,7 +12,7 @@ sim::SimTime CpuModel::run(std::uint64_t instr, std::function<void()> done) {
   stats_.busy += cost;
   const sim::SimTime finish = busy_until_;
   if (done) {
-    sched_.schedule_at(finish, std::move(done));
+    sched_.post_at(finish, std::move(done));
   }
   return finish;
 }

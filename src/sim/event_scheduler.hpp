@@ -4,10 +4,32 @@
 // Events fire in (time, insertion-sequence) order, which makes every run
 // bit-reproducible for a given seed. Handles returned by `schedule` allow
 // cancellation (used heavily by retransmission timers).
+//
+// Internally the scheduler is a hierarchical timer wheel (DESIGN §13), not
+// a binary heap: time is divided into 1024 ns ticks, and each of nine
+// levels covers successively coarser 64-slot digit positions of the tick
+// value (64^9 ticks spans every representable SimTime). An event lands at
+// the level of the highest 6-bit digit in which its tick differs from the
+// wheel cursor, so insertion is O(1); servicing advances the cursor to the
+// earliest occupied slot (found via per-level occupancy bitmaps) and
+// cascades coarse slots downward, each entry falling to a strictly lower
+// level until same-tick events coalesce in a level-0 slot. The pumped
+// path — dense event tracks near the cursor, the common case for protocol
+// timers and back-to-back packet events — is O(1) per event, where the
+// heap paid O(log n) twice.
+//
+// Invariants (the correctness spine of the wheel):
+//   * cursor_tick_ is monotonic and never exceeds the minimum pending tick;
+//   * every pending entry at level L agrees with the cursor in all digits
+//     above L, so its slot alone determines its absolute tick range;
+//   * a level-0 slot therefore holds exactly one tick value — same-tick
+//     coalescing falls out of the level rule rather than being a special
+//     case.
 #pragma once
 
 #include "sim/time.hpp"
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -17,6 +39,17 @@
 namespace adaptive::sim {
 
 class EventScheduler;
+
+/// When set, newly constructed EventSchedulers use the pre-wheel binary
+/// heap (std::priority_queue) event queue, mirroring tko's
+/// set_legacy_copy_path: bench_hotpath flips both to reconstruct the
+/// pre-refactor hot path inside one binary and measure the wheel against
+/// it. The flag is sampled at scheduler construction, so flipping it never
+/// affects a live scheduler. Event ordering — and therefore every
+/// virtual-time result — is identical in both modes; only wall time
+/// differs.
+[[nodiscard]] bool legacy_heap_mode();
+void set_legacy_heap_mode(bool on);
 
 /// Cancellation handle for a scheduled event. Copyable; cancelling any copy
 /// cancels the event. A default-constructed handle refers to nothing.
@@ -59,6 +92,15 @@ public:
     return schedule_at(now_ + delay, std::move(cb));
   }
 
+  /// Fire-and-forget variants: no cancellation handle, so no handle-state
+  /// allocation per event. The per-packet datapath events (link tx and
+  /// propagation, node processing, CPU work completion) are never
+  /// cancelled — they dominate event volume, and the handle allocation
+  /// was pure overhead for them. Ordering is identical to schedule_at
+  /// (same (when, seq) sequence space).
+  void post_at(SimTime when, Callback cb);
+  void post_after(SimTime delay, Callback cb) { post_at(now_ + delay, std::move(cb)); }
+
   /// Run events until the queue drains or `until` is reached, whichever
   /// comes first. Returns the number of events executed.
   std::size_t run_until(SimTime until);
@@ -69,8 +111,8 @@ public:
   /// Execute at most one event; returns false if queue is empty.
   bool step();
 
-  /// Number of events waiting (including cancelled ones not yet popped).
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Number of events waiting (including cancelled ones not yet removed).
+  [[nodiscard]] std::size_t pending_events() const { return pending_; }
 
   /// Total events executed since construction (excludes cancelled).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
@@ -80,8 +122,9 @@ private:
     SimTime when;
     std::uint64_t seq;
     Callback cb;
-    std::shared_ptr<EventHandle::State> state;
+    std::shared_ptr<EventHandle::State> state;  ///< null for post_at events
   };
+  /// (when, seq) min-heap order for the legacy binary-heap mode.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -89,12 +132,48 @@ private:
     }
   };
 
-  bool pop_and_run();
+  static constexpr int kTickShift = 10;  ///< 1024 ns per wheel tick
+  static constexpr int kSlotBits = 6;    ///< 64 slots per level
+  static constexpr int kSlots = 1 << kSlotBits;
+  static constexpr int kLevels = 9;  ///< 64^9 ticks > any representable time
 
+  [[nodiscard]] static std::uint64_t tick_of(SimTime t) {
+    return static_cast<std::uint64_t>(t.ns()) >> kTickShift;
+  }
+  [[nodiscard]] std::vector<Entry>& slot(int level, int idx) {
+    return slots_[static_cast<std::size_t>(level) * kSlots + static_cast<std::size_t>(idx)];
+  }
+
+  /// File an entry at the level of the highest digit where its tick
+  /// differs from the cursor. O(1).
+  void insert(Entry&& e);
+
+  /// Locate the occupied slot with the smallest possible tick; ties
+  /// between levels go to the coarser one so its entries cascade down
+  /// before the finer slot is serviced (preserves (when, seq) order for
+  /// same-tick events inserted under different cursors).
+  bool min_slot(int& level, int& idx, std::uint64_t& start) const;
+
+  /// Fire the single earliest eligible event (when <= limit). Cascades
+  /// coarse slots and purges cancelled entries as they are encountered.
+  /// Returns false when the wheel is empty or nothing is eligible.
+  bool fire_next(SimTime limit);
+
+  /// Legacy-heap equivalent of fire_next (identical semantics).
+  bool heap_fire_next(SimTime limit);
+
+  const bool use_heap_ = legacy_heap_mode();  ///< sampled at construction
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::size_t pending_ = 0;
+  /// Wheel position in ticks; monotonic, always <= the minimum pending
+  /// entry's tick.
+  std::uint64_t cursor_tick_ = 0;
+  std::array<std::uint64_t, kLevels> occupied_{};  ///< per-level slot bitmaps
+  std::array<std::vector<Entry>, static_cast<std::size_t>(kLevels) * kSlots> slots_;
+  /// Legacy-heap mode only (use_heap_); empty otherwise.
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 
 }  // namespace adaptive::sim

@@ -28,4 +28,21 @@ private:
   std::uint32_t state_ = 0xFFFF'FFFFu;
 };
 
+/// Incremental RFC 1071 Internet checksum for streaming over message
+/// segments. The 16-bit one's-complement sum is not segment-composable at
+/// odd boundaries without carrying the byte parity across updates; this
+/// class folds the odd tail byte into the next segment's first byte, so
+/// feeding segments of any length yields exactly the checksum of their
+/// concatenation — the trailer-placement encode path can checksum a
+/// scatter/gather chain without linearizing it (paper footnote 2).
+class InternetChecksum {
+public:
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::uint16_t value() const;
+
+private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  ///< total bytes consumed so far is odd
+};
+
 }  // namespace adaptive::tko

@@ -51,8 +51,7 @@ std::uint32_t get_u32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
 }
 
-std::array<std::uint8_t, kPduHeaderBytes> encode_header(const Pdu& p, std::uint16_t payload_len) {
-  std::array<std::uint8_t, kPduHeaderBytes> h{};
+void encode_header(const Pdu& p, std::uint16_t payload_len, std::span<std::uint8_t> h) {
   h[0] = kVersion;
   h[1] = static_cast<std::uint8_t>(p.type);
   put_u16(&h[2], p.flags);
@@ -61,9 +60,7 @@ std::array<std::uint8_t, kPduHeaderBytes> encode_header(const Pdu& p, std::uint1
   put_u32(&h[12], p.ack);
   put_u16(&h[16], p.window);
   put_u16(&h[18], payload_len);
-  // h[20..23]: checksum field, zero until patched.
-  (void)p.aux;  // aux shares the checksum word? no — see below
-  return h;
+  put_u32(&h[20], p.aux);  // aux rides in the checksum word; see below
 }
 
 std::uint32_t stream_checksum(const Message& m, ChecksumKind kind) {
@@ -72,11 +69,29 @@ std::uint32_t stream_checksum(const Message& m, ChecksumKind kind) {
     m.for_each_segment([&](std::span<const std::uint8_t> s) { c.update(s); });
     return c.value();
   }
-  // The Internet checksum is not segment-composable at odd boundaries
-  // without folding; linearize for simplicity (and to model the extra
-  // pass legacy checksums cost).
-  auto bytes = m.linearize();
-  return internet_checksum(bytes);
+  if (legacy_copy_path()) {
+    // Pre-refactor path: one full gather pass just to checksum.
+    auto bytes = m.linearize();
+    return internet_checksum(bytes);
+  }
+  // Odd segment boundaries fold across updates, so the Internet checksum
+  // streams over the scatter/gather chain like CRC-32 does.
+  InternetChecksum c;
+  m.for_each_segment([&](std::span<const std::uint8_t> s) { c.update(s); });
+  return c.value();
+}
+
+/// Read `n` leading bytes: a borrowed span when the front segment is
+/// contiguous (the hot case — headers are their own segments), else a
+/// recorded peek copy into `scratch`.
+std::span<const std::uint8_t> read_prefix(const Message& m, std::size_t n,
+                                          std::vector<std::uint8_t>& scratch) {
+  if (!legacy_copy_path()) {
+    auto direct = m.contiguous_prefix(n);
+    if (!direct.empty()) return direct;
+  }
+  scratch = m.peek(n);
+  return scratch;
 }
 
 }  // namespace
@@ -98,20 +113,17 @@ Message encode_pdu(Pdu&& p, ChecksumKind kind, ChecksumPlacement placement) {
   p.flags = flags;
 
   const auto payload_len = static_cast<std::uint16_t>(p.payload.size());
-  auto header = encode_header(p, payload_len);
-  put_u32(&header[20], p.aux);
-
   Message wire = std::move(p.payload);
-  wire.push(header);
+  // Header bytes are produced in place on a fresh front segment: the
+  // payload segments ride through encode untouched and unrecorded.
+  encode_header(p, payload_len, wire.push_uninit(kPduHeaderBytes));
 
   if (kind == ChecksumKind::kNone) return wire;
 
   if (placement == ChecksumPlacement::kTrailer) {
     // Single streaming pass over header+payload; append trailer.
     const std::uint32_t ck = stream_checksum(wire, kind);
-    std::array<std::uint8_t, kChecksumTrailerBytes> tr{};
-    put_u32(tr.data(), ck);
-    wire.append(tr);
+    put_u32(wire.append_uninit(kChecksumTrailerBytes).data(), ck);
     return wire;
   }
 
@@ -121,20 +133,25 @@ Message encode_pdu(Pdu&& p, ChecksumKind kind, ChecksumPlacement placement) {
   // fixed-size, header placement checksums the image as-is (aux included)
   // and then OVERWRITES aux with the checksum: header-placed checksums
   // therefore cannot carry aux, mirroring how legacy headers waste fields.
+  // This is the deliberately costly pre-image pass of footnote 2 — it
+  // linearizes (recorded) and re-materializes the wire (also recorded).
   auto zeroed = wire.linearize();
   zeroed[20] = zeroed[21] = zeroed[22] = zeroed[23] = 0;
   const std::uint32_t ck =
       kind == ChecksumKind::kCrc32 ? crc32(zeroed) : internet_checksum(zeroed);
   put_u32(zeroed.data() + 20, ck);
   Message out(wire.pool());
+  out.set_lifecycle(wire.lifecycle());
   out.append(zeroed);
+  if (out.pool() != nullptr) out.pool()->record_copy(zeroed.size());
   return out;
 }
 
 DecodeResult decode_pdu(Message&& wire) {
   DecodeResult r;
   if (wire.size() < kPduHeaderBytes) return r;
-  const auto head = wire.peek(kPduHeaderBytes);
+  std::vector<std::uint8_t> head_scratch;
+  const auto head = read_prefix(wire, kPduHeaderBytes, head_scratch);
   if (head[0] != kVersion) return r;
 
   Pdu p;
@@ -174,17 +191,18 @@ DecodeResult decode_pdu(Message&& wire) {
 
   if (!none) {
     if (trailer) {
-      Message body = wire.clone();
-      Message trail = body.split(kPduHeaderBytes + payload_len);
-      const auto tb = trail.peek(kChecksumTrailerBytes);
+      // Split the trailer off in place (shared buffers, no clone copy) and
+      // stream the checksum over the remaining header+payload segments.
+      Message trail = wire.split(kPduHeaderBytes + payload_len);
+      std::vector<std::uint8_t> trail_scratch;
+      const auto tb = read_prefix(trail, kChecksumTrailerBytes, trail_scratch);
       const std::uint32_t stored = get_u32(tb.data());
-      const std::uint32_t computed = stream_checksum(body, kind);
+      const std::uint32_t computed = stream_checksum(wire, kind);
       if (stored != computed) {
         r.status = DecodeStatus::kChecksumMismatch;
         return r;
       }
       p.aux = get_u32(&head[20]);
-      wire = std::move(body);
     } else {
       auto bytes = wire.linearize();
       const std::uint32_t stored = get_u32(bytes.data() + 20);
@@ -201,7 +219,11 @@ DecodeResult decode_pdu(Message&& wire) {
     p.aux = get_u32(&head[20]);
   }
 
-  (void)wire.pop(kPduHeaderBytes);
+  if (legacy_copy_path()) {
+    (void)wire.pop(kPduHeaderBytes);
+  } else {
+    wire.consume(kPduHeaderBytes);  // offset adjust; header bytes never move
+  }
   p.payload = std::move(wire);
   r.pdu = std::move(p);
   r.status = DecodeStatus::kOk;

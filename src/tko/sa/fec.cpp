@@ -7,13 +7,20 @@
 
 namespace adaptive::tko::sa {
 
-std::vector<std::uint8_t> FecReliability::to_block(const Message& m, std::size_t block_len) {
-  std::vector<std::uint8_t> block(block_len, 0);
-  const auto bytes = m.peek(m.size());
-  block[0] = static_cast<std::uint8_t>(bytes.size() >> 8);
-  block[1] = static_cast<std::uint8_t>(bytes.size());
-  std::copy(bytes.begin(), bytes.end(), block.begin() + 2);
-  return block;
+void FecReliability::xor_block(std::vector<std::uint8_t>& acc, const Message& m) {
+  if (acc.size() < 2) return;
+  acc[0] ^= static_cast<std::uint8_t>(m.size() >> 8);
+  acc[1] ^= static_cast<std::uint8_t>(m.size());
+  // A truncated parity block (wire damage under a no-checksum config) may
+  // be shorter than a member; clamp rather than overrun — recovery then
+  // fails the length check downstream, as it should.
+  std::size_t at = 2;
+  m.for_each_segment([&](std::span<const std::uint8_t> s) {
+    const std::size_t room = acc.size() > at ? acc.size() - at : 0;
+    const std::size_t n = std::min(room, s.size());
+    for (std::size_t i = 0; i < n; ++i) acc[at + i] ^= s[i];
+    at += s.size();
+  });
 }
 
 void FecReliability::send_data(Message&& payload) {
@@ -40,10 +47,7 @@ void FecReliability::emit_parity() {
   const std::size_t block_len = max_len + 2;
 
   std::vector<std::uint8_t> parity(block_len, 0);
-  for (const auto& m : group_payloads_) {
-    const auto block = to_block(m, block_len);
-    for (std::size_t i = 0; i < block_len; ++i) parity[i] ^= block[i];
-  }
+  for (const auto& m : group_payloads_) xor_block(parity, m);
 
   Pdu p;
   p.type = PduType::kFecParity;
@@ -131,8 +135,7 @@ void FecReliability::try_recover(std::uint32_t base) {
   std::vector<std::uint8_t> rec = g.parity;
   for (const auto& [seq, m] : g.data) {
     if (seq_lt(seq, base) || seq_gt(seq, hi)) continue;
-    const auto block = to_block(m, block_len);
-    for (std::size_t i = 0; i < block_len; ++i) rec[i] ^= block[i];
+    xor_block(rec, m);
   }
   const std::size_t len = (static_cast<std::size_t>(rec[0]) << 8) | rec[1];
   if (len + 2 > block_len) return;  // corrupted parity path; give up
@@ -170,6 +173,7 @@ void FecReliability::restore(ReliabilityState&& s) {
   // the "no loss of data" guarantee of the segue.
   auto unacked = std::move(s.unacked);
   s.unacked.clear();
+  s.unacked_bytes = 0;
   ReliabilityBase::restore(std::move(s));
   group_base_ = st_.next_seq;
   for (auto& [seq, payload] : unacked) {

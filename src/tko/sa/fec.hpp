@@ -48,7 +48,10 @@ public:
 
 private:
   /// Length-prefixed padded block used for parity arithmetic.
-  [[nodiscard]] static std::vector<std::uint8_t> to_block(const Message& m, std::size_t block_len);
+  /// XOR a group member into the parity accumulator in block form
+  /// ([u16 length][payload][zero padding]) by walking its segment chain —
+  /// no staging buffer, no recorded copy.
+  static void xor_block(std::vector<std::uint8_t>& acc, const Message& m);
 
   void emit_parity();
   void try_recover(std::uint32_t base);

@@ -44,6 +44,7 @@ void GoBackN::send_data(Message&& payload) {
   const std::uint32_t seq = st_.next_seq++;
   trace_enqueue(payload, seq);
   st_.unacked.emplace(seq, payload.clone());  // lazy copy: shares buffers
+  st_.unacked_bytes += payload.size();
   emit_data(seq, std::move(payload), /*retransmission=*/false);
   arm_timer();
 }

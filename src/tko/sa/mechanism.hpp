@@ -188,6 +188,9 @@ struct ReliabilityState {
   std::uint32_t next_seq = 1;   ///< next sequence number to assign
   std::uint32_t send_base = 1;  ///< lowest unacknowledged sequence
   std::map<std::uint32_t, Message> unacked;  ///< retransmission store
+  /// Sum of unacked payload sizes, maintained at every insert/erase so
+  /// buffered_bytes() is O(1) on the per-PDU accounting path.
+  std::size_t unacked_bytes = 0;
   std::uint32_t rcv_cum = 0;    ///< highest in-order sequence received
   std::set<std::uint32_t> rcv_out_of_order;
   std::map<net::NodeId, std::uint32_t> per_receiver_cum;  ///< multicast acks

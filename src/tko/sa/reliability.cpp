@@ -91,6 +91,7 @@ std::uint32_t ReliabilityBase::apply_cum_ack(std::uint32_t cum, net::NodeId from
   while (seq_leq(st_.send_base, eff)) {
     auto it = st_.unacked.find(st_.send_base);
     if (it != st_.unacked.end()) {
+      st_.unacked_bytes -= it->second.size();
       st_.unacked.erase(it);
       ++newly;
     }

@@ -32,9 +32,15 @@ public:
     return static_cast<std::uint32_t>(st_.unacked.size());
   }
   [[nodiscard]] std::size_t buffered_bytes() const override {
-    std::size_t n = 0;
-    for (const auto& [seq, m] : st_.unacked) n += m.size();
-    return n;
+    // Maintained counter (O(1)): this gauge runs on the per-PDU
+    // memory-accounting path via TransportSession::live_bytes(). The
+    // legacy mode recomputes by walking the store, as the pre-PR code did.
+    if (legacy_copy_path()) {
+      std::size_t n = 0;
+      for (const auto& [seq, m] : st_.unacked) n += m.size();
+      return n;
+    }
+    return st_.unacked_bytes;
   }
 
   [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }

@@ -27,6 +27,7 @@ void SelectiveRepeat::send_data(Message&& payload) {
   const std::uint32_t seq = st_.next_seq++;
   trace_enqueue(payload, seq);
   st_.unacked.emplace(seq, payload.clone());
+  st_.unacked_bytes += payload.size();
   deadline_[seq] = core_->now() + rtt_.rto();
   send_time_[seq] = core_->now();
   ++stats_.data_sent;
@@ -78,6 +79,7 @@ void SelectiveRepeat::reap_acked() {
         rtt_.sample(core_->now() - ts->second);
         send_time_.erase(ts);
       }
+      st_.unacked_bytes -= it->second.size();
       it = st_.unacked.erase(it);
     } else {
       ++it;

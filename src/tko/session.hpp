@@ -61,6 +61,12 @@ public:
   /// "peer", "mtu", "state"; unknown ops return nullopt.
   [[nodiscard]] virtual std::optional<std::string> control(std::string_view op) const;
 
+  /// Buffer pool application code should build outgoing Messages from, so
+  /// payload segments are allocated (and copy-accounted) against the
+  /// session's host from the first byte. Null when the session has no
+  /// host-attached pool (e.g. loopback test doubles).
+  [[nodiscard]] virtual os::BufferPool* buffer_pool() { return nullptr; }
+
   [[nodiscard]] const net::Address& local() const { return local_; }
   [[nodiscard]] const std::vector<net::Address>& remotes() const { return remotes_; }
   [[nodiscard]] bool is_multicast_session() const {

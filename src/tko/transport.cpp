@@ -153,6 +153,7 @@ bool TransportSession::send(Message&& m) {
           seg, mtu - kPduHeaderBytes - kChecksumTrailerBytes - sa::SessionConfig::kWireBytes);
     }
   }
+  tx_queue_bytes_ += m.size();  // every chunk of m lands in the queue
   while (m.size() > seg) {
     Message tail = m.split(seg);
     tx_queue_.push_back(std::move(m));
@@ -175,6 +176,7 @@ void TransportSession::close(bool graceful) {
   state_ = SessionState::kClosing;
   if (!graceful) {
     tx_queue_.clear();
+    tx_queue_bytes_ = 0;
     ctx_->connection().close(/*graceful=*/false);
     return;
   }
@@ -226,6 +228,7 @@ void TransportSession::pump() {
     Message chunk = std::move(tx_queue_.front());
     tx_queue_.pop_front();
     const std::size_t bytes = chunk.size();
+    tx_queue_bytes_ -= bytes;
     rel.send_data(std::move(chunk));
     tx.on_pdu_sent(bytes);
     stats_.bytes_sent += bytes;
@@ -239,8 +242,17 @@ std::size_t TransportSession::live_bytes() const {
   // TSDUs, the partial reassembly, retransmission/FEC retention, and
   // resequencer holds. Wire copies in flight belong to the network, not
   // the session.
+  // All four terms are maintained counters, so the gauge is O(1): it runs
+  // inside note_memory() at every send/receive choke point, where walking
+  // the tx queue would cost O(queued TSDUs) per PDU.
   std::size_t n = rx_assembly_.size();
-  for (const auto& m : tx_queue_) n += m.size();
+  if (legacy_copy_path()) {
+    // Pre-refactor gauge: recompute by walking the queue (bench_hotpath's
+    // legacy mode restores the real pre-PR per-PDU accounting cost).
+    for (const auto& m : tx_queue_) n += m.size();
+  } else {
+    n += tx_queue_bytes_;
+  }
   n += ctx_->reliability().buffered_bytes();
   n += ctx_->sequencing().held_bytes();
   return n;
@@ -319,25 +331,39 @@ void TransportSession::emit(Pdu&& p) {
 }
 
 void TransportSession::send_wire(Message&& wire) {
-  auto bytes = wire.linearize();
+  if (legacy_copy_path()) {
+    // Pre-refactor path: gather the segment chain into one flat wire
+    // image per packet (recorded) — exactly the linearize-into-packet-
+    // bytes the old vector-payload Packet did, with fan-out re-copying
+    // per remote.
+    for (std::size_t i = 0; i < remotes_.size(); ++i) {
+      net::Packet pkt;
+      pkt.src = local_;
+      pkt.dst = remotes_[i];
+      pkt.priority = cfg_.priority;
+      pkt.payload = wire.deep_copy();
+      proto_.host().send(std::move(pkt));
+    }
+    return;
+  }
   if (remotes_.size() == 1) {
     net::Packet pkt;
     pkt.src = local_;
     pkt.dst = remotes_.front();
     pkt.priority = cfg_.priority;
-    pkt.payload = std::move(bytes);
+    pkt.payload = std::move(wire);  // segment chain rides through untouched
     proto_.host().send(std::move(pkt));
     return;
   }
-  // Several unicast participants: one copy each (what a transport without
-  // network multicast is forced to do — experiment E-X3's underweight case
-  // when used to emulate TCP-style fan-out).
+  // Several unicast participants: shallow clones share the wire segments —
+  // the fan-out a transport without network multicast is forced to do
+  // (experiment E-X3's underweight case) now costs headers, not payloads.
   for (const auto& r : remotes_) {
     net::Packet pkt;
     pkt.src = local_;
     pkt.dst = r;
     pkt.priority = cfg_.priority;
-    pkt.payload = bytes;
+    pkt.payload = wire.clone();
     proto_.host().send(std::move(pkt));
   }
 }
@@ -347,7 +373,12 @@ void TransportSession::send_wire(Message&& wire) {
 void TransportSession::handle_packet(net::Packet&& p) {
   const std::size_t wire_bytes = p.payload.size();
   const net::NodeId from = p.src.node;
-  Message wire = Message::from_bytes(p.payload, &buffers());
+  // Adopt the wire image: the packet's segment chain becomes the session's,
+  // re-homed to this host's pool for copy accounting. The legacy path
+  // instead materializes a private flat buffer (the old vector->Message
+  // ingest memcpy), now recorded honestly.
+  Message wire = legacy_copy_path() ? p.payload.deep_copy() : std::move(p.payload);
+  wire.set_pool(&buffers());
   proto_.host().cpu().run(rx_instr(wire_bytes), [this, wire = std::move(wire), from]() mutable {
     UNITES_PROF_S("transport.rx", id_);
     auto result = decode_pdu(std::move(wire));
@@ -373,7 +404,11 @@ void TransportSession::process_pdu(Pdu&& p, net::NodeId from) {
 
   if (p.has_flag(pdu_flags::kPiggybackConfig) && p.payload.size() >= sa::SessionConfig::kWireBytes) {
     // Config prefix was consumed at session-creation time; strip it here.
-    (void)p.payload.pop(sa::SessionConfig::kWireBytes);
+    if (legacy_copy_path()) {
+      (void)p.payload.pop(sa::SessionConfig::kWireBytes);
+    } else {
+      p.payload.consume(sa::SessionConfig::kWireBytes);
+    }
   }
 
   switch (p.type) {
@@ -452,10 +487,17 @@ void TransportSession::deliver(Message&& m) {
   // reliable) segment stream and deliver complete application messages.
   rx_assembly_.concat(std::move(m));
   while (rx_assembly_.size() >= 4) {
-    const auto head = rx_assembly_.peek(4);
-    const std::uint32_t len = (static_cast<std::uint32_t>(head[0]) << 24) |
-                              (static_cast<std::uint32_t>(head[1]) << 16) |
-                              (static_cast<std::uint32_t>(head[2]) << 8) | head[3];
+    std::uint8_t head[4];
+    auto pfx = legacy_copy_path() ? std::span<const std::uint8_t>{}
+                                  : rx_assembly_.contiguous_prefix(4);
+    if (pfx.empty()) {
+      const auto v = rx_assembly_.peek(4);
+      std::copy(v.begin(), v.end(), head);
+      pfx = head;
+    }
+    const std::uint32_t len = (static_cast<std::uint32_t>(pfx[0]) << 24) |
+                              (static_cast<std::uint32_t>(pfx[1]) << 16) |
+                              (static_cast<std::uint32_t>(pfx[2]) << 8) | pfx[3];
     if (len > kMaxTsduBytes) {
       // Desynced stream (a corrupted prefix slipped past detection, or a
       // no-checksum config took a wire hit): waiting for `len` bytes would
@@ -467,7 +509,11 @@ void TransportSession::deliver(Message&& m) {
       break;
     }
     if (rx_assembly_.size() < 4 + static_cast<std::size_t>(len)) break;
-    (void)rx_assembly_.pop(4);
+    if (legacy_copy_path()) {
+      (void)rx_assembly_.pop(4);
+    } else {
+      rx_assembly_.consume(4);
+    }
     Message whole = rx_assembly_;
     rx_assembly_ = whole.split(len);
     ++stats_.messages_delivered;
@@ -684,10 +730,17 @@ void AdaptiveTransport::demux(net::Packet&& p) {
     ++orphans_;
     return;
   }
-  const std::uint32_t sid = (static_cast<std::uint32_t>(p.payload[4]) << 24) |
-                            (static_cast<std::uint32_t>(p.payload[5]) << 16) |
-                            (static_cast<std::uint32_t>(p.payload[6]) << 8) |
-                            static_cast<std::uint32_t>(p.payload[7]);
+  std::uint8_t sid_scratch[8];
+  auto hd = p.payload.contiguous_prefix(8);
+  if (hd.empty()) {
+    const auto v = p.payload.peek(8);
+    std::copy(v.begin(), v.end(), sid_scratch);
+    hd = sid_scratch;
+  }
+  const std::uint32_t sid = (static_cast<std::uint32_t>(hd[4]) << 24) |
+                            (static_cast<std::uint32_t>(hd[5]) << 16) |
+                            (static_cast<std::uint32_t>(hd[6]) << 8) |
+                            static_cast<std::uint32_t>(hd[7]);
   auto it = sessions_.find(sid);
   if (it != sessions_.end()) {
     it->second->handle_packet(std::move(p));
@@ -695,8 +748,10 @@ void AdaptiveTransport::demux(net::Packet&& p) {
   }
 
   // Unknown session: a SYN (explicit open) or a data PDU with a
-  // piggybacked SCS (implicit open) creates a passive session.
-  Message wire = Message::from_bytes(p.payload, &host_.buffers());
+  // piggybacked SCS (implicit open) creates a passive session. Decode a
+  // shallow clone so the packet stays intact for handle_packet below.
+  Message wire = p.payload.clone();
+  wire.set_pool(&host_.buffers());
   auto result = decode_pdu(std::move(wire));
   if (result.status != DecodeStatus::kOk) {
     ++orphans_;

@@ -68,6 +68,7 @@ public:
   void close(bool graceful = true) override;
   [[nodiscard]] SessionState state() const override { return state_; }
   [[nodiscard]] std::optional<std::string> control(std::string_view op) const override;
+  [[nodiscard]] os::BufferPool* buffer_pool() override { return &buffers(); }
 
   // ---- SessionCore interface (mechanism-facing) ----------------------
   void emit(Pdu&& p) override;
@@ -168,6 +169,9 @@ private:
   bool active_;
   SessionState state_ = SessionState::kIdle;
   std::deque<Message> tx_queue_;
+  /// Sum of tx_queue_ message sizes, maintained at push/pop so the
+  /// live_bytes() gauge never walks the queue on the hot path.
+  std::size_t tx_queue_bytes_ = 0;
   bool peer_confirmed_ = false;
   std::uint32_t piggyback_budget_ = 16;
   bool pump_scheduled_ = false;

@@ -91,6 +91,32 @@ std::size_t ProfileTree::zone_count() const {
   return total;
 }
 
+namespace {
+
+void fold_node(const ProfileNode& n, std::string& stack, bool wall, std::string& out) {
+  const std::size_t mark = stack.size();
+  if (!stack.empty()) stack += ';';
+  stack += n.name;
+  const std::uint64_t weight = wall ? n.wall_ns : n.calls;
+  if (weight > 0) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(weight);
+    out += '\n';
+  }
+  for (const auto& c : n.children) fold_node(c, stack, wall, out);
+  stack.resize(mark);
+}
+
+}  // namespace
+
+std::string ProfileTree::to_folded(bool wall) const {
+  std::string out;
+  std::string stack;
+  for (const auto& r : roots) fold_node(r, stack, wall, out);
+  return out;
+}
+
 const ProfileNode* ProfileTree::find(std::initializer_list<std::string_view> path) const {
   const std::vector<ProfileNode>* level = &roots;
   const ProfileNode* hit = nullptr;

@@ -91,6 +91,11 @@ struct ProfileTree {
   [[nodiscard]] std::size_t zone_count() const;
   /// Walk roots/children by exact names; nullptr when absent.
   [[nodiscard]] const ProfileNode* find(std::initializer_list<std::string_view> path) const;
+  /// Collapsed-stack export ("root;child;grandchild <weight>" per line),
+  /// the input format flamegraph renderers consume. `wall` selects wall
+  /// nanoseconds as the weight (perf profile; nondeterministic), otherwise
+  /// call counts (deterministic). Zones with zero weight are omitted.
+  [[nodiscard]] std::string to_folded(bool wall = true) const;
 };
 
 class ProfileScope;

@@ -40,14 +40,14 @@ TEST(Priority, HighPriorityPacketsOvertakeInQueues) {
     p.src = {a, 1};
     p.dst = {b, 1};
     p.priority = 0;
-    p.payload.assign(972, 1);
+    p.payload = tko::Message::filled(972, 1);
     net.inject(std::move(p));
   }
   net::Packet hi;
   hi.src = {a, 1};
   hi.dst = {b, 1};
   hi.priority = 5;
-  hi.payload.assign(972, 2);
+  hi.payload = tko::Message::filled(972, 2);
   net.inject(std::move(hi));
   sched.run();
   ASSERT_EQ(order.size(), 11u);
@@ -73,7 +73,7 @@ TEST(Priority, FullQueueDisplacesLowestPriority) {
     net::Packet p;
     p.src = {a, 1};
     p.dst = {b, 1};
-    p.payload.assign(972, 1);
+    p.payload = tko::Message::filled(972, 1);
     net.inject(std::move(p));
   }
   for (int i = 0; i < 2; ++i) {  // two high arrivals displace two low
@@ -81,7 +81,7 @@ TEST(Priority, FullQueueDisplacesLowestPriority) {
     p.src = {a, 1};
     p.dst = {b, 1};
     p.priority = 3;
-    p.payload.assign(972, 2);
+    p.payload = tko::Message::filled(972, 2);
     net.inject(std::move(p));
   }
   sched.run();

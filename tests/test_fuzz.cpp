@@ -101,12 +101,13 @@ TEST_P(FuzzSeeds, SignalDecoderRejectsMutations) {
   sig.type = tko::PduType::kConfig;
   sig.token = 5;
   sig.config = tko::sa::SessionConfig{};
-  const auto wire = mantts::encode_signal(sig);
+  auto signal_wire = mantts::encode_signal(sig);
+  const auto wire = signal_wire.linearize();
   for (int i = 0; i < 1000; ++i) {
     auto mutated = wire;
     const auto bit = rng.uniform_int(0, mutated.size() * 8 - 1);
     mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-    const auto out = mantts::decode_signal(mutated);
+    const auto out = mantts::decode_signal(tko::Message::from_bytes(mutated));
     if (out.has_value()) {
       EXPECT_EQ(mutated, wire);  // only a no-op "mutation" may pass
     }
@@ -135,8 +136,9 @@ TEST(FuzzLive, GarbagePacketsDontDisturbALiveTransfer) {
       junk.src = {world.node(2), 1234};
       junk.dst = {world.node(1),
                   (i % 2) == 0 ? tko::kTransportPort : mantts::kSignalingPort};
-      junk.payload.resize(rng.uniform_int(1, 200));
-      for (auto& b : junk.payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      std::vector<std::uint8_t> noise(rng.uniform_int(1, 200));
+      for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      junk.payload = tko::Message::from_bytes(noise);
       world.host(2).send(std::move(junk));
     });
   }

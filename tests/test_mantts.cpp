@@ -260,7 +260,7 @@ TEST(Negotiation, CorruptSignalRejected) {
   s.type = tko::PduType::kConfig;
   s.config = tko::sa::reliable_bulk_config();
   auto wire = encode_signal(s);
-  wire[tko::kPduHeaderBytes + 3] ^= 0xFF;
+  wire.mutable_bytes()[tko::kPduHeaderBytes + 3] ^= 0xFF;
   EXPECT_FALSE(decode_signal(wire).has_value());
 }
 

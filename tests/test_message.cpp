@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <span>
 
 namespace adaptive::tko {
 namespace {
@@ -116,6 +118,177 @@ TEST(Message, SegmentIterationCoversAllBytes) {
   });
   EXPECT_EQ(seen, m.linearize());
   EXPECT_EQ(m.segment_count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Copy-ledger discipline: the pool's copy counters must agree exactly with
+// real memcpy traffic. Producing bytes into a message (append/push/filled)
+// is ingress and records nothing; every read or gather that physically
+// duplicates message bytes records exactly the bytes moved.
+// ---------------------------------------------------------------------------
+
+TEST(CopyLedger, IngressRecordsNothing) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(100), &pool);
+  m.append(iota_bytes(50));
+  m.push(bytes({1, 2, 3, 4}));
+  auto w = m.push_uninit(8);
+  std::fill(w.begin(), w.end(), std::uint8_t{0});
+  EXPECT_EQ(pool.stats().copies, 0u);
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);
+}
+
+TEST(CopyLedger, PopPeekRecordExactBytes) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(100), &pool);
+  (void)m.peek(8);
+  EXPECT_EQ(pool.stats().copied_bytes, 8u);
+  (void)m.pop(12);
+  EXPECT_EQ(pool.stats().copied_bytes, 20u);
+  EXPECT_EQ(pool.stats().copies, 2u);
+}
+
+TEST(CopyLedger, ConsumeTruncateSplitConcatAreCopyFree) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(60), &pool);
+  m.push(bytes({9, 9, 9, 9}));
+  m.consume(4);                 // offset adjust, not a pop
+  auto tail = m.split(20);      // shared buffers
+  m.concat(std::move(tail));    // splice back
+  m.truncate(30);               // segment trim
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);
+  EXPECT_EQ(m.linearize(), iota_bytes(30));
+  EXPECT_EQ(pool.stats().copied_bytes, 30u);  // the linearize itself
+}
+
+TEST(CopyLedger, LinearizeRecordsOnlyWhenBytesExist) {
+  os::BufferPool pool;
+  Message empty(&pool);
+  EXPECT_TRUE(empty.linearize().empty());
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);
+  // A single-segment message still physically duplicates every byte into
+  // the returned vector — the ledger must say so (the old predicate
+  // recorded for any non-empty message by accident of a tautology; the
+  // count itself was right, the reasoning was not).
+  auto m = Message::from_bytes(iota_bytes(50), &pool);
+  (void)m.linearize();
+  EXPECT_EQ(pool.stats().copied_bytes, 50u);
+  EXPECT_EQ(pool.stats().copies, 1u);
+}
+
+TEST(CopyLedger, DeepCopyRecordsOnePassExactly) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(40), &pool);
+  m.push(bytes({1, 2}));
+  m.append(bytes({3, 4}));  // 3 segments, 44 bytes
+  pool.reset_stats();
+  auto deep = m.deep_copy();
+  // One physical gather pass: exactly size() bytes, exactly one ledger
+  // entry (the old implementation copied twice and recorded once).
+  EXPECT_EQ(pool.stats().copied_bytes, 44u);
+  EXPECT_EQ(pool.stats().copies, 1u);
+  EXPECT_EQ(deep.segment_count(), 1u);
+  EXPECT_EQ(deep.linearize(), m.linearize());
+}
+
+TEST(CopyLedger, ContiguousPrefixBorrowsWithoutRecording) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(10), &pool);
+  m.push(bytes({7, 8, 9}));
+  const auto got = m.contiguous_prefix(3);  // front segment covers it
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 7);
+  EXPECT_EQ(got[2], 9);
+  EXPECT_TRUE(m.contiguous_prefix(4).empty());  // crosses a boundary: decline
+  EXPECT_EQ(m.size(), 13u);
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);
+}
+
+TEST(CopyLedger, FlatBorrowsSingleSegmentGathersMultiOnce) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(64), &pool);
+  const auto borrowed = m.flat();
+  EXPECT_EQ(borrowed.size(), 64u);
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);  // single segment: pure borrow
+  m.append(iota_bytes(36));
+  const auto gathered = m.flat();
+  EXPECT_EQ(gathered.size(), 100u);
+  EXPECT_EQ(pool.stats().copied_bytes, 100u);  // one recorded gather
+  (void)m.flat();
+  EXPECT_EQ(pool.stats().copied_bytes, 100u);  // now flat: borrow again
+}
+
+TEST(CopyLedger, MutableBytesCopiesOnlyWhenAliased) {
+  os::BufferPool pool;
+  auto m = Message::from_bytes(iota_bytes(32), &pool);
+  (void)m.mutable_bytes();
+  EXPECT_EQ(pool.stats().copied_bytes, 0u);  // sole owner: in-place
+  auto keeper = m.clone();                   // retransmission-store alias
+  auto view = m.mutable_bytes();
+  EXPECT_EQ(pool.stats().copied_bytes, 32u);  // unshare recorded
+  view[0] = 0xFF;
+  EXPECT_EQ(keeper.peek(1)[0], 0u);  // the shared copy stayed pristine
+}
+
+TEST(Lifecycle, ConcatAdoptsTailIdAndSplitPropagates) {
+  auto m = Message::from_bytes(iota_bytes(20));
+  m.set_lifecycle(9);
+  auto tail = m.split(12);
+  EXPECT_EQ(tail.lifecycle(), 9u);  // split propagates
+  // Reassembly starts from an untracked accumulator; splicing in a tracked
+  // segment must keep the TSDU attributable (the bug fix: concat used to
+  // drop the tail's id and break span stitching in unites::assemble_spans).
+  Message assembly;
+  assembly.concat(std::move(tail));
+  EXPECT_EQ(assembly.lifecycle(), 9u);
+  assembly.concat(std::move(m));
+  EXPECT_EQ(assembly.lifecycle(), 9u);  // an existing id is never overwritten
+  auto other = Message::from_bytes(iota_bytes(4));
+  other.set_lifecycle(5);
+  assembly.concat(std::move(other));
+  EXPECT_EQ(assembly.lifecycle(), 9u);
+}
+
+TEST(Lifecycle, SurvivesSplitConcatRoundTrip) {
+  auto m = Message::from_bytes(iota_bytes(30));
+  m.set_lifecycle(3);
+  auto tail = m.split(10);
+  m.concat(std::move(tail));
+  EXPECT_EQ(m.lifecycle(), 3u);
+  EXPECT_EQ(m.linearize(), iota_bytes(30));
+  EXPECT_EQ(m.deep_copy().lifecycle(), 3u);
+}
+
+TEST(ZeroCopy, SendPathKeepsPayloadSegmentsUntouched) {
+  // encode_pdu must produce headers in place and stream the checksum: the
+  // payload segments ride through with no recorded copy in either trailer
+  // checksum mode.
+  for (const auto kind : {ChecksumKind::kInternet16, ChecksumKind::kCrc32}) {
+    os::BufferPool pool;
+    Pdu p;
+    p.type = PduType::kData;
+    p.payload = Message::from_bytes(iota_bytes(1200), &pool);
+    pool.reset_stats();
+    auto wire = encode_pdu(std::move(p), kind, ChecksumPlacement::kTrailer);
+    EXPECT_EQ(pool.stats().copied_bytes, 0u);
+    // Decode strips the header by offset adjustment, verifies the trailer
+    // in place, and hands the payload segments back: still no copies.
+    auto r = decode_pdu(std::move(wire));
+    ASSERT_EQ(r.status, DecodeStatus::kOk);
+    EXPECT_EQ(pool.stats().copied_bytes, 0u);
+    EXPECT_EQ(r.pdu.payload.size(), 1200u);
+  }
+}
+
+TEST(ZeroCopy, StreamingInternetChecksumMatchesFlatAtOddBoundaries) {
+  const auto data = iota_bytes(1001);  // odd total
+  InternetChecksum inc;
+  // Feed with odd-length segments so word sums straddle every boundary.
+  inc.update(std::span(data).subspan(0, 1));
+  inc.update(std::span(data).subspan(1, 333));
+  inc.update(std::span(data).subspan(334, 5));
+  inc.update(std::span(data).subspan(339));
+  EXPECT_EQ(inc.value(), internet_checksum(data));
 }
 
 TEST(Checksum, Rfc1071KnownVector) {

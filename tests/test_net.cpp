@@ -15,7 +15,7 @@ Packet make_packet(Address src, Address dst, std::size_t bytes) {
   Packet p;
   p.src = src;
   p.dst = dst;
-  p.payload.assign(bytes, 0xAA);
+  p.payload = tko::Message::filled(bytes, 0xAA);
   return p;
 }
 

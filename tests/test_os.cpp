@@ -102,7 +102,7 @@ TEST_F(HostFixture, PortDemuxRoutesByDestinationPort) {
   net::Packet p;
   p.src = {ha->node_id(), 1};
   p.dst = {hb->node_id(), 5};
-  p.payload.assign(64, 1);
+  p.payload = tko::Message::filled(64, 1);
   ha->send(std::move(p));
   sched.run();
   EXPECT_EQ(on5, 1);
@@ -114,7 +114,7 @@ TEST_F(HostFixture, UnboundPortCountsMiss) {
   net::Packet p;
   p.src = {ha->node_id(), 1};
   p.dst = {hb->node_id(), 99};
-  p.payload.assign(64, 1);
+  p.payload = tko::Message::filled(64, 1);
   ha->send(std::move(p));
   sched.run();
   EXPECT_EQ(hb->demux_misses(), 1u);
@@ -139,7 +139,7 @@ TEST_F(HostFixture, NicChargesInterruptsBothWays) {
   net::Packet p;
   p.src = {ha->node_id(), 1};
   p.dst = {hb->node_id(), 5};
-  p.payload.assign(64, 1);
+  p.payload = tko::Message::filled(64, 1);
   ha->send(std::move(p));
   sched.run();
   EXPECT_EQ(ha->cpu().stats().interrupts, 1u);  // tx interrupt
@@ -154,7 +154,7 @@ TEST_F(HostFixture, NicFillsSourceNode) {
   net::Packet p;
   p.src = {9999, 1};  // wrong on purpose; NIC must overwrite
   p.dst = {hb->node_id(), 5};
-  p.payload.assign(16, 1);
+  p.payload = tko::Message::filled(16, 1);
   ha->send(std::move(p));
   sched.run();
   EXPECT_EQ(seen.src.node, ha->node_id());
@@ -174,7 +174,7 @@ TEST_F(HostFixture, InterruptCoalescingAmortizesInterrupts) {
     net::Packet p;
     p.src = {ha->node_id(), 1};
     p.dst = {hb->node_id(), 5};
-    p.payload.assign(64, 1);
+    p.payload = tko::Message::filled(64, 1);
     ha->send(std::move(p));
   }
   sched.run();
@@ -194,7 +194,7 @@ TEST_F(HostFixture, CoalescingTimeoutFlushesPartialBatch) {
   net::Packet p;
   p.src = {ha->node_id(), 1};
   p.dst = {hb->node_id(), 5};
-  p.payload.assign(64, 1);
+  p.payload = tko::Message::filled(64, 1);
   ha->send(std::move(p));
   sched.run();
   EXPECT_EQ(got, 1);  // the lone packet was not stranded
@@ -207,12 +207,12 @@ TEST_F(HostFixture, TxCoalescingPreservesOrder) {
   nic.interrupt_coalescing = 4;
   ha = std::make_unique<Host>(*topo.network, topo.hosts[0], CpuConfig{}, nic);
   std::vector<std::uint8_t> order;
-  hb->bind_port(5, [&](net::Packet&& p) { order.push_back(p.payload[0]); });
+  hb->bind_port(5, [&](net::Packet&& p) { order.push_back(p.payload.peek(1)[0]); });
   for (std::uint8_t i = 0; i < 8; ++i) {
     net::Packet p;
     p.src = {ha->node_id(), 1};
     p.dst = {hb->node_id(), 5};
-    p.payload.assign(64, i);
+    p.payload = tko::Message::filled(64, i);
     ha->send(std::move(p));
   }
   sched.run();

@@ -465,7 +465,7 @@ TEST_P(RoutingProperty, RandomTopologyInvariants) {
       net::Packet p;
       p.src = {a, 1};
       p.dst = {b, 1};
-      p.payload.assign(mtu - net::Packet::kNetworkHeaderBytes, 1);
+      p.payload = tko::Message::filled(mtu - net::Packet::kNetworkHeaderBytes, 1);
       net.inject(std::move(p));
       sched.run();
       EXPECT_EQ(got, 1) << "MTU-sized packet must survive the path";

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 namespace adaptive::sim {
@@ -102,6 +104,144 @@ TEST(EventScheduler, EventsCanScheduleEvents) {
   sched.run();
   EXPECT_EQ(depth, 10);
   EXPECT_EQ(sched.now(), SimTime::microseconds(10));
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel specifics: the scheduler is a hierarchical wheel (1024ns
+// ticks, 64 slots per level), so delays that cross level boundaries must
+// cascade down without perturbing (when, seq) order, and sub-tick
+// resolution must survive the coarse slotting.
+// ---------------------------------------------------------------------------
+
+TEST(EventScheduler, FarFutureCascadesInOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  // One event per wheel level, inserted in shuffled order: 50us sits in
+  // level 0's span, 1ms in level 1's, 100ms in level 2's, 3s and 20s in
+  // level 3's. Each must cascade down to level 0 before firing.
+  sched.schedule_at(SimTime::seconds(3.0), [&] { order.push_back(4); });
+  sched.schedule_at(SimTime::microseconds(50), [&] { order.push_back(1); });
+  sched.schedule_at(SimTime::seconds(20.0), [&] { order.push_back(5); });
+  sched.schedule_at(SimTime::milliseconds(1), [&] { order.push_back(2); });
+  sched.schedule_at(SimTime::milliseconds(100), [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sched.now(), SimTime::seconds(20.0));
+  EXPECT_EQ(sched.executed_events(), 5u);
+}
+
+TEST(EventScheduler, SubTickTimesOrderWithinOneSlot) {
+  // 50ns, 100ns, and 900ns all share wheel tick 0; the slot must still
+  // fire them by exact timestamp, with FIFO breaking the 50ns tie.
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(SimTime::nanoseconds(900), [&] { order.push_back(3); });
+  sched.schedule_at(SimTime::nanoseconds(50), [&] { order.push_back(1); });
+  sched.schedule_at(SimTime::nanoseconds(50), [&] { order.push_back(2); });
+  sched.schedule_at(SimTime::nanoseconds(100), [&] { order.push_back(4); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+  EXPECT_EQ(sched.now(), SimTime::nanoseconds(900));
+}
+
+TEST(EventScheduler, RunUntilHonorsSubTickBoundary) {
+  // Limit and event sit in the same 1024ns tick: the event at 1000ns must
+  // not fire when running until 999ns, and now() must not regress.
+  EventScheduler sched;
+  bool fired = false;
+  sched.schedule_at(SimTime::nanoseconds(1000), [&] { fired = true; });
+  EXPECT_EQ(sched.run_until(SimTime::nanoseconds(999)), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.now(), SimTime::nanoseconds(999));
+  EXPECT_EQ(sched.run_until(SimTime::nanoseconds(1000)), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventScheduler, SameTickEntriesFiledUnderDifferentCursors) {
+  // A lands in tick T while the cursor is at 0 (coarse level); the clock
+  // then advances, and B and C join the same tick from a nearer cursor
+  // (finer level). Fire order must still be exact (when, seq): C (earlier
+  // sub-tick time, latest insertion) first, then A before B (FIFO at the
+  // same timestamp) — regardless of which level each entry waited on.
+  EventScheduler sched;
+  std::vector<int> order;
+  const auto t = SimTime::milliseconds(10);
+  sched.schedule_at(t, [&] { order.push_back(1); });                             // A
+  sched.schedule_at(SimTime::milliseconds(5), [&] {
+    sched.schedule_at(t, [&] { order.push_back(2); });                           // B
+    sched.schedule_at(t - SimTime::nanoseconds(100), [&] { order.push_back(3); });  // C
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(sched.now(), t);
+}
+
+TEST(EventScheduler, CancelledFarEventNeverCascades) {
+  EventScheduler sched;
+  bool far = false, near = false;
+  auto h = sched.schedule_at(SimTime::seconds(30.0), [&] { far = true; });
+  sched.schedule_at(SimTime::milliseconds(1), [&] { near = true; });
+  EXPECT_EQ(sched.pending_events(), 2u);
+  h.cancel();
+  sched.run();
+  EXPECT_TRUE(near);
+  EXPECT_FALSE(far);
+  EXPECT_EQ(sched.executed_events(), 1u);
+  EXPECT_EQ(sched.pending_events(), 0u);
+  // The cancelled 30s entry must not have dragged the clock forward.
+  EXPECT_EQ(sched.now(), SimTime::milliseconds(1));
+}
+
+TEST(EventScheduler, DoublingDelaysFireAtExactTimes) {
+  // Delays 1us, 2us, 4us, ... 2^20 us (~1.05s) walk an event chain up
+  // through every wheel level; each hop must land on its exact timestamp.
+  EventScheduler sched;
+  int hops = 0;
+  std::int64_t expect_ns = 0;
+  std::function<void(std::int64_t)> hop = [&](std::int64_t delay_us) {
+    expect_ns += delay_us * 1000;
+    ASSERT_EQ(sched.now().ns(), expect_ns);
+    ++hops;
+    if (delay_us < (1 << 20)) {
+      sched.schedule_after(SimTime::microseconds(2 * delay_us),
+                           [&, delay_us] { hop(2 * delay_us); });
+    }
+  };
+  sched.schedule_after(SimTime::microseconds(1), [&] { hop(1); });
+  sched.run();
+  EXPECT_EQ(hops, 21);
+}
+
+TEST(EventScheduler, StressMatchesReferenceOrdering) {
+  // 2000 events over 5 virtual seconds (spanning three wheel levels) with
+  // every 7th cancelled: the fire sequence must equal a stable sort of the
+  // survivors by timestamp — the heap's contract, kept by the wheel.
+  EventScheduler sched;
+  Rng rng(42);
+  struct Ref {
+    std::int64_t when_ns;
+    int id;
+  };
+  std::vector<Ref> refs;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < 2000; ++i) {
+    const auto when =
+        SimTime::nanoseconds(static_cast<std::int64_t>(rng.uniform_int(0, 5'000'000'000)));
+    auto h = sched.schedule_at(when, [&fired, i] { fired.push_back(i); });
+    if (i % 7 == 0) {
+      handles.push_back(std::move(h));
+    } else {
+      refs.push_back({when.ns(), i});
+    }
+  }
+  for (auto& h : handles) h.cancel();
+  sched.run();
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const Ref& a, const Ref& b) { return a.when_ns < b.when_ns; });
+  ASSERT_EQ(fired.size(), refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) EXPECT_EQ(fired[i], refs[i].id);
+  EXPECT_EQ(sched.executed_events(), refs.size());
 }
 
 TEST(EventScheduler, RejectsPastScheduling) {

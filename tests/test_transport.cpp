@@ -416,7 +416,7 @@ TEST_F(TransportFixture, OrphanPdusAreCounted) {
   net::Packet pkt;
   pkt.src = {hosts[0]->node_id(), kTransportPort};
   pkt.dst = {hosts[1]->node_id(), kTransportPort};
-  pkt.payload = wire.linearize();
+  pkt.payload = std::move(wire);
   hosts[0]->send(std::move(pkt));
   run_for(0.1);
   EXPECT_EQ(transports[1]->orphan_pdus(), 1u);
