@@ -43,12 +43,29 @@ void MantttsEntity::open_session(const Acd& acd, OpenCb cb) {
   }
   const sim::SimTime started = host_.now();
 
-  // Stage I: transport service class.
-  const Tsc tsc = classify(acd);
-
-  // Stage II: reconcile with the network state descriptor.
+  // Stage I (classify) + Stage II (derive SCS against the network state
+  // descriptor), memoized: identical (ACD, descriptor) keys reuse the
+  // cached derivation instead of re-running the selection pipeline —
+  // Section 4's template-cache argument applied where it matters at
+  // session-plane scale, the open path.
   const auto descriptor = nmi_.sample(acd.remotes.front().node);
-  tko::sa::SessionConfig scs = derive_scs(tsc, acd, descriptor);
+  const SynthesisKey synth_key = make_synthesis_key(acd, descriptor);
+  Tsc tsc;
+  tko::sa::SessionConfig scs;
+  bool cache_hit = false;
+  if (const auto* cached = synth_cache_.lookup(synth_key)) {
+    tsc = cached->tsc;
+    scs = cached->scs;
+    cache_hit = true;
+  } else {
+    tsc = classify(acd);
+    scs = derive_scs(tsc, acd, descriptor);
+    // Only derivations TKO would accept are cached: a hit bypasses
+    // Stage III validation (the prevalidated fast path).
+    if (tko::sa::Synthesizer::validate(scs).empty()) {
+      synth_cache_.insert(synth_key, tsc, scs);
+    }
+  }
 
   // Explicit negotiation only pays off when the application asked for an
   // explicit connection or the session is long enough to amortize the
@@ -61,7 +78,8 @@ void MantttsEntity::open_session(const Acd& acd, OpenCb cb) {
                           explicit_negotiation ? "explicit" : "implicit");
 
   if (!explicit_negotiation) {
-    auto& session = transport_.open(acd.remotes, scs);
+    auto& session = transport_.open(acd.remotes, scs, /*prevalidated=*/cache_hit);
+    synth_keys_[session.id()] = synth_key;
     ++stats_.sessions_opened;
     ++active_;
     if (acd.collect_metrics && repo_ != nullptr) {
@@ -256,6 +274,9 @@ void MantttsEntity::close_session(tko::TransportSession& session, bool graceful)
   qos_callbacks_.erase(session.id());
   pending_reconfigs_.erase(session.id());
   downgrade_rung_.erase(session.id());
+  // A cleanly closed session's derivation is still valid for the next
+  // identical open; only the sid -> key mapping is released.
+  synth_keys_.erase(session.id());
   session.close(graceful);
   ++stats_.sessions_closed;
   if (active_ > 0) --active_;  // load recalculation (termination phase)
@@ -393,6 +414,15 @@ void MantttsEntity::signal_session_remotes(tko::TransportSession& session, const
 
 void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
                                         const tko::sa::SessionConfig& cfg) {
+  // Renegotiation makes this session's cached Stage I/II derivation
+  // stale: conditions diverged enough to force a new configuration, so
+  // serving the old entry to the next identical open would resurrect the
+  // configuration that just failed. Drop it (RECONFIG/segue/retarget/
+  // downgrade all funnel through here).
+  if (auto kit = synth_keys_.find(session.id()); kit != synth_keys_.end()) {
+    synth_cache_.invalidate(kit->second);
+    synth_keys_.erase(kit);
+  }
   session.reconfigure(cfg);
   auto cb = qos_callbacks_.find(session.id());
   if (cb != qos_callbacks_.end() && cb->second) cb->second(cfg);

@@ -17,6 +17,7 @@
 #include "mantts/negotiation.hpp"
 #include "mantts/nmi.hpp"
 #include "mantts/policy.hpp"
+#include "mantts/synthesis_cache.hpp"
 #include "mantts/transform.hpp"
 #include "tko/transport.hpp"
 #include "unites/collector.hpp"
@@ -118,6 +119,10 @@ public:
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t active_sessions() const { return active_; }
+  /// Stage I/II memoization (DESIGN §14): hit/miss/eviction counters and
+  /// deterministic-LRU introspection for the session-plane test battery.
+  [[nodiscard]] SynthesisCache& synthesis_cache() { return synth_cache_; }
+  [[nodiscard]] const SynthesisCache& synthesis_cache() const { return synth_cache_; }
   [[nodiscard]] NetworkMonitorInterface& nmi() { return nmi_; }
   [[nodiscard]] os::Host& host() { return host_; }
   [[nodiscard]] tko::AdaptiveTransport& transport() { return transport_; }
@@ -182,6 +187,13 @@ private:
   static constexpr sim::SimTime kReconfigBackoff = sim::SimTime::milliseconds(100);
   std::map<std::uint32_t, PendingReconfig> pending_reconfigs_;  // by session id
   std::map<std::uint32_t, int> downgrade_rung_;                 // next ladder rung
+
+  /// Stage I/II result cache plus the key each live implicit session was
+  /// derived from — a renegotiation invalidates that key (the cached
+  /// derivation no longer reflects what the pipeline would produce for
+  /// the conditions it was keyed under).
+  SynthesisCache synth_cache_;
+  std::map<std::uint32_t, SynthesisKey> synth_keys_;  // by session id
 };
 
 }  // namespace adaptive::mantts

@@ -69,10 +69,17 @@ std::unique_ptr<Mechanism> Synthesizer::make_mechanism(MechanismSlot slot,
   throw std::invalid_argument("Synthesizer::make_mechanism: bad slot");
 }
 
-std::unique_ptr<Context> Synthesizer::synthesize(const SessionConfig& cfg) {
+std::unique_ptr<Context> Synthesizer::synthesize(const SessionConfig& cfg, bool prevalidated) {
   UNITES_PROF("mantts.synthesize");
-  const TemplateEntry* tpl = cache_ != nullptr ? cache_->lookup(cfg) : nullptr;
-  if (tpl != nullptr) {
+  const TemplateEntry* tpl =
+      (!prevalidated && cache_ != nullptr) ? cache_->lookup(cfg) : nullptr;
+  if (prevalidated) {
+    // MANTTS synthesis-cache hit: Stage I/II were skipped upstream and the
+    // SCS was validated when the entry was built; instantiation only, no
+    // template comparison either.
+    ++stats_.prevalidated;
+    last_cost_ = kPrevalidatedInstr;
+  } else if (tpl != nullptr) {
     // Pre-assembled: planning/validation was done when the template was
     // built; instantiation only.
     ++stats_.template_hits;
@@ -95,7 +102,8 @@ std::unique_ptr<Context> Synthesizer::synthesize(const SessionConfig& cfg) {
   if (clock_) {
     unites::trace().instant(unites::TraceCategory::kTko, "tko.synthesize", clock_(), node_, 0,
                             static_cast<double>(last_cost_),
-                            tpl != nullptr ? "template-hit" : "full-synthesis");
+                            prevalidated ? "cache-hit"
+                                         : (tpl != nullptr ? "template-hit" : "full-synthesis"));
   }
 
   auto ctx = std::make_unique<Context>();

@@ -21,12 +21,18 @@
 namespace adaptive::tko::sa {
 
 /// Virtual-time CPU cost of a full dynamic synthesis vs. a template hit.
+/// A prevalidated synthesis (MANTTS synthesis-cache hit: Stage I/II were
+/// skipped and the SCS was validated when the cache entry was built)
+/// pays only mechanism instantiation — cheaper than even a template hit,
+/// which still runs the cache comparison against the full config.
 inline constexpr std::uint64_t kSynthesisInstr = 25'000;
 inline constexpr std::uint64_t kTemplateHitInstr = 3'000;
+inline constexpr std::uint64_t kPrevalidatedInstr = 1'500;
 
 struct SynthesizerStats {
   std::uint64_t synthesized = 0;
   std::uint64_t template_hits = 0;
+  std::uint64_t prevalidated = 0;  ///< MANTTS synthesis-cache fast path
   std::uint64_t validation_failures = 0;
 };
 
@@ -37,8 +43,12 @@ public:
 
   /// Validate `cfg` and build the mechanism table. Throws
   /// std::invalid_argument on inconsistent configurations. The returned
-  /// context still needs attach_all() by the owning session.
-  [[nodiscard]] std::unique_ptr<Context> synthesize(const SessionConfig& cfg);
+  /// context still needs attach_all() by the owning session. Pass
+  /// `prevalidated` when the caller guarantees `cfg` already passed
+  /// validate() (MANTTS synthesis-cache hit): validation is skipped and
+  /// the cheaper kPrevalidatedInstr cost is charged.
+  [[nodiscard]] std::unique_ptr<Context> synthesize(const SessionConfig& cfg,
+                                                    bool prevalidated = false);
 
   /// CPU instructions to charge for the most recent synthesize() call
   /// (template hits are cheaper).

@@ -1,0 +1,222 @@
+// Sharded, open-addressed session table — the million-session datapath.
+//
+// PR 3 scaled ADAPTIVE across *seeds*; this structure scales one world
+// across *sessions*. `std::map` gave the demultiplexer an O(log n)
+// pointer-chasing lookup and a 48-byte red-black node per session; at
+// metro scale (10^5..10^6 concurrent sessions per world) that is both a
+// latency and a memory tax on every arriving packet. The table here is:
+//
+//   - id-partitioned: shard = id & (shards-1). Session ids are
+//     (node << 20) | seq with a per-host sequence counter, so the low
+//     bits of concurrently live ids are uniformly spread and sequential
+//     opens round-robin across shards.
+//   - open-addressed per shard: power-of-two capacity, multiplicative
+//     hash, linear probing. One flat allocation per shard, no per-entry
+//     nodes, O(1) expected find/insert/erase on the datapath.
+//   - tombstone-compacting: erase leaves a tombstone (so probe chains
+//     stay intact) and a same-size rehash clears them once they pile up,
+//     which keeps probe lengths bounded under open/close churn.
+//   - deterministically iterable: for_each visits shards in index order
+//     and slots in probe-array order. The layout is a pure function of
+//     the operation history, which is itself seed-deterministic, so
+//     sweep merges and resource snapshots stay byte-identical for any
+//     job count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace adaptive::tko {
+
+/// Probe/occupancy counters, for tests that pin the O(1) contract.
+struct SessionTableStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t finds = 0;
+  std::uint64_t probe_steps = 0;  ///< total extra probes beyond the home slot
+  std::uint64_t rehashes = 0;
+  std::size_t max_probe = 0;  ///< longest probe sequence ever taken
+};
+
+template <typename T>
+class SessionTable {
+public:
+  explicit SessionTable(std::size_t shard_count = kDefaultShards) {
+    std::size_t n = 1;
+    while (n < shard_count) n <<= 1;  // round up to a power of two; 0 -> 1
+    shards_.resize(n);
+    shard_mask_ = static_cast<std::uint32_t>(n - 1);
+  }
+
+  SessionTable(const SessionTable&) = delete;
+  SessionTable& operator=(const SessionTable&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const SessionTableStats& stats() const { return stats_; }
+
+  /// O(1) expected datapath lookup. Null when absent.
+  [[nodiscard]] T* find(std::uint32_t id) const {
+    const Shard& sh = shards_[id & shard_mask_];
+    if (sh.slots.empty()) return nullptr;
+    ++stats_.finds;
+    const std::size_t mask = sh.slots.size() - 1;
+    std::size_t i = home(id, mask);
+    for (std::size_t probe = 0;; ++probe, i = (i + 1) & mask) {
+      const Slot& s = sh.slots[i];
+      if (s.state == kEmpty) return nullptr;
+      if (s.state == kFull && s.id == id) {
+        stats_.probe_steps += probe;
+        return s.value.get();
+      }
+    }
+  }
+
+  /// Insert a new session. Throws std::logic_error on a duplicate id —
+  /// a duplicate means the 20-bit per-host sequence space wrapped onto a
+  /// still-live session, which is a protocol-level bug, not a table miss.
+  T& insert(std::uint32_t id, std::unique_ptr<T> value) {
+    Shard& sh = shards_[id & shard_mask_];
+    reserve_one(sh);
+    ++stats_.inserts;
+    const std::size_t mask = sh.slots.size() - 1;
+    std::size_t i = home(id, mask);
+    std::size_t reuse = kNoSlot;
+    for (std::size_t probe = 0;; ++probe, i = (i + 1) & mask) {
+      Slot& s = sh.slots[i];
+      if (s.state == kFull && s.id == id) throw std::logic_error("SessionTable: duplicate id");
+      if (s.state == kTomb && reuse == kNoSlot) reuse = i;
+      if (s.state == kEmpty) {
+        if (reuse != kNoSlot) {
+          i = reuse;
+          --sh.tombstones;
+        }
+        Slot& dst = sh.slots[i];
+        dst.id = id;
+        dst.value = std::move(value);
+        dst.state = kFull;
+        ++sh.live;
+        ++size_;
+        if (probe > stats_.max_probe) stats_.max_probe = probe;
+        return *dst.value;
+      }
+    }
+  }
+
+  /// Remove and return ownership of a session. Null when absent.
+  std::unique_ptr<T> take(std::uint32_t id) {
+    Shard& sh = shards_[id & shard_mask_];
+    if (sh.slots.empty()) return nullptr;
+    const std::size_t mask = sh.slots.size() - 1;
+    std::size_t i = home(id, mask);
+    for (;; i = (i + 1) & mask) {
+      Slot& s = sh.slots[i];
+      if (s.state == kEmpty) return nullptr;
+      if (s.state == kFull && s.id == id) {
+        std::unique_ptr<T> out = std::move(s.value);
+        s.state = kTomb;
+        ++sh.tombstones;
+        --sh.live;
+        --size_;
+        ++stats_.erases;
+        maybe_compact(sh);
+        return out;
+      }
+    }
+  }
+
+  bool erase(std::uint32_t id) { return take(id) != nullptr; }
+
+  void clear() {
+    for (Shard& sh : shards_) {
+      sh.slots.clear();
+      sh.live = sh.tombstones = 0;
+    }
+    size_ = 0;
+  }
+
+  /// Deterministic visit: shards in index order, slots in array order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& sh : shards_)
+      for (const Slot& s : sh.slots)
+        if (s.state == kFull) fn(*s.value);
+  }
+
+private:
+  static constexpr std::size_t kDefaultShards = 16;
+  static constexpr std::size_t kMinShardCapacity = 16;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  static constexpr std::uint8_t kEmpty = 0, kFull = 1, kTomb = 2;
+
+  struct Slot {
+    std::unique_ptr<T> value;
+    std::uint32_t id = 0;
+    std::uint8_t state = kEmpty;
+  };
+  struct Shard {
+    std::vector<Slot> slots;  ///< empty until the shard's first insert
+    std::size_t live = 0;
+    std::size_t tombstones = 0;
+  };
+
+  /// Fibonacci-hash the id so sequential per-host sequence numbers —
+  /// which all land in one shard's id stream — spread across the probe
+  /// array instead of clustering.
+  [[nodiscard]] static std::size_t home(std::uint32_t id, std::size_t mask) {
+    std::uint64_t h = static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h) & mask;
+  }
+
+  void reserve_one(Shard& sh) {
+    if (sh.slots.empty()) {
+      sh.slots.resize(kMinShardCapacity);
+      return;
+    }
+    // Keep (live + tombstones) under 3/4 so probe chains stay short.
+    if ((sh.live + sh.tombstones + 1) * 4 >= sh.slots.size() * 3)
+      rehash(sh, sh.live * 2 >= sh.slots.size() ? sh.slots.size() * 2 : sh.slots.size());
+  }
+
+  /// Same-size rehash once tombstones dominate live entries: churn-heavy
+  /// worlds would otherwise degrade every probe chain toward O(capacity).
+  void maybe_compact(Shard& sh) {
+    if (sh.tombstones > sh.live + kMinShardCapacity) rehash(sh, next_capacity(sh));
+  }
+
+  [[nodiscard]] std::size_t next_capacity(const Shard& sh) const {
+    std::size_t cap = kMinShardCapacity;
+    while (cap * 3 < (sh.live + 1) * 4) cap <<= 1;
+    return cap;
+  }
+
+  void rehash(Shard& sh, std::size_t new_capacity) {
+    ++stats_.rehashes;
+    std::vector<Slot> old;
+    old.swap(sh.slots);
+    sh.slots.resize(new_capacity);
+    sh.tombstones = 0;
+    const std::size_t mask = new_capacity - 1;
+    for (Slot& s : old) {
+      if (s.state != kFull) continue;
+      std::size_t i = home(s.id, mask);
+      while (sh.slots[i].state == kFull) i = (i + 1) & mask;
+      sh.slots[i].id = s.id;
+      sh.slots[i].value = std::move(s.value);
+      sh.slots[i].state = kFull;
+    }
+  }
+
+  std::vector<Shard> shards_;
+  std::uint32_t shard_mask_ = 0;
+  std::size_t size_ = 0;
+  mutable SessionTableStats stats_;
+};
+
+}  // namespace adaptive::tko

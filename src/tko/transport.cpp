@@ -171,6 +171,7 @@ void TransportSession::close(bool graceful) {
   if (state_ == SessionState::kIdle) {
     state_ = SessionState::kClosed;
     notify_state(state_);
+    proto_.note_session_closed(id_);
     return;
   }
   state_ = SessionState::kClosing;
@@ -249,7 +250,7 @@ std::size_t TransportSession::live_bytes() const {
   if (legacy_copy_path()) {
     // Pre-refactor gauge: recompute by walking the queue (bench_hotpath's
     // legacy mode restores the real pre-PR per-PDU accounting cost).
-    for (const auto& m : tx_queue_) n += m.size();
+    tx_queue_.for_each([&n](const Message& m) { n += m.size(); });
   } else {
     n += tx_queue_bytes_;
   }
@@ -324,10 +325,16 @@ void TransportSession::emit(Pdu&& p) {
   ++stats_.pdus_sent;
   count("pdu.sent");
 
-  // Charge transmit-side protocol processing, then hand to the NIC.
+  // Charge transmit-side protocol processing, then hand to the NIC. The
+  // completion may land after a churn reap destroyed this session; the
+  // weak token turns that into a dropped wire image instead of a
+  // use-after-free.
   proto_.host().cpu().run(
       tx_instr(payload_bytes, type),
-      [this, wire = std::move(wire)]() mutable { send_wire(std::move(wire)); });
+      [this, alive = std::weak_ptr<char>(alive_), wire = std::move(wire)]() mutable {
+        if (alive.expired()) return;
+        send_wire(std::move(wire));
+      });
 }
 
 void TransportSession::send_wire(Message&& wire) {
@@ -379,7 +386,9 @@ void TransportSession::handle_packet(net::Packet&& p) {
   // ingest memcpy), now recorded honestly.
   Message wire = legacy_copy_path() ? p.payload.deep_copy() : std::move(p.payload);
   wire.set_pool(&buffers());
-  proto_.host().cpu().run(rx_instr(wire_bytes), [this, wire = std::move(wire), from]() mutable {
+  proto_.host().cpu().run(rx_instr(wire_bytes), [this, alive = std::weak_ptr<char>(alive_),
+                                                 wire = std::move(wire), from]() mutable {
+    if (alive.expired()) return;  // reaped while the charge was in flight
     UNITES_PROF_S("transport.rx", id_);
     auto result = decode_pdu(std::move(wire));
     if (result.status == DecodeStatus::kChecksumMismatch) {
@@ -559,6 +568,7 @@ void TransportSession::connection_closed(bool aborted) {
     }
   }
   notify_state(state_);
+  proto_.note_session_closed(id_);
 }
 
 // ---- liveness watchdog ------------------------------------------------------
@@ -628,14 +638,28 @@ void TransportSession::loss_signal() {
 
 void TransportSession::record_trace(bool outbound, const Pdu& p) {
   if (trace_capacity_ == 0) return;
-  trace_.push_back(TraceEntry{now(), outbound, p.type, p.seq, p.ack, p.payload.size()});
-  while (trace_.size() > trace_capacity_) trace_.pop_front();
+  TraceEntry e{now(), outbound, p.type, p.seq, p.ack, p.payload.size()};
+  if (trace_.size() < trace_capacity_) {
+    trace_.push_back(e);
+  } else {
+    // Ring full: overwrite the oldest entry in place.
+    trace_[trace_next_] = e;
+    trace_next_ = (trace_next_ + 1) % trace_capacity_;
+  }
+}
+
+std::vector<TransportSession::TraceEntry> TransportSession::trace() const {
+  std::vector<TraceEntry> out;
+  out.reserve(trace_.size());
+  for (std::size_t i = 0; i < trace_.size(); ++i)
+    out.push_back(trace_[(trace_next_ + i) % trace_.size()]);
+  return out;
 }
 
 std::string TransportSession::render_trace() const {
   std::string out;
   char buf[160];
-  for (const auto& e : trace_) {
+  for (const auto& e : trace()) {
     std::snprintf(buf, sizeof buf, "%12s %s %-9s seq=%u ack=%u len=%zu\n",
                   e.when.to_string().c_str(), e.outbound ? "->" : "<-", to_string(e.type),
                   e.seq, e.ack, e.payload_bytes);
@@ -693,8 +717,8 @@ AdaptiveTransport::AdaptiveTransport(os::Host& host, net::PortId port)
 AdaptiveTransport::~AdaptiveTransport() { host_.unbind_port(port_); }
 
 TransportSession& AdaptiveTransport::open(std::vector<net::Address> remotes,
-                                          const sa::SessionConfig& cfg) {
-  auto ctx = synth_.synthesize(cfg);
+                                          const sa::SessionConfig& cfg, bool prevalidated) {
+  auto ctx = synth_.synthesize(cfg, prevalidated);
   // Charge the configuration work to the host CPU (Fig. 5 economics).
   host_.cpu().run(synth_.last_cost_instr(), nullptr);
 
@@ -702,9 +726,7 @@ TransportSession& AdaptiveTransport::open(std::vector<net::Address> remotes,
   const net::Address local{host_.node_id(), port_};
   auto session = std::make_unique<TransportSession>(*this, id, local, std::move(remotes), cfg,
                                                     std::move(ctx), /*active=*/true);
-  auto [it, ok] = sessions_.emplace(id, std::move(session));
-  if (!ok) throw std::logic_error("AdaptiveTransport::open: session id collision");
-  return *it->second;
+  return sessions_.insert(id, std::move(session));
 }
 
 TransportSession& AdaptiveTransport::create_passive(std::uint32_t id, net::Address remote,
@@ -715,9 +737,7 @@ TransportSession& AdaptiveTransport::create_passive(std::uint32_t id, net::Addre
   auto session = std::make_unique<TransportSession>(*this, id, local,
                                                     std::vector<net::Address>{remote}, cfg,
                                                     std::move(ctx), /*active=*/false);
-  auto [it, ok] = sessions_.emplace(id, std::move(session));
-  if (!ok) throw std::logic_error("AdaptiveTransport: duplicate passive session");
-  TransportSession& s = *it->second;
+  TransportSession& s = sessions_.insert(id, std::move(session));
   s.context().connection().open_passive();
   if (acceptor_) acceptor_(s);
   return s;
@@ -741,9 +761,8 @@ void AdaptiveTransport::demux(net::Packet&& p) {
                             (static_cast<std::uint32_t>(hd[5]) << 16) |
                             (static_cast<std::uint32_t>(hd[6]) << 8) |
                             static_cast<std::uint32_t>(hd[7]);
-  auto it = sessions_.find(sid);
-  if (it != sessions_.end()) {
-    it->second->handle_packet(std::move(p));
+  if (TransportSession* s = sessions_.find(sid)) {
+    s->handle_packet(std::move(p));
     return;
   }
 
@@ -775,10 +794,25 @@ void AdaptiveTransport::demux(net::Packet&& p) {
 }
 
 TransportSession* AdaptiveTransport::find_session(std::uint32_t id) {
-  auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : it->second.get();
+  return sessions_.find(id);
 }
 
 void AdaptiveTransport::destroy_session(std::uint32_t id) { sessions_.erase(id); }
+
+void AdaptiveTransport::note_session_closed(std::uint32_t id) {
+  if (reap_linger_ <= sim::SimTime::zero()) return;
+  // Fire-and-forget wheel event: never cancelled, so no handle. The
+  // callback re-checks liveness and terminal state — a session id reused
+  // before the linger elapses cannot exist (ids are never recycled while
+  // live), and a session resurrected by a late handshake stays.
+  host_.timers().scheduler().post_after(reap_linger_, [this, id] {
+    TransportSession* s = sessions_.find(id);
+    if (s == nullptr) return;
+    const SessionState st = s->state();
+    if (st != SessionState::kClosed && st != SessionState::kAborted) return;
+    sessions_.erase(id);
+    ++reaped_;
+  });
+}
 
 }  // namespace adaptive::tko

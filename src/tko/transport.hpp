@@ -23,10 +23,9 @@
 #include "tko/sa/context.hpp"
 #include "tko/sa/synthesizer.hpp"
 #include "tko/session.hpp"
+#include "tko/session_table.hpp"
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 
 namespace adaptive::tko {
@@ -35,6 +34,41 @@ namespace adaptive::tko {
 inline constexpr net::PortId kTransportPort = 7000;
 
 class AdaptiveTransport;
+
+/// Lazy FIFO of queued TSDUs. libstdc++'s deque eagerly allocates a
+/// ~512-byte chunk map per instance even when empty; at metro scale
+/// (10^5..10^6 sessions per world) that is pure dead weight on every
+/// session that never queues. This queue is a plain vector with a head
+/// cursor: nothing is allocated until the first push, pops release the
+/// popped Message's segments immediately, and the consumed prefix is
+/// compacted away once it dominates — amortized O(1) per operation.
+class MessageQueue {
+public:
+  [[nodiscard]] bool empty() const { return head_ == q_.size(); }
+  [[nodiscard]] std::size_t size() const { return q_.size() - head_; }
+  void push_back(Message&& m) { q_.push_back(std::move(m)); }
+  [[nodiscard]] Message& front() { return q_[head_]; }
+  void pop_front() {
+    q_[head_++] = Message();  // drop segment refs now, not at compaction
+    if (head_ >= kCompactAt && head_ * 2 >= q_.size()) {
+      q_.erase(q_.begin(), q_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+  void clear() {
+    std::vector<Message>().swap(q_);  // free capacity: aborted queues can be large
+    head_ = 0;
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = head_; i < q_.size(); ++i) fn(q_[i]);
+  }
+
+private:
+  static constexpr std::size_t kCompactAt = 32;
+  std::vector<Message> q_;
+  std::size_t head_ = 0;
+};
 
 struct TransportSessionStats {
   std::uint64_t pdus_sent = 0;
@@ -144,9 +178,11 @@ public:
   void enable_trace(std::size_t capacity) {
     trace_capacity_ = capacity;
     trace_.clear();
+    trace_next_ = 0;
   }
   void disable_trace() { trace_capacity_ = 0; }
-  [[nodiscard]] const std::deque<TraceEntry>& trace() const { return trace_; }
+  /// Entries in chronological order (materialized from the ring).
+  [[nodiscard]] std::vector<TraceEntry> trace() const;
   [[nodiscard]] std::string render_trace() const;
 
 private:
@@ -168,7 +204,7 @@ private:
   std::unique_ptr<sa::Context> ctx_;
   bool active_;
   SessionState state_ = SessionState::kIdle;
-  std::deque<Message> tx_queue_;
+  MessageQueue tx_queue_;
   /// Sum of tx_queue_ message sizes, maintained at push/pop so the
   /// live_bytes() gauge never walks the queue on the hot path.
   std::size_t tx_queue_bytes_ = 0;
@@ -192,7 +228,14 @@ private:
   sim::SimTime wd_stall_since_ = sim::SimTime::zero();
   StallFn on_stall_;
   std::size_t trace_capacity_ = 0;
-  std::deque<TraceEntry> trace_;
+  /// Bounded interpreter trace: a flat ring (write cursor wraps once the
+  /// capacity is reached) instead of a deque — empty costs nothing.
+  std::vector<TraceEntry> trace_;
+  std::size_t trace_next_ = 0;
+  /// Liveness token for deferred CPU-charge completions. Sessions can now
+  /// be destroyed mid-run (closed-session reaping under churn); a charge
+  /// scheduled before destruction must not touch the carcass after.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
   void record_trace(bool outbound, const Pdu& p);
 };
@@ -205,7 +248,10 @@ public:
   /// Active open: synthesize a session toward `remotes` (one unicast
   /// address, several unicast addresses, or one multicast group address)
   /// with configuration `cfg`. Synthesis cost is charged to the host CPU.
-  TransportSession& open(std::vector<net::Address> remotes, const sa::SessionConfig& cfg);
+  /// `prevalidated` marks a MANTTS synthesis-cache hit: `cfg` already
+  /// passed validation, so Stage III charges only instantiation.
+  TransportSession& open(std::vector<net::Address> remotes, const sa::SessionConfig& cfg,
+                         bool prevalidated = false);
 
   /// Invoked when a passive session is created by an arriving SYN or
   /// piggybacked-config data PDU.
@@ -226,10 +272,25 @@ public:
   [[nodiscard]] TransportSession* find_session(std::uint32_t id);
   void destroy_session(std::uint32_t id);
 
+  /// Closed-session reaping for churn worlds. When enabled, a session
+  /// that reaches kClosed/kAborted is destroyed `linger` after the
+  /// transition (the linger absorbs late retransmissions and the peer's
+  /// FIN handshake tail). Off by default: scenario harnesses read
+  /// per-session stats after close, so they keep the carcasses. Worlds
+  /// that churn 10^5+ opens per run must enable this or dead sessions
+  /// accumulate without bound.
+  void set_session_reaper(sim::SimTime linger) { reap_linger_ = linger; }
+  [[nodiscard]] std::uint64_t sessions_reaped() const { return reaped_; }
+
+  /// Session-plane table counters (probe lengths, rehashes) for tests
+  /// pinning the O(1) datapath contract.
+  [[nodiscard]] const SessionTableStats& table_stats() const { return sessions_.stats(); }
+
   /// Visit every live session (resource snapshots, sweep harvests).
+  /// Deterministic order: shard index, then slot order within the shard.
   template <typename Fn>
   void for_each_session(Fn&& fn) const {
-    for (const auto& [id, s] : sessions_) fn(*s);
+    sessions_.for_each(fn);
   }
 
   [[nodiscard]] os::Host& host() { return host_; }
@@ -240,18 +301,24 @@ public:
   [[nodiscard]] std::uint64_t orphan_pdus() const { return orphans_; }
 
 private:
+  friend class TransportSession;
   TransportSession& create_passive(std::uint32_t id, net::Address remote,
                                    const sa::SessionConfig& cfg);
+  /// Called by a session on its kClosed/kAborted transition; schedules
+  /// destruction after the reap linger when reaping is enabled.
+  void note_session_closed(std::uint32_t id);
 
   os::Host& host_;
   net::PortId port_;
   sa::TemplateCache templates_ = sa::TemplateCache::with_defaults();
   sa::Synthesizer synth_{&templates_};
-  std::map<std::uint32_t, std::unique_ptr<TransportSession>> sessions_;
+  SessionTable<TransportSession> sessions_;
   std::uint32_t next_session_ = 1;
   AcceptFn acceptor_;
   AdmissionFn admission_;
   std::uint64_t orphans_ = 0;
+  sim::SimTime reap_linger_ = sim::SimTime::zero();  ///< zero = reaping off
+  std::uint64_t reaped_ = 0;
 };
 
 }  // namespace adaptive::tko

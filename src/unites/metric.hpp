@@ -95,6 +95,14 @@ inline constexpr const char* kPoolCopiedBytes = "mem.pool_copied_bytes";
 inline constexpr const char* kPoolWastedBytes = "mem.pool_wasted_bytes";
 inline constexpr const char* kSessionLiveBytes = "mem.session_live_bytes";
 inline constexpr const char* kSessionHighWaterBytes = "mem.session_high_water_bytes";
+/// MANTTS synthesis-result cache (DESIGN §14): Stage I/II memoization on
+/// the session-open path. Counters are per-host cumulative; the hit rate
+/// is a [0,1] gauge recorded at harvest time.
+inline constexpr const char* kSynthCacheHits = "mantts.cache_hits";
+inline constexpr const char* kSynthCacheMisses = "mantts.cache_misses";
+inline constexpr const char* kSynthCacheEvictions = "mantts.cache_evictions";
+inline constexpr const char* kSynthCacheInvalidations = "mantts.cache_invalidations";
+inline constexpr const char* kSynthCacheHitRate = "mantts.cache_hit_rate";
 }  // namespace metrics
 
 [[nodiscard]] MetricClass classify_metric(std::string_view name);
