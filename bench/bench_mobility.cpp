@@ -1,0 +1,227 @@
+// E-X12 — session survivability: mid-stream handover and membership churn
+// vs the survivability oracle.
+//
+// A correspondent host streams a reliable multicast remote-file-service
+// workload across the mobile WAN to a group containing the mobile host and
+// three member hosts — a Poisson request stream that keeps the session
+// busy for the whole run, so every handover lands mid-stream and its
+// delivery blackout is measurable. Each sweep cell fixes a (handover rate x churn rate) point; every
+// seed then derives a pure-function mobility plan — make/break handovers
+// re-homing the mobile host between cells, leave/rejoin storms over the
+// member hosts — under the adaptive mobility policy (route-changed =>
+// resynthesize, plus the fault-recovery rules).
+//
+// Judged on the survivability claims:
+//  * zero oracle violations across the whole grid — churn-aware no-loss,
+//    no duplicates, in-order, bounded stall, bounded per-handover
+//    blackout, and descriptor consistency (post-handover traffic never
+//    rides a synthesis derived for the old route);
+//  * every run that completed a handover actually resynthesized, and
+//    ended with the synthesis caught up to the observed route version;
+//  * determinism: serial and parallel sweeps digest identically, so any
+//    violating seed replays exactly;
+//  * the p99 handover blackout lands in the trajectory for regression
+//    tracking.
+//
+// `--smoke` shrinks the grid for CI gate duty.
+#include "common.hpp"
+
+#include "adaptive/sweep.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace adaptive;
+
+namespace {
+
+constexpr std::size_t kAttachments = 3;
+constexpr std::size_t kExtraHosts = 3;
+constexpr double kBlackoutBoundSec = 2.0;
+
+SweepConfig make_config(std::size_t handovers, std::size_t churn, std::size_t seed_count,
+                        std::size_t jobs, const std::string& flight_dir = {}) {
+  SweepConfig sc;
+  sc.topology = [](std::uint64_t seed) -> World::TopologyFactory {
+    return [seed](sim::EventScheduler& s) {
+      return net::make_mobile_wan(s, kAttachments, kExtraHosts, seed);
+    };
+  };
+  sc.base.application = app::Table1App::kRemoteFileService;
+  sc.base.mode = RunOptions::Mode::kMantttsAdaptive;
+  sc.base.rules = mantts::PolicyEngine::mobility_rules();
+  // Sender is the correspondent (host 1); the group is the mobile host
+  // (host 0) plus every member host — the chaos churn plane cycles the
+  // member hosts through leave -> rejoin, so they must start as members.
+  sc.base.src = 1;
+  sc.base.multicast_members = {0, 2, 3, 4};
+  // ~60 requests/s: dense enough that a blackout measurement is limited
+  // by recovery time, not by request inter-arrival gaps.
+  sc.base.scale = 3.0;
+  sc.base.duration = sim::SimTime::seconds(6);
+  sc.base.drain = sim::SimTime::seconds(10);
+  sc.base.blackout_bound = sim::SimTime::seconds(kBlackoutBoundSec);
+  sc.base.collect_metrics = true;
+  sc.chaos = 0;  // pure mobility plans: no link impairments in this grid
+  sc.chaos_profile.max_handovers = handovers;
+  sc.chaos_profile.max_membership_events = churn;
+  sc.chaos_profile.churn_host_base = 2;  // the member hosts
+  sc.chaos_profile.churn_host_count = kExtraHosts;
+  sc.jobs = jobs;
+  sc.capture_trace = true;
+  sc.flight_recorder_dir = flight_dir;
+  sc.seeds.reserve(seed_count);
+  for (std::uint64_t s = 1; s <= seed_count; ++s) sc.seeds.push_back(s);
+  return sc;
+}
+
+struct Cell {
+  std::size_t handovers;
+  std::size_t churn;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string flight_dir = "mobility-flight";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--flight-dir") == 0 && i + 1 < argc) {
+      flight_dir = argv[++i];
+    }
+  }
+
+  // Handover rate x churn rate grid; (0,0) would be a plain multicast run
+  // with nothing to survive, so it is excluded.
+  std::vector<Cell> grid;
+  if (smoke) {
+    grid = {{1, 2}, {3, 4}};
+  } else {
+    for (const std::size_t h : {0, 1, 3}) {
+      for (const std::size_t c : {0, 2, 4}) {
+        if (h == 0 && c == 0) continue;
+        grid.push_back({h, c});
+      }
+    }
+  }
+  const std::size_t seed_count = smoke ? 4 : 8;
+  const std::size_t jobs = smoke ? 2 : 8;
+
+  bench::banner("E-X12", "mobility sweep: handover x membership churn vs survivability");
+  std::printf("\n%zu grid cells x %zu seeds, mobile WAN (%zu attachments, %zu member hosts), "
+              "adaptive mobility policy%s\n\n",
+              grid.size(), seed_count, kAttachments, kExtraHosts, smoke ? " (smoke)" : "");
+
+  bench::Report report("mobility");
+
+  std::uint64_t violations = 0;
+  std::uint64_t handovers_total = 0;
+  std::uint64_t membership_total = 0;
+  std::uint64_t stragglers_total = 0;
+  std::uint64_t anchors_total = 0;
+  std::uint64_t resyntheses_total = 0;
+  std::size_t runs_total = 0;
+  std::size_t runs_missing_resynthesis = 0;  // completed a handover, never resynthesized
+  std::size_t runs_stale_synthesis = 0;      // ended on a stale route version
+  std::vector<double> blackouts;
+  bool digests_match = true;
+
+  for (const Cell& cell : grid) {
+    // Serial reference, then the parallel sweep: identical digests prove
+    // plan generation and the whole survivability plane are shard-order
+    // independent.
+    const SweepResult serial = run_sweep(make_config(cell.handovers, cell.churn, seed_count, 1));
+    const SweepResult parallel =
+        run_sweep(make_config(cell.handovers, cell.churn, seed_count, jobs, flight_dir));
+    const bool match = serial.trace_digest == parallel.trace_digest;
+    digests_match = digests_match && match;
+
+    std::uint64_t cell_violations = 0;
+    std::uint64_t cell_handovers = 0;
+    std::uint64_t cell_membership = 0;
+    double cell_blackout_max = 0.0;
+    for (const SweepRunSummary& r : parallel.runs) {
+      ++runs_total;
+      cell_violations += r.violations;
+      cell_handovers += r.handovers;
+      cell_membership += r.membership_events;
+      stragglers_total += r.stragglers_dropped;
+      anchors_total += r.anchors_sent;
+      resyntheses_total += r.resyntheses;
+      cell_blackout_max = std::max(cell_blackout_max, r.blackout_max_sec);
+      blackouts.insert(blackouts.end(), r.blackouts_sec.begin(), r.blackouts_sec.end());
+      if (r.handovers > 0 && r.resyntheses == 0) ++runs_missing_resynthesis;
+      if (!r.synthesis_current) ++runs_stale_synthesis;
+      if (r.violations > 0) {
+        std::printf("VIOLATION cell h=%zu c=%zu seed %llu: %s\n", cell.handovers, cell.churn,
+                    static_cast<unsigned long long>(r.seed), r.violation_detail.c_str());
+        std::printf("  plan : %s\n", r.chaos_plan.c_str());
+        std::printf("  post-mortem: %s/flight-seed%llu.json\n", flight_dir.c_str(),
+                    static_cast<unsigned long long>(r.seed));
+      }
+    }
+    violations += cell_violations;
+    handovers_total += cell_handovers;
+    membership_total += cell_membership;
+    std::printf("cell h<=%zu c<=%zu : %llu handovers, %llu membership events, "
+                "blackout max %s, %llu violation(s), digest %s\n",
+                cell.handovers, cell.churn, static_cast<unsigned long long>(cell_handovers),
+                static_cast<unsigned long long>(cell_membership),
+                bench::fmt_ms(cell_blackout_max).c_str(),
+                static_cast<unsigned long long>(cell_violations),
+                match ? "ok" : "MISMATCH");
+  }
+
+  std::sort(blackouts.begin(), blackouts.end());
+  const auto pct = [&](double q) {
+    if (blackouts.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(blackouts.size()));
+    return blackouts[std::min(idx, blackouts.size() - 1)];
+  };
+  const double blackout_p50 = pct(0.50);
+  const double blackout_p99 = pct(0.99);
+  const double blackout_max = blackouts.empty() ? 0.0 : blackouts.back();
+  for (const double b : blackouts) report.dist("blackout_ns").add(b * 1e9);
+
+  const bool resynthesis_ok = runs_missing_resynthesis == 0 && runs_stale_synthesis == 0;
+  std::printf("\ninvariants : %llu violation(s) across %zu runs\n",
+              static_cast<unsigned long long>(violations), runs_total);
+  std::printf("handovers  : %llu completed, %llu membership events, %llu anchors, "
+              "%llu stragglers dropped\n",
+              static_cast<unsigned long long>(handovers_total),
+              static_cast<unsigned long long>(membership_total),
+              static_cast<unsigned long long>(anchors_total),
+              static_cast<unsigned long long>(stragglers_total));
+  std::printf("blackout   : p50 %s p99 %s max %s over %zu measured handovers (bound %s)\n",
+              bench::fmt_ms(blackout_p50).c_str(), bench::fmt_ms(blackout_p99).c_str(),
+              bench::fmt_ms(blackout_max).c_str(), blackouts.size(),
+              bench::fmt_ms(kBlackoutBoundSec).c_str());
+  std::printf("resynthesis: %llu total; %zu run(s) handed over without resynthesizing, "
+              "%zu run(s) ended on a stale synthesis\n",
+              static_cast<unsigned long long>(resyntheses_total), runs_missing_resynthesis,
+              runs_stale_synthesis);
+  std::printf("determinism: %s\n", digests_match ? "jobs=1 == jobs=N for every cell"
+                                                 : "DIGEST MISMATCH");
+
+  const bool pass = violations == 0 && digests_match && resynthesis_ok;
+  std::printf("\nacceptance: zero violations %s, resynthesis observed %s, digests %s -> %s\n",
+              violations == 0 ? "yes" : "NO", resynthesis_ok ? "yes" : "NO",
+              digests_match ? "yes" : "NO", pass ? "PASS" : "FAIL");
+
+  report.scalar("runs", static_cast<double>(runs_total));
+  report.trajectory("violations", static_cast<double>(violations));
+  report.scalar("digest_match", digests_match ? 1.0 : 0.0);
+  report.scalar("handovers_completed", static_cast<double>(handovers_total));
+  report.scalar("membership_events", static_cast<double>(membership_total));
+  report.scalar("anchors_sent", static_cast<double>(anchors_total));
+  report.scalar("stragglers_dropped", static_cast<double>(stragglers_total));
+  report.scalar("resyntheses", static_cast<double>(resyntheses_total));
+  report.scalar("runs_missing_resynthesis", static_cast<double>(runs_missing_resynthesis));
+  report.scalar("runs_stale_synthesis", static_cast<double>(runs_stale_synthesis));
+  report.trajectory("blackout_p99_sec", blackout_p99);
+  report.scalar("blackout_max_sec", blackout_max);
+  report.write();
+  return pass ? 0 : 1;
+}

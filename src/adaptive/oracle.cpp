@@ -16,7 +16,7 @@ std::string InvariantReport::describe() const {
   return out;
 }
 
-InvariantReport InvariantOracle::check(const RunOptions& /*opt*/, const RunOutcome& out) {
+InvariantReport InvariantOracle::check(const RunOptions& opt, const RunOutcome& out) {
   InvariantReport rep;
   if (out.refused) return rep;  // no session, no contract
   // A QoS downgrade is MANTTS deliberately trading the contract for
@@ -30,13 +30,27 @@ InvariantReport InvariantOracle::check(const RunOptions& /*opt*/, const RunOutco
 
   if (contract_intact && reliable) {
     rep.checked_loss = true;
-    const std::uint64_t expected = out.source.bytes_sent * fanout;
-    if (out.sink.bytes_received != expected) {
-      rep.violations.push_back(
-          {"no-silent-loss", "delivered " + std::to_string(out.sink.bytes_received) + " of " +
-                                 std::to_string(expected) + " bytes (" +
-                                 std::to_string(out.source.units_sent) + " units x " +
-                                 std::to_string(fanout) + " receivers)"});
+    if (out.mobility.armed) {
+      // Churn-aware: a joiner starts at its anchor and a leaver stops at
+      // departure, so only full-duration members are owed every byte.
+      for (const MobilityOutcome::Receiver& r : out.mobility.receivers) {
+        if (!r.full_duration) continue;
+        if (r.stats.bytes_received != out.source.bytes_sent) {
+          rep.violations.push_back(
+              {"no-silent-loss", "host " + std::to_string(r.host) + " delivered " +
+                                     std::to_string(r.stats.bytes_received) + " of " +
+                                     std::to_string(out.source.bytes_sent) + " bytes"});
+        }
+      }
+    } else {
+      const std::uint64_t expected = out.source.bytes_sent * fanout;
+      if (out.sink.bytes_received != expected) {
+        rep.violations.push_back(
+            {"no-silent-loss", "delivered " + std::to_string(out.sink.bytes_received) + " of " +
+                                   std::to_string(expected) + " bytes (" +
+                                   std::to_string(out.source.units_sent) + " units x " +
+                                   std::to_string(fanout) + " receivers)"});
+      }
     }
   }
 
@@ -63,6 +77,35 @@ InvariantReport InvariantOracle::check(const RunOptions& /*opt*/, const RunOutco
     rep.violations.push_back(
         {"bounded-stall", std::to_string(out.session.watchdog_stalls) + " stalls vs " +
                               std::to_string(out.session.watchdog_recoveries) + " recoveries"});
+  }
+
+  // Survivability rules for mobility runs.
+  if (out.mobility.armed) {
+    if (opt.blackout_bound > sim::SimTime::zero()) {
+      rep.checked_blackout = true;
+      for (const double b : out.mobility.blackouts_sec) {
+        if (b > opt.blackout_bound.sec()) {
+          rep.violations.push_back(
+              {"bounded-blackout", "handover delivery gap " + std::to_string(b) +
+                                       " s exceeds bound " +
+                                       std::to_string(opt.blackout_bound.sec()) + " s"});
+        }
+      }
+    }
+    // Descriptor consistency only binds when the adaptation plane (and so
+    // the route-changed resynthesis rule) was running, and something
+    // actually moved.
+    const net::MobilityController::Stats& c = out.mobility.controller;
+    if (opt.mode == RunOptions::Mode::kMantttsAdaptive &&
+        c.handovers_completed + c.joins + c.leaves > 0) {
+      rep.checked_synthesis = true;
+      if (!out.mobility.synthesis_current) {
+        rep.violations.push_back(
+            {"descriptor-consistency",
+             "post-handover traffic still runs on a synthesis propagated under a stale "
+             "route version"});
+      }
+    }
   }
 
   return rep;

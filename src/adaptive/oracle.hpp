@@ -13,6 +13,21 @@
 //   bounded-stall    every liveness-watchdog stall recovers — a session
 //                    with outstanding work never wedges permanently.
 //
+// Mobility runs (a fault plan with handover/join/leave events) add the
+// survivability rules:
+//
+//   no-silent-loss   becomes churn-aware: only full-duration group members
+//                    are owed the whole stream (joiners and leavers
+//                    legitimately see a partial one, but still must never
+//                    see duplicated or misordered units);
+//   bounded-blackout every measured handover delivery gap stays under
+//                    RunOptions::blackout_bound (when set);
+//   descriptor-consistency
+//                    post-handover traffic never keeps running on the
+//                    pre-handover synthesis — by run end the sender's
+//                    configuration was propagated under the route version
+//                    the NMI currently observes.
+//
 // Rules are gated on the session's *final* configuration and are skipped
 // when MANTTS deliberately relaxed the contract mid-run (QoS downgrade
 // ladder) or the session was refused outright: the oracle checks promises
@@ -29,7 +44,9 @@ struct RunOutcome;
 
 /// One violated invariant: a stable rule identifier plus the evidence.
 struct InvariantViolation {
-  std::string rule;    ///< "no-silent-loss", "no-duplicates", "in-order", "bounded-stall"
+  /// "no-silent-loss", "no-duplicates", "in-order", "bounded-stall",
+  /// "bounded-blackout", "descriptor-consistency".
+  std::string rule;
   std::string detail;  ///< human-readable counts involved
 };
 
@@ -40,6 +57,8 @@ struct InvariantReport {
   bool checked_duplicates = false;
   bool checked_ordering = false;
   bool checked_stall = false;
+  bool checked_blackout = false;
+  bool checked_synthesis = false;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// "ok" or "rule: detail; rule: detail" — one line, report-friendly.

@@ -2,7 +2,9 @@
 
 #include "mantts/policy.hpp"
 
+#include <algorithm>
 #include <map>
+#include <set>
 #include <stdexcept>
 
 namespace adaptive {
@@ -12,17 +14,59 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
 
   // --- workload & destination addressing --------------------------------
   app::Workload wl = app::make_workload(opt.application, opt.seed, opt.scale);
+
+  // Mobility-control events in the plan shape the receiver set: join/leave
+  // targets need sinks and acceptors installed up front (a joiner's first
+  // PDU arrives mid-run), and a member the plan later removes is not held
+  // to full-stream delivery by the oracle.
+  const bool is_multicast = !opt.multicast_members.empty();
+  std::set<std::size_t> plan_churn;
+  std::set<std::size_t> plan_leavers;
+  bool plan_has_mobility = false;
+  if (opt.faults.has_value()) {
+    for (const sim::FaultSpec& spec : opt.faults->faults) {
+      switch (spec.kind) {
+        case sim::FaultKind::kHandover:
+          plan_has_mobility = true;
+          break;
+        case sim::FaultKind::kGroupJoin:
+        case sim::FaultKind::kGroupLeave:
+          plan_has_mobility = true;
+          if (is_multicast && spec.node < world.host_count() && spec.node != opt.src) {
+            plan_churn.insert(spec.node);
+            if (spec.kind == sim::FaultKind::kGroupLeave) plan_leavers.insert(spec.node);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
   std::vector<std::size_t> receiver_hosts;
-  if (!opt.multicast_members.empty()) {
-    const net::NodeId group = world.network().create_group();
+  std::vector<bool> full_duration;  // parallel to receiver_hosts
+  net::NodeId group = 0;
+  if (is_multicast) {
+    group = world.network().create_group();
     for (const std::size_t m : opt.multicast_members) {
       world.network().join_group(group, world.node(m));
       receiver_hosts.push_back(m);
+      full_duration.push_back(!plan_leavers.contains(m));
+    }
+    // Plan-only churn hosts: not members yet, but they will be (or are
+    // no-op leave targets) — std::set iteration keeps the order a pure
+    // function of the plan, so sweeps stay job-count independent.
+    for (const std::size_t c : plan_churn) {
+      if (std::find(receiver_hosts.begin(), receiver_hosts.end(), c) == receiver_hosts.end()) {
+        receiver_hosts.push_back(c);
+        full_duration.push_back(false);
+      }
     }
     wl.acd.remotes = {{group, tko::kTransportPort}};
   } else {
     wl.acd.remotes = {world.transport_address(opt.dst)};
     receiver_hosts.push_back(opt.dst);
+    full_duration.push_back(true);
   }
   wl.acd.quantitative.duration = opt.duration;
   wl.acd.collect_metrics = opt.collect_metrics;
@@ -41,20 +85,40 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   for (std::size_t i = 0; i < receiver_hosts.size(); ++i) {
     sink_by_host[receiver_hosts[i]] = sinks[i].get();
   }
+  // Handover blackout watches: one per begun handover window; each
+  // receiver's first accepted unit at-or-after the window start fills its
+  // slot (zero = still pending).
+  struct BlackoutWatch {
+    sim::SimTime start;
+    std::vector<sim::SimTime> first_after;  // by receiver index
+  };
+  std::vector<BlackoutWatch> blackout_watches;
+
   std::vector<tko::TransportSession*> accepted_sessions;
-  for (const std::size_t r : receiver_hosts) {
-    world.transport(r).set_acceptor([&, r](tko::TransportSession& s) {
+  for (std::size_t i = 0; i < receiver_hosts.size(); ++i) {
+    const std::size_t r = receiver_hosts[i];
+    world.transport(r).set_acceptor([&, r, i](tko::TransportSession& s) {
       accepted_sessions.push_back(&s);
       app::SinkApp* sink = sink_by_host[r];
       sink->attach(s);
+      app::SinkApp::LatencyFn record;
       if (opt.collect_metrics) {
         // Blackbox latency observations feed the repository as they occur,
         // so latency.ns is available as a histogram (p50/p99), not just as
         // the post-run latencies_sec vector.
         auto& repo = world.repository();
         unites::MetricKey key{world.node(r), s.id(), unites::metrics::kLatencyNs};
-        sink->set_latency_observer([&repo, key](sim::SimTime now, double latency_ns) {
+        record = [&repo, key](sim::SimTime now, double latency_ns) {
           repo.record(key, now, latency_ns);
+        };
+      }
+      if (opt.collect_metrics || plan_has_mobility) {
+        sink->set_latency_observer([&blackout_watches, i, record = std::move(record)](
+                                       sim::SimTime now, double latency_ns) {
+          for (BlackoutWatch& w : blackout_watches) {
+            if (w.first_after[i] == sim::SimTime::zero() && now >= w.start) w.first_after[i] = now;
+          }
+          if (record) record(now, latency_ns);
         });
       }
     });
@@ -119,6 +183,40 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
     injector->arm(*opt.faults);
   }
 
+  // --- mobility control --------------------------------------------------
+  // Handover and membership events run through their own controller (the
+  // injector above skips them), armed at the same instant so both replay
+  // on the workload-relative clock.
+  std::optional<net::MobilityController> mobility;
+  if (plan_has_mobility) {
+    const net::Topology& topo = world.topology();
+    const net::NodeId mobile =
+        topo.hosts.empty() ? 0 : topo.hosts.at(std::min(topo.mobile_host, topo.hosts.size() - 1));
+    mobility.emplace(world.network(), topo.hosts, mobile, topo.attachments);
+    if (is_multicast) mobility->set_group(group);
+    mobility->set_handover_begin_observer([&](const sim::FaultSpec&) {
+      blackout_watches.push_back(
+          {world.now(), std::vector<sim::SimTime>(receiver_hosts.size(), sim::SimTime::zero())});
+    });
+    mobility->set_handover_observer([&](const sim::FaultSpec&) {
+      // The active path changed: drop Karn-invalid RTT state on both ends
+      // and kick the pumps so queued data rides the new route now.
+      session->on_path_change();
+      for (tko::TransportSession* s : accepted_sessions) s->on_path_change();
+    });
+    mobility->set_membership_observer([&](net::NodeId member, bool joined) {
+      if (joined) {
+        // Tell the joiner where the stream starts for it (kAnchor — its
+        // piggybacked SCS also creates the joiner's passive session).
+        session->announce_anchor();
+      } else {
+        // Unpin the send window from the leaver's cumulative-ack entry.
+        session->forget_receiver(member);
+      }
+    });
+    mobility->arm(*opt.faults);
+  }
+
   // --- resource timeline sampling ---------------------------------------
   // Driven by host 0's virtual clock, so the timeline is a pure function
   // of (scenario, seed) — identical for any sweep job count.
@@ -141,9 +239,7 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   // --- harvest ------------------------------------------------------------
   out.source = source.stats();
   out.receivers = sinks.size();
-  app::SinkStats merged;
-  for (const auto& s : sinks) {
-    const auto& st = s->stats();
+  const auto merge_sink = [](app::SinkStats& merged, const app::SinkStats& st) {
     merged.units_received += st.units_received;
     merged.bytes_received += st.bytes_received;
     merged.continuation_bytes += st.continuation_bytes;
@@ -157,14 +253,26 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
       merged.first_arrival = st.first_arrival;
     }
     merged.last_arrival = std::max(merged.last_arrival, st.last_arrival);
-  }
+  };
+  app::SinkStats merged;
+  for (const auto& s : sinks) merge_sink(merged, s->stats());
   out.sink = std::move(merged);
 
-  // Grade against the ACD: for multicast, every receiver must get its
-  // copy, so scale the source-unit count by the receiver fan-out.
+  // Grade against the ACD: for multicast, every full-duration receiver
+  // must get its copy, so scale the source-unit count by that fan-out.
+  // Joiners/leavers legitimately see a partial stream — they stay in
+  // out.sink (duplicate/ordering evidence) but out of the QoS grade.
+  std::size_t full_count = 0;
+  app::SinkStats graded_sink;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (!full_duration[i]) continue;
+    ++full_count;
+    merge_sink(graded_sink, sinks[i]->stats());
+  }
   app::SourceStats graded_src = out.source;
-  graded_src.units_sent *= std::max<std::uint64_t>(1, sinks.size());
-  out.qos = app::evaluate_qos(wl.acd, graded_src, out.sink);
+  graded_src.units_sent *= std::max<std::uint64_t>(1, full_count);
+  out.qos = app::evaluate_qos(wl.acd, graded_src,
+                              full_count == sinks.size() ? out.sink : graded_sink);
 
   out.config = session->config();
   out.context_text = session->context().describe();
@@ -177,6 +285,46 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   out.reconfigurations = session->context().reconfigurations();
   if (opt.trace > 0) out.trace_text = session->render_trace();
   out.sender_cpu_instructions = world.host(opt.src).cpu().stats().instructions;
+
+  // Survivability plane: harvested while the receiver contexts are still
+  // live. Mechanism-instance counters (reseeds, anchors, stragglers) read
+  // the *current* instances — a mid-run segue starts them fresh.
+  if (mobility.has_value()) {
+    MobilityOutcome& mo = out.mobility;
+    mo.armed = true;
+    mo.controller = mobility->stats();
+    for (const BlackoutWatch& w : blackout_watches) {
+      sim::SimTime worst = sim::SimTime::zero();
+      bool measured = false;
+      for (std::size_t i = 0; i < w.first_after.size(); ++i) {
+        // Churn hosts sit outside the group for whole stretches of the
+        // run; their delivery gaps are membership, not handover blackout.
+        if (!full_duration[i]) continue;
+        const sim::SimTime t = w.first_after[i];
+        if (t == sim::SimTime::zero()) continue;  // receiver saw no later traffic
+        measured = true;
+        worst = std::max(worst, t - w.start);
+      }
+      if (measured) {
+        mo.blackouts_sec.push_back(worst.sec());
+      } else {
+        ++mo.blackouts_unmeasured;  // stream had already drained
+      }
+    }
+    mo.path_reseeds = out.reliability.path_reseeds;
+    mo.anchors_sent = out.reliability.anchors_sent;
+    for (tko::TransportSession* s : accepted_sessions) {
+      mo.stragglers_dropped += s->context().sequencing().stragglers_dropped();
+      mo.anchors_applied += s->context().reliability().stats().anchors_applied;
+    }
+    if (opt.mode == RunOptions::Mode::kMantttsAdaptive) {
+      mo.synthesis_current = src_entity.synthesis_current(session->id());
+    }
+    mo.receivers.reserve(sinks.size());
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      mo.receivers.push_back({receiver_hosts[i], full_duration[i], sinks[i]->stats()});
+    }
+  }
 
   // Resource plane: final snapshot while sessions are still alive, plus
   // the periodic timeline (closed with one harvest-time sample so even a

@@ -9,9 +9,11 @@
 #include "app/workloads.hpp"
 #include "baseline/baselines.hpp"
 #include "net/fault_injector.hpp"
+#include "net/mobility_controller.hpp"
 #include "sim/fault_plan.hpp"
 #include "unites/sampler.hpp"
 
+#include <algorithm>
 #include <optional>
 
 namespace adaptive {
@@ -42,7 +44,13 @@ struct RunOptions {
   /// (e.g. PolicyEngine::fault_recovery_rules() for fault scenarios).
   std::vector<mantts::TsaRule> rules;
   /// Scripted network impairments, replayed relative to workload start.
+  /// Mobility-control kinds (handover/join/leave) in the same plan arm a
+  /// net::MobilityController alongside the FaultInjector.
   std::optional<sim::FaultPlan> faults;
+  /// Mobility runs: a handover blackout (transition-window start to the
+  /// first unit accepted afterwards, worst receiver) longer than this is a
+  /// "bounded-blackout" oracle violation. Zero disables the check.
+  sim::SimTime blackout_bound = sim::SimTime::zero();
   bool collect_metrics = false;
   /// Record the sender session's PDU interpreter trace (last `trace`
   /// entries) into RunOutcome::trace_text.
@@ -50,6 +58,42 @@ struct RunOptions {
   /// > zero: attach a unites::Sampler snapshotting the resource plane at
   /// this virtual-time period into RunOutcome::timeline (DESIGN §12).
   sim::SimTime timeline_period = sim::SimTime::zero();
+};
+
+/// Survivability-plane outcome (DESIGN §15). Populated only when the fault
+/// plan carried mobility-control events (`armed`); every field then feeds
+/// the oracle's mobility rules and the bench_mobility trajectory.
+struct MobilityOutcome {
+  bool armed = false;
+  net::MobilityController::Stats controller;
+  /// One sample per measured handover: seconds from the transition-window
+  /// opening to the first application unit accepted afterwards, worst
+  /// receiver. Handovers with no subsequent arrival anywhere (stream
+  /// already drained) land in `blackouts_unmeasured` instead.
+  std::vector<double> blackouts_sec;
+  std::size_t blackouts_unmeasured = 0;
+  std::uint64_t stragglers_dropped = 0;  ///< receiver-side resequencer drops
+  std::uint64_t path_reseeds = 0;        ///< sender Karn path switches
+  std::uint64_t anchors_sent = 0;        ///< kAnchor broadcasts for joiners
+  std::uint64_t anchors_applied = 0;     ///< receiver-side anchor jumps (summed)
+  /// Descriptor consistency at run end: the sender's synthesis was last
+  /// propagated under the route version the NMI currently observes.
+  bool synthesis_current = true;
+  /// Per-receiver delivery outcome. `full_duration` marks hosts that were
+  /// group members for the whole run — the only ones the no-loss rule
+  /// binds for (joiners/leavers legitimately miss part of the stream).
+  struct Receiver {
+    std::size_t host = 0;
+    bool full_duration = true;
+    app::SinkStats stats;
+  };
+  std::vector<Receiver> receivers;
+
+  [[nodiscard]] double blackout_max_sec() const {
+    double m = 0.0;
+    for (const double b : blackouts_sec) m = std::max(m, b);
+    return m;
+  }
 };
 
 struct RunOutcome {
@@ -72,6 +116,7 @@ struct RunOutcome {
   /// World across scenarios).
   mantts::MantttsEntity::Stats mantts;
   net::FaultInjector::Stats fault;  ///< zero when no plan was armed
+  MobilityOutcome mobility;         ///< armed only for mobility plans
   /// Delivery-invariant verdict for this run (see oracle.hpp). Always
   /// computed; rules that don't apply to the final config are gated off.
   InvariantReport oracle;

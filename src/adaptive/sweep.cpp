@@ -128,6 +128,17 @@ sim::ChaosProfile size_chaos_profile(sim::ChaosProfile base, const World& world,
   base.horizon_sec = opt.duration.sec();
   base.max_faults = max_faults;
   base.min_faults = std::min<std::size_t>(base.min_faults, max_faults);
+  // Mobility sizing: the caller's profile says how much churn it wants
+  // (max_handovers / max_membership_events); the world says what is
+  // physically there. A fixed topology zeroes the handover plane out.
+  base.attachment_count = world.topology().attachments.size();
+  base.mobile_host = world.topology().mobile_host;
+  if (base.churn_host_base >= base.host_count) {
+    base.churn_host_count = 0;
+  } else {
+    base.churn_host_count =
+        std::min(base.churn_host_count, base.host_count - base.churn_host_base);
+  }
   return base;
 }
 
@@ -177,7 +188,11 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     RunOptions opt = cfg.base;
     opt.seed = seed;
     if (cfg.capture_timeline) opt.timeline_period = cfg.timeline_period;
-    if (cfg.chaos > 0) {
+    // A profile that only asks for mobility events (pure handover/churn
+    // plan, no impairments) still derives a per-seed plan with chaos == 0.
+    const bool wants_mobility = cfg.chaos_profile.max_handovers > 0 ||
+                                cfg.chaos_profile.max_membership_events > 0;
+    if (cfg.chaos > 0 || wants_mobility) {
       const sim::ChaosProfile prof =
           size_chaos_profile(cfg.chaos_profile, world, opt, cfg.chaos);
       opt.faults = sim::ChaosPlanGenerator(prof).generate(seed);
@@ -220,6 +235,17 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     unit.summary.session_high_water_bytes = outcome.resource.session_high_water_bytes();
     unit.summary.sessions = outcome.resource.sessions.size();
     unit.summary.units_sent = outcome.source.units_sent;
+    if (outcome.mobility.armed) {
+      const auto& mob = outcome.mobility;
+      unit.summary.handovers = mob.controller.handovers_completed;
+      unit.summary.membership_events = mob.controller.joins + mob.controller.leaves;
+      unit.summary.blackout_max_sec = mob.blackout_max_sec();
+      unit.summary.blackouts_sec = mob.blackouts_sec;
+      unit.summary.stragglers_dropped = mob.stragglers_dropped;
+      unit.summary.anchors_sent = mob.anchors_sent;
+      unit.summary.resyntheses = outcome.mantts.resyntheses;
+      unit.summary.synthesis_current = mob.synthesis_current;
+    }
     if (cfg.capture_timeline) {
       unit.timeline = std::move(outcome.timeline);
       for (auto& p : unit.timeline) p.seed = seed;

@@ -102,6 +102,15 @@ struct SweepRunSummary {
   std::uint64_t session_high_water_bytes = 0;
   std::uint64_t sessions = 0;   ///< live sessions at harvest
   std::uint64_t units_sent = 0; ///< source units (denominator for copies/msg)
+  // Survivability plane (zero/empty unless the run armed mobility).
+  std::uint64_t handovers = 0;          ///< completed handovers
+  std::uint64_t membership_events = 0;  ///< joins + leaves applied
+  double blackout_max_sec = 0.0;
+  std::vector<double> blackouts_sec;    ///< raw samples (sweep-level p99)
+  std::uint64_t stragglers_dropped = 0;
+  std::uint64_t anchors_sent = 0;
+  std::uint64_t resyntheses = 0;
+  bool synthesis_current = true;
 };
 
 /// Size a chaos profile to a concrete world + run: targets only links the

@@ -37,6 +37,11 @@ enum class TsaAction : std::uint8_t {
   kIncreaseInterPduGap,  ///< multiply pacing gap (congestion response)
   kDecreaseInterPduGap,
   kNotifyApplication,    ///< app-specific callback (e.g. change coding)
+  /// Re-run the propagate path with the current SCS: the configuration's
+  /// parameters stand, but the descriptor it was derived under is stale
+  /// (mobility handover bumped the route version), so the cached Stage
+  /// I/II derivation is invalidated and both ends resynchronize.
+  kResynthesize,
 };
 
 struct TsaRule {

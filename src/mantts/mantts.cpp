@@ -297,6 +297,13 @@ void MantttsEntity::enable_adaptation(tko::TransportSession& session, std::vecto
     if (probe_based_rtt_ && !net::is_multicast(remote)) send_probe(remote);
     const auto descriptor = nmi_.sample(remote);
 
+    // Descriptor-consistency ledger: the first tick baselines both sides
+    // (the synthesis in force was derived around open time, i.e. under
+    // this route); later ticks only move the observed side — the synth
+    // side catches up when apply_and_propagate runs.
+    route_observed_[sid] = descriptor.route_version;
+    route_synth_.try_emplace(sid, descriptor.route_version);
+
     // Fault-episode bookkeeping: a degraded descriptor opens an episode;
     // the episode closes at the first healthy sample with no RECONFIG
     // still in flight (renegotiation completing is part of recovering).
@@ -422,6 +429,19 @@ void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
   if (auto kit = synth_keys_.find(session.id()); kit != synth_keys_.end()) {
     synth_cache_.invalidate(kit->second);
     synth_keys_.erase(kit);
+    ++stats_.synth_invalidations;
+  }
+  // The propagated configuration now reflects everything observed up to
+  // this tick, the current route included.
+  if (auto oit = route_observed_.find(session.id()); oit != route_observed_.end()) {
+    auto [sit, fresh] = route_synth_.try_emplace(session.id(), oit->second);
+    if (!fresh && sit->second != oit->second) {
+      sit->second = oit->second;
+      ++stats_.resyntheses;
+      unites::trace().instant(unites::TraceCategory::kMantts, "mantts.resynthesize",
+                              host_.now(), host_.node_id(), session.id(),
+                              static_cast<double>(oit->second));
+    }
   }
   session.reconfigure(cfg);
   auto cb = qos_callbacks_.find(session.id());

@@ -116,9 +116,30 @@ public:
     std::uint64_t renegotiation_failures = 0;  ///< retry budget exhausted
     std::uint64_t qos_downgrades = 0;     ///< graceful-degradation rungs taken
     std::uint64_t watchdog_escalations = 0;  ///< session stalls escalated to renegotiation
+    // Mobility (handover-driven resynthesis).
+    std::uint64_t synth_invalidations = 0;  ///< SynthesisCache entries dropped on propagate
+    std::uint64_t resyntheses = 0;  ///< propagations that caught the synthesis up to a new route
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t active_sessions() const { return active_; }
+
+  /// Descriptor-consistency introspection (survivability oracle input):
+  /// the route version the NMI most recently reported for the session's
+  /// path, and the one its current synthesis was propagated under. They
+  /// diverge transiently during a handover and must reconverge once the
+  /// route-changed rule fires — a session whose post-handover traffic
+  /// still runs on the pre-handover synthesis is a survivability bug.
+  [[nodiscard]] std::uint64_t observed_route_version(std::uint32_t sid) const {
+    auto it = route_observed_.find(sid);
+    return it == route_observed_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t synthesized_route_version(std::uint32_t sid) const {
+    auto it = route_synth_.find(sid);
+    return it == route_synth_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] bool synthesis_current(std::uint32_t sid) const {
+    return observed_route_version(sid) == synthesized_route_version(sid);
+  }
   /// Stage I/II memoization (DESIGN §14): hit/miss/eviction counters and
   /// deterministic-LRU introspection for the session-plane test battery.
   [[nodiscard]] SynthesisCache& synthesis_cache() { return synth_cache_; }
@@ -194,6 +215,11 @@ private:
   /// the conditions it was keyed under).
   SynthesisCache synth_cache_;
   std::map<std::uint32_t, SynthesisKey> synth_keys_;  // by session id
+
+  /// Route version last observed per adapted session vs the one its
+  /// synthesis was last propagated under (see synthesis_current()).
+  std::map<std::uint32_t, std::uint64_t> route_observed_;
+  std::map<std::uint32_t, std::uint64_t> route_synth_;
 };
 
 }  // namespace adaptive::mantts

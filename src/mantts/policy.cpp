@@ -25,6 +25,7 @@ const char* to_string(TsaAction a) {
     case TsaAction::kIncreaseInterPduGap: return "gap*2";
     case TsaAction::kDecreaseInterPduGap: return "gap/2";
     case TsaAction::kNotifyApplication: return "notify-app";
+    case TsaAction::kResynthesize: return "resynthesize";
   }
   return "?";
 }
@@ -53,8 +54,14 @@ std::vector<TsaAction> PolicyEngine::evaluate(const NetworkStateDescriptor& net,
     // The first sample only establishes each condition's baseline:
     // reconfiguration responds to *changes* in network conditions, not to
     // conditions that already held when the session was configured
-    // (Stage II already accounted for those).
-    const bool rising_edge = cond && !st.was_true && !first_evaluation_;
+    // (Stage II already accounted for those). kRouteChanged is exempt from
+    // edge suppression: each tick's `route_changed` is already an event
+    // (this version differs from the last observed one), and a handover
+    // straddling two ticks must fire on both — level-triggering would
+    // swallow the second change and leave the synthesis one route behind.
+    const bool rising_edge =
+        cond && (!st.was_true || rule.condition == TsaCondition::kRouteChanged) &&
+        !first_evaluation_;
     st.was_true = cond;
     if (!rising_edge) continue;
     if (st.last_fired >= sim::SimTime::zero() && now - st.last_fired < rule.cooldown) continue;
@@ -102,6 +109,18 @@ std::vector<TsaRule> PolicyEngine::fault_recovery_rules() {
       {TsaCondition::kCongestionBelow, 0.05, TsaAction::kDecreaseInterPduGap,
        sim::SimTime::seconds(1)},
   };
+}
+
+std::vector<TsaRule> PolicyEngine::mobility_rules() {
+  std::vector<TsaRule> rules = fault_recovery_rules();
+  // Handover response: any route-version change resynthesizes against the
+  // new path's descriptor. Cooldown zero — consecutive handovers (or the
+  // two route flips of one make-before-break window) must each fire, or
+  // post-handover traffic keeps running on a synthesis derived for a path
+  // that no longer exists.
+  rules.push_back(
+      {TsaCondition::kRouteChanged, 0.0, TsaAction::kResynthesize, sim::SimTime::zero()});
+  return rules;
 }
 
 std::optional<tko::sa::SessionConfig> downgrade_qos(const tko::sa::SessionConfig& cfg,
@@ -171,6 +190,10 @@ tko::sa::SessionConfig apply_action(TsaAction action, const tko::sa::SessionConf
       out.inter_pdu_gap = out.inter_pdu_gap / 2;
       break;
     case TsaAction::kNotifyApplication:
+      break;
+    case TsaAction::kResynthesize:
+      // Parameters stand; the entity treats the action as "changed" so the
+      // propagate path runs (cache invalidation + RECONFIG resync).
       break;
   }
   return out;

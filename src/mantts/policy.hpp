@@ -48,6 +48,12 @@ public:
   /// rules. Loss spikes from link flaps fire the switch; calm restores it.
   [[nodiscard]] static std::vector<TsaRule> fault_recovery_rules();
 
+  /// Rule set for mobility scenarios: the fault-recovery rules plus a
+  /// zero-cooldown route-changed rule that resynthesizes the session
+  /// against the post-handover path descriptor (the SynthesisCache entry
+  /// derived for the old route is invalidated along the way).
+  [[nodiscard]] static std::vector<TsaRule> mobility_rules();
+
 private:
   struct RuleState {
     bool was_true = false;

@@ -13,6 +13,13 @@ bool is_config_kind(sim::FaultKind k) {
          k == sim::FaultKind::kBandwidthDrop || k == sim::FaultKind::kWireMutate;
 }
 
+/// Mobility control events are executed by a net::MobilityController, not
+/// the injector — a mixed plan arms cleanly against both.
+bool is_mobility_kind(sim::FaultKind k) {
+  return k == sim::FaultKind::kHandover || k == sim::FaultKind::kGroupJoin ||
+         k == sim::FaultKind::kGroupLeave;
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(Network& net, std::vector<LinkId> scenario_links,
@@ -24,7 +31,10 @@ FaultInjector::~FaultInjector() {
 }
 
 void FaultInjector::arm(const sim::FaultPlan& plan) {
-  for (const auto& spec : plan.faults) schedule(spec);
+  for (const auto& spec : plan.faults) {
+    if (is_mobility_kind(spec.kind)) continue;
+    schedule(spec);
+  }
 }
 
 void FaultInjector::schedule(const sim::FaultSpec& spec) {

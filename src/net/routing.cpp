@@ -87,7 +87,13 @@ std::map<NodeId, std::vector<Link*>> multicast_tree(const Adjacency& adj, NodeId
   }
   std::map<NodeId, std::vector<Link*>> out;
   for (auto& [node, links] : tree) {
-    out[node] = std::vector<Link*>(links.begin(), links.end());
+    std::vector<Link*> ordered(links.begin(), links.end());
+    // The set above is keyed by pointer, so its iteration order tracks
+    // heap layout. Fan-out order must be a pure function of the topology
+    // (replicated packets hit sibling links in this order, and sweep
+    // digests compare runs across thread counts) — sort by link id.
+    std::ranges::sort(ordered, {}, [](const Link* l) { return l->id(); });
+    out[node] = std::move(ordered);
   }
   return out;
 }

@@ -183,4 +183,56 @@ Topology make_multicast_campus(sim::EventScheduler& sched, std::size_t n_hosts,
   return t;
 }
 
+Topology make_mobile_wan(sim::EventScheduler& sched, std::size_t n_attachments,
+                         std::size_t extra_hosts, std::uint64_t seed) {
+  Topology t;
+  t.network = std::make_unique<Network>(sched, seed);
+  const std::size_t n_cells = std::max<std::size_t>(2, n_attachments);
+
+  const NodeId core = t.network->add_switch("core");
+  t.switches.push_back(core);
+
+  LinkConfig trunk = fddi_link();
+  trunk.propagation_delay = sim::SimTime::milliseconds(5);
+  std::vector<NodeId> cells;
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const NodeId cell = t.network->add_switch("cell" + std::to_string(i));
+    cells.push_back(cell);
+    t.switches.push_back(cell);
+    auto [f, _] = t.network->connect(core, cell, trunk);
+    t.scenario_links.push_back(f);
+  }
+
+  // The mobile host has a link into every cell. The cells are deliberately
+  // heterogeneous — each handover changes the path's rate *and* delay, so
+  // the network descriptor genuinely moves and MANTTS has something to
+  // re-synthesize against.
+  const NodeId mob = t.network->add_host("mob");
+  t.hosts.push_back(mob);
+  t.mobile_host = 0;
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    LinkConfig air = ethernet_link();
+    air.bandwidth = sim::Rate::mbps(10.0 + 5.0 * static_cast<double>(i % 3));
+    air.propagation_delay = sim::SimTime::milliseconds(2 + 3 * static_cast<std::int64_t>(i % 3));
+    air.bit_error_rate = i % 2 == 0 ? kCopperBer : 1e-7;
+    auto [f, _] = t.network->connect(mob, cells[i], air);
+    t.attachments.push_back(f);
+  }
+  // Only the home attachment starts up; handovers flip the rest.
+  for (std::size_t i = 1; i < t.attachments.size(); ++i) {
+    t.network->set_link_pair_up(t.attachments[i], false);
+  }
+
+  const NodeId cn = t.network->add_host("cn");
+  t.hosts.push_back(cn);
+  t.network->connect(cn, core, fddi_link());
+
+  for (std::size_t i = 0; i < extra_hosts; ++i) {
+    const NodeId h = t.network->add_host("m" + std::to_string(i));
+    t.hosts.push_back(h);
+    t.network->connect(h, cells[i % n_cells], ethernet_link());
+  }
+  return t;
+}
+
 }  // namespace adaptive::net

@@ -24,6 +24,12 @@ struct Topology {
   /// Links whose failure/recovery drives route-change scenarios (forward
   /// ids of bidirectional pairs), in topology-specific order.
   std::vector<LinkId> scenario_links;
+  /// Mobility topologies: candidate attachment links for the mobile host
+  /// (forward ids; index 0 is the initial home — the rest start down).
+  /// Empty for fixed topologies.
+  std::vector<LinkId> attachments;
+  /// Index into `hosts` of the host that moves between attachments.
+  std::size_t mobile_host = 0;
 };
 
 /// Hosts on a single switch; 10 Mbps, MTU 1500, 5 us propagation.
@@ -53,5 +59,13 @@ struct Topology {
 /// shared trunk links make replication savings visible.
 [[nodiscard]] Topology make_multicast_campus(sim::EventScheduler& sched, std::size_t n_hosts,
                                              std::uint64_t seed = 1);
+
+/// Mobility WAN: a mobile host with one attachment link per "cell" edge
+/// switch (heterogeneous rate/delay, only attachments[0] up at start), a
+/// correspondent host on the core, and `extra_hosts` member hosts spread
+/// over the edges for group-churn scenarios. scenario_links are the
+/// edge->core trunks; a MobilityController flips the attachment links.
+[[nodiscard]] Topology make_mobile_wan(sim::EventScheduler& sched, std::size_t n_attachments,
+                                       std::size_t extra_hosts, std::uint64_t seed = 1);
 
 }  // namespace adaptive::net

@@ -35,7 +35,9 @@ FaultPlan ChaosPlanGenerator::generate(std::uint64_t seed) const {
 
   FaultPlan plan;
   plan.faults.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  // `max_faults == 0` means a pure-mobility plan: skip link impairments
+  // entirely instead of forcing the historical floor of one.
+  for (std::size_t i = 0; profile_.max_faults > 0 && i < n; ++i) {
     FaultSpec spec;
     spec.link = rng.uniform_int(0, links - 1);
     spec.at = SimTime::seconds(rng.uniform(0.1, std::max(0.2, 0.7 * horizon)));
@@ -106,6 +108,60 @@ FaultPlan ChaosPlanGenerator::generate(std::uint64_t seed) const {
       }
     }
     plan.faults.push_back(spec);
+  }
+
+  // Mobility events ride after the impairment draws so profiles without a
+  // mobility plane reproduce their historical plans byte-for-byte.
+  //
+  // Handovers land on a jittered slot grid: one transition per slot, each
+  // confined to the first quarter of its slot, so windows can never
+  // overlap (the parser rejects contradictory windows, and a generated
+  // plan must always replay cleanly).
+  if (profile_.attachment_count > 1 && profile_.max_handovers > 0) {
+    const std::size_t n_ho = rng.uniform_int(1, profile_.max_handovers);
+    const double first = 0.15 * horizon;
+    const double span = std::max(0.5, limit - first);
+    std::size_t current = 0;
+    for (std::size_t i = 0; i < n_ho; ++i) {
+      const double width = span / static_cast<double>(n_ho);
+      const double slot = first + width * static_cast<double>(i);
+      FaultSpec spec;
+      spec.kind = FaultKind::kHandover;
+      spec.node = profile_.mobile_host;
+      spec.at = SimTime::seconds(rng.uniform(slot, slot + 0.25 * width));
+      spec.duration =
+          SimTime::seconds(std::min(rng.uniform(0.02, 0.08), 0.25 * width));
+      // Always move somewhere else; with two attachments this ping-pongs.
+      std::size_t to = rng.uniform_int(0, profile_.attachment_count - 2);
+      if (to >= current) ++to;
+      spec.to_attachment = to;
+      current = to;
+      spec.make_before_break = rng.uniform_int(0, 1) == 0;
+      plan.faults.push_back(spec);
+    }
+  }
+
+  // Membership churn: round-robin over the churn hosts, each alternating
+  // leave -> rejoin (churn hosts start as group members). The slot grid
+  // keeps every host's events strictly ordered in time, so a leave always
+  // precedes its rejoin and no join/leave pair collides at one instant.
+  if (profile_.churn_host_count > 0 && profile_.max_membership_events > 0) {
+    const std::size_t n_ev = rng.uniform_int(1, profile_.max_membership_events);
+    const double first = 0.15 * horizon;
+    const double span = std::max(0.5, limit - first);
+    std::vector<bool> member(profile_.churn_host_count, true);
+    for (std::size_t i = 0; i < n_ev; ++i) {
+      const double width = span / static_cast<double>(n_ev);
+      const double slot = first + width * static_cast<double>(i);
+      const std::size_t h = i % profile_.churn_host_count;
+      FaultSpec spec;
+      spec.kind = member[h] ? FaultKind::kGroupLeave : FaultKind::kGroupJoin;
+      member[h] = !member[h];
+      spec.node = profile_.churn_host_base + h;
+      spec.at = SimTime::seconds(rng.uniform(slot, slot + 0.8 * width));
+      spec.duration = SimTime::seconds(0.05);  // instants; duration unused
+      plan.faults.push_back(spec);
+    }
   }
   return plan;
 }

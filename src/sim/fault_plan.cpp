@@ -14,6 +14,9 @@ const char* to_string(FaultKind k) {
     case FaultKind::kBandwidthDrop: return "bw";
     case FaultKind::kPartition: return "partition";
     case FaultKind::kWireMutate: return "mutate";
+    case FaultKind::kHandover: return "handover";
+    case FaultKind::kGroupJoin: return "join";
+    case FaultKind::kGroupLeave: return "leave";
   }
   return "?";
 }
@@ -21,7 +24,8 @@ const char* to_string(FaultKind k) {
 std::string FaultSpec::describe() const {
   std::ostringstream os;
   os << to_string(kind) << '@' << at.sec() << '+' << duration.sec();
-  if (kind == FaultKind::kPartition) {
+  if (kind == FaultKind::kPartition || kind == FaultKind::kHandover ||
+      kind == FaultKind::kGroupJoin || kind == FaultKind::kGroupLeave) {
     os << ":node=" << node;
   } else {
     os << ":link=" << link;
@@ -33,6 +37,9 @@ std::string FaultSpec::describe() const {
   if (kind == FaultKind::kWireMutate) {
     os << ",corrupt=" << corrupt_p << ",dup=" << duplicate_p << ",reorder=" << reorder_p
        << ",trunc=" << truncate_p;
+  }
+  if (kind == FaultKind::kHandover) {
+    os << ",to=" << to_attachment << ",mode=" << (make_before_break ? "mbb" : "bbm");
   }
   return os.str();
 }
@@ -96,6 +103,12 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
     spec.kind = FaultKind::kPartition;
   } else if (kind == "mutate") {
     spec.kind = FaultKind::kWireMutate;
+  } else if (kind == "handover") {
+    spec.kind = FaultKind::kHandover;
+  } else if (kind == "join") {
+    spec.kind = FaultKind::kGroupJoin;
+  } else if (kind == "leave") {
+    spec.kind = FaultKind::kGroupLeave;
   } else {
     error = "unknown fault kind '" + std::string(kind) + "'";
     return false;
@@ -185,6 +198,16 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
     } else if (key == "trunc") {
       ok = parse_double(val, num) && num >= 0.0 && num <= 1.0;
       spec.truncate_p = num;
+    } else if (key == "to") {
+      ok = parse_size(val, spec.to_attachment);
+    } else if (key == "mode") {
+      if (val == "mbb") {
+        spec.make_before_break = true;
+      } else if (val == "bbm") {
+        spec.make_before_break = false;
+      } else {
+        ok = false;
+      }
     } else {
       error = "unknown option '" + std::string(key) + "'";
       return false;
@@ -195,6 +218,35 @@ bool parse_spec(std::string_view text, FaultSpec& spec, std::string& error) {
     }
   }
   return true;
+}
+
+/// Mobility control events must not contradict each other: unlike link
+/// impairments (which the injector composes against a baseline), a
+/// handover is a discrete state change, and two overlapping transitions of
+/// the same host — or a join racing a leave at the same instant — have no
+/// well-defined composition. The later spec is rejected.
+bool contradicts(const FaultSpec& a, const FaultSpec& b, std::string& why) {
+  if (a.kind == FaultKind::kHandover && b.kind == FaultKind::kHandover && a.node == b.node) {
+    const std::int64_t a_end = a.at.ns() + a.duration.ns();
+    const std::int64_t b_end = b.at.ns() + b.duration.ns();
+    if (a.at.ns() <= b_end && b.at.ns() <= a_end) {
+      std::ostringstream os;
+      os << "handover window contradicts an earlier handover of node " << a.node;
+      why = os.str();
+      return true;
+    }
+  }
+  const auto is_membership = [](FaultKind k) {
+    return k == FaultKind::kGroupJoin || k == FaultKind::kGroupLeave;
+  };
+  if (is_membership(a.kind) && is_membership(b.kind) && a.kind != b.kind &&
+      a.node == b.node && a.at.ns() == b.at.ns()) {
+    std::ostringstream os;
+    os << "join/leave of node " << a.node << " at the same instant";
+    why = os.str();
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -230,7 +282,21 @@ FaultPlan parse_fault_plan(const std::string& text, std::vector<std::string>* er
           errors->push_back("'" + std::string(item) + "': duplicate spec dropped");
         }
       } else {
-        plan.faults.push_back(spec);
+        std::string why;
+        bool contradiction = false;
+        for (const auto& f : plan.faults) {
+          if (contradicts(f, spec, why)) {
+            contradiction = true;
+            break;
+          }
+        }
+        if (contradiction) {
+          if (errors != nullptr) {
+            errors->push_back("'" + std::string(item) + "': " + why);
+          }
+        } else {
+          plan.faults.push_back(spec);
+        }
       }
     } else if (errors != nullptr) {
       errors->push_back("'" + std::string(item) + "': " + error);

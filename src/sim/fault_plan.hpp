@@ -26,15 +26,28 @@
 //                                  adversarial wire mutations: per-packet
 //                                  probabilities of burst bit-flips,
 //                                  duplication, reorder delay, truncation
+//   handover@2+0.05:node=0,to=1,mode=mbb
+//                                  re-home host 0 to attachment link 1;
+//                                  the window is the transition (overlap
+//                                  for mbb, blackout gap for bbm)
+//   join@4:node=3                  host 3 joins the scenario group
+//   leave@6:node=3                 host 3 leaves the scenario group
 //
 // Times are seconds (floating point); `link` indexes the topology's
-// scenario_links list; `node` indexes the topology's host list.
+// scenario_links list; `node` indexes the topology's host list; `to`
+// indexes the topology's attachment-link list (mobility topologies).
 //
 // Window rules: an explicit zero-or-negative duration (`+0`) is rejected
 // — a window must cover some time to mean anything. Two textually
 // identical specs are normalized to one (the duplicate is dropped with a
 // message). Distinct overlapping windows on the same link are legal; the
-// injector composes them against the link's pre-fault baseline.
+// injector composes them against the link's pre-fault baseline. Mobility
+// control events are stricter: two handovers of the same host with
+// overlapping transition windows contradict each other (a host cannot be
+// mid-flight to two attachments at once), as do a join and a leave of the
+// same host at the same instant — the later spec is rejected with a
+// message, because replaying a contradictory plan would make the outcome
+// depend on scheduler tie-breaking rather than the plan.
 #pragma once
 
 #include "sim/time.hpp"
@@ -53,6 +66,9 @@ enum class FaultKind : std::uint8_t {
   kBandwidthDrop,  ///< bandwidth scaled by `bandwidth_factor`
   kPartition,      ///< all links touching a host down for `duration`
   kWireMutate,     ///< adversarial per-packet wire mutations
+  kHandover,       ///< re-home host `node` to attachment `to` (mbb/bbm)
+  kGroupJoin,      ///< host `node` joins the scenario multicast group
+  kGroupLeave,     ///< host `node` leaves the scenario multicast group
 };
 
 [[nodiscard]] const char* to_string(FaultKind k);
@@ -84,6 +100,12 @@ struct FaultSpec {
   double duplicate_p = 0.0; ///< deliver an extra copy
   double reorder_p = 0.0;   ///< extra random delivery delay
   double truncate_p = 0.0;  ///< drop trailing payload bytes
+
+  // kHandover: `duration` is the transition window — make-before-break
+  // keeps both attachments up for that long, break-before-make leaves the
+  // host dark for it.
+  std::size_t to_attachment = 0;  ///< target attachment-link index (`to`)
+  bool make_before_break = true;  ///< mode=mbb (default) vs mode=bbm
 
   [[nodiscard]] std::string describe() const;
 };

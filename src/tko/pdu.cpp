@@ -25,6 +25,7 @@ const char* to_string(PduType t) {
     case PduType::kProbeReply: return "PROBEREPLY";
     case PduType::kAbort: return "ABORT";
     case PduType::kHandshakeAck: return "HSACK";
+    case PduType::kAnchor: return "ANCHOR";
   }
   return "?";
 }
@@ -156,7 +157,7 @@ DecodeResult decode_pdu(Message&& wire) {
 
   Pdu p;
   p.type = static_cast<PduType>(head[1]);
-  if (head[1] > static_cast<std::uint8_t>(PduType::kHandshakeAck)) return r;
+  if (head[1] > static_cast<std::uint8_t>(PduType::kAnchor)) return r;
   p.flags = get_u16(&head[2]);
   // Mutated-wire defense: a flags word with bits this version never sets
   // is garbage, not a forward-compatible extension — reject it instead of

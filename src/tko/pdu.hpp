@@ -33,6 +33,12 @@ enum class PduType : std::uint8_t {
   kProbeReply = 13,
   kAbort = 14,
   kHandshakeAck = 15,  ///< third leg of a 3-way open
+  /// Stream anchor: `seq` is the sender's lowest retrievable sequence
+  /// (its retransmission base). A receiver that joined the multicast group
+  /// mid-stream anchors its cumulative point just below it instead of
+  /// demanding sequence 1 — which the sender no longer holds and which
+  /// would wedge the whole group behind the joiner's cum=0 acks.
+  kAnchor = 16,
 };
 
 [[nodiscard]] const char* to_string(PduType t);

@@ -85,9 +85,21 @@ void GoBackN::prod() {
   if (st_.unacked.empty() || retx_timer_ == nullptr) return;
   rtt_.clear_backoff();
   core_->count("reliability.prod");
+  // A multicast stall can also mean a mid-stream joiner is pinning the
+  // group with cum=0 acks because the original anchor was lost; re-anchor
+  // before retransmitting so the joiner can accept the resent window.
+  if (core_->receiver_count() > 1) announce_anchor();
   go_back(st_.send_base);
   retx_timer_->cancel();
   retx_timer_->schedule(rtt_.rto());
+}
+
+void GoBackN::forget_receiver(net::NodeId receiver) {
+  ReliabilityBase::forget_receiver(receiver);
+  if (retx_timer_ != nullptr) {
+    retx_timer_->cancel();
+    arm_timer();  // survivors may have fully acked: stop the timer
+  }
 }
 
 void GoBackN::go_back(std::uint32_t from_seq) {

@@ -24,11 +24,15 @@ public:
   void on_nack(const Pdu& p, net::NodeId from) override;
   void on_data(Pdu&& p, net::NodeId from) override;
   void prod() override;
+  void forget_receiver(net::NodeId receiver) override;
 
   void restore(ReliabilityState&& s) override;
 
 private:
   void on_attach() override;
+  /// Late joiners anchor at the retransmission base: everything from
+  /// send_base onward is retained and will reach them via go_back.
+  [[nodiscard]] std::uint32_t anchor_seq() const override { return st_.send_base; }
   void arm_timer();
   void on_timeout();
   void go_back(std::uint32_t from_seq);

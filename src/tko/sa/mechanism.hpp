@@ -48,6 +48,13 @@ public:
   /// Number of remote receivers (1 unicast, N multicast).
   [[nodiscard]] virtual std::size_t receiver_count() const = 0;
 
+  /// True when `node` is currently an intended receiver of this session's
+  /// data (a live multicast group member; always true for unicast). A
+  /// leaver's last acks can still be in flight when the membership change
+  /// lands — re-admitting one would resurrect its cumulative-ack entry
+  /// and pin the send window forever.
+  [[nodiscard]] virtual bool is_receiver(net::NodeId) const { return true; }
+
   /// A transmission slot may have opened; the session should try to send
   /// queued data (called by transmission control on acks / pacing ticks).
   virtual void tx_ready() = 0;
@@ -194,6 +201,12 @@ struct ReliabilityState {
   std::uint32_t rcv_cum = 0;    ///< highest in-order sequence received
   std::set<std::uint32_t> rcv_out_of_order;
   std::map<net::NodeId, std::uint32_t> per_receiver_cum;  ///< multicast acks
+  /// Receiver side has anchored its cumulative point. A receiver that
+  /// joins a group mid-stream sees its first DATA PDU at an arbitrary
+  /// sequence; an unprimed receiver seeds rcv_cum just below it (and
+  /// tells sequencing to start there) instead of demanding seq 1 — which
+  /// would discard everything and ack cum=0 forever, wedging the sender.
+  bool rcv_primed = false;
 };
 
 struct ReliabilityStats {
@@ -209,6 +222,13 @@ struct ReliabilityStats {
   /// ahead of anything sent, data sequences far beyond the receive window.
   std::uint64_t wild_acks_rejected = 0;
   std::uint64_t wild_seqs_rejected = 0;
+  // Mobility (handover/churn survivability). Counters are per mechanism
+  // instance, like everything else here — a mid-run segue starts fresh.
+  std::uint64_t path_reseeds = 0;         ///< Karn path switches (RTT state dropped)
+  std::uint64_t receivers_forgotten = 0;  ///< group leavers unpinned from the window
+  std::uint64_t stale_acks_ignored = 0;   ///< acks from departed members dropped
+  std::uint64_t anchors_sent = 0;         ///< kAnchor PDUs broadcast for joiners
+  std::uint64_t anchors_applied = 0;      ///< receive side jumped forward to an anchor
 };
 
 class ReliabilityMgmt : public Mechanism {
@@ -239,6 +259,36 @@ public:
   /// timer cannot wedge the session; schemes without retransmission
   /// ignore it.
   virtual void prod() {}
+
+  /// Mobility handover: the network re-homed one of the session's
+  /// endpoints, so every pending RTT timestamp describes the *old* path.
+  /// Schemes discard them (Karn applied to path switches) and re-seed the
+  /// estimator; stragglers still in flight on the dead path then cannot
+  /// pollute the new path's RTO.
+  virtual void on_path_change() {}
+
+  /// Multicast churn: `receiver` left the group. The sender drops its
+  /// per-receiver cumulative-ack entry so a departed member can no longer
+  /// pin the group's effective cumulative ack (which would stall everyone
+  /// else), and re-derives window state from the survivors.
+  virtual void forget_receiver(net::NodeId receiver) { (void)receiver; }
+
+  /// Multicast churn, sender side: broadcast a kAnchor PDU carrying the
+  /// lowest retrievable sequence so a receiver that joined mid-stream can
+  /// anchor its cumulative point (see on_anchor). Called on every join and
+  /// re-announced by the watchdog prod path, so a lost anchor cannot wedge
+  /// the group permanently.
+  virtual void announce_anchor() {}
+
+  /// Receiver side of announce_anchor. Anchors are safe to apply
+  /// unconditionally: the sender's retransmission base can only advance
+  /// past a sequence every *current* member has acknowledged, so for any
+  /// receiver the sender is still tracking the anchor is at or below its
+  /// own cum+1 (a no-op). Only a mid-stream joiner — whose entry the
+  /// sender does not have — sees an anchor ahead of its cum, and for the
+  /// joiner the skipped range is precisely the data sent while it was not
+  /// a member.
+  virtual void on_anchor(std::uint32_t anchor) { (void)anchor; }
 
   /// True when every sent PDU has been acknowledged (graceful-close gate).
   [[nodiscard]] virtual bool all_acked() const = 0;
@@ -324,6 +374,11 @@ public:
 
   /// Payload bytes buffered awaiting order (memory-accounting gauge).
   [[nodiscard]] virtual std::size_t held_bytes() const { return 0; }
+
+  /// Stale data units dropped because they arrived below the delivery
+  /// horizon — old-path stragglers after a handover or segue. Counted,
+  /// never delivered out of order.
+  [[nodiscard]] virtual std::uint64_t stragglers_dropped() const { return 0; }
 
   [[nodiscard]] virtual SequencingState snapshot() = 0;
   virtual void restore(SequencingState&& s) = 0;

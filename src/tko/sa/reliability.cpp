@@ -82,10 +82,21 @@ std::uint32_t ReliabilityBase::apply_cum_ack(std::uint32_t cum, net::NodeId from
     core_->count("reliability.wild_ack");
     return 0;
   }
+  if (!core_->is_receiver(from)) {
+    ++stats_.stale_acks_ignored;
+    core_->count("reliability.stale_ack");
+    return 0;
+  }
   // First ack from a receiver seeds its entry directly: a default 0 would
   // compare serially *ahead* of sequences just below the wrap point.
   auto [rec, fresh] = st_.per_receiver_cum.try_emplace(from, cum);
   if (!fresh) rec->second = seq_max(rec->second, cum);
+  const std::uint32_t newly = advance_send_base(/*take_rtt_samples=*/true);
+  if (newly > 0) rtt_.clear_backoff();
+  return newly;
+}
+
+std::uint32_t ReliabilityBase::advance_send_base(bool take_rtt_samples) {
   const std::uint32_t eff = effective_cum_ack();
   std::uint32_t newly = 0;
   while (seq_leq(st_.send_base, eff)) {
@@ -98,13 +109,71 @@ std::uint32_t ReliabilityBase::apply_cum_ack(std::uint32_t cum, net::NodeId from
     // RTT sample (Karn: send_time_ entries are erased on retransmission).
     auto ts = send_time_.find(st_.send_base);
     if (ts != send_time_.end()) {
-      rtt_.sample(core_->now() - ts->second);
+      if (take_rtt_samples) rtt_.sample(core_->now() - ts->second);
       send_time_.erase(ts);
     }
     ++st_.send_base;
   }
-  if (newly > 0) rtt_.clear_backoff();
   return newly;
+}
+
+void ReliabilityBase::on_path_change() {
+  send_time_.clear();
+  rtt_.reseed_path();
+  ++stats_.path_reseeds;
+  if (core_ != nullptr) core_->count("reliability.path_reseed");
+}
+
+void ReliabilityBase::forget_receiver(net::NodeId receiver) {
+  // Erase even when absent changes nothing; the advance below still
+  // matters — a leaver that never acked pinned effective_cum_ack through
+  // the receiver-count check, not through an entry.
+  st_.per_receiver_cum.erase(receiver);
+  ++stats_.receivers_forgotten;
+  const std::uint32_t newly = advance_send_base(/*take_rtt_samples=*/false);
+  if (core_ != nullptr) {
+    core_->count("reliability.receiver_forgotten");
+    if (newly > 0) {
+      rtt_.clear_backoff();
+      core_->tx_ready();
+    }
+  }
+}
+
+void ReliabilityBase::announce_anchor() {
+  if (core_ == nullptr) return;
+  Pdu p;
+  p.type = PduType::kAnchor;
+  p.seq = anchor_seq();
+  ++stats_.anchors_sent;
+  core_->count("reliability.anchor_sent");
+  core_->emit(std::move(p));
+}
+
+void ReliabilityBase::on_anchor(std::uint32_t anchor) {
+  if (!plausible_data_seq(anchor)) {
+    ++stats_.wild_seqs_rejected;
+    if (core_ != nullptr) core_->count("reliability.wild_seq");
+    return;
+  }
+  st_.rcv_primed = true;
+  if (seq_leq(anchor, st_.rcv_cum + 1)) return;  // already at or past the anchor
+  st_.rcv_cum = anchor - 1;
+  std::erase_if(st_.rcv_out_of_order,
+                [cum = st_.rcv_cum](std::uint32_t s) { return seq_leq(s, cum); });
+  // Pull buffered successors into the cumulative range (a selective-repeat
+  // joiner may have buffered post-anchor data before the anchor arrived).
+  auto it = st_.rcv_out_of_order.find(st_.rcv_cum + 1);
+  while (it != st_.rcv_out_of_order.end()) {
+    st_.rcv_out_of_order.erase(it);
+    ++st_.rcv_cum;
+    it = st_.rcv_out_of_order.find(st_.rcv_cum + 1);
+  }
+  if (sequencing_ != nullptr) sequencing_->gap_skip(anchor);
+  ++stats_.anchors_applied;
+  if (core_ != nullptr) core_->count("reliability.anchored");
+  // Ack promptly so the sender unpins from the joiner's cum=0 entry.
+  if (ack_ != nullptr) ack_->on_data_received(/*in_order=*/false);
 }
 
 // ---------------------------------------------------------------------------

@@ -45,6 +45,21 @@ public:
 
   [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
 
+  /// Karn for path switches: drop every pending RTT timestamp (they
+  /// describe the old path) and reseed the estimator; stragglers still in
+  /// flight on the dead path then cannot pollute the new path's RTO.
+  void on_path_change() override;
+
+  /// Drop the departed receiver's cumulative-ack entry and advance the
+  /// send window as far as the survivors allow.
+  void forget_receiver(net::NodeId receiver) override;
+
+  /// Broadcast the scheme's lowest retrievable sequence (kAnchor PDU).
+  void announce_anchor() override;
+
+  /// Anchor the receive side for a mid-stream join (see ReliabilityMgmt).
+  void on_anchor(std::uint32_t anchor) override;
+
 protected:
   explicit ReliabilityBase(sim::SimTime initial_rto, bool filter_duplicates)
       : rtt_(initial_rto), filter_duplicates_(filter_duplicates) {}
@@ -73,6 +88,18 @@ protected:
   /// Record `cum` from receiver `from`; erase newly-acked PDUs from the
   /// store and return how many sequences were newly acknowledged.
   std::uint32_t apply_cum_ack(std::uint32_t cum, net::NodeId from);
+
+  /// Advance send_base to the effective cumulative ack, erasing acked
+  /// PDUs. RTT sampling is suppressed when the advance is driven by
+  /// receiver departure rather than a fresh ack (the elapsed time then
+  /// measures how long the leaver pinned the window, not the path).
+  std::uint32_t advance_send_base(bool take_rtt_samples);
+
+  /// Lowest sequence the scheme can still produce for a late joiner:
+  /// the retransmission base for retransmitting schemes, next_seq for
+  /// schemes that retain nothing (None, FEC — the joiner starts at the
+  /// next fresh emission).
+  [[nodiscard]] virtual std::uint32_t anchor_seq() const { return st_.next_seq; }
 
   /// A cumulative ack can never exceed the highest sequence assigned; a
   /// "future" ack is wire corruption (possible under no-checksum configs)

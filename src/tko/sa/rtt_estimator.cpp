@@ -48,4 +48,14 @@ void RttEstimator::backoff() {
   backoff_shift_ = std::min(backoff_shift_ + 1, kMaxBackoffShift);
 }
 
+void RttEstimator::reseed_path() {
+  // rto() falls back to initial_rto_ while has_sample_ is false, so the
+  // carried value must land there — writing rto_ would be dead state.
+  initial_rto_ = rto();
+  srtt_ = sim::SimTime::zero();
+  rttvar_ = sim::SimTime::zero();
+  has_sample_ = false;
+  backoff_shift_ = 0;
+}
+
 }  // namespace adaptive::tko::sa

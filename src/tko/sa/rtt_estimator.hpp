@@ -32,6 +32,13 @@ public:
   /// Reset backoff after a successful ack.
   void clear_backoff() { backoff_shift_ = 0; }
 
+  /// Mobility handover: every accumulated sample describes the *old*
+  /// path, so the smoothed estimate must not survive the switch (Karn's
+  /// rule applied to path changes). The current effective RTO — backoff
+  /// included — carries over as the new path's conservative initial
+  /// timeout until the first sample on it arrives.
+  void reseed_path();
+
   [[nodiscard]] sim::SimTime srtt() const { return srtt_; }
   [[nodiscard]] sim::SimTime rttvar() const { return rttvar_; }
   [[nodiscard]] bool has_sample() const { return has_sample_; }

@@ -101,6 +101,13 @@ std::uint32_t SelectiveRepeat::on_ack(const Pdu& p, net::NodeId from) {
     core_->count("reliability.wild_ack");
     return 0;
   }
+  if (!core_->is_receiver(from)) {
+    // Same guard as ReliabilityBase::apply_cum_ack: a departed member's
+    // in-flight ack must not resurrect its window entry.
+    ++stats_.stale_acks_ignored;
+    core_->count("reliability.stale_ack");
+    return 0;
+  }
   const std::size_t before = st_.unacked.size();
   auto& cum = st_.per_receiver_cum[from];
   cum = seq_max(cum, p.ack);
@@ -158,12 +165,29 @@ void SelectiveRepeat::on_timeout() {
   arm_timer();
 }
 
+void SelectiveRepeat::forget_receiver(net::NodeId receiver) {
+  st_.per_receiver_cum.erase(receiver);
+  sacked_.erase(receiver);
+  // fully_acked counts against the post-leave receiver_count, so the
+  // departed member no longer holds any sequence hostage.
+  const std::size_t before = st_.unacked.size();
+  reap_acked();
+  core_->count("reliability.receiver_forgotten");
+  if (st_.unacked.size() < before) {
+    rtt_.clear_backoff();
+    arm_timer();
+    core_->tx_ready();
+  }
+}
+
 void SelectiveRepeat::prod() {
   // Watchdog kick: clear accumulated backoff and resend everything still
   // outstanding (in serial order); retransmit() refreshes each deadline.
   if (st_.unacked.empty() || retx_timer_ == nullptr) return;
   rtt_.clear_backoff();
   core_->count("reliability.prod");
+  // Re-anchor a possibly-wedged mid-stream joiner (see GoBackN::prod).
+  if (core_->receiver_count() > 1) announce_anchor();
   std::vector<std::uint32_t> pending;
   pending.reserve(st_.unacked.size());
   for (const auto& [seq, _] : st_.unacked) pending.push_back(seq);

@@ -28,6 +28,7 @@ public:
   void on_nack(const Pdu& p, net::NodeId from) override;
   void on_data(Pdu&& p, net::NodeId from) override;
   void prod() override;
+  void forget_receiver(net::NodeId receiver) override;
 
   void restore(ReliabilityState&& s) override;
 
@@ -47,6 +48,8 @@ public:
 private:
   void on_attach() override;
   void emit_ack() override;  ///< cumulative + selective bitmap
+  /// Late joiners anchor at the retransmission base (see GoBackN).
+  [[nodiscard]] std::uint32_t anchor_seq() const override { return st_.send_base; }
   void arm_timer();
   void on_timeout();
   void retransmit(std::uint32_t seq);

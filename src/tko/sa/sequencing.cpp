@@ -32,7 +32,15 @@ void PassThrough::restore(SequencingState&& s) {
 
 void Resequencer::offer(std::uint32_t seq, Message&& payload) {
   UNITES_PROF_S("sequencing.offer", core_->session_id());
-  if (seq_lt(seq, state_.next_deliver)) return;  // stale duplicate after segue
+  if (seq_lt(seq, state_.next_deliver)) {
+    // Below the delivery horizon: an old-path straggler after a handover
+    // gap-skip, or a stale duplicate after a segue. Either way the data
+    // was already delivered or declared permanently skipped — releasing
+    // it now would reorder the stream. Drop it, visibly.
+    ++stragglers_;
+    core_->count("sequencing.straggler_dropped");
+    return;
+  }
   state_.held.emplace(seq, std::move(payload));
   drain();
 }

@@ -42,10 +42,16 @@ public:
   [[nodiscard]] SequencingState snapshot() override;
   void restore(SequencingState&& s) override;
 
+  /// Data units that arrived below the delivery horizon — old-path
+  /// stragglers after a handover, or post-segue duplicates. Dropped (the
+  /// horizon never rolls back; delivering them would reorder), counted.
+  [[nodiscard]] std::uint64_t stragglers_dropped() const override { return stragglers_; }
+
 private:
   void drain();
 
   SequencingState state_;
+  std::uint64_t stragglers_ = 0;
 };
 
 [[nodiscard]] std::unique_ptr<Sequencing> make_sequencing(const SessionConfig& cfg);

@@ -101,6 +101,14 @@ std::size_t TransportSession::receiver_count() const {
   return remotes_.size();
 }
 
+bool TransportSession::is_receiver(net::NodeId node) const {
+  if (remotes_.size() == 1 && net::is_multicast(remotes_.front().node)) {
+    const auto& members = proto_.host().network().group_members(remotes_.front().node);
+    return std::find(members.begin(), members.end(), node) != members.end();
+  }
+  return true;
+}
+
 void TransportSession::count(std::string_view metric, double value) {
   if (metric_) metric_(metric, value);
 }
@@ -302,7 +310,10 @@ void TransportSession::emit(Pdu&& p) {
   // piggyback on every data PDU so participants who join mid-session can
   // synthesize the configuration from any frame they receive.
   const bool always_piggyback = is_multicast_session();
-  if (p.type == PduType::kData &&
+  // Anchors piggyback the SCS too: a mid-stream joiner's first parseable
+  // frame is often the anchor itself, and the demux needs the config to
+  // create the joiner's passive session from it.
+  if ((p.type == PduType::kData || (p.type == PduType::kAnchor && always_piggyback)) &&
       (always_piggyback || (piggyback_budget_ > 0 && !peer_confirmed_))) {
     if (!always_piggyback) --piggyback_budget_;
     p.flags |= pdu_flags::kPiggybackConfig;
@@ -464,6 +475,9 @@ void TransportSession::process_pdu(Pdu&& p, net::NodeId from) {
     }
     case PduType::kProbeReply:
       count("probe.reply");
+      return;
+    case PduType::kAnchor:
+      ctx_->reliability().on_anchor(p.seq);
       return;
     case PduType::kConfig:
     case PduType::kConfigAck:
@@ -704,6 +718,25 @@ void TransportSession::reconfigure(const sa::SessionConfig& next) {
   pump();
 }
 
+void TransportSession::on_path_change() {
+  ++stats_.path_changes;
+  count("session.path_change");
+  unites::trace().instant(unites::TraceCategory::kTko, "tko.path_change", now(), node_id(), id_,
+                          static_cast<double>(stats_.path_changes));
+  ctx_->reliability().on_path_change();
+  // Queued data should try the new path now, not at the next (possibly
+  // reseeded, conservative) timer expiry.
+  pump();
+}
+
+void TransportSession::forget_receiver(net::NodeId receiver) {
+  ctx_->reliability().forget_receiver(receiver);
+  check_close_drain();  // the leaver may have been the last unacked holdout
+  pump();
+}
+
+void TransportSession::announce_anchor() { ctx_->reliability().announce_anchor(); }
+
 // ===========================================================================
 // AdaptiveTransport
 // ===========================================================================
@@ -780,7 +813,8 @@ void AdaptiveTransport::demux(net::Packet&& p) {
   std::optional<sa::SessionConfig> cfg;
   if (pdu.type == PduType::kSyn) {
     cfg = sa::SessionConfig::deserialize(pdu.payload.peek(pdu.payload.size()));
-  } else if (pdu.type == PduType::kData && pdu.has_flag(pdu_flags::kPiggybackConfig) &&
+  } else if ((pdu.type == PduType::kData || pdu.type == PduType::kAnchor) &&
+             pdu.has_flag(pdu_flags::kPiggybackConfig) &&
              pdu.payload.size() >= sa::SessionConfig::kWireBytes) {
     cfg = sa::SessionConfig::deserialize(pdu.payload.peek(sa::SessionConfig::kWireBytes));
   }

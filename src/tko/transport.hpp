@@ -73,6 +73,7 @@ private:
 struct TransportSessionStats {
   std::uint64_t pdus_sent = 0;
   std::uint64_t pdus_received = 0;
+  std::uint64_t path_changes = 0;  ///< mobility handovers re-anchoring this session
   std::uint64_t bytes_sent = 0;       ///< app payload bytes handed to the network
   std::uint64_t bytes_delivered = 0;  ///< app payload bytes delivered upward
   std::uint64_t checksum_failures = 0;
@@ -111,6 +112,7 @@ public:
   os::BufferPool& buffers() override;
   [[nodiscard]] sim::SimTime now() const override;
   [[nodiscard]] std::size_t receiver_count() const override;
+  [[nodiscard]] bool is_receiver(net::NodeId node) const override;
   void tx_ready() override;
   void connection_established() override;
   void connection_closed(bool aborted) override;
@@ -140,6 +142,19 @@ public:
   /// choice differs is replaced via segue (no data loss). MANTTS's
   /// "adjust the SCS" reconfiguration action.
   void reconfigure(const sa::SessionConfig& next);
+
+  /// Mobility handover completed for one of this session's endpoints:
+  /// re-anchor retransmission state (Karn path reseed) and re-pump so
+  /// queued data immediately tries the new path.
+  void on_path_change();
+
+  /// Multicast churn: `receiver` left the session's group — drop its ack
+  /// state so it cannot pin the survivors' window.
+  void forget_receiver(net::NodeId receiver);
+
+  /// Multicast churn: a member joined mid-stream — broadcast a stream
+  /// anchor so the joiner can seed its cumulative point.
+  void announce_anchor();
 
   /// UNITES instrumentation: receives every whitebox count() this session
   /// makes. Unset = uninstrumented (near-zero overhead).

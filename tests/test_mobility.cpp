@@ -1,0 +1,665 @@
+// Session survivability plane (DESIGN §15): Karn path reseeding, straggler
+// handling across handovers, anchor priming for mid-stream joiners, the
+// stale-ack membership gate, the fault-plan mobility grammar, the
+// MobilityController's handover/membership disciplines, and an end-to-end
+// scripted handover run judged by the survivability oracle.
+#include "adaptive/scenario.hpp"
+#include "mantts/policy.hpp"
+#include "net/mobility_controller.hpp"
+#include "net/topologies.hpp"
+#include "sim/fault_plan.hpp"
+#include "tko/sa/ack_strategy.hpp"
+#include "tko/sa/gbn.hpp"
+#include "tko/sa/rtt_estimator.hpp"
+#include "tko/sa/selective_repeat.hpp"
+#include "tko/sa/sequencing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace adaptive {
+namespace {
+
+using namespace tko;
+using namespace tko::sa;
+
+// --- harness ---------------------------------------------------------------
+
+class FakeCore final : public SessionCore {
+public:
+  FakeCore() : timers_(sched) {}
+
+  void emit(Pdu&& p) override { emitted.push_back(std::move(p)); }
+  void deliver(Message&& m) override { delivered.push_back(m.linearize()); }
+  os::TimerFacility& timers() override { return timers_; }
+  os::BufferPool& buffers() override { return pool_; }
+  [[nodiscard]] sim::SimTime now() const override { return sched.now(); }
+  [[nodiscard]] std::size_t receiver_count() const override { return receivers; }
+  [[nodiscard]] bool is_receiver(net::NodeId node) const override {
+    return !departed.contains(node);
+  }
+  void tx_ready() override { ++tx_ready_calls; }
+  void connection_established() override {}
+  void connection_closed(bool) override {}
+  void loss_signal() override { ++losses; }
+  void count(std::string_view metric, double value) override {
+    counts[std::string(metric)] += value;
+  }
+
+  sim::EventScheduler sched;
+  os::TimerFacility timers_;
+  os::BufferPool pool_;
+  std::vector<Pdu> emitted;
+  std::vector<std::vector<std::uint8_t>> delivered;
+  std::size_t receivers = 1;
+  std::set<net::NodeId> departed;  ///< drives the is_receiver membership gate
+  int tx_ready_calls = 0, losses = 0;
+  std::map<std::string, double> counts;
+};
+
+Message msg(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> b;
+  for (int x : v) b.push_back(static_cast<std::uint8_t>(x));
+  return Message::from_bytes(b);
+}
+
+Pdu ack_pdu(std::uint32_t cum, std::uint32_t bitmap = 0) {
+  Pdu p;
+  p.type = PduType::kAck;
+  p.ack = cum;
+  p.aux = bitmap;
+  return p;
+}
+
+Pdu data_pdu(std::uint32_t seq) {
+  Pdu p;
+  p.type = PduType::kData;
+  p.seq = seq;
+  p.payload = msg({1, 2, 3});
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Karn's rule for path switches (RttEstimator::reseed_path)
+// ---------------------------------------------------------------------------
+
+TEST(RttReseed, CarriesEffectiveRtoAndDropsOldPathSamples) {
+  RttEstimator rtt;
+  for (int i = 0; i < 100; ++i) rtt.sample(sim::SimTime::milliseconds(40));
+  const sim::SimTime converged = rtt.rto();
+  EXPECT_LT(converged.ms(), 55.0);
+
+  rtt.reseed_path();
+  // Every sample described the old path: the smoothed estimate must not
+  // survive, but the effective RTO carries over as the new path's
+  // conservative initial timeout.
+  EXPECT_FALSE(rtt.has_sample());
+  EXPECT_EQ(rtt.srtt(), sim::SimTime::zero());
+  EXPECT_EQ(rtt.rto(), converged);
+}
+
+TEST(RttReseed, BackoffIsFoldedIntoTheCarriedRtoOnce) {
+  RttEstimator rtt(sim::SimTime::milliseconds(100));
+  rtt.backoff();
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(400));
+
+  rtt.reseed_path();
+  // The backed-off value became the new base; the shift itself was
+  // cleared, so further timeouts back off from 400, not 1600.
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(400));
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), sim::SimTime::milliseconds(800));
+}
+
+TEST(RttReseed, FirstNewPathSampleReinitializes) {
+  RttEstimator rtt;
+  for (int i = 0; i < 50; ++i) rtt.sample(sim::SimTime::milliseconds(10));
+  rtt.reseed_path();
+
+  // Regression: the RTO must re-converge to the *new* path's delay, not
+  // stay pinned at the old path's estimate (a 10ms-trained RTO on a 250ms
+  // satellite path would retransmit every PDU spuriously).
+  rtt.sample(sim::SimTime::milliseconds(250));
+  EXPECT_EQ(rtt.srtt(), sim::SimTime::milliseconds(250));
+  EXPECT_GE(rtt.rto(), sim::SimTime::milliseconds(250));
+}
+
+TEST(RttReseed, SenderDiscardsOldPathSamplesAfterPathChange) {
+  FakeCore core;
+  GoBackN gbn(sim::SimTime::milliseconds(100), true);
+  gbn.attach(core);
+  NoAck ack;
+  ack.attach(core);
+  PassThrough seq;
+  seq.attach(core);
+  gbn.wire(&ack, &seq);
+
+  gbn.send_data(msg({1}));
+  gbn.send_data(msg({2}));
+  gbn.on_path_change();
+  EXPECT_EQ(gbn.stats().path_reseeds, 1u);
+
+  // Acks for PDUs launched on the old path arrive after the switch: they
+  // must not feed the new path's RTT estimate (the send timestamps were
+  // discarded with the path).
+  core.sched.run_until(core.sched.now() + sim::SimTime::milliseconds(30));
+  gbn.on_ack(ack_pdu(2), 99);
+  EXPECT_EQ(gbn.rtt().samples(), 0u);
+  EXPECT_TRUE(gbn.all_acked());
+}
+
+// ---------------------------------------------------------------------------
+// Resequencer stragglers and the sequence-space wrap
+// ---------------------------------------------------------------------------
+
+TEST(ResequencerStraggler, BelowHorizonDataIsDroppedAndCounted) {
+  FakeCore core;
+  Resequencer r;
+  r.attach(core);
+
+  r.offer(1, msg({1}));
+  r.offer(2, msg({2}));
+  EXPECT_EQ(core.delivered.size(), 2u);
+
+  // An old-path straggler below the delivery horizon: already delivered,
+  // releasing it again would duplicate and reorder the stream.
+  r.offer(1, msg({1}));
+  EXPECT_EQ(core.delivered.size(), 2u);
+  EXPECT_EQ(r.stragglers_dropped(), 1u);
+  EXPECT_EQ(core.counts["sequencing.straggler_dropped"], 1.0);
+}
+
+TEST(ResequencerStraggler, GapSkipReleasesHeldDataThenDropsLateFills) {
+  FakeCore core;
+  Resequencer r;
+  r.attach(core);
+
+  r.offer(5, msg({5}));
+  r.offer(7, msg({7}));
+  EXPECT_EQ(core.delivered.size(), 0u);  // waiting on 1..4 and 6
+
+  // Handover gap-skip: sequences below 8 are declared permanently lost;
+  // held data below the new horizon is released in serial order first.
+  r.gap_skip(8);
+  ASSERT_EQ(core.delivered.size(), 2u);
+  EXPECT_EQ(core.delivered[0][0], 5);
+  EXPECT_EQ(core.delivered[1][0], 7);
+
+  // The skipped gap finally fills from an old-path straggler: too late.
+  r.offer(6, msg({6}));
+  EXPECT_EQ(core.delivered.size(), 2u);
+  EXPECT_EQ(r.stragglers_dropped(), 1u);
+
+  r.offer(8, msg({8}));
+  EXPECT_EQ(core.delivered.size(), 3u);
+}
+
+TEST(ResequencerStraggler, SerialOrderSurvivesTheSequenceWrap) {
+  // RFC 1982 serial arithmetic: 0xFFFFFFFE < 0xFFFFFFFF < 0 < 1. A raw
+  // numeric comparison would treat post-wrap sequences as ancient
+  // stragglers and drop live data.
+  FakeCore core;
+  Resequencer r;
+  r.attach(core);
+  SequencingState s;
+  s.next_deliver = 0xFFFFFFFEu;
+  r.restore(std::move(s));
+
+  r.offer(0xFFFFFFFFu, msg({2}));
+  r.offer(1, msg({4}));
+  EXPECT_EQ(core.delivered.size(), 0u);
+  r.offer(0xFFFFFFFEu, msg({1}));
+  EXPECT_EQ(core.delivered.size(), 2u);  // ...FE, ...FF drain; 1 waits on 0
+  r.offer(0, msg({3}));
+  ASSERT_EQ(core.delivered.size(), 4u);
+  EXPECT_EQ(core.delivered[0][0], 1);
+  EXPECT_EQ(core.delivered[1][0], 2);
+  EXPECT_EQ(core.delivered[2][0], 3);
+  EXPECT_EQ(core.delivered[3][0], 4);
+
+  // A pre-wrap sequence arriving after the horizon crossed zero is a
+  // straggler, not a 4-billion-ahead future packet.
+  r.offer(0xFFFFFFF0u, msg({9}));
+  EXPECT_EQ(r.stragglers_dropped(), 1u);
+  EXPECT_EQ(core.delivered.size(), 4u);
+}
+
+TEST(ResequencerStraggler, GapSkipReleaseOrderIsSerialAcrossTheWrap) {
+  FakeCore core;
+  Resequencer r;
+  r.attach(core);
+  SequencingState s;
+  s.next_deliver = 0xFFFFFFFDu;
+  r.restore(std::move(s));
+
+  // Held entries straddle the wrap; the map iterates numerically (0, 1,
+  // 0xFFFFFFFE...), so release must re-sort serially.
+  r.offer(0, msg({2}));
+  r.offer(0xFFFFFFFEu, msg({1}));
+  r.offer(1, msg({3}));
+  r.gap_skip(3);
+  ASSERT_EQ(core.delivered.size(), 3u);
+  EXPECT_EQ(core.delivered[0][0], 1);
+  EXPECT_EQ(core.delivered[1][0], 2);
+  EXPECT_EQ(core.delivered[2][0], 3);
+}
+
+// ---------------------------------------------------------------------------
+// Membership-churn ack handling: unpinning and the stale-ack gate
+// ---------------------------------------------------------------------------
+
+class GbnMulticastTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    gbn = std::make_unique<GoBackN>(sim::SimTime::milliseconds(100), true);
+    gbn->attach(core);
+    ack_strategy.attach(core);
+    sequencing.attach(core);
+    gbn->wire(&ack_strategy, &sequencing);
+    core.receivers = 2;
+  }
+
+  FakeCore core;
+  NoAck ack_strategy;
+  PassThrough sequencing;
+  std::unique_ptr<GoBackN> gbn;
+};
+
+TEST_F(GbnMulticastTest, ForgetReceiverUnpinsTheSendWindow) {
+  gbn->send_data(msg({1}));
+  gbn->send_data(msg({2}));
+  gbn->send_data(msg({3}));
+  gbn->on_ack(ack_pdu(3), 7);
+  gbn->on_ack(ack_pdu(1), 8);
+  EXPECT_EQ(gbn->in_flight(), 2u);  // pinned by the slow receiver
+
+  core.receivers = 1;  // host 8 left the group
+  gbn->forget_receiver(8);
+  EXPECT_TRUE(gbn->all_acked());
+  EXPECT_EQ(gbn->stats().receivers_forgotten, 1u);
+}
+
+TEST_F(GbnMulticastTest, LateAckFromALeaverCannotResurrectItsWindowEntry) {
+  gbn->send_data(msg({1}));
+  gbn->send_data(msg({2}));
+  gbn->on_ack(ack_pdu(2), 7);
+  gbn->on_ack(ack_pdu(2), 8);
+  EXPECT_TRUE(gbn->all_acked());
+
+  core.receivers = 1;
+  core.departed.insert(8);
+  gbn->forget_receiver(8);
+
+  // Regression: host 8's last ack was still in flight when it left. With
+  // try_emplace semantics it would re-seed per_receiver_cum[8]; the leaver
+  // never sees another retransmission, so its stale entry would pin
+  // effective_cum_ack — and the send window — forever.
+  EXPECT_EQ(gbn->on_ack(ack_pdu(1), 8), 0u);
+  EXPECT_EQ(gbn->stats().stale_acks_ignored, 1u);
+  EXPECT_EQ(core.counts["reliability.stale_ack"], 1.0);
+
+  // Traffic after the churn must fully ack on the survivor's say-so alone.
+  gbn->send_data(msg({3}));
+  gbn->send_data(msg({4}));
+  gbn->on_ack(ack_pdu(4), 7);
+  EXPECT_TRUE(gbn->all_acked());
+}
+
+TEST(SrMulticast, StaleAckGateAlsoCoversSelectiveRepeat) {
+  FakeCore core;
+  SelectiveRepeat sr(sim::SimTime::milliseconds(100), true);
+  sr.attach(core);
+  NoAck ack;
+  ack.attach(core);
+  PassThrough seq;
+  seq.attach(core);
+  sr.wire(&ack, &seq);
+  core.receivers = 2;
+
+  sr.send_data(msg({1}));
+  sr.send_data(msg({2}));
+  sr.on_ack(ack_pdu(2), 7);
+  sr.on_ack(ack_pdu(2), 8);
+  EXPECT_TRUE(sr.all_acked());
+
+  core.receivers = 1;
+  core.departed.insert(8);
+  sr.forget_receiver(8);
+  // SR keeps per-receiver sack bitmaps besides the cumulative entry; a
+  // leaver's late sack must not re-create either.
+  EXPECT_EQ(sr.on_ack(ack_pdu(1, /*bitmap=*/0b1), 8), 0u);
+  EXPECT_EQ(sr.stats().stale_acks_ignored, 1u);
+
+  sr.send_data(msg({3}));
+  sr.on_ack(ack_pdu(3), 7);
+  EXPECT_TRUE(sr.all_acked());
+}
+
+// ---------------------------------------------------------------------------
+// Anchor PDUs: priming mid-stream joiners
+// ---------------------------------------------------------------------------
+
+TEST(Anchor, PrimesAJoinerPastTheUnseenPrefix) {
+  FakeCore core;
+  GoBackN gbn(sim::SimTime::milliseconds(100), true);
+  gbn.attach(core);
+  ImmediateAck ack;
+  ack.attach(core);
+  Resequencer seq;
+  seq.attach(core);
+  gbn.wire(&ack, &seq);
+
+  // A mid-stream joiner's first sight of the session is an anchor at the
+  // sender's send_base: demanding seq 1 would ack cum=0 forever.
+  gbn.on_anchor(50);
+  EXPECT_EQ(gbn.stats().anchors_applied, 1u);
+  gbn.on_data(data_pdu(50), 5);
+  gbn.on_data(data_pdu(51), 5);
+  EXPECT_EQ(core.delivered.size(), 2u);
+}
+
+TEST(Anchor, RepeatedAndRegressiveAnchorsAreNoOps) {
+  FakeCore core;
+  GoBackN gbn(sim::SimTime::milliseconds(100), true);
+  gbn.attach(core);
+  ImmediateAck ack;
+  ack.attach(core);
+  Resequencer seq;
+  seq.attach(core);
+  gbn.wire(&ack, &seq);
+
+  gbn.on_anchor(50);
+  gbn.on_data(data_pdu(50), 5);
+  gbn.on_data(data_pdu(51), 5);
+  // A retransmitted anchor (the prod path re-anchors on every watchdog
+  // kick) must not roll the cumulative point backwards.
+  gbn.on_anchor(50);
+  gbn.on_data(data_pdu(52), 5);
+  EXPECT_EQ(core.delivered.size(), 3u);
+  EXPECT_EQ(gbn.stats().duplicates_received, 0u);
+}
+
+TEST(Anchor, WildAnchorIsRejected) {
+  FakeCore core;
+  GoBackN gbn(sim::SimTime::milliseconds(100), true);
+  gbn.attach(core);
+
+  gbn.on_data(data_pdu(1), 5);
+  const auto wild_before = gbn.stats().wild_seqs_rejected;
+  // An anchor far beyond any sane window (corruption or hostility) would
+  // silently skip the receiver past gigabytes of stream.
+  gbn.on_anchor(0x40000000u);
+  EXPECT_EQ(gbn.stats().wild_seqs_rejected, wild_before + 1);
+  EXPECT_EQ(gbn.stats().anchors_applied, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan mobility grammar
+// ---------------------------------------------------------------------------
+
+TEST(MobilityPlanParser, HandoverSpecRoundTrips) {
+  std::vector<std::string> errors;
+  const auto plan =
+      sim::parse_fault_plan("handover@2+0.05:node=0,to=1,mode=bbm;join@4:node=3;leave@6:node=3",
+                            &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(plan.faults.size(), 3u);
+  EXPECT_EQ(plan.faults[0].kind, sim::FaultKind::kHandover);
+  EXPECT_EQ(plan.faults[0].to_attachment, 1u);
+  EXPECT_FALSE(plan.faults[0].make_before_break);
+  EXPECT_EQ(plan.faults[1].kind, sim::FaultKind::kGroupJoin);
+  EXPECT_EQ(plan.faults[2].kind, sim::FaultKind::kGroupLeave);
+  // describe() emits the same grammar it was parsed from.
+  const auto reparsed = sim::parse_fault_plan(plan.describe());
+  EXPECT_EQ(reparsed.describe(), plan.describe());
+}
+
+TEST(MobilityPlanParser, ModeIsDefaultMbbAndBareModeIsRejected) {
+  EXPECT_TRUE(sim::parse_fault_plan("handover@2+0.05:node=0,to=1").faults.at(0).make_before_break);
+
+  std::vector<std::string> errors;
+  const auto plan = sim::parse_fault_plan("handover@2+0.05:node=0,to=1,mbb", &errors);
+  EXPECT_TRUE(plan.empty());  // `mbb` is not a key=value pair
+  ASSERT_EQ(errors.size(), 1u);
+
+  errors.clear();
+  EXPECT_TRUE(sim::parse_fault_plan("handover@2+0.05:node=0,to=1,mode=teleport", &errors).empty());
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(MobilityPlanParser, OverlappingHandoversOfTheSameHostContradict) {
+  std::vector<std::string> errors;
+  const auto plan = sim::parse_fault_plan(
+      "handover@2+0.5:node=0,to=1;handover@2.3+0.5:node=0,to=2", &errors);
+  // A host cannot be mid-flight to two attachments at once; the later
+  // spec is rejected so replay does not depend on scheduler tie-breaking.
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].to_attachment, 1u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("contradicts"), std::string::npos);
+
+  // Disjoint windows of the same host, and overlapping windows of
+  // *different* hosts, are both legal.
+  errors.clear();
+  EXPECT_EQ(sim::parse_fault_plan("handover@2+0.1:node=0,to=1;handover@3+0.1:node=0,to=2",
+                                  &errors)
+                .faults.size(),
+            2u);
+  EXPECT_EQ(sim::parse_fault_plan("handover@2+0.5:node=0,to=1;handover@2.2+0.5:node=1,to=2",
+                                  &errors)
+                .faults.size(),
+            2u);
+  EXPECT_TRUE(errors.empty());
+}
+
+TEST(MobilityPlanParser, JoinRacingLeaveAtTheSameInstantContradicts) {
+  std::vector<std::string> errors;
+  const auto plan = sim::parse_fault_plan("join@3:node=2;leave@3:node=2", &errors);
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].kind, sim::FaultKind::kGroupJoin);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("same instant"), std::string::npos);
+
+  // Sequential membership flips of one host are the normal churn shape.
+  errors.clear();
+  EXPECT_EQ(sim::parse_fault_plan("leave@3:node=2;join@4:node=2", &errors).faults.size(), 2u);
+  EXPECT_TRUE(errors.empty());
+}
+
+// ---------------------------------------------------------------------------
+// MobilityController against a live mobile WAN
+// ---------------------------------------------------------------------------
+
+class MobilityControllerTest : public ::testing::Test {
+protected:
+  MobilityControllerTest()
+      : world([](sim::EventScheduler& s) { return net::make_mobile_wan(s, 3, 2, 7); }),
+        ctl(world.network(), world.topology().hosts,
+            world.topology().hosts.at(world.topology().mobile_host),
+            world.topology().attachments) {}
+
+  [[nodiscard]] bool attachment_up(std::size_t i) {
+    return world.network().link(world.topology().attachments.at(i)).is_up();
+  }
+
+  World world;
+  net::MobilityController ctl;
+};
+
+TEST_F(MobilityControllerTest, MakeBeforeBreakOverlapsOldAndNewAttachments) {
+  ASSERT_TRUE(attachment_up(0));
+  ASSERT_FALSE(attachment_up(1));
+
+  ctl.arm(sim::parse_fault_plan("handover@1+0.5:node=0,to=1,mode=mbb"));
+  world.run_for(sim::SimTime::milliseconds(1200));
+  EXPECT_TRUE(attachment_up(0));  // transition window: both up
+  EXPECT_TRUE(attachment_up(1));
+  EXPECT_EQ(ctl.stats().handovers_started, 1u);
+  EXPECT_EQ(ctl.stats().handovers_completed, 0u);
+
+  world.run_for(sim::SimTime::milliseconds(500));
+  EXPECT_FALSE(attachment_up(0));  // old path died at window end
+  EXPECT_TRUE(attachment_up(1));
+  EXPECT_EQ(ctl.active_attachment(), 1u);
+  EXPECT_EQ(ctl.stats().handovers_completed, 1u);
+}
+
+TEST_F(MobilityControllerTest, BreakBeforeMakeGoesDarkForTheWindow) {
+  ctl.arm(sim::parse_fault_plan("handover@1+0.5:node=0,to=2,mode=bbm"));
+  world.run_for(sim::SimTime::milliseconds(1200));
+  EXPECT_FALSE(attachment_up(0));  // dark: the blackout the oracle polices
+  EXPECT_FALSE(attachment_up(2));
+
+  world.run_for(sim::SimTime::milliseconds(500));
+  EXPECT_TRUE(attachment_up(2));
+  EXPECT_EQ(ctl.active_attachment(), 2u);
+}
+
+TEST_F(MobilityControllerTest, CollidingAndNoOpHandoversAreSkipped) {
+  // The parser rejects contradictory plans, but a directly scripted plan
+  // can still collide with an in-flight transition.
+  sim::FaultPlan plan = sim::parse_fault_plan("handover@1+0.8:node=0,to=1,mode=mbb");
+  sim::FaultSpec collide = plan.faults.at(0);
+  collide.at = sim::SimTime::seconds(1.2);
+  collide.to_attachment = 2;
+  plan.faults.push_back(collide);           // lands mid-transition
+  sim::FaultSpec noop = plan.faults.at(0);
+  noop.at = sim::SimTime::seconds(3);
+  noop.to_attachment = 1;                   // already the active attachment
+  plan.faults.push_back(noop);
+
+  ctl.arm(plan);
+  world.run_for(sim::SimTime::seconds(4));
+  EXPECT_EQ(ctl.stats().handovers_completed, 1u);
+  EXPECT_EQ(ctl.stats().handovers_skipped, 2u);
+  EXPECT_EQ(ctl.active_attachment(), 1u);
+}
+
+TEST_F(MobilityControllerTest, UnresolvableTargetsAreCountedNotFatal) {
+  // node=1 is not the mobile host; to=9 is not an attachment.
+  ctl.arm(sim::parse_fault_plan("handover@1+0.1:node=1,to=1;handover@2+0.1:node=0,to=9"));
+  world.run_for(sim::SimTime::seconds(3));
+  EXPECT_EQ(ctl.stats().unresolved_targets, 2u);
+  EXPECT_EQ(ctl.stats().handovers_started, 0u);
+  EXPECT_EQ(ctl.active_attachment(), 0u);
+}
+
+TEST_F(MobilityControllerTest, MembershipChurnFlowsThroughTheGroupAndSkipsNoOps) {
+  const net::NodeId group = world.network().create_group();
+  const net::NodeId host2 = world.topology().hosts.at(2);
+  world.network().join_group(group, host2);
+  ctl.set_group(group);
+
+  int events = 0;
+  ctl.set_membership_observer([&](net::NodeId, bool) { ++events; });
+  // leave(2), then a no-op join of an existing member (host 2 rejoined),
+  // then a no-op leave of a non-member.
+  ctl.arm(sim::parse_fault_plan("leave@1:node=2;join@2:node=2;join@3:node=2;leave@4:node=3"));
+  world.run_for(sim::SimTime::seconds(5));
+
+  EXPECT_EQ(ctl.stats().leaves, 1u);
+  EXPECT_EQ(ctl.stats().joins, 1u);
+  EXPECT_EQ(events, 2);  // the two no-ops fired nothing
+  const auto& members = world.network().group_members(group);
+  EXPECT_NE(std::find(members.begin(), members.end(), host2), members.end());
+}
+
+TEST_F(MobilityControllerTest, MembershipWithoutAGroupIsUnresolved) {
+  ctl.arm(sim::parse_fault_plan("join@1:node=2"));
+  world.run_for(sim::SimTime::seconds(2));
+  EXPECT_EQ(ctl.stats().unresolved_targets, 1u);
+  EXPECT_EQ(ctl.stats().joins, 0u);
+}
+
+TEST_F(MobilityControllerTest, ObserversSeeBeginAndEndInOrder) {
+  std::vector<std::string> log;
+  ctl.set_handover_begin_observer([&](const sim::FaultSpec&) { log.push_back("begin"); });
+  ctl.set_handover_observer([&](const sim::FaultSpec&) { log.push_back("end"); });
+  ctl.arm(sim::parse_fault_plan("handover@1+0.2:node=0,to=1,mode=mbb"));
+  world.run_for(sim::SimTime::seconds(2));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "begin");
+  EXPECT_EQ(log[1], "end");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: scripted handovers + churn under the survivability oracle
+// ---------------------------------------------------------------------------
+
+TEST(MobilityScenario, ScriptedHandoversSurviveWithBoundedBlackout) {
+  World world([](sim::EventScheduler& s) { return net::make_mobile_wan(s, 3, 3, 7); });
+
+  RunOptions opt;
+  opt.application = app::Table1App::kRemoteFileService;
+  opt.mode = RunOptions::Mode::kMantttsAdaptive;
+  opt.rules = mantts::PolicyEngine::mobility_rules();
+  opt.src = 1;  // the correspondent streams to the group
+  opt.multicast_members = {0, 2, 3, 4};
+  opt.faults = sim::parse_fault_plan(
+      "handover@1.5+0.05:node=0,to=1,mode=mbb;handover@3+0.08:node=0,to=2,mode=bbm");
+  opt.blackout_bound = sim::SimTime::seconds(2);
+  opt.scale = 2.0;
+  opt.duration = sim::SimTime::seconds(5);
+  opt.drain = sim::SimTime::seconds(8);
+  opt.seed = 5;
+  opt.collect_metrics = true;
+
+  const auto out = run_scenario(world, opt);
+
+  EXPECT_TRUE(out.oracle.ok()) << out.oracle.describe();
+  EXPECT_TRUE(out.oracle.checked_blackout);
+  ASSERT_TRUE(out.mobility.armed);
+  EXPECT_EQ(out.mobility.controller.handovers_completed, 2u);
+  // Both transitions landed mid-stream, so both blackouts measured — and
+  // the route changes drove MANTTS to resynthesize for the new path.
+  EXPECT_EQ(out.mobility.blackouts_sec.size(), 2u);
+  EXPECT_LT(out.mobility.blackout_max_sec(), 2.0);
+  EXPECT_TRUE(out.mobility.synthesis_current);
+  EXPECT_GE(out.reconfigurations, 1u);
+  EXPECT_GE(out.mantts.renegotiations, 1u);
+}
+
+TEST(MobilityScenario, MembershipChurnNeverCostsFullDurationReceiversData) {
+  World world([](sim::EventScheduler& s) { return net::make_mobile_wan(s, 3, 3, 11); });
+
+  RunOptions opt;
+  opt.application = app::Table1App::kRemoteFileService;
+  opt.mode = RunOptions::Mode::kMantttsAdaptive;
+  opt.rules = mantts::PolicyEngine::mobility_rules();
+  opt.src = 1;
+  opt.multicast_members = {0, 2, 3, 4};
+  opt.faults = sim::parse_fault_plan(
+      "leave@1.5:node=2;join@2.5:node=2;handover@2+0.05:node=0,to=1,mode=mbb;leave@3.5:node=3");
+  opt.blackout_bound = sim::SimTime::seconds(2);
+  opt.scale = 2.0;
+  opt.duration = sim::SimTime::seconds(5);
+  opt.drain = sim::SimTime::seconds(8);
+  opt.seed = 3;
+  opt.collect_metrics = true;
+
+  const auto out = run_scenario(world, opt);
+
+  EXPECT_TRUE(out.oracle.ok()) << out.oracle.describe();
+  ASSERT_TRUE(out.mobility.armed);
+  EXPECT_EQ(out.mobility.controller.leaves, 2u);
+  EXPECT_EQ(out.mobility.controller.joins, 1u);
+  EXPECT_TRUE(out.mobility.synthesis_current);
+
+  // The churn hosts (2 rejoined, 3 left for good) are exempt from the
+  // no-loss rule; the mobile host and host 4 are bound by it.
+  std::map<std::size_t, bool> full;
+  for (const auto& r : out.mobility.receivers) full[r.host] = r.full_duration;
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_TRUE(full.at(0));
+  EXPECT_FALSE(full.at(2));
+  EXPECT_FALSE(full.at(3));
+  EXPECT_TRUE(full.at(4));
+}
+
+}  // namespace
+}  // namespace adaptive

@@ -43,7 +43,10 @@ struct CliOptions {
   std::string seeds;      ///< non-empty: sweep over "A..B" or "a,b,c"
   std::size_t jobs = 1;   ///< sweep worker threads
   std::size_t chaos = 0;  ///< > 0: generate adversarial fault plans (max faults per run)
+  bool chaos_mobility = false;  ///< --chaos mobility: handover/churn plans
+  std::size_t src = 0;
   std::vector<std::size_t> members;
+  std::string handover_plan;
   double fail_link_at = -1.0;
   std::string fault_plan;
   std::string spec_path;
@@ -60,7 +63,8 @@ struct CliOptions {
 void usage() {
   std::printf(
       "adaptive_cli — run one ADAPTIVE transport experiment\n\n"
-      "  --topology <t>   ethernet | fddi | congested-wan | atm-wan | dual-path | campus\n"
+      "  --topology <t>   ethernet | fddi | congested-wan | atm-wan | dual-path |\n"
+      "                   campus | mobile-wan (host 0 mobile, host 1 correspondent)\n"
       "  --app <a>        voice | teleconference | video | video-raw | control |\n"
       "                   file-transfer | telnet | oltp | rfs\n"
       "  --mode <m>       manntts | adaptive | static-auto | static-stream |\n"
@@ -81,7 +85,20 @@ void usage() {
       "                   nonzero on any violation. Plans are pure functions\n"
       "                   of the seed: 'adaptive_cli --chaos n --seeds <s>'\n"
       "                   reproduces a reported seed exactly\n"
-      "  --members a,b,c  multicast member host indices (sender is host 0)\n"
+      "  --chaos mobility derive pure-mobility plans instead: mid-stream\n"
+      "                   handovers of the topology's mobile host plus\n"
+      "                   multicast leave/rejoin churn, judged by the\n"
+      "                   survivability oracle (use --topology mobile-wan;\n"
+      "                   combine with a numeric '--chaos n' run separately)\n"
+      "  --src <h>        sender host index (default 0)\n"
+      "  --members a,b,c  multicast member host indices\n"
+      "  --handover-plan <p>  scripted mobility events, merged with\n"
+      "                   --fault-plan, e.g.\n"
+      "                   'handover@2+0.05:node=0,to=1,mode=mbb;leave@3:node=2;join@4:node=2'\n"
+      "                   (handover re-homes the mobile host to attachment\n"
+      "                   <to>; mode=mbb make-before-break, mode=bbm\n"
+      "                   break-before-make; join/leave edit the multicast\n"
+      "                   group mid-stream)\n"
       "  --fail-link-at <s>  fail the topology's first scenario link at t\n"
       "  --fault-plan <p> scripted impairments, e.g.\n"
       "                   'flap@2+0.3:link=0,count=3,period=1;burst@1+4:link=0,ber=1e-4'\n"
@@ -161,6 +178,9 @@ World::TopologyFactory topology_factory(const std::string& name, std::uint64_t s
   if (name == "campus") {
     return [seed](sim::EventScheduler& s) { return net::make_multicast_campus(s, 8, seed); };
   }
+  if (name == "mobile-wan") {
+    return [seed](sim::EventScheduler& s) { return net::make_mobile_wan(s, 3, 3, seed); };
+  }
   *ok = false;
   return [seed](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, seed); };
 }
@@ -192,9 +212,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--seed") opt.seed = std::strtoull(v, nullptr, 10);
     else if (arg == "--seeds") opt.seeds = v;
     else if (arg == "--jobs") opt.jobs = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
-    else if (arg == "--chaos") opt.chaos = std::strtoull(v, nullptr, 10);
+    else if (arg == "--chaos") {
+      if (std::strcmp(v, "mobility") == 0) opt.chaos_mobility = true;
+      else opt.chaos = std::strtoull(v, nullptr, 10);
+    }
+    else if (arg == "--src") opt.src = std::stoul(v);
     else if (arg == "--fail-link-at") opt.fail_link_at = std::atof(v);
     else if (arg == "--fault-plan") opt.fault_plan = v;
+    else if (arg == "--handover-plan") opt.handover_plan = v;
     else if (arg == "--spec") opt.spec_path = v;
     else if (arg == "--trace-out") opt.trace_out = v;
     else if (arg == "--metrics-out") opt.metrics_out = v;
@@ -257,24 +282,36 @@ int main(int argc, char** argv) {
   opt.drain = sim::SimTime::seconds(cli->drain);
   opt.scale = cli->scale;
   opt.seed = cli->seed;
+  opt.src = cli->src;
+  if (opt.dst == opt.src) opt.dst = opt.src == 0 ? 1 : 0;
   opt.multicast_members = cli->members;
   opt.collect_metrics = program.has_value() || !cli->metrics_out.empty();
   if (!cli->timeline_out.empty()) {
     opt.timeline_period = sim::SimTime::seconds(cli->timeline_period);
   }
   if (cli->trace) opt.trace = 40;
-  if (!cli->fault_plan.empty()) {
+  // --fault-plan (impairments) and --handover-plan (mobility) share the
+  // spec language and the FaultPlan container; the scenario routes each
+  // kind to the right executor (injector vs mobility controller).
+  std::string plan_text = cli->fault_plan;
+  if (!cli->handover_plan.empty()) {
+    if (!plan_text.empty()) plan_text += ';';
+    plan_text += cli->handover_plan;
+  }
+  if (!plan_text.empty()) {
     std::vector<std::string> errors;
-    const auto plan = sim::parse_fault_plan(cli->fault_plan, &errors);
+    const auto plan = sim::parse_fault_plan(plan_text, &errors);
     for (const auto& e : errors) std::fprintf(stderr, "fault-plan: %s\n", e.c_str());
     if (plan.empty()) {
       std::fprintf(stderr, "fault-plan: no valid specs\n");
       return 1;
     }
     opt.faults = plan;
-    // Fault scenarios want the loss-rate-driven recovery rules.
+    // Fault scenarios want the loss-rate-driven recovery rules; mobility
+    // scenarios additionally want route-changed => resynthesize.
     if (*mode == RunOptions::Mode::kMantttsAdaptive) {
-      opt.rules = mantts::PolicyEngine::fault_recovery_rules();
+      opt.rules = cli->handover_plan.empty() ? mantts::PolicyEngine::fault_recovery_rules()
+                                             : mantts::PolicyEngine::mobility_rules();
     }
     std::printf("fault plan: %s\n", plan.describe().c_str());
   }
@@ -282,7 +319,8 @@ int main(int argc, char** argv) {
   // --- sweep mode: one independent world per seed, merged UNITES view ---
   // A flight recorder implies sweep machinery even for one seed: the
   // bundle writer lives on the shard path.
-  if (!cli->seeds.empty() || cli->jobs > 1 || cli->chaos > 0 || !cli->flight_dir.empty()) {
+  if (!cli->seeds.empty() || cli->jobs > 1 || cli->chaos > 0 || cli->chaos_mobility ||
+      !cli->flight_dir.empty()) {
     SweepConfig sc;
     if (!cli->seeds.empty()) {
       std::string err;
@@ -314,14 +352,27 @@ int main(int argc, char** argv) {
     sc.timeline_period = sim::SimTime::seconds(cli->timeline_period);
     sc.flight_recorder_dir = cli->flight_dir;
     sc.chaos = cli->chaos;
-    if (cli->chaos > 0 && *mode == RunOptions::Mode::kMantttsAdaptive && opt.rules.empty()) {
-      sc.base.rules = mantts::PolicyEngine::fault_recovery_rules();
+    if (cli->chaos_mobility) {
+      // Pure-mobility plans: handovers of the topology's mobile host plus
+      // leave/rejoin churn over the non-endpoint member hosts. The
+      // per-shard sizing pass clamps these against the actual topology.
+      sc.chaos_profile.max_handovers = 3;
+      sc.chaos_profile.max_membership_events = 4;
+      sc.chaos_profile.churn_host_base = 2;
+      sc.chaos_profile.churn_host_count = 8;
+      sc.base.blackout_bound = sim::SimTime::seconds(2.0);
+    }
+    if ((cli->chaos > 0 || cli->chaos_mobility) &&
+        *mode == RunOptions::Mode::kMantttsAdaptive && opt.rules.empty()) {
+      sc.base.rules = cli->chaos_mobility ? mantts::PolicyEngine::mobility_rules()
+                                          : mantts::PolicyEngine::fault_recovery_rules();
     }
 
-    std::printf("sweeping %s over %s (%s mode, %.1fs, %zu seeds, %zu jobs%s)\n",
+    std::printf("sweeping %s over %s (%s mode, %.1fs, %zu seeds, %zu jobs%s%s)\n",
                 app::to_string(*application), cli->topology.c_str(), cli->mode.c_str(),
                 cli->duration, sc.seeds.size(), sc.jobs,
-                cli->chaos > 0 ? ", chaos" : "");
+                cli->chaos > 0 ? ", chaos" : "",
+                cli->chaos_mobility ? ", mobility chaos" : "");
     const SweepResult res = run_sweep(sc);
 
     std::size_t pass = 0;
@@ -333,7 +384,22 @@ int main(int argc, char** argv) {
     std::printf("\nqos pass  : %zu/%zu seeds\n", pass, res.runs.size());
     std::uint64_t violations = 0;
     for (const auto& r : res.runs) violations += r.violations;
-    if (cli->chaos > 0 || opt.faults.has_value()) {
+    if (cli->chaos_mobility || opt.faults.has_value()) {
+      std::uint64_t handovers = 0, membership = 0;
+      double blackout_max = 0.0;
+      for (const auto& r : res.runs) {
+        handovers += r.handovers;
+        membership += r.membership_events;
+        blackout_max = std::max(blackout_max, r.blackout_max_sec);
+      }
+      if (handovers + membership > 0) {
+        std::printf("mobility  : %llu handovers, %llu membership events, "
+                    "worst blackout %.1fms\n",
+                    static_cast<unsigned long long>(handovers),
+                    static_cast<unsigned long long>(membership), blackout_max * 1e3);
+      }
+    }
+    if (cli->chaos > 0 || cli->chaos_mobility || opt.faults.has_value()) {
       std::printf("invariants: %llu violation(s) across %zu seeds\n",
                   static_cast<unsigned long long>(violations), res.runs.size());
       for (const auto& r : res.runs) {
@@ -342,10 +408,13 @@ int main(int argc, char** argv) {
                     r.violation_detail.c_str());
         if (!r.chaos_plan.empty()) {
           std::printf("    plan : %s\n", r.chaos_plan.c_str());
+          char chaos_arg[32];
+          if (cli->chaos_mobility) std::snprintf(chaos_arg, sizeof chaos_arg, "mobility");
+          else std::snprintf(chaos_arg, sizeof chaos_arg, "%zu", cli->chaos);
           std::printf("    repro: adaptive_cli --topology %s --app %s --mode %s "
-                      "--duration %.1f --drain %.1f --chaos %zu --seeds %llu\n",
+                      "--duration %.1f --drain %.1f --chaos %s --seeds %llu\n",
                       cli->topology.c_str(), cli->app.c_str(), cli->mode.c_str(), cli->duration,
-                      cli->drain, cli->chaos, static_cast<unsigned long long>(r.seed));
+                      cli->drain, chaos_arg, static_cast<unsigned long long>(r.seed));
         }
       }
     }
