@@ -11,8 +11,12 @@
 //     detached (the production default — a single predicted branch per
 //     handler) and enabled. Gates: virtual time identical, detached run
 //     records nothing, enabled wall overhead under 5% (min-of-3).
+// (4) Conformance monitor overhead: a high-rate voice session with the
+//     QoS-conformance plane (DESIGN §16) enabled vs disabled. Gates:
+//     virtual results identical, enabled wall overhead under 5%.
 #include "common.hpp"
 
+#include "adaptive/scenario.hpp"
 #include "unites/analysis.hpp"
 #include "unites/collector.hpp"
 #include "unites/profiler.hpp"
@@ -173,6 +177,48 @@ SampledRun best_sampled(bool enabled) {
   return best;
 }
 
+struct ConformanceRun {
+  double wall_us_per_unit = 0;
+  std::uint64_t units = 0;       ///< application units the sink received
+  std::uint64_t bytes = 0;
+  std::uint64_t windows = 0;     ///< conformance windows graded (0 when off)
+};
+
+/// Conformance plane cost: the same high-rate voice session with the
+/// monitor grading every delivery into 250 ms windows, and with the plane
+/// switched off before the contract registers (every hook short-circuits).
+ConformanceRun run_conformance(bool enabled) {
+  World world([](sim::EventScheduler& s) { return net::make_ethernet_lan(s, 2, 97); });
+  world.conformance().set_enabled(enabled);
+  RunOptions opt;
+  opt.application = app::Table1App::kVoice;
+  opt.scale = 40.0;  // 0.5 ms frames: ~12k graded deliveries over the run
+  opt.duration = sim::SimTime::seconds(6);
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  const RunOutcome out = run_scenario(world, opt);
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ConformanceRun r;
+  r.units = out.sink.units_received;
+  r.bytes = out.sink.bytes_received;
+  r.windows = out.conformance.windows.size();
+  r.wall_us_per_unit =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0).count()) /
+      1e3 / static_cast<double>(r.units == 0 ? 1 : r.units);
+  return r;
+}
+
+ConformanceRun best_conformance(bool enabled) {
+  ConformanceRun best = run_conformance(enabled);
+  for (int i = 0; i < 2; ++i) {
+    const ConformanceRun r = run_conformance(enabled);
+    if (r.wall_us_per_unit < best.wall_us_per_unit) best = r;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main() {
@@ -238,6 +284,29 @@ int main() {
               static_cast<unsigned long long>(sampled.samples));
   const bool samp_pass = samp_virtual_ok && sampled.samples > 0 && samp_overhead_pct < 5.0;
 
+  std::printf("\n-- conformance monitor overhead: voice x40, 250 ms windows --\n\n");
+  const ConformanceRun unmonitored = best_conformance(false);
+  const ConformanceRun monitored = best_conformance(true);
+  const bool conf_virtual_ok =
+      unmonitored.units == monitored.units && unmonitored.bytes == monitored.bytes;
+  const double conf_overhead_pct =
+      unmonitored.wall_us_per_unit > 0
+          ? (monitored.wall_us_per_unit - unmonitored.wall_us_per_unit) /
+                unmonitored.wall_us_per_unit * 100
+          : 0;
+  unites::TextTable ct({"conformance", "wall us/unit (min of 3)", "windows graded", "units"});
+  ct.add_row({"disabled", bench::fmt(unmonitored.wall_us_per_unit, 3),
+              std::to_string(unmonitored.windows), std::to_string(unmonitored.units)});
+  ct.add_row({"enabled", bench::fmt(monitored.wall_us_per_unit, 3),
+              std::to_string(monitored.windows), std::to_string(monitored.units)});
+  std::printf("%s", ct.render().c_str());
+  std::printf("\noverhead enabled: %+.2f%% (budget < 5%%)  virtual identical: %s  "
+              "disabled silent: %s\n",
+              conf_overhead_pct, conf_virtual_ok ? "yes" : "NO",
+              unmonitored.windows == 0 ? "yes" : "NO");
+  const bool conf_pass = conf_virtual_ok && unmonitored.windows == 0 &&
+                         monitored.windows > 0 && conf_overhead_pct < 5.0;
+
   std::printf("\n-- repository service rates --\n\n");
   unites::MetricRepository repo;
   const unites::MetricKey key{1, 1, "x"};
@@ -279,6 +348,11 @@ int main() {
   report.scalar("sampler.snapshots", static_cast<double>(sampled.samples));
   report.scalar("sampler.timeline_points", static_cast<double>(sampled.points));
   report.scalar("sampler.pass", samp_pass ? 1.0 : 0.0);
+  report.scalar("conformance.disabled_us_per_unit", unmonitored.wall_us_per_unit);
+  report.scalar("conformance.enabled_us_per_unit", monitored.wall_us_per_unit);
+  report.scalar("conformance.overhead_pct", conf_overhead_pct);
+  report.scalar("conformance.windows", static_cast<double>(monitored.windows));
+  report.scalar("conformance.pass", conf_pass ? 1.0 : 0.0);
   // Distribution of repository record cost, sampled per batch of 1k.
   auto& d = report.dist("record.batch_us");
   unites::MetricRepository repo2;
@@ -301,5 +375,9 @@ int main() {
               "overhead<5%% %s -> %s\n",
               samp_virtual_ok ? "yes" : "NO", sampled.samples > 0 ? "yes" : "NO",
               samp_overhead_pct < 5.0 ? "yes" : "NO", samp_pass ? "PASS" : "FAIL");
-  return prof_pass && samp_pass ? 0 : 1;
+  std::printf("acceptance: conformance virtual-identity %s, windows>0 %s, "
+              "overhead<5%% %s -> %s\n",
+              conf_virtual_ok ? "yes" : "NO", monitored.windows > 0 ? "yes" : "NO",
+              conf_overhead_pct < 5.0 ? "yes" : "NO", conf_pass ? "PASS" : "FAIL");
+  return prof_pass && samp_pass && conf_pass ? 0 : 1;
 }

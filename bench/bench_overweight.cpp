@@ -50,8 +50,9 @@ int main() {
                                  ? "tp4.latency.ns"
                                  : "stream.latency.ns",
                              out.sink.latencies_sec);
-    over.add_row({label, bench::fmt_ms(out.qos.mean_latency_sec),
-                  bench::fmt_ms(out.qos.jitter_sec), bench::fmt_pct(out.qos.loss_fraction),
+    over.add_row({label, bench::fmt_ms(static_cast<double>(out.qos.mean_latency_ns) * 1e-9),
+                  bench::fmt_ms(static_cast<double>(out.qos.jitter_ns) * 1e-9),
+                  bench::fmt_pct(out.qos.loss_fraction),
                   std::to_string(out.reliability.retransmissions),
                   bench::fmt(static_cast<double>(out.sender_cpu_instructions) / 1e6, 1),
                   out.qos.verdict()});

@@ -125,7 +125,8 @@ int main() {
     std::sort(lat.begin(), lat.end());
     const double p95 = lat.empty() ? 0.0 : lat[lat.size() * 95 / 100];
     b.add_row({adaptive_mode ? "ADAPTIVE (RTT policy -> FEC)" : "static selective-repeat",
-               bench::fmt_ms(out.qos.mean_latency_sec), bench::fmt_ms(p95),
+               bench::fmt_ms(static_cast<double>(out.qos.mean_latency_ns) * 1e-9),
+               bench::fmt_ms(p95),
                std::to_string(out.reliability.retransmissions),
                std::string(tko::sa::to_string(out.config.recovery)),
                std::to_string(out.reconfigurations)});

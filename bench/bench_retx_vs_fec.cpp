@@ -84,7 +84,7 @@ SchemeResult run_stream(sim::SimTime one_way, bool use_fec, std::uint64_t seed) 
   const auto out = run_scenario(world, opt);
 
   SchemeResult r;
-  r.mean_latency_sec = out.qos.mean_latency_sec;
+  r.mean_latency_sec = static_cast<double>(out.qos.mean_latency_ns) * 1e-9;
   r.loss_fraction = out.qos.loss_fraction;
   r.retransmissions = out.reliability.retransmissions;
   const double budget = one_way.sec() * 1.5 + 0.05;

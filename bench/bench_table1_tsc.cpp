@@ -60,8 +60,8 @@ int main() {
                    std::string(tko::sa::to_string(out.config.recovery)),
                    std::string(tko::sa::to_string(out.config.transmission)),
                    bench::fmt_rate(out.qos.achieved_throughput_bps),
-                   bench::fmt_ms(out.qos.mean_latency_sec),
-                   bench::fmt_ms(out.qos.jitter_sec, 3),
+                   bench::fmt_ms(static_cast<double>(out.qos.mean_latency_ns) * 1e-9),
+                   bench::fmt_ms(static_cast<double>(out.qos.jitter_ns) * 1e-9, 3),
                    bench::fmt_pct(out.qos.loss_fraction),
                    std::to_string(out.qos.misordered), out.qos.verdict()});
   }
@@ -79,8 +79,8 @@ int main() {
                   out.config.recovery == tko::sa::RecoveryScheme::kNone ? "datagram (UDP-like)"
                                                                          : "stream (TCP-like)",
                   bench::fmt_rate(out.qos.achieved_throughput_bps),
-                  bench::fmt_ms(out.qos.mean_latency_sec),
-                  bench::fmt_ms(out.qos.jitter_sec, 3),
+                  bench::fmt_ms(static_cast<double>(out.qos.mean_latency_ns) * 1e-9),
+                  bench::fmt_ms(static_cast<double>(out.qos.jitter_ns) * 1e-9, 3),
                   bench::fmt_pct(out.qos.loss_fraction), out.qos.verdict()});
   }
   std::printf("%s\nstatic verdicts: %zu/9 PASS\n", base.render().c_str(), base_pass);
@@ -123,7 +123,7 @@ int main() {
       const auto out = run_scenario(world, opt);
       cross.stop();
       verdicts[which] = out.qos.verdict();
-      delays[which] = bench::fmt_ms(out.qos.mean_latency_sec, 0);
+      delays[which] = bench::fmt_ms(static_cast<double>(out.qos.mean_latency_ns) * 1e-9, 0);
       if (which == 0) {
         cfg_desc = std::string(tko::sa::to_string(out.config.recovery)) + " / " +
                    tko::sa::to_string(out.config.transmission);

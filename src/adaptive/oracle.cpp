@@ -79,6 +79,28 @@ InvariantReport InvariantOracle::check(const RunOptions& opt, const RunOutcome& 
                               std::to_string(out.session.watchdog_recoveries) + " recoveries"});
   }
 
+  // Conformance consistency: the streaming monitor and the sinks count
+  // the same delivery stream through independent taps — when the monitor
+  // graded windows, its cumulative fold must agree with the sinks' unit
+  // count, or a tap was dropped (an observability bug, not a QoS one).
+  if (out.qos.windowed) {
+    rep.checked_conformance = true;
+    std::uint64_t sink_units = out.sink.units_received;
+    if (out.mobility.armed) {
+      // Monitor feeds are scoped to full-duration receivers.
+      sink_units = 0;
+      for (const MobilityOutcome::Receiver& r : out.mobility.receivers) {
+        if (r.full_duration) sink_units += r.stats.units_received;
+      }
+    }
+    if (out.conformance.cumulative.delivered != sink_units) {
+      rep.violations.push_back(
+          {"conformance-consistency",
+           "monitor folded " + std::to_string(out.conformance.cumulative.delivered) +
+               " delivered units, sinks counted " + std::to_string(sink_units)});
+    }
+  }
+
   // Survivability rules for mobility runs.
   if (out.mobility.armed) {
     if (opt.blackout_bound > sim::SimTime::zero()) {

@@ -45,7 +45,8 @@ struct RunOutcome;
 /// One violated invariant: a stable rule identifier plus the evidence.
 struct InvariantViolation {
   /// "no-silent-loss", "no-duplicates", "in-order", "bounded-stall",
-  /// "bounded-blackout", "descriptor-consistency".
+  /// "bounded-blackout", "descriptor-consistency",
+  /// "conformance-consistency".
   std::string rule;
   std::string detail;  ///< human-readable counts involved
 };
@@ -59,6 +60,7 @@ struct InvariantReport {
   bool checked_stall = false;
   bool checked_blackout = false;
   bool checked_synthesis = false;
+  bool checked_conformance = false;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   /// "ok" or "rule: detail; rule: detail" — one line, report-friendly.

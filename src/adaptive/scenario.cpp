@@ -94,6 +94,17 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   };
   std::vector<BlackoutWatch> blackout_watches;
 
+  // Conformance feeds are scoped to full-duration receivers: joiners and
+  // leavers legitimately miss part of the stream, and charging that to the
+  // contract would read as loss. The session pointer is assigned at open,
+  // before any data flows, so the taps can read its id lazily.
+  std::size_t full_count = 0;
+  for (const bool f : full_duration) {
+    if (f) ++full_count;
+  }
+  tko::TransportSession* session = nullptr;
+  unites::ConformanceMonitor& qos_mon = world.conformance();
+
   std::vector<tko::TransportSession*> accepted_sessions;
   for (std::size_t i = 0; i < receiver_hosts.size(); ++i) {
     const std::size_t r = receiver_hosts[i];
@@ -101,6 +112,21 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
       accepted_sessions.push_back(&s);
       app::SinkApp* sink = sink_by_host[r];
       sink->attach(s);
+      if (qos_mon.enabled() && full_duration[i]) {
+        // Unit-level verdict feed (latency/order/dup/loss accounting) from
+        // the sink's own bookkeeping; bytes ride the kernel tap below so
+        // continuation fragments count toward window throughput too.
+        sink->set_delivery_observer(
+            [&](sim::SimTime now, const app::SinkApp::DeliveryEvent& ev) {
+              if (session == nullptr) return;
+              qos_mon.on_delivery(session->id(), ev.unit, now, ev.latency_ns, /*bytes=*/0,
+                                  ev.duplicate, ev.misordered);
+            });
+        s.set_delivery_tap([&](std::size_t bytes) {
+          if (session == nullptr) return;
+          qos_mon.on_bytes(session->id(), world.now(), bytes);
+        });
+      }
       app::SinkApp::LatencyFn record;
       if (opt.collect_metrics) {
         // Blackbox latency observations feed the repository as they occur,
@@ -125,7 +151,6 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   }
 
   // --- open the session per the configured mode ------------------------
-  tko::TransportSession* session = nullptr;
   auto& src_entity = world.mantts(opt.src);
   baseline::StaticTransportSystem static_sys(world.transport(opt.src));
 
@@ -172,6 +197,24 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
     return out;
   }
   if (opt.trace > 0) session->enable_trace(opt.trace);
+
+  // --- conformance contract -----------------------------------------------
+  // MANTTS modes registered theirs inside open_session; the bypass modes
+  // (fixed/static) are held to the same ACD-derived contract. An explicit
+  // override replaces whatever is registered (session/host filled here).
+  if (qos_mon.enabled()) {
+    if (!qos_mon.has_contract(session->id())) {
+      qos_mon.register_contract(
+          mantts::make_contract(wl.acd, session->id(), world.node(opt.src)), world.now());
+    }
+    if (opt.qos_contract.has_value()) {
+      mantts::QosContract c = *opt.qos_contract;
+      c.session = session->id();
+      c.host = world.node(opt.src);
+      qos_mon.register_contract(c, world.now());
+    }
+    qos_mon.set_fanout(session->id(), std::max<std::uint64_t>(1, full_count));
+  }
 
   // --- scripted impairments ---------------------------------------------
   // Armed just before the workload starts, so plan times are relative to
@@ -226,11 +269,21 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
     scfg.period = opt.timeline_period;
     sampler.emplace(world.host(0).timers(), scfg,
                     [&world] { return world.resource_snapshot(); });
+    // qos.* gauges (budget burn, QoE, health rung) ride the same timeline
+    // and its Chrome counter-track export.
+    sampler->set_gauge_capture([&qos_mon](sim::SimTime when, unites::Timeline& tl) {
+      qos_mon.capture_timeline(when, tl);
+    });
   }
 
   // --- drive the workload -----------------------------------------------
   app::SourceApp source(*session, std::move(wl.model), world.host(opt.src).timers(),
                         opt.duration);
+  if (qos_mon.enabled()) {
+    source.set_send_observer([&](sim::SimTime now, std::uint32_t unit, std::size_t) {
+      qos_mon.on_send(session->id(), unit, now);
+    });
+  }
   source.start();
   world.run_for(opt.duration + sim::SimTime::milliseconds(1));
   source.stop();
@@ -262,17 +315,26 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   // must get its copy, so scale the source-unit count by that fan-out.
   // Joiners/leavers legitimately see a partial stream — they stay in
   // out.sink (duplicate/ordering evidence) but out of the QoS grade.
-  std::size_t full_count = 0;
   app::SinkStats graded_sink;
   for (std::size_t i = 0; i < sinks.size(); ++i) {
     if (!full_duration[i]) continue;
-    ++full_count;
     merge_sink(graded_sink, sinks[i]->stats());
   }
   app::SourceStats graded_src = out.source;
   graded_src.units_sent *= std::max<std::uint64_t>(1, full_count);
   out.qos = app::evaluate_qos(wl.acd, graded_src,
                               full_count == sinks.size() ? out.sink : graded_sink);
+
+  // Conformance plane: the drain is over, so freeze the window history and
+  // fold time-in-contract into the graded report.
+  if (qos_mon.enabled() && qos_mon.has_contract(session->id())) {
+    qos_mon.finalize(session->id(), world.now());
+    if (const unites::SessionConformance* rep = qos_mon.report(session->id())) {
+      out.conformance = *rep;
+      out.qos.time_in_contract = rep->time_in_contract;
+      out.qos.windowed = !rep->windows.empty();
+    }
+  }
 
   out.config = session->config();
   out.context_text = session->context().describe();
@@ -350,7 +412,10 @@ RunOutcome run_scenario(World& world, const RunOptions& opt) {
   for (const std::size_t r : receiver_hosts) {
     world.transport(r).set_acceptor(nullptr);
   }
-  for (tko::TransportSession* s : accepted_sessions) s->set_deliver(nullptr);
+  for (tko::TransportSession* s : accepted_sessions) {
+    s->set_deliver(nullptr);
+    s->set_delivery_tap(nullptr);
+  }
   session->set_deliver(nullptr);
 
   out.mantts = src_entity.stats();

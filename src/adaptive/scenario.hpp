@@ -58,6 +58,11 @@ struct RunOptions {
   /// > zero: attach a unites::Sampler snapshotting the resource plane at
   /// this virtual-time period into RunOutcome::timeline (DESIGN §12).
   sim::SimTime timeline_period = sim::SimTime::zero();
+  /// Conformance-contract override (DESIGN §16): re-registered right after
+  /// the session opens, replacing the ACD-derived contract (session/host
+  /// fields are filled in by the runner). Benches use this to hold a run
+  /// to tighter bounds than the workload's ACD asks for.
+  std::optional<mantts::QosContract> qos_contract;
 };
 
 /// Survivability-plane outcome (DESIGN §15). Populated only when the fault
@@ -127,6 +132,10 @@ struct RunOutcome {
   unites::ResourceSnapshot resource;
   /// Periodic resource timeline (empty unless opt.timeline_period > 0).
   unites::Timeline timeline;
+  /// Streaming conformance verdict for the graded session (DESIGN §16):
+  /// window history, error-budget burn, breach episodes, QoE proxy.
+  /// Default-initialized when the world's monitor is disabled.
+  unites::SessionConformance conformance;
 };
 
 [[nodiscard]] RunOutcome run_scenario(World& world, const RunOptions& opt);

@@ -222,7 +222,7 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     unit.summary.qos_pass = outcome.qos.all_ok() && !outcome.refused;
     unit.summary.refused = outcome.refused;
     unit.summary.throughput_bps = outcome.qos.achieved_throughput_bps;
-    unit.summary.mean_latency_sec = outcome.qos.mean_latency_sec;
+    unit.summary.mean_latency_ns = outcome.qos.mean_latency_ns;
     unit.summary.loss_fraction = outcome.qos.loss_fraction;
     unit.summary.units_received = outcome.sink.units_received;
     unit.summary.reconfigurations = outcome.reconfigurations;
@@ -246,6 +246,13 @@ SweepResult run_sweep(const SweepConfig& cfg) {
       unit.summary.resyntheses = outcome.mantts.resyntheses;
       unit.summary.synthesis_current = mob.synthesis_current;
     }
+    unit.summary.time_in_contract = outcome.qos.time_in_contract;
+    unit.summary.qos_windows = outcome.conformance.windows.size();
+    unit.summary.qos_windows_bad = outcome.conformance.windows_bad;
+    unit.summary.qos_breaches = outcome.conformance.breaches;
+    unit.summary.qos_budget_consumed = outcome.conformance.budget_consumed;
+    unit.summary.qoe = outcome.conformance.qoe;
+    unit.summary.first_breach_ns = outcome.conformance.first_breach_ns;
     if (cfg.capture_timeline) {
       unit.timeline = std::move(outcome.timeline);
       for (auto& p : unit.timeline) p.seed = seed;
@@ -255,12 +262,18 @@ SweepResult run_sweep(const SweepConfig& cfg) {
     // (seed-named file — parallel shards never contend on a path).
     const bool stall_unrecovered =
         outcome.session.watchdog_stalls > outcome.session.watchdog_recoveries;
-    if (flight_armed &&
-        (!outcome.oracle.ok() || stall_unrecovered || cfg.flight_record_always)) {
+    // Breach-armed diagnostics: a session that exhausted its error budget
+    // on a *fault-free* run (no scripted plan, no chaos) is a QoS failure
+    // nobody injected — exactly when a post-mortem bundle pays off.
+    const bool qos_breach_armed = outcome.conformance.budget_consumed >= 1.0 &&
+                                  !opt.faults.has_value() && cfg.chaos == 0;
+    if (flight_armed && (!outcome.oracle.ok() || stall_unrecovered || qos_breach_armed ||
+                         cfg.flight_record_always)) {
       unites::FlightBundle bundle;
       bundle.seed = seed;
       bundle.reason = !outcome.oracle.ok()  ? "invariant-violation"
                       : stall_unrecovered   ? "watchdog-stall"
+                      : qos_breach_armed    ? "qos-breach"
                                             : "replay";
       for (const auto& v : outcome.oracle.violations) {
         bundle.violations.push_back(
@@ -274,6 +287,7 @@ SweepResult run_sweep(const SweepConfig& cfg) {
       unites::write_metrics_jsonl(metrics, unit.repo);
       bundle.metrics_jsonl = metrics.str();
       bundle.resource_json = outcome.resource.to_json();
+      if (outcome.qos.windowed) bundle.conformance_json = outcome.conformance.to_json();
       bundle.trace = recorder.snapshot();
       for (const auto& s : spans) {
         if (s.open()) bundle.open_spans.push_back(s);

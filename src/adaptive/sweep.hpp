@@ -86,7 +86,7 @@ struct SweepRunSummary {
   bool qos_pass = false;
   bool refused = false;
   double throughput_bps = 0.0;
-  double mean_latency_sec = 0.0;
+  std::int64_t mean_latency_ns = 0;
   double loss_fraction = 0.0;
   std::uint64_t units_received = 0;
   std::uint32_t reconfigurations = 0;
@@ -111,6 +111,14 @@ struct SweepRunSummary {
   std::uint64_t anchors_sent = 0;
   std::uint64_t resyntheses = 0;
   bool synthesis_current = true;
+  // Conformance plane (DESIGN §16; defaults when the monitor was off).
+  double time_in_contract = 1.0;
+  std::uint64_t qos_windows = 0;      ///< graded windows
+  std::uint64_t qos_windows_bad = 0;  ///< windows out of contract
+  std::uint64_t qos_breaches = 0;     ///< breach episodes entered
+  double qos_budget_consumed = 0.0;   ///< >= 1.0 = error budget exhausted
+  double qoe = 1.0;                   ///< continuity proxy, [0, 1]
+  std::int64_t first_breach_ns = -1;  ///< -1 = never breached
 };
 
 /// Size a chaos profile to a concrete world + run: targets only links the

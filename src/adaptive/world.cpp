@@ -36,7 +36,9 @@ World::World(const TopologyFactory& make_topology, const os::CpuConfig& cpu,
     entities_.push_back(
         std::make_unique<mantts::MantttsEntity>(*hosts_.back(), transport, limits));
     entities_.back()->set_repository(&repo_);
+    entities_.back()->set_conformance(&conformance_);
   }
+  conformance_.set_repository(&repo_);
 }
 
 unites::ResourceSnapshot World::resource_snapshot() const {

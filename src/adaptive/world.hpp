@@ -11,6 +11,7 @@
 #include "tko/protocol_graph.hpp"
 #include "tko/transport.hpp"
 #include "unites/collector.hpp"
+#include "unites/conformance.hpp"
 #include "unites/repository.hpp"
 #include "unites/resource.hpp"
 
@@ -34,6 +35,10 @@ public:
   [[nodiscard]] net::Network& network() { return *topo_.network; }
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
   [[nodiscard]] unites::MetricRepository& repository() { return repo_; }
+  /// The deployment's QoS-conformance plane (DESIGN §16): one monitor
+  /// shared by every MANTTS entity (session ids are globally unique), fed
+  /// by the scenario's delivery taps, repository-wired for qos.* metrics.
+  [[nodiscard]] unites::ConformanceMonitor& conformance() { return conformance_; }
 
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
   [[nodiscard]] os::Host& host(std::size_t i) { return *hosts_.at(i); }
@@ -65,6 +70,7 @@ private:
   sim::EventScheduler sched_;
   net::Topology topo_;
   unites::MetricRepository repo_;
+  unites::ConformanceMonitor conformance_;
   std::vector<std::unique_ptr<os::Host>> hosts_;
   std::vector<std::unique_ptr<tko::ProtocolGraph>> graphs_;
   std::vector<tko::AdaptiveTransport*> transports_;  ///< owned by graphs_

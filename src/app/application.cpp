@@ -83,6 +83,7 @@ void SourceApp::emit_next() {
       stats_.bytes_sent += payload_bytes;
       unites::trace().instant(unites::TraceCategory::kApp, "app.submit", timers_.now(), 0, h.id,
                               static_cast<double>(payload_bytes));
+      if (on_send_) on_send_(timers_.now(), h.id, payload_bytes);
     } else {
       ++stats_.send_rejected;
     }
@@ -158,19 +159,36 @@ void SinkApp::on_message(tko::Message&& m) {
   }
   if (h.id < seen_.size() && seen_[h.id]) {
     ++stats_.duplicates;
+    if (on_delivery_) {
+      DeliveryEvent ev;
+      ev.unit = h.id;
+      ev.latency_ns = (now - sim::SimTime(h.sent_at_ns)).ns();
+      ev.bytes = bytes.size();
+      ev.duplicate = true;
+      on_delivery_(now, ev);
+    }
     return;
   }
   if (h.id >= seen_.size()) seen_.resize(std::max<std::size_t>(h.id + 1, seen_.size() * 2 + 1));
   seen_[h.id] = true;
   ++stats_.units_received;
   stats_.highest_id = std::max(stats_.highest_id, h.id);
-  if (h.id < last_id_) ++stats_.misordered;
+  const bool misordered = h.id < last_id_;
+  if (misordered) ++stats_.misordered;
   last_id_ = h.id;
   const sim::SimTime latency = now - sim::SimTime(h.sent_at_ns);
   stats_.latencies_sec.push_back(latency.sec());
   unites::trace().instant(unites::TraceCategory::kApp, "app.deliver", now, 0, h.id,
                           static_cast<double>(latency.ns()));
   if (on_latency_) on_latency_(now, static_cast<double>(latency.ns()));
+  if (on_delivery_) {
+    DeliveryEvent ev;
+    ev.unit = h.id;
+    ev.latency_ns = latency.ns();
+    ev.bytes = bytes.size();
+    ev.misordered = misordered;
+    on_delivery_(now, ev);
+  }
 }
 
 }  // namespace adaptive::app

@@ -50,6 +50,11 @@ public:
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] const SourceStats& stats() const { return stats_; }
 
+  /// Conformance tap: called once per accepted unit with its id, so the
+  /// streaming contract monitor can open loss accounting for it.
+  using SendFn = std::function<void(sim::SimTime now, std::uint32_t unit, std::size_t bytes)>;
+  void set_send_observer(SendFn fn) { on_send_ = std::move(fn); }
+
 private:
   void emit_next();
 
@@ -63,6 +68,7 @@ private:
   bool running_ = false;
   bool finished_ = false;
   SourceStats stats_;
+  SendFn on_send_;
 };
 
 struct SinkStats {
@@ -107,12 +113,26 @@ public:
   using LatencyFn = std::function<void(sim::SimTime now, double latency_ns)>;
   void set_latency_observer(LatencyFn fn) { on_latency_ = std::move(fn); }
 
+  /// Conformance tap: one call per decoded unit (duplicates included,
+  /// flagged) mirroring the sink's own bookkeeping, so the streaming
+  /// monitor's window folds count exactly what the sink counted.
+  struct DeliveryEvent {
+    std::uint32_t unit = 0;
+    std::int64_t latency_ns = 0;
+    std::size_t bytes = 0;
+    bool duplicate = false;
+    bool misordered = false;
+  };
+  using DeliveryFn = std::function<void(sim::SimTime now, const DeliveryEvent&)>;
+  void set_delivery_observer(DeliveryFn fn) { on_delivery_ = std::move(fn); }
+
 private:
   os::TimerFacility& timers_;
   SinkStats stats_;
   std::uint32_t last_id_ = 0;
   std::vector<bool> seen_;
   LatencyFn on_latency_;
+  DeliveryFn on_delivery_;
 };
 
 }  // namespace adaptive::app

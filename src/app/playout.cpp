@@ -42,6 +42,7 @@ void PlayoutSink::on_message(tko::Message&& m) {
   if (now > deadline) {
     // Too late to be part of the isochronous stream.
     ++stats_.late_drops;
+    if (on_late_) on_late_(now, h.id);
     return;
   }
   Pending p;

@@ -49,12 +49,18 @@ public:
   [[nodiscard]] const PlayoutStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
 
+  /// Conformance tap: one call per late drop — the unit arrived but missed
+  /// its isochronous deadline, which the QoE proxy weights as half a loss.
+  using LateFn = std::function<void(sim::SimTime now, std::uint32_t unit)>;
+  void set_late_observer(LateFn fn) { on_late_ = std::move(fn); }
+
 private:
   void play(std::uint32_t id);
 
   os::TimerFacility& timers_;
   sim::SimTime delay_;
   PlayFn on_play_;
+  LateFn on_late_;
   PlayoutStats stats_;
   struct Pending {
     tko::Message payload;

@@ -1,56 +1,77 @@
 #include "app/qos_evaluator.hpp"
 
+#include "mantts/qos_contract.hpp"
+
+#include <cstdio>
+
 namespace adaptive::app {
 
 std::string QosReport::verdict() const {
-  if (all_ok()) return "PASS";
-  std::string v = "FAIL(";
-  bool first = true;
-  auto add = [&](bool ok, const char* what) {
-    if (ok) return;
-    if (!first) v += ",";
-    v += what;
-    first = false;
-  };
-  add(latency_ok, "latency");
-  add(jitter_ok, "jitter");
-  add(loss_ok, "loss");
-  add(order_ok, "order");
-  add(duplicates_ok, "dup");
-  v += ")";
+  std::string v;
+  if (all_ok()) {
+    v = "PASS";
+  } else {
+    v = "FAIL(";
+    bool first = true;
+    auto add = [&](bool ok, const char* what) {
+      if (ok) return;
+      if (!first) v += ",";
+      v += what;
+      first = false;
+    };
+    add(latency_ok, "latency");
+    add(jitter_ok, "jitter");
+    add(loss_ok, "loss");
+    add(order_ok, "order");
+    add(duplicates_ok, "dup");
+    v += ")";
+  }
+  if (windowed) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, " [in-contract %.1f%%]", time_in_contract * 100.0);
+    v += buf;
+  }
   return v;
+}
+
+unites::WindowStats cumulative_stats(const SourceStats& src, const SinkStats& sink) {
+  unites::WindowStats s;
+  s.delivered = sink.units_received;
+  s.expected = src.units_sent;
+  s.lost = src.units_sent > sink.units_received ? src.units_sent - sink.units_received : 0;
+  s.misordered = sink.misordered;
+  s.duplicates = sink.duplicates;
+  s.bytes = sink.bytes_received;
+  s.span_ns = (sink.last_arrival - sink.first_arrival).ns();
+  for (const double sec : sink.latencies_sec) {
+    s.add_latency(static_cast<std::int64_t>(sec * 1e9));
+  }
+  return s;
 }
 
 QosReport evaluate_qos(const mantts::Acd& acd, const SourceStats& src, const SinkStats& sink) {
   QosReport r;
+  const unites::WindowStats s = cumulative_stats(src, sink);
   r.achieved_throughput_bps = sink.throughput_bps();
-  r.mean_latency_sec = sink.mean_latency_sec();
-  r.max_latency_sec = sink.max_latency_sec();
-  r.jitter_sec = sink.jitter_sec();
+  r.mean_latency_ns = s.mean_latency_ns();
+  r.max_latency_ns = s.max_latency_ns;
+  r.jitter_ns = s.jitter_ns();
+  r.loss_fraction = s.loss_fraction();
   r.misordered = sink.misordered;
   r.duplicates = sink.duplicates;
-  if (src.units_sent > 0) {
-    const std::uint64_t lost =
-        src.units_sent > sink.units_received ? src.units_sent - sink.units_received : 0;
-    r.loss_fraction = static_cast<double>(lost) / static_cast<double>(src.units_sent);
-  }
 
-  const auto& q = acd.quantitative;
-  if (!q.max_latency.is_infinite()) {
-    // Grade on the mean plus a tail allowance: a single worst-case sample
-    // on a congested queue is the loss-tolerance's job, not latency's.
-    r.latency_ok = r.mean_latency_sec <= q.max_latency.sec();
-  }
-  if (!q.max_jitter.is_infinite()) {
-    r.jitter_ok = r.jitter_sec <= q.max_jitter.sec();
-  }
-  r.loss_ok = r.loss_fraction <= q.loss_tolerance + 1e-9;
-  if (acd.qualitative.sequenced_delivery) {
-    r.order_ok = sink.misordered == 0;
-  }
-  if (acd.qualitative.duplicate_sensitive) {
-    r.duplicates_ok = sink.duplicates == 0;
-  }
+  // One grading function for both the live windows and this cumulative
+  // verdict. Throughput stays ungraded here, as it always was: the
+  // Table 1 rows grade rate via their traffic models, not a floor.
+  const mantts::QosContract c = mantts::make_contract(acd, /*session=*/0, /*host=*/0);
+  unites::WindowVerdict v;
+  v.stats = s;
+  unites::grade_window(c, s, /*grade_throughput=*/false, v);
+  r.latency_ok = v.latency_ok;
+  r.jitter_ok = v.jitter_ok;
+  r.loss_ok = v.loss_ok;
+  r.order_ok = v.order_ok;
+  r.duplicates_ok = v.duplicates_ok;
   return r;
 }
 

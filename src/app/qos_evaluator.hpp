@@ -2,10 +2,18 @@
 // asked for? Grades a finished (source, sink) pair against the
 // quantitative/qualitative requirements — the per-row verdicts of the
 // Table 1 reproduction.
+//
+// Since the conformance plane landed, this is a thin shell: the run's
+// observations fold into one cumulative unites::WindowStats and the
+// verdict booleans come from the same unites::grade_window() the live
+// monitor uses per window, so end-of-run grading and streaming verdicts
+// can never disagree. All latency figures are integer nanoseconds
+// (metric-unit discipline: *_ns), not seconds.
 #pragma once
 
 #include "app/application.hpp"
 #include "mantts/acd.hpp"
+#include "unites/conformance.hpp"
 
 #include <string>
 
@@ -13,9 +21,9 @@ namespace adaptive::app {
 
 struct QosReport {
   double achieved_throughput_bps = 0.0;
-  double mean_latency_sec = 0.0;
-  double max_latency_sec = 0.0;
-  double jitter_sec = 0.0;
+  std::int64_t mean_latency_ns = 0;
+  std::int64_t max_latency_ns = 0;
+  std::int64_t jitter_ns = 0;
   double loss_fraction = 0.0;
   std::uint64_t misordered = 0;
   std::uint64_t duplicates = 0;
@@ -26,11 +34,21 @@ struct QosReport {
   bool order_ok = true;
   bool duplicates_ok = true;
 
+  /// Fraction of live conformance windows in contract; meaningful only
+  /// when `windowed` (a ConformanceMonitor graded the session as it ran).
+  double time_in_contract = 1.0;
+  bool windowed = false;
+
   [[nodiscard]] bool all_ok() const {
     return latency_ok && jitter_ok && loss_ok && order_ok && duplicates_ok;
   }
+  /// "PASS" / "FAIL(dim,...)"; when live windows exist, the time-in-contract
+  /// fraction is appended (" [in-contract 97.3%]") after the boolean verdict.
   [[nodiscard]] std::string verdict() const;
 };
+
+/// Fold a finished run's sink observations into one cumulative window.
+[[nodiscard]] unites::WindowStats cumulative_stats(const SourceStats& src, const SinkStats& sink);
 
 [[nodiscard]] QosReport evaluate_qos(const mantts::Acd& acd, const SourceStats& src,
                                      const SinkStats& sink);

@@ -36,6 +36,23 @@ void MantttsEntity::send_signal(net::NodeId to, const Signal& s) {
   host_.send(std::move(pkt));
 }
 
+void MantttsEntity::set_conformance(unites::ConformanceMonitor* mon) {
+  conformance_ = mon;
+  if (mon != nullptr) {
+    nmi_.set_contract_health_provider([mon](std::uint32_t sid) { return mon->health(sid); });
+  } else {
+    nmi_.set_contract_health_provider(nullptr);
+  }
+}
+
+void MantttsEntity::register_contract_for(const Acd& acd, tko::TransportSession& session) {
+  if (conformance_ == nullptr) return;
+  const QosContract c = make_contract(acd, session.id(), host_.node_id());
+  contracts_[session.id()] = c;
+  conformance_->register_contract(c, host_.now());
+  ++stats_.contracts_registered;
+}
+
 void MantttsEntity::open_session(const Acd& acd, OpenCb cb) {
   if (acd.remotes.empty()) {
     cb(OpenResult{});
@@ -80,6 +97,7 @@ void MantttsEntity::open_session(const Acd& acd, OpenCb cb) {
   if (!explicit_negotiation) {
     auto& session = transport_.open(acd.remotes, scs, /*prevalidated=*/cache_hit);
     synth_keys_[session.id()] = synth_key;
+    register_contract_for(acd, session);
     ++stats_.sessions_opened;
     ++active_;
     if (acd.collect_metrics && repo_ != nullptr) {
@@ -154,6 +172,7 @@ void MantttsEntity::finish_open(std::uint32_t nonce, const tko::sa::SessionConfi
     return;
   }
   auto& session = transport_.open(p.acd.remotes, cfg);
+  register_contract_for(p.acd, session);
   ++stats_.sessions_opened;
   ++active_;
   if (p.acd.collect_metrics && repo_ != nullptr) {
@@ -269,6 +288,10 @@ void MantttsEntity::send_probe(net::NodeId remote) {
 }
 
 void MantttsEntity::close_session(tko::TransportSession& session, bool graceful) {
+  if (conformance_ != nullptr && contracts_.contains(session.id())) {
+    conformance_->finalize(session.id(), host_.now());
+  }
+  contracts_.erase(session.id());
   disable_adaptation(session);
   collectors_.erase(session.id());
   qos_callbacks_.erase(session.id());
@@ -296,6 +319,14 @@ void MantttsEntity::enable_adaptation(tko::TransportSession& session, std::vecto
     const net::NodeId remote = s.remotes().front().node;
     if (probe_based_rtt_ && !net::is_multicast(remote)) send_probe(remote);
     const auto descriptor = nmi_.sample(remote);
+
+    // Contract-health rung: policy observes QoS conformance through the
+    // same interface it observes path state through.
+    switch (nmi_.contract_health(sid)) {
+      case unites::ContractHealth::kBurning: ++stats_.contract_burn_ticks; break;
+      case unites::ContractHealth::kBreached: ++stats_.contract_breach_ticks; break;
+      default: break;
+    }
 
     // Descriptor-consistency ledger: the first tick baselines both sides
     // (the synthesis in force was derived around open time, i.e. under
@@ -398,6 +429,12 @@ Tsc MantttsEntity::retarget_session(tko::TransportSession& session,
                                     const Acd& new_requirements) {
   const Tsc tsc = classify(new_requirements);
   const auto descriptor = nmi_.sample(session.remotes().front().node);
+  // The application's requirements changed, so the contract it is graded
+  // against changes too; apply_and_propagate pushes the replacement.
+  if (conformance_ != nullptr && contracts_.contains(session.id())) {
+    contracts_[session.id()] =
+        make_contract(new_requirements, session.id(), host_.node_id());
+  }
   tko::sa::SessionConfig scs = derive_scs(tsc, new_requirements, descriptor);
   // The connection is already up; switching connection schemes mid-flight
   // is meaningless, so the live session keeps its establishment scheme.
@@ -444,6 +481,16 @@ void MantttsEntity::apply_and_propagate(tko::TransportSession& session,
     }
   }
   session.reconfigure(cfg);
+  // Re-register the session's contract: the mechanisms changed but the
+  // promise to the application did not (retarget updates contracts_ first
+  // when the requirements themselves changed). Window history survives;
+  // later windows grade against the re-registered bounds.
+  if (conformance_ != nullptr) {
+    if (auto cit = contracts_.find(session.id()); cit != contracts_.end()) {
+      conformance_->register_contract(cit->second, host_.now());
+      ++stats_.contracts_registered;
+    }
+  }
   auto cb = qos_callbacks_.find(session.id());
   if (cb != qos_callbacks_.end() && cb->second) cb->second(cfg);
 

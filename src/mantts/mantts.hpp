@@ -87,6 +87,13 @@ public:
   /// into this repository.
   void set_repository(unites::MetricRepository* repo) { repo_ = repo; }
 
+  /// Conformance hookup (DESIGN §16): every session this entity opens (or
+  /// re-synthesizes) has its negotiated QoS contract registered with `mon`,
+  /// and the NMI's contract-health rung is served from the monitor so
+  /// reconfiguration policy can observe "in contract / burning / breached".
+  void set_conformance(unites::ConformanceMonitor* mon);
+  [[nodiscard]] unites::ConformanceMonitor* conformance() { return conformance_; }
+
   /// Send one PROBE to `remote`'s MANTTS entity over the signaling
   /// channel; the reply feeds the NMI's measured-RTT estimator.
   void send_probe(net::NodeId remote);
@@ -119,6 +126,10 @@ public:
     // Mobility (handover-driven resynthesis).
     std::uint64_t synth_invalidations = 0;  ///< SynthesisCache entries dropped on propagate
     std::uint64_t resyntheses = 0;  ///< propagations that caught the synthesis up to a new route
+    // Conformance plane (DESIGN §16).
+    std::uint64_t contracts_registered = 0;  ///< contract (re-)registrations pushed
+    std::uint64_t contract_burn_ticks = 0;   ///< adaptation ticks observing kBurning
+    std::uint64_t contract_breach_ticks = 0;  ///< adaptation ticks observing kBreached
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t active_sessions() const { return active_; }
@@ -151,6 +162,9 @@ public:
 private:
   void on_signaling(net::Packet&& p);
   void send_signal(net::NodeId to, const Signal& s);
+  /// Register (initial open) or re-register (resynthesis funnel) the
+  /// session's QoS contract with the conformance monitor.
+  void register_contract_for(const Acd& acd, tko::TransportSession& session);
   void finish_open(std::uint32_t nonce, const tko::sa::SessionConfig& cfg, bool refused);
   void apply_and_propagate(tko::TransportSession& session, const tko::sa::SessionConfig& cfg);
   /// Track an in-flight RECONFIG until its ack (bounded retry with
@@ -165,6 +179,11 @@ private:
   ResourceLimits limits_;
   NetworkMonitorInterface nmi_;
   unites::MetricRepository* repo_ = nullptr;
+  unites::ConformanceMonitor* conformance_ = nullptr;
+  /// The contract each live session is held to (kept so the resynthesis
+  /// funnel can re-register the same promise under new mechanisms, and so
+  /// retarget can replace it when the requirements themselves change).
+  std::map<std::uint32_t, QosContract> contracts_;
   Stats stats_;
   std::size_t active_ = 0;
 

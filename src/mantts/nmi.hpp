@@ -13,6 +13,7 @@
 #include "tko/event.hpp"
 #include "tko/sa/rtt_estimator.hpp"
 #include "os/timer_facility.hpp"
+#include "unites/conformance.hpp"
 
 #include <functional>
 #include <map>
@@ -65,6 +66,17 @@ public:
 
   [[nodiscard]] net::NodeId local() const { return local_; }
 
+  /// Contract-health rung (DESIGN §16): the conformance plane's per-session
+  /// verdict — in contract / burning / breached — surfaced through the NMI
+  /// so reconfiguration policies observe QoS health the same way they
+  /// observe path health. The provider is installed by whoever owns the
+  /// ConformanceMonitor (the World, via the MANTTS entity).
+  using ContractHealthFn = std::function<unites::ContractHealth(std::uint32_t session)>;
+  void set_contract_health_provider(ContractHealthFn fn) { contract_health_ = std::move(fn); }
+  [[nodiscard]] unites::ContractHealth contract_health(std::uint32_t session) const {
+    return contract_health_ ? contract_health_(session) : unites::ContractHealth::kNone;
+  }
+
 private:
   [[nodiscard]] NetworkStateDescriptor sample_unicast(net::NodeId remote);
 
@@ -78,6 +90,7 @@ private:
     ChangeFn cb;
   };
   std::map<net::NodeId, Watch> watches_;
+  ContractHealthFn contract_health_;
 };
 
 }  // namespace adaptive::mantts

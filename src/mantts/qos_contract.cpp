@@ -1,0 +1,23 @@
+#include "mantts/qos_contract.hpp"
+
+#include "mantts/acd.hpp"
+
+namespace adaptive::mantts {
+
+QosContract make_contract(const Acd& acd, std::uint32_t session, net::NodeId host) {
+  QosContract c;
+  c.session = session;
+  c.host = host;
+  const QuantitativeQos& q = acd.quantitative;
+  c.max_latency_ns = q.max_latency.is_infinite() ? -1 : q.max_latency.ns();
+  c.max_jitter_ns = q.max_jitter.is_infinite() ? -1 : q.max_jitter.ns();
+  c.loss_tolerance = q.loss_tolerance;
+  c.sequenced = acd.qualitative.sequenced_delivery;
+  c.duplicate_sensitive = acd.qualitative.duplicate_sensitive;
+  c.realtime = acd.qualitative.realtime;
+  c.isochronous = acd.qualitative.isochronous;
+  c.duration_ns = q.duration.is_infinite() ? 0 : q.duration.ns();
+  return c;
+}
+
+}  // namespace adaptive::mantts

@@ -1,0 +1,60 @@
+// Negotiated QoS contract (DESIGN §16): the machine-checkable residue of
+// an ACD once MANTTS has synthesized a configuration for it.
+//
+// The ACD is what the application *asked for*; the contract is what the
+// conformance plane *holds the session to* while it runs: integer
+// nanosecond bounds (latency/jitter), a loss-tolerance fraction, the
+// qualitative bits that arm ordering/duplicate grading, and the expected
+// session duration the SLO error budget is sized against. MANTTS registers
+// one with the unites::ConformanceMonitor at session open and re-registers
+// on every resynthesis (RECONFIG, segue, retarget, handover), so the
+// monitor always grades against the contract currently in force.
+//
+// Deliberately free of unites dependencies: the monitor includes this
+// header, not the other way around.
+#pragma once
+
+#include "net/packet.hpp"
+
+#include <cstdint>
+
+namespace adaptive::mantts {
+
+struct Acd;
+
+struct QosContract {
+  std::uint32_t session = 0;  ///< transport session id
+  net::NodeId host = 0;       ///< initiator-side host
+
+  /// Quantitative bounds. Negative = unbounded (the ACD asked for
+  /// infinity); grading of that dimension is vacuously true.
+  std::int64_t max_latency_ns = -1;
+  std::int64_t max_jitter_ns = -1;
+  /// Tolerable fraction of lost application data units, [0, 1].
+  double loss_tolerance = 0.0;
+  /// Window-level throughput floor in bits/s; 0 disables per-window
+  /// throughput grading (the post-mortem evaluator never graded
+  /// throughput either — opt in for media contracts that need it).
+  double min_throughput_bps = 0.0;
+
+  /// Qualitative bits that arm the order/duplicate verdicts.
+  bool sequenced = true;
+  bool duplicate_sensitive = true;
+  bool realtime = false;
+  bool isochronous = false;
+
+  /// Expected session duration; sizes the SLO error budget
+  /// (budget_fraction * duration / window = windows allowed to breach).
+  std::int64_t duration_ns = 0;
+  /// Fraction of conformance windows the contract tolerates out of
+  /// contract before the error budget is exhausted.
+  double budget_fraction = 0.05;
+
+  friend bool operator==(const QosContract&, const QosContract&) = default;
+};
+
+/// Derive the contract a session opened for `acd` is held to.
+[[nodiscard]] QosContract make_contract(const Acd& acd, std::uint32_t session,
+                                        net::NodeId host);
+
+}  // namespace adaptive::mantts

@@ -52,6 +52,12 @@ public:
   using DeliverFn = std::function<void(Message&&)>;
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Observation tap fired alongside every delivery upcall with the
+  /// delivered size — the conformance plane's kernel-level byte feed
+  /// (window throughput), independent of how the app parses the bytes.
+  using DeliveryTapFn = std::function<void(std::size_t bytes)>;
+  void set_delivery_tap(DeliveryTapFn fn) { delivery_tap_ = std::move(fn); }
+
   /// Upcall invoked when the session becomes established / closes.
   using StateFn = std::function<void(SessionState)>;
   void set_on_state(StateFn fn) { on_state_ = std::move(fn); }
@@ -79,6 +85,7 @@ protected:
       : local_(local), remotes_(std::move(remotes)) {}
 
   void deliver_up(Message&& m) {
+    if (delivery_tap_) delivery_tap_(m.size());
     if (deliver_) deliver_(std::move(m));
   }
   void notify_state(SessionState s) {
@@ -90,6 +97,7 @@ protected:
 
 private:
   DeliverFn deliver_;
+  DeliveryTapFn delivery_tap_;
   StateFn on_state_;
 };
 

@@ -53,6 +53,8 @@ void FlightRecorder::write_bundle(std::ostream& out, const FlightBundle& b) {
 
   out << ",\"resource\":" << (b.resource_json.empty() ? "null" : b.resource_json);
 
+  out << ",\"conformance\":" << (b.conformance_json.empty() ? "null" : b.conformance_json);
+
   out << ",\"open_spans\":[";
   first = true;
   for (const auto& s : b.open_spans) {

@@ -39,7 +39,8 @@ struct FlightViolation {
 
 struct FlightBundle {
   std::uint64_t seed = 0;
-  /// Why the recorder fired: "invariant-violation", "watchdog-stall", or
+  /// Why the recorder fired: "invariant-violation", "watchdog-stall",
+  /// "qos-breach" (conformance budget exhausted on a fault-free run), or
   /// "replay" (forced dump of a clean run for corpus archaeology).
   std::string reason;
   std::vector<FlightViolation> violations;
@@ -52,6 +53,10 @@ struct FlightBundle {
   /// Resource-plane snapshot at harvest time: pre-rendered JSON object
   /// (ResourceSnapshot::to_json()), empty when not captured.
   std::string resource_json;
+  /// QoS-conformance report for the graded session: pre-rendered JSON
+  /// object (SessionConformance::to_json()), empty when no contract was
+  /// monitored. Breach-armed bundles ("qos-breach") always carry one.
+  std::string conformance_json;
   std::vector<TraceEvent> trace;  ///< last-N ring at shard end
   std::vector<MessageSpan> open_spans;
   std::uint64_t spans_total = 0;  ///< all assembled spans, open + closed

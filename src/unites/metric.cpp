@@ -14,6 +14,9 @@ MetricClass classify_metric(std::string_view name) {
   if (name == metrics::kThroughputBps || name == metrics::kLatencyNs) {
     return MetricClass::kBlackbox;
   }
+  // Conformance verdicts grade what the application observes — blackbox,
+  // like the throughput/latency series they are derived from.
+  if (name.substr(0, 4) == "qos.") return MetricClass::kBlackbox;
   if (name.substr(0, 4) == "mem.") return MetricClass::kResource;
   return MetricClass::kWhitebox;
 }
@@ -22,7 +25,7 @@ std::string_view metric_unit(std::string_view name) {
   if (name == metrics::kLatencyNs || name == metrics::kJitterNs) return "ns";
   if (ends_with(name, "_ns")) return "ns";
   if (ends_with(name, "_bytes")) return "bytes";
-  if (name == metrics::kThroughputBps) return "bps";
+  if (name == metrics::kThroughputBps || ends_with(name, "_bps")) return "bps";
   return {};
 }
 

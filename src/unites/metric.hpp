@@ -103,6 +103,19 @@ inline constexpr const char* kSynthCacheMisses = "mantts.cache_misses";
 inline constexpr const char* kSynthCacheEvictions = "mantts.cache_evictions";
 inline constexpr const char* kSynthCacheInvalidations = "mantts.cache_invalidations";
 inline constexpr const char* kSynthCacheHitRate = "mantts.cache_hit_rate";
+/// Live QoS-conformance plane (DESIGN §16): per-session streaming contract
+/// verdicts. Window metrics are recorded at each window close; the budget
+/// burn, health rung, and QoE proxy are [0,x] gauges; breach/recovery are
+/// episode-transition counters; time-in-contract lands once at finalize.
+inline constexpr const char* kQosWindowOk = "qos.window_ok";
+inline constexpr const char* kQosWindowLatencyNs = "qos.window_latency_ns";  ///< histogram-backed
+inline constexpr const char* kQosWindowJitterNs = "qos.window_jitter_ns";    ///< histogram-backed
+inline constexpr const char* kQosBudgetBurn = "qos.budget_burn";
+inline constexpr const char* kQosBreach = "qos.breach";
+inline constexpr const char* kQosRecovery = "qos.recovery";
+inline constexpr const char* kQosTimeInContract = "qos.time_in_contract";
+inline constexpr const char* kQosQoe = "qos.qoe";
+inline constexpr const char* kQosHealth = "qos.health";
 }  // namespace metrics
 
 [[nodiscard]] MetricClass classify_metric(std::string_view name);

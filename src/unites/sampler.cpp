@@ -55,6 +55,7 @@ void Sampler::sample() {
       point(s.host, s.session, metrics::kSessionLiveBytes, s.live_bytes);
     }
   }
+  if (gauges_) gauges_(snap.when, timeline_);
 }
 
 void write_timeline_jsonl(std::ostream& out, const Timeline& tl) {

@@ -51,6 +51,12 @@ public:
   /// period on the virtual clock that owns `timers`.
   using CaptureFn = std::function<ResourceSnapshot()>;
 
+  /// Extra gauge families (e.g. the conformance plane's qos.* tracks):
+  /// called after each resource capture to append additional points for
+  /// the same instant. Appended order must be deterministic.
+  using GaugeFn = std::function<void(sim::SimTime when, Timeline& out)>;
+  void set_gauge_capture(GaugeFn fn) { gauges_ = std::move(fn); }
+
   Sampler(os::TimerFacility& timers, Config cfg, CaptureFn capture);
   ~Sampler();
   Sampler(const Sampler&) = delete;
@@ -72,6 +78,7 @@ private:
 
   Config cfg_;
   CaptureFn capture_;
+  GaugeFn gauges_;
   std::unique_ptr<tko::Event> timer_;
   Timeline timeline_;
   std::uint64_t samples_ = 0;

@@ -13,6 +13,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kTko: return "tko";
     case TraceCategory::kMantts: return "mantts";
     case TraceCategory::kApp: return "app";
+    case TraceCategory::kConformance: return "conformance";
   }
   return "?";
 }

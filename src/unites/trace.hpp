@@ -25,7 +25,7 @@
 
 namespace adaptive::unites {
 
-enum class TraceCategory : std::uint8_t { kSim, kNet, kTko, kMantts, kApp };
+enum class TraceCategory : std::uint8_t { kSim, kNet, kTko, kMantts, kApp, kConformance };
 [[nodiscard]] const char* to_string(TraceCategory c);
 
 struct TraceEvent {

@@ -125,10 +125,17 @@ void expect_outcomes_identical(const std::vector<SweepRunSummary>& a,
     EXPECT_EQ(a[i].seed, b[i].seed);
     EXPECT_EQ(a[i].qos_pass, b[i].qos_pass);
     EXPECT_EQ(a[i].throughput_bps, b[i].throughput_bps);
-    EXPECT_EQ(a[i].mean_latency_sec, b[i].mean_latency_sec);
+    EXPECT_EQ(a[i].mean_latency_ns, b[i].mean_latency_ns);
     EXPECT_EQ(a[i].loss_fraction, b[i].loss_fraction);
     EXPECT_EQ(a[i].units_received, b[i].units_received);
     EXPECT_EQ(a[i].reconfigurations, b[i].reconfigurations);
+    EXPECT_EQ(a[i].time_in_contract, b[i].time_in_contract);
+    EXPECT_EQ(a[i].qos_windows, b[i].qos_windows);
+    EXPECT_EQ(a[i].qos_windows_bad, b[i].qos_windows_bad);
+    EXPECT_EQ(a[i].qos_breaches, b[i].qos_breaches);
+    EXPECT_EQ(a[i].qos_budget_consumed, b[i].qos_budget_consumed);
+    EXPECT_EQ(a[i].qoe, b[i].qoe);
+    EXPECT_EQ(a[i].first_breach_ns, b[i].first_breach_ns);
   }
 }
 

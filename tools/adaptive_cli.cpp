@@ -57,6 +57,7 @@ struct CliOptions {
   std::string span_out;
   std::string timeline_out;
   double timeline_period = 0.1;  ///< seconds of virtual time between samples
+  std::string qos_out;
   std::string flight_dir;
 };
 
@@ -127,6 +128,11 @@ void usage() {
       "                   --jobs independent)\n"
       "  --timeline-period <s>  virtual seconds between timeline samples\n"
       "                   (default 0.1)\n"
+      "  --qos-out <f>    write the QoS-conformance report (per-window\n"
+      "                   verdicts, error-budget burn, breach episodes, QoE)\n"
+      "                   as JSON to <f> (single runs; the monitor grades\n"
+      "                   250ms virtual-time windows against the negotiated\n"
+      "                   contract)\n"
       "  --flight-recorder-dir <d>  arm the post-mortem flight recorder:\n"
       "                   any seed that violates a delivery invariant (or\n"
       "                   stalls unrecovered) dumps a JSON evidence bundle\n"
@@ -227,6 +233,7 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     else if (arg == "--span-out") opt.span_out = v;
     else if (arg == "--timeline-out") opt.timeline_out = v;
     else if (arg == "--timeline-period") opt.timeline_period = std::atof(v);
+    else if (arg == "--qos-out") opt.qos_out = v;
     else if (arg == "--flight-recorder-dir") opt.flight_dir = v;
     else if (arg == "--members") {
       std::istringstream in(v);
@@ -382,6 +389,21 @@ int main(int argc, char** argv) {
       throughput_sum += r.throughput_bps;
     }
     std::printf("\nqos pass  : %zu/%zu seeds\n", pass, res.runs.size());
+    {
+      double tic_sum = 0.0;
+      std::uint64_t windows = 0, breaches = 0;
+      for (const auto& r : res.runs) {
+        tic_sum += r.time_in_contract;
+        windows += r.qos_windows;
+        breaches += r.qos_breaches;
+      }
+      if (windows > 0) {
+        std::printf("conformance: in-contract %.1f%% mean  %llu windows  %llu breach(es)\n",
+                    tic_sum / static_cast<double>(res.runs.size()) * 100.0,
+                    static_cast<unsigned long long>(windows),
+                    static_cast<unsigned long long>(breaches));
+      }
+    }
     std::uint64_t violations = 0;
     for (const auto& r : res.runs) violations += r.violations;
     if (cli->chaos_mobility || opt.faults.has_value()) {
@@ -528,8 +550,9 @@ int main(int argc, char** argv) {
   std::printf("throughput: %sbps\n",
               unites::format_si(out.qos.achieved_throughput_bps).c_str());
   std::printf("delay     : mean %.2fms  max %.2fms  jitter %.3fms\n",
-              out.qos.mean_latency_sec * 1e3, out.qos.max_latency_sec * 1e3,
-              out.qos.jitter_sec * 1e3);
+              static_cast<double>(out.qos.mean_latency_ns) * 1e-6,
+              static_cast<double>(out.qos.max_latency_ns) * 1e-6,
+              static_cast<double>(out.qos.jitter_ns) * 1e-6);
   std::printf("loss      : %.2f%%  misordered %llu  duplicates %llu\n",
               out.qos.loss_fraction * 100.0,
               static_cast<unsigned long long>(out.qos.misordered),
@@ -539,6 +562,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(out.reliability.timeouts),
               static_cast<unsigned long long>(out.receiver_reliability.fec_recoveries));
   std::printf("segues    : %u\n", out.reconfigurations);
+  if (out.qos.windowed) {
+    std::printf("conformance: in-contract %.1f%%  windows %llu (%llu bad)  "
+                "breaches %llu  budget %.0f%%  qoe %.3f\n",
+                out.conformance.time_in_contract * 100.0,
+                static_cast<unsigned long long>(out.conformance.windows.size()),
+                static_cast<unsigned long long>(out.conformance.windows_bad),
+                static_cast<unsigned long long>(out.conformance.breaches),
+                out.conformance.budget_consumed * 100.0, out.conformance.qoe);
+  }
   std::printf("invariants: %s\n", out.oracle.describe().c_str());
   if (opt.faults.has_value()) {
     std::printf("faults    : %llu episodes  detected %llu  recovered %llu\n",
@@ -576,6 +608,15 @@ int main(int argc, char** argv) {
     unites::write_timeline_chrome(tlc, timeline);
     std::printf("timeline  : %zu points -> %s (+ .chrome.json counter tracks)\n", timeline.size(),
                 cli->timeline_out.c_str());
+  }
+  if (!cli->qos_out.empty()) {
+    std::ofstream qf(cli->qos_out);
+    if (!qf) {
+      std::fprintf(stderr, "cannot write qos file %s\n", cli->qos_out.c_str());
+      return 1;
+    }
+    qf << out.conformance.to_json() << '\n';
+    std::printf("qos       : conformance report -> %s\n", cli->qos_out.c_str());
   }
 
   if (program.has_value()) {
